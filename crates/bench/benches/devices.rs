@@ -1,0 +1,60 @@
+//! Benchmarks the analytical device models and the Eq. 2/4 selection math
+//! (the per-batch decision path that runs on-device).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chameleon_core::{PreferenceTracker, StepTrace};
+use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
+use chameleon_tensor::Prng;
+
+fn chameleon_workload() -> Workload {
+    let t = StepTrace {
+        inputs: 10,
+        trunk_passes: 10,
+        head_fwd_passes: 120,
+        head_bwd_passes: 120,
+        onchip_sample_reads: 100,
+        onchip_sample_writes: 10,
+        offchip_latent_reads: 10,
+        offchip_latent_writes: 1,
+        ..StepTrace::new()
+    };
+    Workload::from_trace(
+        &t.per_input().expect("inputs"),
+        &NominalModel::mobilenet_v1(),
+    )
+}
+
+fn bench_device_models(c: &mut Criterion) {
+    let w = chameleon_workload();
+    let jetson = JetsonNano::new();
+    let fpga = Zcu102::new();
+    let tpu = SystolicAccelerator::new();
+    c.bench_function("device/jetson_cost", |b| {
+        b.iter(|| black_box(jetson.cost(&w)))
+    });
+    c.bench_function("device/fpga_cost", |b| b.iter(|| black_box(fpga.cost(&w))));
+    c.bench_function("device/systolic_cost", |b| {
+        b.iter(|| black_box(tpu.cost(&w)))
+    });
+    c.bench_function("device/fpga_resources", |b| {
+        b.iter(|| black_box(Zcu102::new().resources()))
+    });
+}
+
+fn bench_selection_math(c: &mut Criterion) {
+    c.bench_function("prefs/observe+window", |b| {
+        let mut tracker = PreferenceTracker::new(50, 5, 100, 1.0);
+        let mut rng = Prng::new(0);
+        b.iter(|| tracker.observe(rng.below(50)));
+    });
+    c.bench_function("prng/weighted_choice10", |b| {
+        let mut rng = Prng::new(1);
+        let weights: Vec<f32> = (0..10).map(|i| 0.1 + i as f32).collect();
+        b.iter(|| black_box(rng.weighted_choice(&weights)));
+    });
+}
+
+criterion_group!(benches, bench_device_models, bench_selection_math);
+criterion_main!(benches);

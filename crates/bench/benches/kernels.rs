@@ -1,0 +1,62 @@
+//! Microbenchmarks of the numeric kernels: GEMM, softmax/KL (the Eq. 3–6
+//! scoring path), and the regularized inverse (SLDA's `O(N³)` bottleneck,
+//! whose growth this bench makes directly visible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chameleon_tensor::{linalg, ops, Matrix, Prng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = Prng::new(0);
+    for n in [32usize, 64, 128] {
+        let a = Matrix::randn(n, n, &mut rng);
+        let b = Matrix::randn(n, n, &mut rng);
+        group.bench_function(format!("matmul/{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_function(format!("matmul_nt/{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_kl(c: &mut Criterion) {
+    let mut rng = Prng::new(1);
+    let logits: Vec<f32> = (0..50).map(|_| rng.randn()).collect();
+    let other: Vec<f32> = (0..50).map(|_| rng.randn()).collect();
+    c.bench_function("softmax/50", |b| {
+        b.iter(|| black_box(ops::softmax(&logits)))
+    });
+    let p = ops::softmax(&logits);
+    let q = ops::softmax(&other);
+    c.bench_function("kl_divergence/50", |b| {
+        b.iter(|| black_box(ops::kl_divergence(&p, &q)))
+    });
+    c.bench_function("uncertainty_eq3/50", |b| {
+        b.iter(|| black_box(ops::logit_margin_uncertainty(&logits, 7)))
+    });
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invert_regularized");
+    group.sample_size(20);
+    let mut rng = Prng::new(2);
+    for n in [32usize, 64, 128] {
+        // SPD input: covariance-like.
+        let b = Matrix::randn(n, n, &mut rng);
+        let mut spd = b.matmul_nt(&b);
+        for i in 0..n {
+            spd.set(i, i, spd.get(i, i) + 1.0);
+        }
+        group.bench_function(format!("n={n}"), |bench| {
+            bench.iter(|| black_box(linalg::invert_regularized(&spd, 1e-2).expect("SPD")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_softmax_kl, bench_inverse);
+criterion_main!(benches);

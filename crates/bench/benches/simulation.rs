@@ -1,0 +1,74 @@
+//! Benchmarks of the simulation substrates themselves: stream generation,
+//! latent extraction, the cycle-level systolic scheduler, and the DRAM
+//! timing model — the costs a user pays per simulated experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chameleon_core::ModelConfig;
+use chameleon_hw::memsim::{AccessPattern, MemoryHierarchy};
+use chameleon_hw::sim::{gemm_stream, mobilenet_v1_workload, Gemm, SystolicSim, SystolicSimConfig};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn bench_stream_generation(c: &mut Criterion) {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 3);
+    let config = StreamConfig::default();
+    c.bench_function("stream/one_batch_of_10", |b| {
+        let mut stream = scenario.domain_stream(0, &config, 1);
+        b.iter(|| match stream.next() {
+            Some(batch) => black_box(batch.len()),
+            None => {
+                stream = scenario.domain_stream(0, &config, 1);
+                0
+            }
+        });
+    });
+    c.bench_function("stream/scenario_generate_tiny", |b| {
+        b.iter(|| black_box(DomainIlScenario::generate(&DatasetSpec::core50_tiny(), 4)));
+    });
+}
+
+fn bench_extractor(c: &mut Criterion) {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 5);
+    let model = ModelConfig::for_spec(&spec);
+    let extractor = model.build_extractor();
+    let batch = scenario
+        .domain_stream(0, &StreamConfig::default(), 6)
+        .next()
+        .expect("non-empty domain");
+    c.bench_function("extractor/batch_of_10", |b| {
+        b.iter(|| black_box(extractor.extract_batch(&batch.raw)));
+    });
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    let sim = SystolicSim::new(SystolicSimConfig::edge_tpu());
+    let (trunk, _) = mobilenet_v1_workload(128, 1, 11);
+    let stream = gemm_stream(&trunk);
+    c.bench_function("cycle_sim/mobilenet_trunk", |b| {
+        b.iter(|| black_box(sim.run(&stream)));
+    });
+    c.bench_function("cycle_sim/single_gemm", |b| {
+        b.iter(|| black_box(sim.gemm(&Gemm::new(256, 1024, 1024))));
+    });
+}
+
+fn bench_memsim(c: &mut Criterion) {
+    c.bench_function("memsim/scattered_replay_x10", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::zcu102();
+            black_box(h.replay_fetch(10, 32 * 1024, AccessPattern::Scattered { seed: 1 }))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stream_generation,
+    bench_extractor,
+    bench_cycle_sim,
+    bench_memsim
+);
+criterion_main!(benches);

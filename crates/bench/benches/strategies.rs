@@ -1,0 +1,62 @@
+//! Benchmarks one online `observe` step of every strategy — the software
+//! analogue of Table II's per-image cost, on the simulation substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chameleon_core::{
+    Chameleon, ChameleonConfig, Der, DerConfig, Er, EwcConfig, EwcPlusPlus, Finetune, Gss,
+    GssConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda, SldaConfig, Strategy,
+};
+use chameleon_stream::{Batch, DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn warmed<S: Strategy>(mut strategy: S, scenario: &DomainIlScenario) -> (S, Vec<Batch>) {
+    let config = StreamConfig::default();
+    let mut batches: Vec<Batch> = scenario.domain_stream(0, &config, 1).collect();
+    for batch in &batches {
+        strategy.observe(batch);
+    }
+    batches.truncate(16);
+    (strategy, batches)
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 7);
+    let model = ModelConfig::for_spec(&spec);
+    let mut group = c.benchmark_group("observe_per_batch");
+    group.sample_size(30);
+
+    // Strategies are not `Clone` (they own RNG and optimizer state), so
+    // each iteration keeps training the same warmed instance: state drifts
+    // slightly across iterations, which matches the steady-state online
+    // setting being measured.
+    macro_rules! bench_observe_inplace {
+        ($name:expr, $make:expr) => {
+            group.bench_function($name, |b| {
+                let (mut strategy, batches) = warmed($make, &scenario);
+                let mut i = 0usize;
+                b.iter(|| {
+                    strategy.observe(&batches[i % batches.len()]);
+                    i += 1;
+                });
+            });
+        };
+    }
+
+    bench_observe_inplace!("finetune", Finetune::new(&model, 1));
+    bench_observe_inplace!("er_500", Er::new(&model, 500, 1));
+    bench_observe_inplace!("der_500", Der::new(&model, DerConfig::new(500), 1));
+    bench_observe_inplace!("gss_500", Gss::new(&model, GssConfig::new(500), 1));
+    bench_observe_inplace!("latent_replay_500", LatentReplay::new(&model, 500, 1));
+    bench_observe_inplace!("lwf", Lwf::new(&model, LwfConfig::default(), 1));
+    bench_observe_inplace!("ewcpp", EwcPlusPlus::new(&model, EwcConfig::default(), 1));
+    bench_observe_inplace!("slda", Slda::new(&model, SldaConfig::default(), 1));
+    bench_observe_inplace!(
+        "chameleon",
+        Chameleon::new(&model, ChameleonConfig::default(), 1)
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

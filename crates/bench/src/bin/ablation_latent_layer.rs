@@ -1,0 +1,79 @@
+//! Ablation: **where to cut the frozen trunk** — the paper's latent-layer
+//! choice (§IV-A: "We experiment with the last few layers as the latent
+//! layer to keep the training overhead minimal … we choose layer 21").
+//!
+//! A fixed network chain `96 → 88 → 80 → 72 → [64 → classes]` is split at
+//! different depths: everything before the cut is frozen (the extractor),
+//! everything after trains online. Earlier cuts mean larger latents to
+//! store and more parameters to train per step; later cuts shrink both but
+//! limit adaptability.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin
+//! ablation_latent_layer [--runs N]` (default 3).
+
+use chameleon_bench::report::Table;
+use chameleon_bench::suite::{runs_from_args, seeds};
+use chameleon_core::{Chameleon, ChameleonConfig, ModelConfig, Strategy, Trainer};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn main() {
+    let runs = runs_from_args(3);
+    let seed_list = seeds(runs);
+
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    // The full chain after the raw input; the cut index chooses how many
+    // stages stay frozen.
+    const CHAIN: [usize; 4] = [88, 80, 72, 64];
+
+    println!("# Ablation — frozen/trainable cut depth (CORe50 synthetic)\n");
+    println!(
+        "{runs} runs per row. 'Head params' is the per-step training cost; \n\
+         'latent floats' the per-sample replay storage at that cut.\n"
+    );
+
+    let mut table = Table::new(&[
+        "Cut (frozen stages)",
+        "Latent floats",
+        "Head params",
+        "Acc_all",
+    ]);
+
+    for cut in 1..=CHAIN.len() {
+        let latent_dim = CHAIN[cut - 1];
+        let extractor_hidden: Vec<usize> = CHAIN[..cut - 1].to_vec();
+        let head_hidden: Vec<usize> = CHAIN[cut..].to_vec();
+        let model = ModelConfig::for_spec(&spec)
+            .with_latent_dim(latent_dim)
+            .with_extractor_hidden(extractor_hidden)
+            .with_hidden(head_hidden.clone());
+        let head_params = model.build_head(0).parameter_count();
+
+        let agg = trainer.run_many(
+            &scenario,
+            |seed| -> Box<dyn Strategy> {
+                Box::new(Chameleon::new(&model, ChameleonConfig::default(), seed))
+            },
+            &seed_list,
+        );
+        table.row_owned(vec![
+            format!("{cut} of {}", CHAIN.len()),
+            latent_dim.to_string(),
+            head_params.to_string(),
+            agg.acc_all.to_string(),
+        ]);
+        eprintln!("  cut {cut} done");
+    }
+
+    println!("{}", table.render());
+    println!(
+        "Training overhead and replay storage fall with cut depth, while\n\
+         accuracy falls too — each extra *frozen random* stage loses class\n\
+         information that the trainable part can no longer recover. The paper\n\
+         faces the same trade with a gentler slope (its trunk is pretrained,\n\
+         so deeper features stay discriminative) and picks the deepest cut\n\
+         whose accuracy is not yet degraded: layer 21 of 27."
+    );
+}

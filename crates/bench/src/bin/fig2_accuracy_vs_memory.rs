@@ -1,0 +1,125 @@
+//! Regenerates **Figure 2**: accuracy of each continual-learning method as
+//! a function of its replay-memory budget (MB) on the synthetic CORe50-NI
+//! benchmark.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin
+//! fig2_accuracy_vs_memory [--runs N]` (default 5).
+
+use chameleon_bench::report::Table;
+use chameleon_bench::suite::{runs_from_args, seeds, MethodKind, MethodSpec, BUFFER_SIZES};
+use chameleon_core::{ModelConfig, Trainer};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+/// Renders an ASCII scatter of accuracy (y) vs log-memory (x), one glyph
+/// per method — the figure itself, readable in a terminal.
+fn ascii_plot(points: &[(char, f64, f32)]) -> String {
+    const WIDTH: usize = 64;
+    const HEIGHT: usize = 20;
+    let (min_mb, max_mb) = (0.5f64, 1000.0f64);
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for &(glyph, mb, acc) in points {
+        let x = ((mb.max(min_mb).log10() - min_mb.log10())
+            / (max_mb.log10() - min_mb.log10())
+            * (WIDTH - 1) as f64)
+            .round()
+            .clamp(0.0, (WIDTH - 1) as f64) as usize;
+        let y = ((acc as f64 / 100.0) * (HEIGHT - 1) as f64)
+            .round()
+            .clamp(0.0, (HEIGHT - 1) as f64) as usize;
+        grid[HEIGHT - 1 - y][x] = glyph;
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let acc_label = 100 - i * 100 / (HEIGHT - 1);
+        out.push_str(&format!("{acc_label:>3} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(WIDTH));
+    out.push_str("\n     0.5 MB");
+    out.push_str(&" ".repeat(WIDTH - 24));
+    out.push_str("1000 MB (log)\n");
+    out
+}
+
+fn main() {
+    let runs = runs_from_args(5);
+    let seed_list = seeds(runs);
+
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!("# Figure 2 — Accuracy vs memory budget (CORe50-NI synthetic)\n");
+    println!("{runs} runs per point. Figure series: one row per (method, budget).\n");
+
+    let mut table = Table::new(&["Method", "Buffer (samples)", "Memory (MB)", "Acc_all (%)"]);
+    let mut points: Vec<(char, f64, f32)> = Vec::new();
+
+    // Bufferless references first: finetune's collapse is the floor the
+    // figure motivates; SLDA is the strong low-memory baseline.
+    for (kind, label) in [
+        (MethodKind::Finetune, "Finetuning"),
+        (MethodKind::Slda, "SLDA"),
+    ] {
+        let method = MethodSpec {
+            label: label.into(),
+            buffer: None,
+            kind,
+        };
+        let agg = trainer.run_many(&scenario, |seed| method.build(&model, seed), &seed_list);
+        table.row_owned(vec![
+            label.to_string(),
+            "—".into(),
+            format!("{:.1}", agg.memory_overhead_mb),
+            agg.acc_all.to_string(),
+        ]);
+        points.push((label.chars().next().expect("non-empty"), agg.memory_overhead_mb, agg.acc_all.mean));
+        eprintln!("  {label} done");
+    }
+
+    for (kind, name) in [
+        (MethodKind::Er, "ER"),
+        (MethodKind::Der, "DER"),
+        (MethodKind::Gss, "GSS"),
+        (MethodKind::LatentReplay, "Latent Replay"),
+        (MethodKind::Chameleon, "Chameleon"),
+    ] {
+        for size in BUFFER_SIZES {
+            let method = MethodSpec {
+                label: format!("{name} ({size})"),
+                buffer: Some(size),
+                kind,
+            };
+            let agg = trainer.run_many(&scenario, |seed| method.build(&model, seed), &seed_list);
+            table.row_owned(vec![
+                name.to_string(),
+                size.to_string(),
+                format!("{:.1}", agg.memory_overhead_mb),
+                agg.acc_all.to_string(),
+            ]);
+            let glyph = match kind {
+                MethodKind::Er => 'E',
+                MethodKind::Der => 'D',
+                MethodKind::Gss => 'G',
+                MethodKind::LatentReplay => 'L',
+                _ => 'C',
+            };
+            points.push((glyph, agg.memory_overhead_mb, agg.acc_all.mean));
+            eprintln!("  {name} ({size}) done");
+        }
+    }
+
+    println!("{}", table.render());
+    println!("Acc_all (%) vs replay memory (MB, log scale)");
+    println!("F=Finetuning S=SLDA E=ER D=DER G=GSS L=Latent Replay C=Chameleon\n");
+    println!("{}", ascii_plot(&points));
+    println!(
+        "Shape check vs the paper's Figure 2: finetuning collapses (~17 %), ER/DER\n\
+         need large budgets, GSS pays ~10× memory for the same sample count, and\n\
+         Chameleon attains the best accuracy-per-MB (paper: ~79.5 % with 0.3 MB\n\
+         on-chip + 3.2 MB off-chip)."
+    );
+}

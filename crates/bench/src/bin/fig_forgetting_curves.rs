@@ -1,0 +1,76 @@
+//! Extension figure: **forgetting curves** — `Acc_all` measured after each
+//! domain, showing when each method loses earlier domains and how replay
+//! arrests the decay. (The paper reports only the final `Acc_all`; this is
+//! the time-resolved view of the same runs.)
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin
+//! fig_forgetting_curves`.
+
+use chameleon_bench::report::Table;
+use chameleon_core::{
+    Chameleon, ChameleonConfig, Finetune, LatentReplay, ModelConfig, Slda, SldaConfig, Strategy,
+    Trainer,
+};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn main() {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!("# Forgetting curves — Acc_all after each domain (CORe50 synthetic)\n");
+
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("Finetuning", Box::new(Finetune::new(&model, 1))),
+        (
+            "Latent Replay (500)",
+            Box::new(LatentReplay::new(&model, 500, 1)),
+        ),
+        (
+            "SLDA",
+            Box::new(Slda::new(&model, SldaConfig::default(), 1)),
+        ),
+        (
+            "Chameleon (10+100)",
+            Box::new(Chameleon::new(&model, ChameleonConfig::default(), 1)),
+        ),
+    ];
+
+    let mut headers: Vec<String> = vec!["Method".into()];
+    headers.extend((0..spec.num_domains).map(|d| format!("after D{d}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut first_domain_rows = Vec::new();
+    for (name, mut strategy) in strategies {
+        let reports = trainer.run_with_domain_evals(&scenario, strategy.as_mut(), 1);
+        let mut cells = vec![name.to_string()];
+        cells.extend(reports.iter().map(|r| format!("{:.1}", r.acc_all)));
+        table.row_owned(cells);
+        // Track accuracy on domain 0's test rows over time (pure
+        // forgetting signal).
+        let d0: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:.1}", r.per_domain[0]))
+            .collect();
+        first_domain_rows.push((name, d0));
+        eprintln!("  {name} done");
+    }
+    println!("{}", table.render());
+
+    println!("## Accuracy on domain 0 only (what is being forgotten)\n");
+    let mut d0_table = Table::new(&header_refs);
+    for (name, cells) in first_domain_rows {
+        let mut row = vec![name.to_string()];
+        row.extend(cells);
+        d0_table.row_owned(row);
+    }
+    println!("{}", d0_table.render());
+    println!(
+        "Finetuning's domain-0 accuracy collapses within a few domains; replay\n\
+         slows the decay in proportion to its buffer (Latent Replay 500 retains\n\
+         several times more of domain 0 than Chameleon's 110-sample budget),\n\
+         and SLDA (no gradient updates) barely forgets by construction."
+    );
+}

@@ -1,0 +1,112 @@
+//! Extension: **DRAM-level view of the replay traffic** — prices one
+//! training step's replay fetches through the open-page DRAM timing model
+//! (`chameleon_hw::memsim`), showing *why* scattered reservoir reads cost
+//! more per byte than streaming and why the short-term store must live
+//! on-chip.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin memsim_report`.
+
+use chameleon_bench::report::Table;
+use chameleon_hw::memsim::{AccessPattern, DramStats, MemoryHierarchy};
+
+const LATENT_BYTES: usize = 32 * 1024;
+const CLOCK_MHZ: f64 = 150.0;
+
+fn us(cycles: u64) -> String {
+    format!("{:.1}", cycles as f64 / CLOCK_MHZ)
+}
+
+fn main() {
+    println!("# DRAM timing view of replay traffic (ZCU102 memory system)\n");
+    println!(
+        "Per incoming image: ten 32 KiB latent replay elements, fetched either\n\
+         scattered from a 48 MB reservoir (Latent Replay), streamed (an idealized\n\
+         prefetch-friendly layout), or served on-chip (Chameleon's short-term\n\
+         store, zero DRAM cycles) plus one amortized off-chip long-term access.\n"
+    );
+
+    let mut table = Table::new(&[
+        "Replay source",
+        "DRAM cycles",
+        "µs @150 MHz",
+        "Exposed misses",
+        "Hidden misses",
+        "Hit rate",
+    ]);
+
+    let row = |name: &str, cycles: u64, stats: DramStats, table: &mut Table| {
+        table.row_owned(vec![
+            name.to_string(),
+            cycles.to_string(),
+            us(cycles),
+            stats.row_misses.to_string(),
+            stats.hidden_misses.to_string(),
+            format!("{:.1} %", 100.0 * stats.hit_rate()),
+        ]);
+    };
+
+    // Latent Replay: 10 scattered reads + 1 scattered write-back.
+    let mut lr = MemoryHierarchy::zcu102();
+    let mut cycles = lr.replay_fetch(11, LATENT_BYTES, AccessPattern::Scattered { seed: 7 });
+    row(
+        "Latent Replay (scattered ×11)",
+        cycles,
+        lr.dram.stats(),
+        &mut table,
+    );
+
+    // The same bytes as one predictable stream.
+    let mut streamed = MemoryHierarchy::zcu102();
+    cycles = streamed.replay_fetch(11, LATENT_BYTES, AccessPattern::Sequential { start: 0 });
+    row(
+        "Same bytes, streamed",
+        cycles,
+        streamed.dram.stats(),
+        &mut table,
+    );
+
+    // Chameleon: ST on-chip (0 DRAM cycles) + 1 amortized LT element.
+    let mut chameleon = MemoryHierarchy::zcu102();
+    cycles = chameleon.replay_fetch(1, LATENT_BYTES, AccessPattern::Scattered { seed: 7 });
+    row(
+        "Chameleon (10 on-chip + 1 off-chip)",
+        cycles,
+        chameleon.dram.stats(),
+        &mut table,
+    );
+
+    println!("{}", table.render());
+
+    println!("## On-chip placement (scratchpad partitions)\n");
+    let mut h = MemoryHierarchy::zcu102();
+    h.scratchpad
+        .allocate("weight buffer", 2048 * 1024)
+        .expect("fits");
+    h.scratchpad
+        .allocate("activation buffer", 456 * 1024)
+        .expect("fits");
+    let mut place = Table::new(&["Replay store", "Bytes", "Fits next to the accelerator?"]);
+    for (name, samples) in [
+        ("Chameleon M_s (10)", 10usize),
+        ("M_l = 100", 100),
+        ("M_l = 1500", 1500),
+    ] {
+        let bytes = samples * LATENT_BYTES;
+        place.row_owned(vec![
+            name.to_string(),
+            bytes.to_string(),
+            if h.replay_store_fits_on_chip(bytes) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!("{}", place.render());
+    println!(
+        "Only the ten-sample short-term store fits on-chip beside the weight and\n\
+         activation buffers (Table III's 96 % BRAM). Every other replay store is\n\
+         forced into DRAM, where each data-dependent fetch pays an exposed\n\
+         row-activate — the mechanism behind Table II's traffic costs."
+    );
+}

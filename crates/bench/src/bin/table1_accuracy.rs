@@ -1,0 +1,107 @@
+//! Regenerates **Table I**: `Acc_all` (mean ± std over repeated runs) and
+//! memory overhead for every method × buffer size on the synthetic
+//! OpenLORIS and CORe50 benchmarks.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin table1_accuracy
+//! [--runs N]` (default 10 runs, matching the paper).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use chameleon_bench::report::Table;
+use chameleon_bench::suite::{runs_from_args, seeds, table1_methods};
+use chameleon_core::{ModelConfig, Trainer};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+/// Paper reference values (OpenLORIS, CORe50) for context in the output.
+fn paper_reference() -> BTreeMap<&'static str, (f64, f64)> {
+    BTreeMap::from([
+        ("JOINT", (97.14, 81.48)),
+        ("Finetuning", (65.97, 16.86)),
+        ("EWC++", (61.89, 23.22)),
+        ("LwF", (72.57, 27.91)),
+        ("SLDA", (90.17, 77.20)),
+        ("GSS (100)", (91.20, 43.51)),
+        ("GSS (200)", (92.00, 47.47)),
+        ("GSS (500)", (91.99, 48.57)),
+        ("GSS (1500)", (95.50, 53.19)),
+        ("ER (100)", (90.45, 32.61)),
+        ("ER (200)", (90.68, 36.07)),
+        ("ER (500)", (93.72, 62.31)),
+        ("ER (1500)", (95.50, 63.33)),
+        ("DER (100)", (90.33, 58.72)),
+        ("DER (200)", (92.12, 62.15)),
+        ("DER (500)", (94.37, 67.35)),
+        ("DER (1500)", (95.50, 68.73)),
+        ("Latent Replay (100)", (90.57, 71.89)),
+        ("Latent Replay (200)", (92.32, 72.87)),
+        ("Latent Replay (500)", (94.89, 75.43)),
+        ("Latent Replay (1500)", (95.50, 79.07)),
+        ("Chameleon (Ms=10, Ml=100)", (96.10, 79.48)),
+        ("Chameleon (Ms=10, Ml=200)", (96.43, 79.56)),
+        ("Chameleon (Ms=10, Ml=500)", (96.70, 79.86)),
+        ("Chameleon (Ms=10, Ml=1500)", (97.10, 79.92)),
+    ])
+}
+
+fn main() {
+    let runs = runs_from_args(10);
+    let seed_list = seeds(runs);
+    let reference = paper_reference();
+
+    println!("# Table I — Chameleon vs baselines (synthetic benchmarks)\n");
+    println!("{runs} runs per cell; mean ± std of Acc_all (%).\n");
+
+    let mut table = Table::new(&[
+        "Method",
+        "Memory (MB)",
+        "OpenLORIS Acc_all",
+        "OpenLORIS (paper)",
+        "CORe50 Acc_all",
+        "CORe50 (paper)",
+    ]);
+
+    let specs = [DatasetSpec::openloris(), DatasetSpec::core50()];
+    let scenarios: Vec<DomainIlScenario> = specs
+        .iter()
+        .map(|spec| DomainIlScenario::generate(spec, 0xDA7A))
+        .collect();
+    let models: Vec<ModelConfig> = specs.iter().map(ModelConfig::for_spec).collect();
+    let trainer = Trainer::new(StreamConfig::default());
+
+    for method in table1_methods() {
+        let started = Instant::now();
+        let mut cells: Vec<String> = vec![method.label.clone()];
+        let mut memory = None;
+        let mut accs = Vec::new();
+        for (scenario, model) in scenarios.iter().zip(&models) {
+            let agg = trainer.run_many(scenario, |seed| method.build(model, seed), &seed_list);
+            memory.get_or_insert(agg.memory_overhead_mb);
+            accs.push(agg.acc_all);
+        }
+        let mem = memory.expect("two datasets evaluated");
+        let mem_str = match method.kind {
+            chameleon_bench::suite::MethodKind::Joint
+            | chameleon_bench::suite::MethodKind::Finetune => "—".to_string(),
+            _ => format!("{mem:.1}"),
+        };
+        let (p_ol, p_c50) = reference
+            .get(method.label.as_str())
+            .copied()
+            .unwrap_or((f64::NAN, f64::NAN));
+        cells.push(mem_str);
+        cells.push(accs[0].to_string());
+        cells.push(format!("{p_ol:.2}"));
+        cells.push(accs[1].to_string());
+        cells.push(format!("{p_c50:.2}"));
+        table.row_owned(cells);
+        eprintln!(
+            "  {} done in {:.1}s",
+            method.label,
+            started.elapsed().as_secs_f32()
+        );
+    }
+
+    println!("{}", table.render());
+    println!("Paper columns reproduced from Aggarwal et al., DATE 2023, Table I.");
+}

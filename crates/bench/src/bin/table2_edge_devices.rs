@@ -1,0 +1,126 @@
+//! Regenerates **Table II**: per-image training latency and energy of
+//! Chameleon, SLDA, and Latent Replay on the three edge-device models.
+//!
+//! The strategies run at the paper's hardware configuration — batch size
+//! one, ten replay elements per incoming input — on a shortened stream to
+//! collect their operation/traffic traces; the traces are then priced by
+//! the analytical device models (`chameleon-hw`).
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin table2_edge_devices`.
+
+use chameleon_bench::report::{fmt_or_dash, Table};
+use chameleon_core::{
+    Chameleon, ChameleonConfig, LatentReplay, ModelConfig, Slda, SldaConfig, Strategy,
+};
+use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+/// Paper values: (jetson ms, jetson J, fpga ms, fpga J, edgetpu ms);
+/// NaN where the paper has no measurement.
+fn paper(method: &str) -> (f64, f64, f64, f64, f64) {
+    match method {
+        "Latent Replay" => (115.0, 1.14, 2788.0, 8.62, f64::NAN),
+        "SLDA" => (69.0, 0.68, f64::NAN, f64::NAN, 554.0),
+        "Chameleon" => (33.0, 0.31, 413.0, 1.22, 47.0),
+        _ => (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    }
+}
+
+fn collect_workload(mut strategy: Box<dyn Strategy>, scenario: &DomainIlScenario) -> Workload {
+    // Paper hardware setup: batch size 1, run enough stream to reach
+    // steady-state buffer behaviour.
+    let config = StreamConfig {
+        batch_size: 1,
+        ..StreamConfig::default()
+    };
+    for domain in 0..2 {
+        for batch in scenario.domain_stream(domain, &config, 7 + domain as u64) {
+            strategy.observe(&batch);
+        }
+    }
+    let per = strategy
+        .trace()
+        .per_input()
+        .expect("strategy observed inputs");
+    Workload::from_trace(&per, &NominalModel::mobilenet_v1())
+}
+
+fn main() {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        (
+            "Latent Replay",
+            Box::new(LatentReplay::new(&model, 1500, 1)),
+        ),
+        (
+            "SLDA",
+            Box::new(Slda::new(&model, SldaConfig::default(), 1)),
+        ),
+        (
+            "Chameleon",
+            Box::new(Chameleon::new(&model, ChameleonConfig::default(), 1)),
+        ),
+    ];
+
+    let jetson = JetsonNano::new();
+    let fpga = Zcu102::new();
+    let tpu = SystolicAccelerator::new();
+
+    println!("# Table II — per-image training cost on edge-device models\n");
+    println!("Batch size 1, ten replay elements per input (paper §IV-C).\n");
+
+    let mut table = Table::new(&[
+        "Method",
+        "Jetson ms (paper)",
+        "Jetson J (paper)",
+        "FPGA ms (paper)",
+        "FPGA J (paper)",
+        "EdgeTPU ms (paper)",
+    ]);
+
+    let mut breakdowns = Vec::new();
+    for (name, strategy) in strategies {
+        let workload = collect_workload(strategy, &scenario);
+        let j = jetson.cost(&workload);
+        let f = fpga.cost(&workload);
+        let t = tpu.cost(&workload);
+        let (pj_ms, pj_j, pf_ms, pf_j, pt_ms) = paper(name);
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{:.0} ({})", j.latency_ms, fmt_or_dash(pj_ms, 0)),
+            format!("{:.2} ({})", j.energy_j, fmt_or_dash(pj_j, 2)),
+            format!("{:.0} ({})", f.latency_ms, fmt_or_dash(pf_ms, 0)),
+            format!("{:.2} ({})", f.energy_j, fmt_or_dash(pf_j, 2)),
+            format!("{:.0} ({})", t.latency_ms, fmt_or_dash(pt_ms, 0)),
+        ]);
+        breakdowns.push((name, f));
+    }
+    println!("{}", table.render());
+
+    println!("## FPGA latency breakdown (§IV-C)\n");
+    let mut bd = Table::new(&[
+        "Method",
+        "Compute ms",
+        "Weight stream ms",
+        "Replay traffic ms",
+        "Replay share",
+    ]);
+    for (name, f) in &breakdowns {
+        bd.row_owned(vec![
+            name.to_string(),
+            format!("{:.0}", f.compute_ms),
+            format!("{:.0}", f.weight_stream_ms),
+            format!("{:.0}", f.replay_traffic_ms),
+            format!("{:.0} %", 100.0 * f.replay_traffic_fraction()),
+        ]);
+    }
+    println!("{}", bd.render());
+    println!(
+        "Paper reference: Latent Replay spends 44 % of FPGA latency moving latent\n\
+         activations off-chip; Chameleon removes that traffic via the on-chip\n\
+         short-term store (6.75× latency / 7× energy in the paper's measurement)."
+    );
+}

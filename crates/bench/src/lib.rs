@@ -1,0 +1,28 @@
+//! Support library for the table/figure generator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation section (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded results):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2_accuracy_vs_memory` | Figure 2 |
+//! | `table1_accuracy` | Table I |
+//! | `table2_edge_devices` | Table II (+ §IV-C latency breakdown) |
+//! | `table3_fpga_resources` | Table III |
+//! | `ablation_sampling` | ST/LT selection-policy ablation |
+//! | `ablation_hparams` | ρ, α/β, h, learning-window sweeps |
+//! | `ablation_memory_split` | ST/LT capacity split at fixed budget |
+//! | `ablation_bfp` | block-floating-point datapath width |
+//! | `ablation_latent_layer` | frozen/trainable cut depth |
+//! | `fig_forgetting_curves` | time-resolved per-domain accuracy |
+//! | `factor_analysis` | OpenLORIS environmental-factor difficulty |
+//! | `systolic_sim_report` | cycle-level EdgeTPU cross-check |
+//! | `memsim_report` | DRAM-timing view of replay traffic |
+//! | `robustness_order` | domain-order permutation robustness |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod suite;

@@ -1,0 +1,145 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: `--key value` pairs plus bare flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses everything after the subcommand. A token starting with `--`
+    /// consumes the next token as its value unless that token is itself an
+    /// option (then it is a bare flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for positional tokens (this CLI has none).
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut options = Self::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let token = &tokens[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{token}`"));
+            };
+            if key.is_empty() {
+                return Err("empty option name `--`".to_string());
+            }
+            match tokens.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    options.values.insert(key.to_string(), next.clone());
+                    i += 2;
+                }
+                _ => {
+                    options.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// String value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// String value of `key` or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric value of `key` or a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Rejects unknown option names, listing the valid ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unknown option.
+    pub fn expect_only(&self, valid: &[&str]) -> Result<(), String> {
+        for key in self.values.keys().chain(self.flags.iter()) {
+            if !valid.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown option --{key}; valid options: {}",
+                    valid
+                        .iter()
+                        .map(|v| format!("--{v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let o = Options::parse(&toks(&["--dataset", "core50", "--skewed", "--runs", "3"]))
+            .expect("valid");
+        assert_eq!(o.get("dataset"), Some("core50"));
+        assert!(o.has_flag("skewed"));
+        assert_eq!(o.get_parsed_or("runs", 1usize).expect("number"), 3);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let o = Options::parse(&toks(&[])).expect("valid");
+        assert_eq!(o.get_or("method", "chameleon"), "chameleon");
+        assert_eq!(o.get_parsed_or("buffer", 100usize).expect("default"), 100);
+        assert!(!o.has_flag("skewed"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Options::parse(&toks(&["core50"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let o = Options::parse(&toks(&["--runs", "many"])).expect("parse ok");
+        assert!(o.get_parsed_or("runs", 1usize).is_err());
+    }
+
+    #[test]
+    fn expect_only_flags_unknown_options() {
+        let o = Options::parse(&toks(&["--dataset", "core50", "--bogus", "x"])).expect("ok");
+        assert!(o.expect_only(&["dataset"]).is_err());
+        assert!(o.expect_only(&["dataset", "bogus"]).is_ok());
+    }
+
+    #[test]
+    fn flag_followed_by_option_is_a_flag() {
+        let o = Options::parse(&toks(&["--skewed", "--runs", "2"])).expect("ok");
+        assert!(o.has_flag("skewed"));
+        assert_eq!(o.get_parsed_or("runs", 0usize).expect("number"), 2);
+    }
+}

@@ -1,0 +1,503 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use chameleon_core::{
+    Chameleon, ChameleonConfig, Der, DerConfig, Er, EvalReport, EwcConfig, EwcPlusPlus, Finetune,
+    Gss, GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda,
+    SldaConfig, Strategy, Trainer,
+};
+use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
+
+use crate::args::Options;
+
+const HELP: &str = "\
+chameleon — dual memory replay for online continual learning (DATE 2023 reproduction)
+
+USAGE:
+  chameleon <command> [options]
+
+COMMANDS:
+  info                          list datasets, methods, and devices
+  train                         train a strategy on a synthetic benchmark
+    --dataset <name>            core50 | openloris | core50-tiny |
+                                openloris-tiny | openloris-factored
+    --method <name>             see `chameleon info`       [default: chameleon]
+    --buffer <n>                replay buffer size         [default: 100]
+    --runs <n>                  repetitions (mean ± std)   [default: 1]
+    --seed <n>                  base seed                  [default: 1]
+    --skewed                    user-preference-skewed stream
+    --save <path>               save a checkpoint (chameleon, runs = 1 only)
+  evaluate                      evaluate a saved checkpoint
+    --dataset <name>  --load <path>  [--buffer <n>]
+  sweep                         one method across several buffer sizes
+    --dataset <name>  --method <name>  --buffers <n,n,...>  [--runs <n>]
+  price                         per-image cost on the three device models
+    --method <name>  [--buffer <n>]
+  resources                     ZCU102 utilization of an accelerator config
+    [--st-kb <n>] [--array <RxC>]
+  help                          show this message
+";
+
+/// Dispatches `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some("info") => info(),
+        Some("train") => train(&Options::parse(&argv[1..])?),
+        Some("evaluate") => evaluate(&Options::parse(&argv[1..])?),
+        Some("sweep") => sweep(&Options::parse(&argv[1..])?),
+        Some("price") => price(&Options::parse(&argv[1..])?),
+        Some("resources") => resources(&Options::parse(&argv[1..])?),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn dataset(name: &str) -> Result<DatasetSpec, String> {
+    match name {
+        "core50" => Ok(DatasetSpec::core50()),
+        "openloris" => Ok(DatasetSpec::openloris()),
+        "core50-tiny" => Ok(DatasetSpec::core50_tiny()),
+        "openloris-tiny" => Ok(DatasetSpec::openloris_tiny()),
+        "openloris-factored" => Ok(DatasetSpec::openloris_factored()),
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}
+
+const METHODS: [&str; 10] = [
+    "chameleon",
+    "latent-replay",
+    "er",
+    "der",
+    "gss",
+    "slda",
+    "lwf",
+    "ewc",
+    "finetune",
+    "joint",
+];
+
+fn build_method(
+    name: &str,
+    model: &ModelConfig,
+    buffer: usize,
+    seed: u64,
+) -> Result<Box<dyn Strategy>, String> {
+    Ok(match name {
+        "chameleon" => Box::new(Chameleon::new(
+            model,
+            ChameleonConfig {
+                long_term_capacity: buffer,
+                ..ChameleonConfig::default()
+            },
+            seed,
+        )),
+        "latent-replay" => Box::new(LatentReplay::new(model, buffer, seed)),
+        "er" => Box::new(Er::new(model, buffer, seed)),
+        "der" => Box::new(Der::new(model, DerConfig::new(buffer), seed)),
+        "gss" => Box::new(Gss::new(model, GssConfig::new(buffer), seed)),
+        "slda" => Box::new(Slda::new(model, SldaConfig::default(), seed)),
+        "lwf" => Box::new(Lwf::new(model, LwfConfig::default(), seed)),
+        "ewc" => Box::new(EwcPlusPlus::new(model, EwcConfig::default(), seed)),
+        "finetune" => Box::new(Finetune::new(model, seed)),
+        "joint" => Box::new(Joint::new(model, JointConfig::default(), seed)),
+        other => {
+            return Err(format!(
+                "unknown method `{other}`; valid: {}",
+                METHODS.join(", ")
+            ))
+        }
+    })
+}
+
+fn stream_config(skewed: bool) -> StreamConfig {
+    if skewed {
+        StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![0, 1, 2, 3, 4],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        }
+    } else {
+        StreamConfig::default()
+    }
+}
+
+fn info() -> Result<(), String> {
+    println!("datasets:");
+    for spec in [
+        DatasetSpec::core50(),
+        DatasetSpec::openloris(),
+        DatasetSpec::core50_tiny(),
+        DatasetSpec::openloris_tiny(),
+        DatasetSpec::openloris_factored(),
+    ] {
+        println!(
+            "  {:<16} {} classes × {} domains, {} train / {} test samples",
+            spec.name,
+            spec.num_classes,
+            spec.num_domains,
+            spec.train_len(),
+            spec.test_len()
+        );
+    }
+    println!("\nmethods: {}", METHODS.join(", "));
+    println!("\ndevices:");
+    for device in [
+        JetsonNano::new().name().to_string(),
+        Zcu102::new().name().to_string(),
+        SystolicAccelerator::new().name().to_string(),
+    ] {
+        println!("  {device}");
+    }
+    Ok(())
+}
+
+fn train(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "dataset", "method", "buffer", "runs", "seed", "skewed", "save",
+    ])?;
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let method = options.get_or("method", "chameleon").to_string();
+    let buffer: usize = options.get_parsed_or("buffer", 100)?;
+    let runs: usize = options.get_parsed_or("runs", 1)?;
+    let seed: u64 = options.get_parsed_or("seed", 1)?;
+    if runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(stream_config(options.has_flag("skewed")));
+
+    if runs > 1 {
+        if options.get("save").is_some() {
+            return Err("--save requires --runs 1".to_string());
+        }
+        let seeds: Vec<u64> = (seed..seed + runs as u64).collect();
+        let agg = trainer.run_many(
+            &scenario,
+            |s| build_method(&method, &model, buffer, s).expect("validated above"),
+            &seeds,
+        );
+        println!(
+            "{} on {}: Acc_all {} over {} runs, memory {:.1} MB",
+            agg.name, spec.name, agg.acc_all, runs, agg.memory_overhead_mb
+        );
+        return Ok(());
+    }
+
+    if let Some(path) = options.get("save") {
+        if method != "chameleon" {
+            return Err("--save currently supports only --method chameleon".to_string());
+        }
+        let config = ChameleonConfig {
+            long_term_capacity: buffer,
+            ..ChameleonConfig::default()
+        };
+        let mut learner = Chameleon::new(&model, config, seed);
+        let report = trainer.run(&scenario, &mut learner, seed);
+        print_report(&spec, "Chameleon", &report);
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        learner
+            .save_checkpoint(BufWriter::new(file))
+            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+        println!("checkpoint saved to {path}");
+        return Ok(());
+    }
+
+    let mut strategy = build_method(&method, &model, buffer, seed)?;
+    let report = trainer.run(&scenario, strategy.as_mut(), seed);
+    print_report(&spec, strategy.name(), &report);
+    Ok(())
+}
+
+fn print_report(spec: &DatasetSpec, name: &str, report: &EvalReport) {
+    println!(
+        "{name} on {}: Acc_all {:.2} %, memory {:.1} MB",
+        spec.name, report.acc_all, report.memory_overhead_mb
+    );
+    let per_domain: Vec<String> = report
+        .per_domain
+        .iter()
+        .map(|a| format!("{a:.0}"))
+        .collect();
+    println!("  per-domain accuracy: [{}]", per_domain.join(", "));
+}
+
+fn evaluate(options: &Options) -> Result<(), String> {
+    options.expect_only(&["dataset", "load", "buffer"])?;
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let path = options
+        .get("load")
+        .ok_or("evaluate requires --load <path>")?;
+    let buffer: usize = options.get_parsed_or("buffer", 100)?;
+
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let learner = Chameleon::load_checkpoint(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: buffer,
+            ..ChameleonConfig::default()
+        },
+        1,
+        BufReader::new(file),
+    )
+    .map_err(|e| format!("cannot load checkpoint: {e}"))?;
+    let report = EvalReport::evaluate(&scenario, &learner);
+    print_report(&spec, "Chameleon (checkpoint)", &report);
+    println!(
+        "  stores: {} short-term / {} long-term samples",
+        learner.short_term_len(),
+        learner.long_term_len()
+    );
+    Ok(())
+}
+
+fn sweep(options: &Options) -> Result<(), String> {
+    options.expect_only(&["dataset", "method", "buffers", "runs"])?;
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let method = options.get_or("method", "latent-replay").to_string();
+    let runs: usize = options.get_parsed_or("runs", 3)?;
+    if runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    let buffers: Vec<usize> = options
+        .get_or("buffers", "100,200,500,1500")
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| format!("invalid buffer size `{v}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if buffers.is_empty() {
+        return Err("--buffers must list at least one size".to_string());
+    }
+
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+    let seeds: Vec<u64> = (1..=runs as u64).collect();
+
+    println!(
+        "{method} on {} across buffer sizes ({runs} runs each):",
+        spec.name
+    );
+    for buffer in buffers {
+        let agg = trainer.run_many(
+            &scenario,
+            |s| build_method(&method, &model, buffer, s).expect("validated above"),
+            &seeds,
+        );
+        println!(
+            "  buffer {buffer:>5}: Acc_all {}   memory {:>7.1} MB",
+            agg.acc_all, agg.memory_overhead_mb
+        );
+    }
+    Ok(())
+}
+
+fn price(options: &Options) -> Result<(), String> {
+    options.expect_only(&["method", "buffer"])?;
+    let method = options.get_or("method", "chameleon").to_string();
+    let buffer: usize = options.get_parsed_or("buffer", 100)?;
+
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let mut strategy = build_method(&method, &model, buffer, 1)?;
+
+    // Paper hardware configuration: batch size one.
+    let stream = StreamConfig {
+        batch_size: 1,
+        ..StreamConfig::default()
+    };
+    for domain in 0..spec.num_domains {
+        for batch in scenario.domain_stream(domain, &stream, 5 + domain as u64) {
+            strategy.observe(&batch);
+        }
+    }
+    let per = strategy
+        .trace()
+        .per_input()
+        .ok_or("strategy recorded no trace (joint trains offline)")?;
+    let workload = Workload::from_trace(&per, &NominalModel::mobilenet_v1());
+
+    println!("{} per-image cost (batch size 1):", strategy.name());
+    println!(
+        "  workload: {:.2} GMAC, {:.0} KB off-chip replay, {:.0} KB on-chip",
+        workload.total_macs() / 1e9,
+        workload.offchip_replay_bytes / 1e3,
+        workload.onchip_bytes / 1e3
+    );
+    for device in [
+        &JetsonNano::new() as &dyn Device,
+        &Zcu102::new(),
+        &SystolicAccelerator::new(),
+    ] {
+        let cost = device.cost(&workload);
+        println!(
+            "  {:<26} {:8.1} ms   {:6.3} J",
+            device.name(),
+            cost.latency_ms,
+            cost.energy_j
+        );
+    }
+    Ok(())
+}
+
+fn resources(options: &Options) -> Result<(), String> {
+    options.expect_only(&["st-kb", "array"])?;
+    let st_kb: usize = options.get_parsed_or("st-kb", 320)?;
+    let array = options.get_or("array", "32x32");
+    let (rows, cols) = array
+        .split_once('x')
+        .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
+        .ok_or_else(|| format!("invalid --array `{array}`, expected RxC like 32x32"))?;
+
+    let config = chameleon_hw::FpgaConfig {
+        mac_rows: rows,
+        mac_cols: cols,
+        short_term_buffer_kb: st_kb,
+        ..chameleon_hw::FpgaConfig::default()
+    };
+    let usage = chameleon_hw::ResourceModel::new(config).utilization();
+    println!("ZCU102 utilization for a {rows}x{cols} array with {st_kb} KB short-term store:");
+    println!(
+        "  DSP  {:>7} / {}   ({:.2} %)",
+        usage.dsp,
+        chameleon_hw::ResourceUsage::DSP_AVAILABLE,
+        usage.dsp_pct()
+    );
+    println!(
+        "  BRAM {:>7} / {}   ({:.2} %)",
+        usage.bram,
+        chameleon_hw::ResourceUsage::BRAM_AVAILABLE,
+        usage.bram_pct()
+    );
+    println!(
+        "  LUT  {:>7} / {}   ({:.2} %)",
+        usage.lut,
+        chameleon_hw::ResourceUsage::LUT_AVAILABLE,
+        usage.lut_pct()
+    );
+    println!("  fits: {}", if usage.fits() { "yes" } else { "NO" });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_info_succeed() {
+        assert!(dispatch(&toks(&["help"])).is_ok());
+        assert!(dispatch(&toks(&[])).is_ok());
+        assert!(dispatch(&toks(&["info"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&toks(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn train_runs_on_tiny_dataset() {
+        let argv = toks(&[
+            "train",
+            "--dataset",
+            "core50-tiny",
+            "--method",
+            "finetune",
+            "--seed",
+            "2",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn train_rejects_unknown_method_and_dataset() {
+        assert!(dispatch(&toks(&["train", "--method", "bogus"])).is_err());
+        assert!(dispatch(&toks(&["train", "--dataset", "mnist"])).is_err());
+        assert!(dispatch(&toks(&["train", "--runs", "0"])).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join("chameleon-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("ckpt.bin");
+        let path_str = path.to_str().expect("utf8 path");
+        let save = toks(&[
+            "train",
+            "--dataset",
+            "core50-tiny",
+            "--method",
+            "chameleon",
+            "--buffer",
+            "30",
+            "--save",
+            path_str,
+        ]);
+        dispatch(&save).expect("train+save");
+        let eval = toks(&[
+            "evaluate",
+            "--dataset",
+            "core50-tiny",
+            "--load",
+            path_str,
+            "--buffer",
+            "30",
+        ]);
+        dispatch(&eval).expect("evaluate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_and_validates() {
+        let argv = toks(&[
+            "sweep",
+            "--dataset",
+            "core50-tiny",
+            "--method",
+            "latent-replay",
+            "--buffers",
+            "20,40",
+            "--runs",
+            "1",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["sweep", "--buffers", "abc"])).is_err());
+        assert!(dispatch(&toks(&["sweep", "--buffers", ""])).is_err());
+    }
+
+    #[test]
+    fn price_runs_for_slda() {
+        assert!(dispatch(&toks(&["price", "--method", "slda"])).is_ok());
+    }
+
+    #[test]
+    fn price_rejects_joint() {
+        // Joint trains offline and records no online trace.
+        assert!(dispatch(&toks(&["price", "--method", "joint"])).is_err());
+    }
+
+    #[test]
+    fn resources_parses_array() {
+        assert!(dispatch(&toks(&["resources", "--array", "16x16"])).is_ok());
+        assert!(dispatch(&toks(&["resources", "--array", "16by16"])).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `chameleon` — command-line interface to the Chameleon reproduction.
+//!
+//! ```text
+//! chameleon info
+//! chameleon train    --dataset core50 --method chameleon --buffer 100 --runs 3
+//! chameleon train    --dataset core50-tiny --method chameleon --save model.ckpt
+//! chameleon evaluate --dataset core50-tiny --load model.ckpt
+//! chameleon price    --method chameleon --buffer 100
+//! chameleon resources --st-kb 320 --array 32x32
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `chameleon help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

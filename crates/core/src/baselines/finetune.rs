@@ -1,0 +1,111 @@
+//! Naive single-pass finetuning (Table I lower bound).
+
+use chameleon_stream::Batch;
+use chameleon_tensor::Matrix;
+
+use crate::baselines::LearnerCore;
+use crate::{ModelConfig, StepTrace, Strategy};
+
+/// Single-epoch finetuning with no replay — the paper's lower bound.
+///
+/// Each batch is trained exactly once and immediately forgotten. On
+/// CORe50-style abrupt domain shifts this collapses to near-chance `Acc_all`
+/// (~15–17 % in the paper's Figure 2), which is the catastrophic-forgetting
+/// failure mode every other method is trying to avoid.
+#[derive(Debug)]
+pub struct Finetune {
+    core: LearnerCore,
+    trace: StepTrace,
+}
+
+impl Finetune {
+    /// Creates a finetuning learner.
+    pub fn new(model: &ModelConfig, seed: u64) -> Self {
+        Self {
+            core: LearnerCore::new(model, seed),
+            trace: StepTrace::new(),
+        }
+    }
+}
+
+impl Strategy for Finetune {
+    fn name(&self) -> &str {
+        "Finetuning"
+    }
+
+    fn observe(&mut self, batch: &Batch) {
+        let latents = self.core.extractor.extract_batch(&batch.raw);
+        self.core.train_ce(&latents, &batch.labels);
+        self.trace.inputs += batch.len() as u64;
+        self.trace.trunk_passes += batch.len() as u64;
+        self.trace.head_fwd_passes += batch.len() as u64;
+        self.trace.head_bwd_passes += batch.len() as u64;
+    }
+
+    fn logits(&self, raw: &Matrix) -> Matrix {
+        self.core.logits_raw(raw)
+    }
+
+    fn memory_overhead_mb(&self) -> f64 {
+        0.0
+    }
+
+    fn trace(&self) -> StepTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalReport, Trainer};
+    use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+    #[test]
+    fn finetune_learns_a_single_domain() {
+        // With only one domain there is nothing to forget: accuracy on that
+        // domain should be well above chance.
+        let mut spec = DatasetSpec::core50_tiny();
+        spec.num_domains = 1;
+        let scenario = DomainIlScenario::generate(&spec, 0);
+        let model = ModelConfig::for_spec(&spec);
+        let mut f = Finetune::new(&model, 1);
+        let report = Trainer::new(StreamConfig::default()).run(&scenario, &mut f, 1);
+        assert!(
+            report.acc_all > 50.0,
+            "single-domain acc {}",
+            report.acc_all
+        );
+    }
+
+    #[test]
+    fn finetune_forgets_early_domains() {
+        let spec = DatasetSpec::core50_tiny();
+        let scenario = DomainIlScenario::generate(&spec, 1);
+        let model = ModelConfig::for_spec(&spec);
+        let mut f = Finetune::new(&model, 2);
+        let report = Trainer::new(StreamConfig::default()).run(&scenario, &mut f, 2);
+        let eval: &EvalReport = &report;
+        // The last domain (just trained) should be far better than the
+        // first (long forgotten).
+        let first = eval.per_domain[0];
+        let last = *eval.per_domain.last().expect("domains exist");
+        assert!(
+            last > first + 10.0,
+            "expected recency effect, first {first} vs last {last}"
+        );
+    }
+
+    #[test]
+    fn trace_counts_match_stream() {
+        let spec = DatasetSpec::core50_tiny();
+        let scenario = DomainIlScenario::generate(&spec, 2);
+        let model = ModelConfig::for_spec(&spec);
+        let mut f = Finetune::new(&model, 3);
+        Trainer::new(StreamConfig::default()).run(&scenario, &mut f, 3);
+        let t = f.trace();
+        assert_eq!(t.inputs as usize, spec.train_len());
+        assert_eq!(t.head_fwd_passes, t.inputs);
+        assert_eq!(t.offchip_latent_reads, 0);
+    }
+}

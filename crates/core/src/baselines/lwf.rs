@@ -1,0 +1,200 @@
+//! Learning without Forgetting (Li & Hoiem, 2018).
+
+use chameleon_nn::{loss, MlpHead};
+use chameleon_stream::Batch;
+use chameleon_tensor::Matrix;
+
+use crate::baselines::LearnerCore;
+use crate::{ModelConfig, StepTrace, Strategy};
+
+/// LwF hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LwfConfig {
+    /// Weight of the distillation term.
+    pub lambda: f32,
+    /// Distillation temperature.
+    pub temperature: f32,
+}
+
+impl Default for LwfConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1.0,
+            temperature: 2.0,
+        }
+    }
+}
+
+/// Learning without Forgetting: at every domain boundary the current model
+/// is frozen as a *teacher*; during the next domain, a distillation loss
+/// keeps the student's outputs on new data close to the teacher's, as a
+/// data-free proxy for rehearsing old domains.
+///
+/// Memory overhead is the teacher copy of the trainable tail (Table I:
+/// 12.5 MB). Like EWC++, the paper finds it insufficient under strong
+/// domain shift.
+#[derive(Debug)]
+pub struct Lwf {
+    core: LearnerCore,
+    teacher: Option<MlpHead>,
+    config: LwfConfig,
+    shapes: chameleon_stream::shapes::NominalShapes,
+    trace: StepTrace,
+}
+
+impl Lwf {
+    /// Creates an LwF learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 0` or `temperature <= 0`.
+    pub fn new(model: &ModelConfig, config: LwfConfig, seed: u64) -> Self {
+        assert!(config.lambda >= 0.0, "lambda must be non-negative");
+        assert!(config.temperature > 0.0, "temperature must be positive");
+        Self {
+            core: LearnerCore::new(model, seed),
+            teacher: None,
+            config,
+            shapes: model.shapes,
+            trace: StepTrace::new(),
+        }
+    }
+
+    /// Whether a teacher snapshot exists yet.
+    pub fn has_teacher(&self) -> bool {
+        self.teacher.is_some()
+    }
+}
+
+impl Strategy for Lwf {
+    fn name(&self) -> &str {
+        "LwF"
+    }
+
+    fn begin_domain(&mut self, domain: usize) {
+        if domain > 0 {
+            // Snapshot the model trained on everything so far.
+            self.teacher = Some(self.core.head.clone());
+        }
+    }
+
+    fn observe(&mut self, batch: &Batch) {
+        self.trace.inputs += batch.len() as u64;
+        self.trace.trunk_passes += batch.len() as u64;
+        self.trace.head_fwd_passes += batch.len() as u64;
+        self.trace.head_bwd_passes += batch.len() as u64;
+
+        let latents = self.core.extractor.extract_batch(&batch.raw);
+        let fwd = self.core.head.forward(&latents);
+        let (_, mut dlogits) = loss::softmax_cross_entropy(fwd.logits(), &batch.labels);
+
+        if let Some(teacher) = &self.teacher {
+            // Distill against the teacher's outputs on the *current* batch.
+            let teacher_logits = teacher.logits(&latents);
+            self.trace.head_fwd_passes += batch.len() as u64;
+            let (_, mut dkd) =
+                loss::distillation(fwd.logits(), &teacher_logits, self.config.temperature);
+            dkd.scale(self.config.lambda);
+            dlogits.axpy(1.0, &dkd);
+        }
+        let grads = self.core.head.backward(&fwd, &dlogits);
+        self.core.head.apply(&grads, &mut self.core.sgd);
+    }
+
+    fn logits(&self, raw: &Matrix) -> Matrix {
+        self.core.logits_raw(raw)
+    }
+
+    fn memory_overhead_mb(&self) -> f64 {
+        // One teacher copy of the trainable tail (Table I: 12.5 MB).
+        self.shapes.model_copy_mb(1)
+    }
+
+    fn trace(&self) -> StepTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trainer;
+    use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+    #[test]
+    fn lwf_learns_above_chance() {
+        let spec = DatasetSpec::core50_tiny();
+        let scenario = DomainIlScenario::generate(&spec, 0);
+        let model = ModelConfig::for_spec(&spec);
+        let mut l = Lwf::new(&model, LwfConfig::default(), 1);
+        let acc = Trainer::new(StreamConfig::default())
+            .run(&scenario, &mut l, 1)
+            .acc_all;
+        assert!(acc > 100.0 / spec.num_classes as f32, "LwF acc {acc}");
+    }
+
+    #[test]
+    fn teacher_appears_after_first_domain() {
+        let model = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+        let mut l = Lwf::new(&model, LwfConfig::default(), 2);
+        l.begin_domain(0);
+        assert!(!l.has_teacher());
+        l.begin_domain(1);
+        assert!(l.has_teacher());
+    }
+
+    #[test]
+    fn distillation_restrains_drift() {
+        let spec = DatasetSpec::core50_tiny();
+        let scenario = DomainIlScenario::generate(&spec, 1);
+        let model = ModelConfig::for_spec(&spec);
+        let config = StreamConfig::default();
+
+        // A small learning rate keeps the distilled dynamics stable so the
+        // comparison isolates the teacher-anchoring effect.
+        let model = model.with_learning_rate(0.01);
+        let drift = |lambda: f32| {
+            let mut l = Lwf::new(
+                &model,
+                LwfConfig {
+                    lambda,
+                    ..LwfConfig::default()
+                },
+                3,
+            );
+            // Train one domain, snapshot teacher, then measure drift over
+            // the next domain.
+            for batch in scenario.domain_stream(0, &config, 3) {
+                l.observe(&batch);
+            }
+            l.begin_domain(1);
+            let p0 = l.core.head.parameters();
+            for batch in scenario.domain_stream(1, &config, 4).take(20) {
+                l.observe(&batch);
+            }
+            let p1 = l.core.head.parameters();
+            p0.iter()
+                .zip(&p1)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let free = drift(0.0);
+        let distilled = drift(5.0);
+        assert!(
+            distilled < free,
+            "distillation drift {distilled} vs free {free}"
+        );
+    }
+
+    #[test]
+    fn memory_overhead_matches_table1() {
+        let model = ModelConfig::for_spec(&DatasetSpec::core50());
+        let l = Lwf::new(&model, LwfConfig::default(), 4);
+        assert!(
+            (l.memory_overhead_mb() - 12.5).abs() < 0.5,
+            "{}",
+            l.memory_overhead_mb()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline continual-learning strategies from Table I.
+//!
+//! Every method the paper compares against, implemented from scratch on the
+//! same frozen-extractor + trainable-head substrate as Chameleon:
+//!
+//! | Strategy | Family | Paper citation |
+//! |---|---|---|
+//! | [`Finetune`] | lower bound | — |
+//! | [`Joint`] | upper bound (multi-epoch) | — |
+//! | [`EwcPlusPlus`] | regularization | Chaudhry et al., 2018 |
+//! | [`Lwf`] | regularization (distillation) | Li & Hoiem, 2018 |
+//! | [`Slda`] | streaming classifier | Hayes & Kanan, 2020 |
+//! | [`Gss`] | replay (gradient selection) | Aljundi et al., 2019 |
+//! | [`Er`] | replay (raw) | Chaudhry et al., 2019 |
+//! | [`Der`] | replay (raw + logits) | Buzzega et al., 2020 |
+//! | [`LatentReplay`] | replay (latent) | Pellegrini et al., 2020 |
+
+mod der;
+mod er;
+mod ewcpp;
+mod finetune;
+mod gss;
+mod joint;
+mod latent;
+mod lwf;
+mod slda;
+
+pub use der::{Der, DerConfig};
+pub use er::Er;
+pub use ewcpp::{EwcConfig, EwcPlusPlus};
+pub use finetune::Finetune;
+pub use gss::{Gss, GssConfig};
+pub use joint::{Joint, JointConfig};
+pub use latent::LatentReplay;
+pub use lwf::{Lwf, LwfConfig};
+pub use slda::{Slda, SldaConfig};
+
+use chameleon_nn::{loss, FrozenExtractor, MlpHead, Sgd};
+use chameleon_tensor::Matrix;
+
+use crate::ModelConfig;
+
+/// Shared substrate of the gradient-based strategies: the frozen extractor,
+/// the trainable head, and its optimizer.
+#[derive(Debug)]
+pub(crate) struct LearnerCore {
+    pub extractor: FrozenExtractor,
+    pub head: MlpHead,
+    pub sgd: Sgd,
+}
+
+impl LearnerCore {
+    pub fn new(model: &ModelConfig, seed: u64) -> Self {
+        Self {
+            extractor: model.build_extractor(),
+            head: model.build_head(seed),
+            sgd: model.build_sgd(),
+        }
+    }
+
+    /// One cross-entropy SGD step on latent rows; returns the logits.
+    pub fn train_ce(&mut self, latents: &Matrix, labels: &[usize]) -> Matrix {
+        let fwd = self.head.forward(latents);
+        let (_, dlogits) = loss::softmax_cross_entropy(fwd.logits(), labels);
+        let grads = self.head.backward(&fwd, &dlogits);
+        self.head.apply(&grads, &mut self.sgd);
+        fwd.logits().clone()
+    }
+
+    /// Inference on raw inputs.
+    pub fn logits_raw(&self, raw: &Matrix) -> Matrix {
+        self.head.logits(&self.extractor.extract_batch(raw))
+    }
+}
+
+/// Stacks owned latent rows into a matrix.
+///
+/// # Panics
+///
+/// Panics if rows are empty or ragged.
+pub(crate) fn stack_rows(rows: &[Vec<f32>]) -> Matrix {
+    Matrix::try_from_row_iter(rows.iter().map(Vec::as_slice))
+        .expect("latent rows share dimensionality")
+}

@@ -1,0 +1,731 @@
+//! The Chameleon dual-memory replay strategy (paper §III, Algorithm 1).
+
+use chameleon_nn::{loss, FrozenExtractor, MlpHead, Sgd};
+use chameleon_replay::{ClassBalancedBuffer, RingBuffer, StoredSample};
+use chameleon_stream::Batch;
+use chameleon_tensor::{ops, Matrix, Prng};
+
+use crate::{ModelConfig, PreferenceTracker, StepTrace, Strategy};
+
+/// Hyperparameters of the Chameleon strategy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChameleonConfig {
+    /// Short-term store capacity `|M_s|` (paper: 10 samples, on-chip).
+    pub short_term_capacity: usize,
+    /// Long-term store capacity `|M_l|` (paper: 100–1500 samples, off-chip).
+    pub long_term_capacity: usize,
+    /// Long-term access period `h`, in *stream samples* (cycles): `M_l` is
+    /// read and updated once every `h` samples. At the paper's hardware
+    /// batch size of one this is exactly "every ten batches" (§IV-A); at
+    /// batch size ten it amounts to one long-term access per batch while
+    /// preserving the same per-image off-chip traffic.
+    pub long_term_period: usize,
+    /// Samples drawn from `M_l` on each periodic access.
+    pub long_term_batch: usize,
+    /// Number of user-preferred classes `k` tracked (paper: 5).
+    pub top_k: usize,
+    /// Learning-window length in samples (paper: ~1500 images; scaled to
+    /// the synthetic stream length).
+    pub learning_window: usize,
+    /// Allocation exponent `ρ ∈ [0, 1]` of Eq. 2.
+    pub rho: f32,
+    /// Weight `α` of the user-affinity term in Eq. 4.
+    pub alpha: f32,
+    /// Weight `β` of the uncertainty term in Eq. 4.
+    pub beta: f32,
+}
+
+impl Default for ChameleonConfig {
+    fn default() -> Self {
+        Self {
+            short_term_capacity: 10,
+            long_term_capacity: 100,
+            long_term_period: 10,
+            long_term_batch: 10,
+            top_k: 5,
+            learning_window: 400,
+            rho: 1.0,
+            alpha: 0.3,
+            beta: 0.7,
+        }
+    }
+}
+
+impl ChameleonConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is out of range.
+    pub fn validate(&self) {
+        assert!(
+            self.short_term_capacity > 0,
+            "short-term capacity must be positive"
+        );
+        assert!(
+            self.long_term_capacity > 0,
+            "long-term capacity must be positive"
+        );
+        assert!(
+            self.long_term_period > 0,
+            "long-term period must be positive"
+        );
+        assert!(self.long_term_batch > 0, "long-term batch must be positive");
+        assert!(self.top_k > 0, "top-k must be positive");
+        assert!(self.learning_window > 0, "learning window must be positive");
+        assert!((0.0..=1.0).contains(&self.rho), "rho must be in [0,1]");
+        assert!(
+            self.alpha >= 0.0 && self.beta >= 0.0,
+            "weights must be non-negative"
+        );
+        assert!(
+            self.alpha + self.beta > 0.0,
+            "alpha + beta must be positive"
+        );
+    }
+}
+
+/// Selection policies for the two stores — the full paper rules by default,
+/// with degraded variants for the ablation benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShortTermPolicy {
+    /// Full Eq. 4: α·user-affinity + β·uncertainty.
+    UserAwareUncertainty,
+    /// Uncertainty term only (α = 0).
+    UncertaintyOnly,
+    /// User-affinity term only (β = 0).
+    PreferenceOnly,
+    /// Uniform random selection from the batch.
+    Random,
+}
+
+/// Long-term insertion policies (ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LongTermPolicy {
+    /// Full Eq. 5/6: class-prototype KL contrastive selection.
+    PrototypeKl,
+    /// Uniform random promotion from the short-term store.
+    Random,
+}
+
+/// The Chameleon strategy: dual replay buffers mapped to the memory
+/// hierarchy, trained single-pass (paper Algorithm 1).
+///
+/// Per incoming batch `B_t`:
+///
+/// 1. update running class statistics / user preferences (`n_c`, Eq. 2),
+/// 2. extract latent activations `Z_t = f_θ(X_t)`,
+/// 3. train `g_φ` on `Z_t ∪ M_s ∪ m̂_l` where `m̂_l` is drawn from the
+///    long-term store every `h` batches,
+/// 4. pick one element of `B_t` by the user-aware uncertainty distribution
+///    (Eqs. 3–4) and swap it into `M_s` at a random slot,
+/// 5. every `h` batches, promote the short-term sample with the highest
+///    prototype-KL score (Eqs. 5–6) into the class-balanced `M_l`.
+#[derive(Debug)]
+pub struct Chameleon {
+    extractor: FrozenExtractor,
+    head: MlpHead,
+    sgd: Sgd,
+    short_term: RingBuffer,
+    long_term: ClassBalancedBuffer,
+    prefs: PreferenceTracker,
+    config: ChameleonConfig,
+    st_policy: ShortTermPolicy,
+    lt_policy: LongTermPolicy,
+    shapes: chameleon_stream::shapes::NominalShapes,
+    rng: Prng,
+    samples_seen: u64,
+    trace: StepTrace,
+}
+
+impl Chameleon {
+    /// Creates a Chameleon learner with the paper's default policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ChameleonConfig::validate`].
+    pub fn new(model: &ModelConfig, config: ChameleonConfig, seed: u64) -> Self {
+        Self::with_policies(
+            model,
+            config,
+            ShortTermPolicy::UserAwareUncertainty,
+            LongTermPolicy::PrototypeKl,
+            seed,
+        )
+    }
+
+    /// Creates a Chameleon learner with explicit store policies (used by
+    /// the sampling-rule ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ChameleonConfig::validate`].
+    pub fn with_policies(
+        model: &ModelConfig,
+        config: ChameleonConfig,
+        st_policy: ShortTermPolicy,
+        lt_policy: LongTermPolicy,
+        seed: u64,
+    ) -> Self {
+        config.validate();
+        Self {
+            extractor: model.build_extractor(),
+            head: model.build_head(seed),
+            sgd: model.build_sgd(),
+            short_term: RingBuffer::new(config.short_term_capacity),
+            long_term: ClassBalancedBuffer::new(config.long_term_capacity),
+            prefs: PreferenceTracker::new(
+                model.num_classes,
+                config.top_k.min(model.num_classes),
+                config.learning_window,
+                config.rho,
+            ),
+            config,
+            st_policy,
+            lt_policy,
+            shapes: model.shapes,
+            rng: Prng::new(seed ^ 0xC4A3_31E0),
+            samples_seen: 0,
+            trace: StepTrace::new(),
+        }
+    }
+
+    /// The current preference tracker (for inspection in examples).
+    pub fn preferences(&self) -> &PreferenceTracker {
+        &self.prefs
+    }
+
+    /// Current short-term store occupancy.
+    pub fn short_term_len(&self) -> usize {
+        self.short_term.len()
+    }
+
+    /// Current long-term store occupancy.
+    pub fn long_term_len(&self) -> usize {
+        self.long_term.len()
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &ChameleonConfig {
+        &self.config
+    }
+
+    /// Class prototype `P_c` (Eq. 5): the mean latent of class `c` currently
+    /// stored in the long-term memory; `None` if the class is absent.
+    pub fn class_prototype(&self, class: usize) -> Option<Vec<f32>> {
+        let samples = self.long_term.samples_of_class(class);
+        if samples.is_empty() {
+            return None;
+        }
+        let dim = samples[0].dim();
+        let mut proto = vec![0.0f32; dim];
+        for s in samples {
+            for (p, &v) in proto.iter_mut().zip(&s.features) {
+                *p += v;
+            }
+        }
+        let n = samples.len() as f32;
+        for p in &mut proto {
+            *p /= n;
+        }
+        Some(proto)
+    }
+
+    /// Eq. 4's selection distribution over the incoming batch, exposed for
+    /// tests and the sampling microbench. `latents` and `labels` describe
+    /// the batch; `logits` are the model's current outputs for it.
+    fn selection_distribution(&self, labels: &[usize], logits: &Matrix) -> Vec<f32> {
+        let n = labels.len();
+        // Uncertainty term: U_i = |logit of true class| (Eq. 3); retain
+        // high U_i^{-1} = low margin.
+        let inv_u: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ops::logit_margin_uncertainty(logits.row(i), labels[i]);
+                1.0 / u.max(1e-6)
+            })
+            .collect();
+        // Affinity term: Δ_k for preferred classes, 1−Δ_k otherwise,
+        // normalized over the batch exactly as in Eq. 4's denominator.
+        let alloc: Vec<f32> = labels
+            .iter()
+            .map(|&c| self.prefs.allocation_weight(c))
+            .collect();
+        let alloc_norm: f32 = alloc.iter().sum();
+        let inv_u_norm: f32 = inv_u.iter().sum();
+
+        let (alpha, beta) = match self.st_policy {
+            ShortTermPolicy::UserAwareUncertainty => (self.config.alpha, self.config.beta),
+            ShortTermPolicy::UncertaintyOnly => (0.0, 1.0),
+            ShortTermPolicy::PreferenceOnly => (1.0, 0.0),
+            ShortTermPolicy::Random => return vec![1.0; n],
+        };
+        (0..n)
+            .map(|i| {
+                let a = if alloc_norm > 0.0 {
+                    alloc[i] / alloc_norm
+                } else {
+                    0.0
+                };
+                // Both terms are normalized to probability simplices so α/β
+                // mix comparable scales (implementation note in DESIGN.md).
+                let b = if inv_u_norm > 0.0 {
+                    inv_u[i] / inv_u_norm
+                } else {
+                    0.0
+                };
+                alpha * a + beta * b
+            })
+            .collect()
+    }
+
+    /// One combined SGD step over `Ẑ_t = Z_t ∪ M_s ∪ m̂_l` (Algorithm 1
+    /// lines 5–7). The complete short-term store is swept on every update
+    /// — at the paper's hardware batch size of one this is exactly "sweeps
+    /// through the complete short-term memory for each new sample"; the
+    /// periodic long-term draw is concatenated into the same mini-batch
+    /// ("iterative mini-batch concatenation", §IV-A). Returns the logits of
+    /// the incoming samples for the Eq. 3 uncertainty scores.
+    fn train_step(&mut self, incoming: &Matrix, labels: &[usize], lt_due: bool) -> Matrix {
+        let n_in = labels.len();
+        let mut rows: Vec<Vec<f32>> = incoming.iter_rows().map(<[f32]>::to_vec).collect();
+        let mut all_labels = labels.to_vec();
+
+        // Full short-term sweep (on-chip reads).
+        let st_items = self.short_term.read_all();
+        self.trace.onchip_sample_reads += st_items.len() as u64;
+        for s in st_items {
+            rows.push(s.features.clone());
+            all_labels.push(s.label);
+        }
+
+        // Periodic long-term access (off-chip reads).
+        if lt_due && !self.long_term.is_empty() {
+            let lt = self
+                .long_term
+                .sample_batch(self.config.long_term_batch, &mut self.rng);
+            self.trace.offchip_latent_reads += lt.len() as u64;
+            for s in lt {
+                rows.push(s.features.clone());
+                all_labels.push(s.label);
+            }
+        }
+
+        let x = Matrix::try_from_row_iter(rows.iter().map(Vec::as_slice))
+            .expect("latent rows share dimensionality");
+        let fwd = self.head.forward(&x);
+        let (_, dlogits) = loss::softmax_cross_entropy(fwd.logits(), &all_labels);
+        let grads = self.head.backward(&fwd, &dlogits);
+        self.head.apply(&grads, &mut self.sgd);
+        self.trace.head_fwd_passes += all_labels.len() as u64;
+        self.trace.head_bwd_passes += all_labels.len() as u64;
+
+        let mut out = Matrix::zeros(n_in, fwd.logits().cols());
+        for r in 0..n_in {
+            out.row_mut(r).copy_from_slice(fwd.logits().row(r));
+        }
+        out
+    }
+
+    /// Step 5: promote the best short-term sample into the long-term store
+    /// using the prototype-KL score (Eq. 6).
+    fn update_long_term(&mut self) {
+        if self.short_term.is_empty() {
+            return;
+        }
+        let candidates = self.short_term.items().to_vec();
+        let chosen = match self.lt_policy {
+            LongTermPolicy::Random => self.rng.below(candidates.len()),
+            LongTermPolicy::PrototypeKl => {
+                // Greedy argmax of Eq. 6. The ordering uses the raw KL
+                // value: tanh is monotone, but it saturates in f32 well
+                // before the KL does, which would reduce the argmax to
+                // arbitrary tie-breaking among all strongly-contrastive
+                // candidates.
+                let mut best = 0usize;
+                let mut best_score = f32::NEG_INFINITY;
+                for (j, s) in candidates.iter().enumerate() {
+                    // No prototype yet for this class: treat as maximally
+                    // informative so new classes reach the LT store fast.
+                    let score = self.prototype_kl_raw(s).unwrap_or(f32::MAX);
+                    if score > best_score {
+                        best_score = score;
+                        best = j;
+                    }
+                }
+                best
+            }
+        };
+        let sample = candidates[chosen].clone();
+        self.long_term.insert(sample, &mut self.rng);
+        self.trace.offchip_latent_writes += 1;
+    }
+
+    /// Raw `KL(p(y|st_j) ‖ p(y|P_c))` underlying Eq. 6; `None` when the
+    /// class has no long-term prototype yet.
+    fn prototype_kl_raw(&self, sample: &StoredSample) -> Option<f32> {
+        let proto = self.class_prototype(sample.label)?;
+        let x = Matrix::try_from_row_iter([sample.features.as_slice(), proto.as_slice()])
+            .expect("equal latent dims");
+        let logits = self.head.logits(&x);
+        let p_sample = ops::softmax(logits.row(0));
+        let p_proto = ops::softmax(logits.row(1));
+        Some(ops::kl_divergence(&p_sample, &p_proto))
+    }
+
+    /// `S_j = tanh(KL(p(y|st_j) ‖ p(y|P_c)))` (Eq. 6); `None` when the
+    /// class has no long-term prototype yet.
+    pub fn prototype_kl_score(&self, sample: &StoredSample) -> Option<f32> {
+        Some(self.prototype_kl_raw(sample)?.tanh())
+    }
+
+    /// Serializes the learner's persistent state (head parameters, both
+    /// replay stores, lifetime class counts) — see
+    /// [`checkpoint`](crate::checkpoint) for what is and is not persisted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save_checkpoint<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        use crate::checkpoint as ck;
+        w.write_all(ck::MAGIC)?;
+        ck::write_f32_slice(&mut w, &self.head.parameters())?;
+        ck::write_samples(&mut w, self.short_term.items())?;
+        let lt: Vec<StoredSample> = self.long_term.iter().cloned().collect();
+        ck::write_samples(&mut w, &lt)?;
+        let counts = self.prefs.total_counts();
+        ck::write_u32(&mut w, counts.len() as u32)?;
+        for &c in counts {
+            ck::write_u64(&mut w, c)?;
+        }
+        ck::write_u64(&mut w, self.samples_seen)?;
+        Ok(())
+    }
+
+    /// Restores a learner from a checkpoint written by
+    /// [`Self::save_checkpoint`]. The `model`, `config`, and `seed` must
+    /// describe the same architecture; RNG/optimizer state restarts from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadCheckpointError`](crate::checkpoint::LoadCheckpointError)
+    /// on I/O failure, bad magic, or shape mismatch with `model`/`config`.
+    pub fn load_checkpoint<R: std::io::Read>(
+        model: &ModelConfig,
+        config: ChameleonConfig,
+        seed: u64,
+        mut r: R,
+    ) -> Result<Self, crate::checkpoint::LoadCheckpointError> {
+        use crate::checkpoint as ck;
+        use crate::checkpoint::LoadCheckpointError as E;
+
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != ck::MAGIC {
+            return Err(E::BadMagic);
+        }
+        let mut learner = Self::new(model, config, seed);
+
+        let params = ck::read_f32_vec(&mut r)?;
+        if params.len() != learner.head.parameter_count() {
+            return Err(E::ShapeMismatch {
+                what: "head parameters",
+                found: params.len(),
+                expected: learner.head.parameter_count(),
+            });
+        }
+        learner.head.set_parameters(&params);
+
+        for s in ck::read_samples(&mut r)? {
+            if s.dim() != model.latent_dim {
+                return Err(E::ShapeMismatch {
+                    what: "short-term sample",
+                    found: s.dim(),
+                    expected: model.latent_dim,
+                });
+            }
+            learner.short_term.push(s);
+        }
+        for s in ck::read_samples(&mut r)? {
+            if s.dim() != model.latent_dim {
+                return Err(E::ShapeMismatch {
+                    what: "long-term sample",
+                    found: s.dim(),
+                    expected: model.latent_dim,
+                });
+            }
+            learner.long_term.insert(s, &mut learner.rng);
+        }
+
+        let count_len = ck::read_u32(&mut r)? as usize;
+        if count_len != model.num_classes {
+            return Err(E::ShapeMismatch {
+                what: "class counts",
+                found: count_len,
+                expected: model.num_classes,
+            });
+        }
+        let mut counts = Vec::with_capacity(count_len);
+        for _ in 0..count_len {
+            counts.push(ck::read_u64(&mut r)?);
+        }
+        learner.prefs.restore_counts(&counts);
+        learner.samples_seen = ck::read_u64(&mut r)?;
+        Ok(learner)
+    }
+}
+
+impl Strategy for Chameleon {
+    fn name(&self) -> &str {
+        "Chameleon"
+    }
+
+    fn observe(&mut self, batch: &Batch) {
+        // The long-term store is touched once every `h` stream samples.
+        let before = self.samples_seen / self.config.long_term_period as u64;
+        self.samples_seen += batch.len() as u64;
+        let lt_due = self.samples_seen / self.config.long_term_period as u64 > before;
+
+        self.trace.inputs += batch.len() as u64;
+        self.trace.trunk_passes += batch.len() as u64;
+
+        // Step 1: running class statistics / preference estimation.
+        for &label in &batch.labels {
+            self.prefs.observe(label);
+        }
+
+        // Step 2: latent extraction.
+        let latents = self.extractor.extract_batch(&batch.raw);
+
+        // Step 3: weight update on Z_t ∪ M_s ∪ m̂_l.
+        let incoming_logits = self.train_step(&latents, &batch.labels, lt_due);
+
+        // Step 4: user-aware uncertainty-guided short-term update — select
+        // one element b_t by Eq. 4, replace a random short-term slot.
+        let weights = self.selection_distribution(&batch.labels, &incoming_logits);
+        let pick = self.rng.weighted_choice(&weights);
+        let sample = StoredSample::latent(latents.row(pick).to_vec(), batch.labels[pick]);
+        self.short_term.replace_random(sample, &mut self.rng);
+        self.trace.onchip_sample_writes += 1;
+
+        // Step 5: periodic long-term update via prototype-KL selection.
+        if lt_due {
+            self.update_long_term();
+        }
+    }
+
+    fn logits(&self, raw: &Matrix) -> Matrix {
+        self.head.logits(&self.extractor.extract_batch(raw))
+    }
+
+    fn memory_overhead_mb(&self) -> f64 {
+        self.shapes.latent_mb(self.config.short_term_capacity)
+            + self.shapes.latent_mb(self.config.long_term_capacity)
+    }
+
+    fn trace(&self) -> StepTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+    fn setup() -> (DomainIlScenario, ModelConfig) {
+        let spec = DatasetSpec::core50_tiny();
+        let scenario = DomainIlScenario::generate(&spec, 3);
+        let model = ModelConfig::for_spec(&spec);
+        (scenario, model)
+    }
+
+    fn run_domains(strategy: &mut Chameleon, scenario: &DomainIlScenario, domains: usize) {
+        let config = StreamConfig::default();
+        for d in 0..domains {
+            for batch in scenario.domain_stream(d, &config, 17 + d as u64) {
+                strategy.observe(&batch);
+            }
+        }
+    }
+
+    #[test]
+    fn buffers_fill_and_stay_bounded() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 1);
+        run_domains(&mut c, &scenario, 2);
+        assert_eq!(c.short_term_len(), 10);
+        assert!(c.long_term_len() <= c.config().long_term_capacity);
+        assert!(c.long_term_len() > 0, "long-term store never populated");
+    }
+
+    #[test]
+    fn learning_beats_chance() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 2);
+        run_domains(&mut c, &scenario, scenario.spec().num_domains);
+        let (x, y) = scenario.test_set();
+        let acc = chameleon_nn::loss::accuracy(&c.logits(x), y);
+        assert!(acc > 0.3, "Chameleon accuracy only {acc}");
+    }
+
+    #[test]
+    fn prototypes_average_long_term_latents() {
+        let (_, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 3);
+        assert!(c.class_prototype(0).is_none());
+        // Manually fill the long-term buffer with two class-0 latents.
+        let mut rng = Prng::new(0);
+        c.long_term.insert(
+            StoredSample::latent(vec![1.0; model.latent_dim], 0),
+            &mut rng,
+        );
+        c.long_term.insert(
+            StoredSample::latent(vec![3.0; model.latent_dim], 0),
+            &mut rng,
+        );
+        let proto = c.class_prototype(0).expect("class present");
+        assert!(proto.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn selection_prefers_uncertain_samples() {
+        let (_, model) = setup();
+        let c = Chameleon::new(&model, ChameleonConfig::default(), 4);
+        // Two samples of class 0: one with a large true-class margin, one
+        // near the boundary. Uncertainty term should upweight the second.
+        let logits = Matrix::from_rows(&[
+            &[8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[0.05, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let w = c.selection_distribution(&[0, 0], &logits);
+        assert!(w[1] > w[0] * 5.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn selection_prefers_preferred_classes_when_certain() {
+        let (_, model) = setup();
+        let config = ChameleonConfig {
+            learning_window: 10,
+            top_k: 1,
+            rho: 1.0,
+            alpha: 1.0,
+            beta: 0.0,
+            ..ChameleonConfig::default()
+        };
+        let mut c = Chameleon::with_policies(
+            &model,
+            config,
+            ShortTermPolicy::PreferenceOnly,
+            LongTermPolicy::PrototypeKl,
+            5,
+        );
+        // Make class 1 strongly preferred.
+        for _ in 0..9 {
+            c.prefs.observe(1);
+        }
+        c.prefs.observe(2);
+        let logits = Matrix::from_rows(&[
+            &[0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let w = c.selection_distribution(&[1, 2], &logits);
+        assert!(w[0] > w[1] * 3.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn random_policy_is_uniform() {
+        let (_, model) = setup();
+        let c = Chameleon::with_policies(
+            &model,
+            ChameleonConfig::default(),
+            ShortTermPolicy::Random,
+            LongTermPolicy::Random,
+            6,
+        );
+        let logits = Matrix::zeros(3, 10);
+        assert_eq!(c.selection_distribution(&[0, 1, 2], &logits), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn memory_overhead_matches_table1_row() {
+        let (_, model) = setup();
+        let c = Chameleon::new(
+            &model,
+            ChameleonConfig {
+                long_term_capacity: 100,
+                ..ChameleonConfig::default()
+            },
+            7,
+        );
+        // Table I: M_s = 0.3 MB, M_l = 3.2 MB.
+        assert!(
+            (c.memory_overhead_mb() - 3.5).abs() < 0.2,
+            "{}",
+            c.memory_overhead_mb()
+        );
+    }
+
+    #[test]
+    fn trace_counts_accumulate() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 8);
+        run_domains(&mut c, &scenario, 1);
+        let t = c.trace();
+        assert!(t.inputs > 0);
+        assert_eq!(t.trunk_passes, t.inputs);
+        assert!(t.head_fwd_passes >= t.inputs);
+        assert!(t.onchip_sample_reads > 0);
+        assert!(t.onchip_sample_writes > 0);
+        // The long-term store starts empty and is only touched every `h`
+        // samples, so off-chip reads never exceed the per-batch short-term
+        // sweep. (The Table II configuration — batch size one — drives the
+        // 10:1 on-/off-chip disparity; see the hw crate's tests.)
+        assert!(t.offchip_latent_reads <= t.onchip_sample_reads);
+        assert!(t.offchip_latent_reads > 0);
+    }
+
+    #[test]
+    fn long_term_stays_class_balanced_under_skew() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(
+            &model,
+            ChameleonConfig {
+                long_term_capacity: 20,
+                ..ChameleonConfig::default()
+            },
+            9,
+        );
+        let config = StreamConfig {
+            preference: chameleon_stream::PreferenceProfile::Skewed {
+                preferred: vec![0, 1],
+                boost: 10.0,
+            },
+            ..StreamConfig::default()
+        };
+        for d in 0..scenario.spec().num_domains {
+            for batch in scenario.domain_stream(d, &config, 31 + d as u64) {
+                c.observe(&batch);
+            }
+        }
+        // Even with a heavily skewed stream, no class should monopolize the
+        // class-balanced long-term store.
+        let max_share = (0..10)
+            .map(|class| c.long_term.samples_of_class(class).len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_share <= 8, "one class holds {max_share}/20 LT slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha + beta")]
+    fn invalid_config_panics() {
+        let (_, model) = setup();
+        let config = ChameleonConfig {
+            alpha: 0.0,
+            beta: 0.0,
+            ..ChameleonConfig::default()
+        };
+        let _ = Chameleon::new(&model, config, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Checkpointing: save and restore a learner's state.
+//!
+//! On-device continual learning must survive power cycles: the trained
+//! head and the replay stores *are* the accumulated knowledge, so both are
+//! persisted. The format is a small self-describing little-endian binary
+//! layout (magic + version + sections), written without external
+//! serialization dependencies.
+//!
+//! What is and is not persisted:
+//!
+//! * **persisted** — head parameters, short-term and long-term store
+//!   contents (features + labels), lifetime class counts,
+//! * **reset on load** — RNG streams, optimizer momentum, learning-window
+//!   progress: these are transient training state, and restarting them
+//!   only perturbs the next few selections.
+
+use std::io::{self, Read, Write};
+
+use chameleon_replay::StoredSample;
+
+/// Magic bytes identifying a Chameleon checkpoint.
+pub const MAGIC: &[u8; 8] = b"CHAMLN01";
+
+/// Errors produced when decoding a checkpoint.
+#[derive(Debug)]
+pub enum LoadCheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// A section's declared shape conflicts with the model configuration.
+    ShapeMismatch {
+        /// What was being decoded.
+        what: &'static str,
+        /// Length found in the stream.
+        found: usize,
+        /// Length required by the configuration.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            Self::BadMagic => write!(f, "not a chameleon checkpoint (bad magic)"),
+            Self::ShapeMismatch {
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {what} has length {found}, model expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadCheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadCheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub(crate) fn write_f32_slice(w: &mut impl Write, values: &[f32]) -> io::Result<()> {
+    write_u32(w, values.len() as u32)?;
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_f32_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let len = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(f32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_samples(w: &mut impl Write, samples: &[StoredSample]) -> io::Result<()> {
+    write_u32(w, samples.len() as u32)?;
+    for s in samples {
+        write_u32(w, s.label as u32)?;
+        write_f32_slice(w, &s.features)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_samples(r: &mut impl Read) -> io::Result<Vec<StoredSample>> {
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let label = read_u32(r)? as usize;
+        let features = read_f32_vec(r)?;
+        out.push(StoredSample::latent(features, label));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 0xDEAD_BEEF).expect("write");
+        write_u64(&mut buf, 0x0123_4567_89AB_CDEF).expect("write");
+        write_f32_slice(&mut buf, &[1.5, -2.25, 0.0]).expect("write");
+        let mut r = buf.as_slice();
+        assert_eq!(read_u32(&mut r).expect("read"), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).expect("read"), 0x0123_4567_89AB_CDEF);
+        assert_eq!(read_f32_vec(&mut r).expect("read"), vec![1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    fn samples_roundtrip() {
+        let samples = vec![
+            StoredSample::latent(vec![1.0, 2.0], 3),
+            StoredSample::latent(vec![-0.5], 7),
+        ];
+        let mut buf = Vec::new();
+        write_samples(&mut buf, &samples).expect("write");
+        let back = read_samples(&mut buf.as_slice()).expect("read");
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &[1.0, 2.0, 3.0]).expect("write");
+        buf.truncate(buf.len() - 2);
+        assert!(read_f32_vec(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LoadCheckpointError::ShapeMismatch {
+            what: "head",
+            found: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("head"));
+        assert!(LoadCheckpointError::BadMagic.to_string().contains("magic"));
+    }
+}

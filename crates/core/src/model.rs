@@ -1,0 +1,175 @@
+//! Shared model configuration for all strategies.
+
+use chameleon_nn::{FrozenExtractor, MlpHead, Sgd};
+use chameleon_stream::shapes::NominalShapes;
+use chameleon_stream::DatasetSpec;
+use chameleon_tensor::Prng;
+
+/// Architecture and optimizer settings shared by every strategy, mirroring
+/// the paper's experimental setup (§IV-A): MobileNetV1 frozen up to layer
+/// 21, SGD with lr = 0.001, batch size 10, single pass.
+///
+/// In the simulation the frozen trunk is a [`FrozenExtractor`] and the
+/// trainable tail an [`MlpHead`]; nominal MobileNetV1 shapes are kept in
+/// [`NominalShapes`] for memory/compute accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelConfig {
+    /// Raw input dimensionality (must match the dataset spec).
+    pub raw_dim: usize,
+    /// Latent dimensionality produced by the frozen extractor.
+    pub latent_dim: usize,
+    /// Hidden widths of intermediate *frozen* extractor stages (empty =
+    /// single-stage extractor). Together with `hidden` this moves the
+    /// frozen/trainable boundary — the paper's latent-layer choice
+    /// (§IV-A, layer 21 of 27).
+    pub extractor_hidden: Vec<usize>,
+    /// Hidden-layer widths of the trainable head (empty = linear head).
+    pub hidden: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// SGD learning rate (paper: 0.001; the synthetic task trains the small
+    /// head with a proportionally larger rate).
+    pub learning_rate: f32,
+    /// L2 weight decay on the head. In the real system, forgetting is
+    /// driven by representation drift inside the deep network; a frozen
+    /// feature extractor plus convex head lacks that channel, so decay
+    /// models the gradual erosion of unrehearsed evidence (see DESIGN.md,
+    /// "Substitutions"). Replay counteracts it by re-presenting old data.
+    pub weight_decay: f32,
+    /// Nominal shapes used for memory accounting.
+    pub shapes: NominalShapes,
+}
+
+impl ModelConfig {
+    /// Builds the configuration matching a dataset specification.
+    pub fn for_spec(spec: &DatasetSpec) -> Self {
+        Self {
+            raw_dim: spec.raw_dim,
+            latent_dim: 64,
+            extractor_hidden: Vec::new(),
+            hidden: Vec::new(),
+            num_classes: spec.num_classes,
+            learning_rate: 0.3,
+            weight_decay: 0.004,
+            shapes: NominalShapes::for_classes(spec.num_classes),
+        }
+    }
+
+    /// Builder: overrides the weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Builder: overrides the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder: overrides the latent dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latent_dim == 0`.
+    pub fn with_latent_dim(mut self, latent_dim: usize) -> Self {
+        assert!(latent_dim > 0, "latent dim must be positive");
+        self.latent_dim = latent_dim;
+        self
+    }
+
+    /// Builder: uses a deeper trainable head.
+    pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Builder: inserts frozen intermediate extractor stages (moves the
+    /// frozen/trainable cut deeper into the network).
+    pub fn with_extractor_hidden(mut self, extractor_hidden: Vec<usize>) -> Self {
+        self.extractor_hidden = extractor_hidden;
+        self
+    }
+
+    /// Instantiates the frozen extractor. The extractor seed is decoupled
+    /// from the run seed: the "pre-trained" trunk is the same across
+    /// repetitions, as it is in the paper.
+    pub fn build_extractor(&self) -> FrozenExtractor {
+        let mut rng = Prng::new(0xF0_7A_E0);
+        let mut dims = Vec::with_capacity(self.extractor_hidden.len() + 2);
+        dims.push(self.raw_dim);
+        dims.extend_from_slice(&self.extractor_hidden);
+        dims.push(self.latent_dim);
+        FrozenExtractor::deep(&dims, &mut rng)
+    }
+
+    /// Instantiates a fresh trainable head from a run seed.
+    pub fn build_head(&self, seed: u64) -> MlpHead {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.latent_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.num_classes);
+        MlpHead::new(&dims, &mut Prng::new(seed ^ 0x4EAD))
+    }
+
+    /// Instantiates the paper's optimizer.
+    pub fn build_sgd(&self) -> Sgd {
+        Sgd::new(self.learning_rate).with_weight_decay(self.weight_decay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_spec_matches_dataset() {
+        let spec = DatasetSpec::core50_tiny();
+        let m = ModelConfig::for_spec(&spec);
+        assert_eq!(m.raw_dim, spec.raw_dim);
+        assert_eq!(m.num_classes, spec.num_classes);
+    }
+
+    #[test]
+    fn extractor_is_shared_across_seeds() {
+        let m = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+        let a = m.build_extractor();
+        let b = m.build_extractor();
+        let raw = vec![0.3; m.raw_dim];
+        assert_eq!(a.extract(&raw), b.extract(&raw));
+    }
+
+    #[test]
+    fn heads_differ_across_seeds() {
+        let m = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+        assert_ne!(m.build_head(1).parameters(), m.build_head(2).parameters());
+    }
+
+    #[test]
+    fn head_respects_hidden_layers() {
+        let m = ModelConfig::for_spec(&DatasetSpec::core50_tiny()).with_hidden(vec![32]);
+        let head = m.build_head(0);
+        assert_eq!(head.num_layers(), 2);
+        assert_eq!(head.in_features(), m.latent_dim);
+        assert_eq!(head.num_classes(), m.num_classes);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let m = ModelConfig::for_spec(&DatasetSpec::core50_tiny())
+            .with_learning_rate(0.01)
+            .with_latent_dim(32);
+        assert_eq!(m.learning_rate, 0.01);
+        assert_eq!(m.latent_dim, 32);
+    }
+}

@@ -1,0 +1,277 @@
+//! User-preference estimation (paper §III-C, Eq. 2).
+
+/// On-device user-preference tracker.
+///
+/// The paper estimates user preferences by tracking per-class sample
+/// frequencies `n_c` and identifying the `k` most frequent classes within a
+/// *learning window* (~1500 images). At the end of each window the top-`k`
+/// set and the allocation factor
+///
+/// ```text
+/// Δ_k = n_k^ρ / (n_k + n_{N−k})^ρ            (Eq. 2)
+/// ```
+///
+/// are recalibrated, where `n_k` is the mean window frequency of preferred
+/// classes, `n_{N−k}` the mean frequency of the rest, and `ρ ∈ [0, 1]`
+/// interpolates between treating all classes equally (ρ = 0 ⇒ Δ = 1) and
+/// allocating in proportion to observed frequency (ρ = 1).
+///
+/// [`PreferenceTracker::allocation_weight`] returns the per-sample term of
+/// Eq. 4: `Δ_k` for preferred classes, `1 − Δ_k` otherwise.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_core::PreferenceTracker;
+///
+/// let mut t = PreferenceTracker::new(10, 2, 20, 0.6);
+/// for _ in 0..15 { t.observe(3); }
+/// for _ in 0..5 { t.observe(7); }
+/// // Window of 20 complete: classes 3 and 7 are the user's preferred set.
+/// assert!(t.is_preferred(3) && t.is_preferred(7));
+/// assert!(!t.is_preferred(0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreferenceTracker {
+    window_counts: Vec<u64>,
+    total_counts: Vec<u64>,
+    window_len: usize,
+    seen_in_window: usize,
+    k: usize,
+    rho: f32,
+    preferred: Vec<usize>,
+    delta: f32,
+    windows_completed: u64,
+}
+
+impl PreferenceTracker {
+    /// Creates a tracker over `num_classes` classes with top-`k` preference
+    /// sets, a learning window of `window_len` samples, and exponent `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > num_classes`, `window_len == 0`, or `rho`
+    /// is outside `[0, 1]`.
+    pub fn new(num_classes: usize, k: usize, window_len: usize, rho: f32) -> Self {
+        assert!(k > 0 && k <= num_classes, "k must be in 1..=num_classes");
+        assert!(window_len > 0, "window length must be positive");
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+        Self {
+            window_counts: vec![0; num_classes],
+            total_counts: vec![0; num_classes],
+            window_len,
+            seen_in_window: 0,
+            k,
+            rho,
+            preferred: Vec::new(),
+            // Before the first window completes, Δ defaults to 0.5 so the
+            // allocation term is uninformative (all classes equal).
+            delta: 0.5,
+            windows_completed: 0,
+        }
+    }
+
+    /// Records one observed label; recalibrates at window boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn observe(&mut self, label: usize) {
+        assert!(label < self.window_counts.len(), "label out of range");
+        self.window_counts[label] += 1;
+        self.total_counts[label] += 1;
+        self.seen_in_window += 1;
+        if self.seen_in_window >= self.window_len {
+            self.recalibrate();
+        }
+    }
+
+    /// Whether `class` is in the current preferred set.
+    pub fn is_preferred(&self, class: usize) -> bool {
+        self.preferred.contains(&class)
+    }
+
+    /// The current preferred classes (empty before the first window).
+    pub fn preferred(&self) -> &[usize] {
+        &self.preferred
+    }
+
+    /// The current allocation factor `Δ_k`.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+
+    /// Per-class allocation term of Eq. 4: `Δ_k` for preferred classes,
+    /// `1 − Δ_k` otherwise.
+    pub fn allocation_weight(&self, class: usize) -> f32 {
+        if self.is_preferred(class) {
+            self.delta
+        } else {
+            1.0 - self.delta
+        }
+    }
+
+    /// Number of completed learning windows.
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Lifetime per-class counts `n_c` (Algorithm 1 line 3).
+    pub fn total_counts(&self) -> &[u64] {
+        &self.total_counts
+    }
+
+    /// Restores lifetime counts from a checkpoint. Window-local state
+    /// (current window counts, preferred set, Δ) restarts; it re-converges
+    /// within one learning window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the class count.
+    pub fn restore_counts(&mut self, counts: &[u64]) {
+        assert_eq!(
+            counts.len(),
+            self.total_counts.len(),
+            "checkpoint class count mismatch"
+        );
+        self.total_counts.copy_from_slice(counts);
+    }
+
+    fn recalibrate(&mut self) {
+        // Rank classes by window frequency; take the top-k with non-zero
+        // counts as the new preferred set.
+        let mut order: Vec<usize> = (0..self.window_counts.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.window_counts[b]
+                .cmp(&self.window_counts[a])
+                .then(a.cmp(&b))
+        });
+        self.preferred = order
+            .into_iter()
+            .take(self.k)
+            .filter(|&c| self.window_counts[c] > 0)
+            .collect();
+
+        // Eq. 2 with mean frequencies of the two groups.
+        let pref_total: u64 = self.preferred.iter().map(|&c| self.window_counts[c]).sum();
+        let rest_classes = self.window_counts.len() - self.preferred.len();
+        let rest_total: u64 = self.window_counts.iter().sum::<u64>() - pref_total;
+        let n_k = if self.preferred.is_empty() {
+            0.0
+        } else {
+            pref_total as f32 / self.preferred.len() as f32
+        };
+        let n_rest = if rest_classes == 0 {
+            0.0
+        } else {
+            rest_total as f32 / rest_classes as f32
+        };
+        self.delta = if n_k + n_rest > 0.0 {
+            (n_k / (n_k + n_rest)).powf(self.rho)
+        } else {
+            0.5
+        };
+
+        self.window_counts.fill(0);
+        self.seen_in_window = 0;
+        self.windows_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn before_first_window_everything_is_neutral() {
+        let t = PreferenceTracker::new(5, 2, 100, 0.5);
+        assert!(t.preferred().is_empty());
+        assert_eq!(t.delta(), 0.5);
+        assert_eq!(t.allocation_weight(0), 0.5);
+        assert_eq!(t.allocation_weight(4), 0.5);
+    }
+
+    #[test]
+    fn top_k_classes_become_preferred() {
+        let mut t = PreferenceTracker::new(6, 2, 30, 0.5);
+        for _ in 0..20 {
+            t.observe(1);
+        }
+        for _ in 0..8 {
+            t.observe(4);
+        }
+        for _ in 0..2 {
+            t.observe(0);
+        }
+        assert_eq!(t.windows_completed(), 1);
+        assert!(t.is_preferred(1));
+        assert!(t.is_preferred(4));
+        assert!(!t.is_preferred(0));
+    }
+
+    #[test]
+    fn preferences_recalibrate_when_user_changes() {
+        let mut t = PreferenceTracker::new(4, 1, 10, 0.5);
+        for _ in 0..10 {
+            t.observe(0);
+        }
+        assert_eq!(t.preferred(), &[0]);
+        for _ in 0..10 {
+            t.observe(3);
+        }
+        assert_eq!(t.preferred(), &[3]);
+        assert_eq!(t.windows_completed(), 2);
+    }
+
+    #[test]
+    fn rho_zero_gives_neutral_delta() {
+        let mut t = PreferenceTracker::new(4, 1, 10, 0.0);
+        for _ in 0..10 {
+            t.observe(0);
+        }
+        // Δ = ratio^0 = 1 for any ratio… but Eq. 2's intent at ρ=0 is "all
+        // classes equally favorable". ratio^0 = 1.0 exactly.
+        assert!((t.delta() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho_one_gives_frequency_ratio() {
+        let mut t = PreferenceTracker::new(2, 1, 10, 1.0);
+        for _ in 0..8 {
+            t.observe(0);
+        }
+        for _ in 0..2 {
+            t.observe(1);
+        }
+        // n_k = 8, n_rest = 2 ⇒ Δ = 8/10.
+        assert!((t.delta() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allocation_weight_splits_delta() {
+        let mut t = PreferenceTracker::new(2, 1, 10, 1.0);
+        for _ in 0..9 {
+            t.observe(0);
+        }
+        t.observe(1);
+        assert!((t.allocation_weight(0) - 0.9).abs() < 1e-6);
+        assert!((t.allocation_weight(1) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_counts_accumulate_across_windows() {
+        let mut t = PreferenceTracker::new(3, 1, 5, 0.5);
+        for _ in 0..12 {
+            t.observe(2);
+        }
+        assert_eq!(t.total_counts()[2], 12);
+        assert_eq!(t.windows_completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let mut t = PreferenceTracker::new(3, 1, 5, 0.5);
+        t.observe(3);
+    }
+}

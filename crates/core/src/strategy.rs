@@ -1,0 +1,80 @@
+//! The common interface of all continual-learning strategies.
+
+use chameleon_stream::Batch;
+use chameleon_tensor::Matrix;
+
+use crate::StepTrace;
+
+/// A continual-learning strategy: observes an online stream of labeled
+/// batches (each seen exactly once) and keeps a classifier up to date.
+///
+/// The trait mirrors the paper's evaluation protocol:
+///
+/// * [`Strategy::observe`] — one online step on an incoming mini-batch,
+/// * [`Strategy::begin_domain`] / [`Strategy::end_domain`] — domain
+///   boundaries of the Domain-IL scenario (LwF snapshots its teacher here;
+///   EWC++ re-anchors),
+/// * [`Strategy::finalize`] — called once after the stream ends (the Joint
+///   upper bound does its multi-epoch training here),
+/// * [`Strategy::logits`] — inference on raw inputs for evaluation,
+/// * [`Strategy::memory_overhead_mb`] — the nominal replay-memory overhead
+///   reported in Table I's MB column,
+/// * [`Strategy::trace`] — accumulated operation/traffic counts priced by
+///   the hardware models of Table II.
+pub trait Strategy {
+    /// Human-readable method name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Performs one online learning step on a mini-batch.
+    fn observe(&mut self, batch: &Batch);
+
+    /// Hook invoked when a new domain's stream begins.
+    fn begin_domain(&mut self, _domain: usize) {}
+
+    /// Hook invoked when a domain's stream is exhausted.
+    fn end_domain(&mut self, _domain: usize) {}
+
+    /// Hook invoked once after the entire stream has been consumed.
+    fn finalize(&mut self) {}
+
+    /// Classifies raw inputs, returning one logit row per input.
+    fn logits(&self, raw: &Matrix) -> Matrix;
+
+    /// Nominal memory overhead of the method's continual-learning state in
+    /// MB (Table I).
+    fn memory_overhead_mb(&self) -> f64;
+
+    /// Accumulated operation/traffic counters (see [`StepTrace`]); default
+    /// is an empty trace for strategies outside the hardware study.
+    fn trace(&self) -> StepTrace {
+        StepTrace::new()
+    }
+}
+
+/// Blanket impl so `Box<dyn Strategy>` composes with the trainer.
+impl Strategy for Box<dyn Strategy> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn observe(&mut self, batch: &Batch) {
+        self.as_mut().observe(batch);
+    }
+    fn begin_domain(&mut self, domain: usize) {
+        self.as_mut().begin_domain(domain);
+    }
+    fn end_domain(&mut self, domain: usize) {
+        self.as_mut().end_domain(domain);
+    }
+    fn finalize(&mut self) {
+        self.as_mut().finalize();
+    }
+    fn logits(&self, raw: &Matrix) -> Matrix {
+        self.as_ref().logits(raw)
+    }
+    fn memory_overhead_mb(&self) -> f64 {
+        self.as_ref().memory_overhead_mb()
+    }
+    fn trace(&self) -> StepTrace {
+        self.as_ref().trace()
+    }
+}

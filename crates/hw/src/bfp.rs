@@ -1,0 +1,237 @@
+//! Block floating point (BFP) arithmetic.
+//!
+//! The paper's EdgeTPU experiment "leverage[s] Block Floating Point (BFP)
+//! datatype to compute the forward and backward pass" (§IV-C). BFP groups
+//! values into blocks that share one exponent, storing per-value integer
+//! mantissas — fixed-point datapath cost with floating-point dynamic range.
+//!
+//! [`BfpFormat`] implements fake-quantization (quantize → dequantize) so
+//! training code can measure the accuracy impact of a given mantissa width
+//! and block size, and the device models can price the narrower datapath.
+
+use chameleon_tensor::Matrix;
+
+/// A block-floating-point format: `block_size` values share one exponent,
+/// each storing a signed mantissa of `mantissa_bits` bits (including sign).
+///
+/// # Example
+///
+/// ```
+/// use chameleon_hw::BfpFormat;
+///
+/// let bfp8 = BfpFormat::new(8, 16);
+/// let block = [1.0f32, 0.5, -0.25, 0.125];
+/// let q = bfp8.quantize_block(&block);
+/// // Values are representable losslessly at this width.
+/// assert!(q.iter().zip(&block).all(|(a, b)| (a - b).abs() < 1e-2));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfpFormat {
+    mantissa_bits: u8,
+    block_size: usize,
+}
+
+impl BfpFormat {
+    /// Creates a format with `mantissa_bits` (2–24, including the sign bit)
+    /// and a block of `block_size` values sharing one exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa_bits` is outside `2..=24` or `block_size == 0`.
+    pub fn new(mantissa_bits: u8, block_size: usize) -> Self {
+        assert!(
+            (2..=24).contains(&mantissa_bits),
+            "mantissa bits must be in 2..=24"
+        );
+        assert!(block_size > 0, "block size must be positive");
+        Self {
+            mantissa_bits,
+            block_size,
+        }
+    }
+
+    /// The paper's EdgeTPU configuration: 8-bit mantissas, 16-value blocks.
+    pub fn bfp8() -> Self {
+        Self::new(8, 16)
+    }
+
+    /// Mantissa width in bits (including sign).
+    pub fn mantissa_bits(&self) -> u8 {
+        self.mantissa_bits
+    }
+
+    /// Values per shared exponent.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Storage bits per value, amortizing the shared 8-bit exponent.
+    pub fn bits_per_value(&self) -> f64 {
+        self.mantissa_bits as f64 + 8.0 / self.block_size as f64
+    }
+
+    /// Quantizes one block (any length ≤ block_size is accepted; longer
+    /// slices are treated as a single block, which callers use for
+    /// row-blocked layouts).
+    ///
+    /// The shared exponent is chosen so the largest magnitude fills the
+    /// mantissa; all values are rounded to the resulting grid. Zero blocks
+    /// and non-finite values pass through unchanged.
+    pub fn quantize_block(&self, block: &[f32]) -> Vec<f32> {
+        let max = block
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |a, b| a.max(b.abs()));
+        if max == 0.0 {
+            return block.to_vec();
+        }
+        // Signed mantissa range: ±(2^(m−1) − 1).
+        let levels = ((1u32 << (self.mantissa_bits - 1)) - 1) as f32;
+        // Power-of-two exponent so max ≤ levels · 2^e.
+        let exponent = (max / levels).log2().ceil();
+        let scale = exponent.exp2();
+        block
+            .iter()
+            .map(|&v| {
+                if !v.is_finite() {
+                    v
+                } else {
+                    (v / scale).round().clamp(-levels, levels) * scale
+                }
+            })
+            .collect()
+    }
+
+    /// Fake-quantizes an entire matrix row-major in `block_size` chunks.
+    pub fn quantize_matrix(&self, m: &Matrix) -> Matrix {
+        let mut out = m.clone();
+        for chunk in out.as_mut_slice().chunks_mut(self.block_size) {
+            let q = self.quantize_block(chunk);
+            chunk.copy_from_slice(&q);
+        }
+        out
+    }
+
+    /// Fake-quantizes a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        for chunk in values.chunks_mut(self.block_size) {
+            let q = self.quantize_block(chunk);
+            chunk.copy_from_slice(&q);
+        }
+    }
+
+    /// Root-mean-square quantization error over a matrix.
+    pub fn rms_error(&self, m: &Matrix) -> f32 {
+        let q = self.quantize_matrix(m);
+        let n = m.as_slice().len() as f32;
+        (m.as_slice()
+            .iter()
+            .zip(q.as_slice())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_tensor::Prng;
+
+    #[test]
+    fn zero_block_is_unchanged() {
+        let f = BfpFormat::bfp8();
+        assert_eq!(f.quantize_block(&[0.0, 0.0, 0.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let f = BfpFormat::new(6, 8);
+        let mut rng = Prng::new(0);
+        let block: Vec<f32> = (0..8).map(|_| rng.randn()).collect();
+        let once = f.quantize_block(&block);
+        let twice = f.quantize_block(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn max_magnitude_is_preserved_within_one_step() {
+        let f = BfpFormat::bfp8();
+        let block = [3.7f32, -0.2, 0.01, 1.5];
+        let q = f.quantize_block(&block);
+        // The max element defines the exponent, so its relative error is
+        // bounded by half a mantissa step.
+        assert!((q[0] - 3.7).abs() / 3.7 < 2.0 / 127.0, "{}", q[0]);
+    }
+
+    #[test]
+    fn small_values_next_to_large_lose_precision() {
+        // The signature BFP failure mode: a tiny value sharing a block with
+        // a huge one collapses to the shared grid.
+        let f = BfpFormat::new(4, 4);
+        let q = f.quantize_block(&[100.0, 0.001, 0.0, 0.0]);
+        assert_eq!(q[1], 0.0, "tiny value should flush to zero at 4 bits");
+    }
+
+    #[test]
+    fn wider_mantissas_reduce_error() {
+        let mut rng = Prng::new(1);
+        let m = Matrix::randn(16, 16, &mut rng);
+        let e4 = BfpFormat::new(4, 16).rms_error(&m);
+        let e8 = BfpFormat::new(8, 16).rms_error(&m);
+        let e12 = BfpFormat::new(12, 16).rms_error(&m);
+        assert!(e4 > e8, "{e4} vs {e8}");
+        assert!(e8 > e12, "{e8} vs {e12}");
+    }
+
+    #[test]
+    fn smaller_blocks_reduce_error() {
+        // More shared exponents track local dynamic range better.
+        let mut rng = Prng::new(2);
+        let mut m = Matrix::randn(8, 32, &mut rng);
+        // Inject scale diversity so block size matters.
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *v *= 50.0;
+            }
+        }
+        let coarse = BfpFormat::new(8, 64).rms_error(&m);
+        let fine = BfpFormat::new(8, 4).rms_error(&m);
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn bits_per_value_amortizes_exponent() {
+        let f = BfpFormat::new(8, 16);
+        assert!((f.bits_per_value() - 8.5).abs() < 1e-9);
+        let g = BfpFormat::new(8, 4);
+        assert!((g.bits_per_value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_values_pass_through() {
+        let f = BfpFormat::bfp8();
+        let q = f.quantize_block(&[1.0, f32::NAN, f32::INFINITY]);
+        assert!(q[1].is_nan());
+        assert!(q[2].is_infinite());
+    }
+
+    #[test]
+    fn quantize_matrix_matches_slice_path() {
+        let mut rng = Prng::new(3);
+        let m = Matrix::randn(4, 8, &mut rng);
+        let f = BfpFormat::new(6, 8);
+        let qm = f.quantize_matrix(&m);
+        let mut data = m.as_slice().to_vec();
+        f.quantize_slice(&mut data);
+        assert_eq!(qm.as_slice(), &data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa bits")]
+    fn invalid_width_panics() {
+        let _ = BfpFormat::new(1, 16);
+    }
+}

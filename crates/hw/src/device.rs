@@ -1,0 +1,40 @@
+//! Device abstraction and cost reports.
+
+use crate::Workload;
+
+/// Per-image latency/energy estimate with a breakdown, the row format of
+/// Table II.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostReport {
+    /// End-to-end training latency per image, in milliseconds.
+    pub latency_ms: f64,
+    /// Energy per image, in joules.
+    pub energy_j: f64,
+    /// Latency share spent on compute (MACs).
+    pub compute_ms: f64,
+    /// Latency share spent streaming weights.
+    pub weight_stream_ms: f64,
+    /// Latency share spent moving replay data (the paper reports Latent
+    /// Replay spending 44 % of FPGA latency here).
+    pub replay_traffic_ms: f64,
+}
+
+impl CostReport {
+    /// Fraction of latency spent on replay data movement.
+    pub fn replay_traffic_fraction(&self) -> f64 {
+        if self.latency_ms <= 0.0 {
+            0.0
+        } else {
+            self.replay_traffic_ms / self.latency_ms
+        }
+    }
+}
+
+/// An edge-device cost model: prices a per-image [`Workload`].
+pub trait Device {
+    /// Human-readable device name as used in Table II.
+    fn name(&self) -> &str;
+
+    /// Estimates the per-image training cost of a workload.
+    fn cost(&self, workload: &Workload) -> CostReport;
+}

@@ -1,0 +1,81 @@
+//! Energy constants (Horowitz, "Energy table for 45 nm process").
+
+/// Per-event energy constants in picojoules, following the 45 nm numbers
+/// the paper cites (Horowitz, reference \[12\]): DRAM access is roughly two orders of
+/// magnitude more expensive than large-SRAM access, which more expensive
+/// than a MAC — the asymmetry Chameleon's dual-buffer design exploits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyTable {
+    /// One fp16 multiply-accumulate.
+    pub mac_fp16_pj: f64,
+    /// One 8-bit block-floating-point MAC (EdgeTPU-style).
+    pub mac_bfp_pj: f64,
+    /// One byte read/written in a large (MB-scale) on-chip SRAM.
+    pub sram_pj_per_byte: f64,
+    /// One byte transferred over the DRAM interface.
+    pub dram_pj_per_byte: f64,
+}
+
+impl EnergyTable {
+    /// The 45 nm reference numbers.
+    ///
+    /// * fp16 MAC ≈ 1.1 pJ (0.4 pJ multiply + add + register movement),
+    /// * int8/BFP MAC ≈ 0.3 pJ,
+    /// * large SRAM ≈ 1.25 pJ/byte (10 pJ per 64-bit word),
+    /// * DRAM ≈ 163 pJ/byte (1.3–2.6 nJ per 128-bit burst word).
+    pub fn horowitz_45nm() -> Self {
+        Self {
+            mac_fp16_pj: 1.1,
+            mac_bfp_pj: 0.3,
+            sram_pj_per_byte: 1.25,
+            dram_pj_per_byte: 163.0,
+        }
+    }
+
+    /// Energy (J) of `macs` fp16 MACs.
+    pub fn fp16_macs_j(&self, macs: f64) -> f64 {
+        macs * self.mac_fp16_pj * 1e-12
+    }
+
+    /// Energy (J) of `macs` BFP MACs.
+    pub fn bfp_macs_j(&self, macs: f64) -> f64 {
+        macs * self.mac_bfp_pj * 1e-12
+    }
+
+    /// Energy (J) of `bytes` moved through on-chip SRAM.
+    pub fn sram_j(&self, bytes: f64) -> f64 {
+        bytes * self.sram_pj_per_byte * 1e-12
+    }
+
+    /// Energy (J) of `bytes` moved over the DRAM interface.
+    pub fn dram_j(&self, bytes: f64) -> f64 {
+        bytes * self.dram_pj_per_byte * 1e-12
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::horowitz_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_dwarfs_sram_dwarfs_mac() {
+        let e = EnergyTable::horowitz_45nm();
+        assert!(e.dram_pj_per_byte > 50.0 * e.sram_pj_per_byte);
+        assert!(e.sram_pj_per_byte > e.mac_bfp_pj);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let e = EnergyTable::horowitz_45nm();
+        // 1e12 fp16 MACs at 1.1 pJ = 1.1 J.
+        assert!((e.fp16_macs_j(1e12) - 1.1).abs() < 1e-9);
+        // 1 MB over DRAM ≈ 0.163 mJ.
+        assert!((e.dram_j(1e6) - 163e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,333 @@
+//! ZCU102 FPGA training-accelerator model (Table II FPGA columns,
+//! Table III resources).
+
+use crate::{CostReport, Device, EnergyTable, Workload};
+
+/// Configuration of the FP16 training accelerator implemented on the
+/// ZCU102 (paper §IV-C: Vitis-generated RTL, 150 MHz).
+///
+/// The performance constants are calibrated to the paper's measured
+/// platform; each has a microarchitectural reading:
+///
+/// * `effective_gmacs` — sustained MAC throughput at batch size one.
+///   Batch-1 training keeps the MAC array mostly idle waiting on weights;
+///   7 GMAC/s ≈ 46 MACs/cycle effective out of a 32×32 array.
+/// * `weight_stream_mb_s` — DRAM bandwidth of the word-wise AXI weight
+///   stream (≈ 1 beat/cycle at 150 MHz).
+/// * `weight_passes_per_update` — the trainable weights are streamed once
+///   for the forward pass and twice for the backward (input-gradient and
+///   weight-gradient) passes.
+/// * **Sequential off-chip replay**: replay elements fetched from DRAM are
+///   processed as they arrive, each re-streaming the trainable weights.
+///   Rows resident on-chip (the incoming sample and Chameleon's short-term
+///   store) are folded into a single batched update. This asymmetry —
+///   which only a buffer that *fits on-chip* can exploit — is the
+///   first-order mechanism behind the paper's 6.75× FPGA gap.
+/// * `replay_word_cycles` — cycles per 32-bit word for replay-store
+///   accesses (non-burst AXI round trips).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FpgaConfig {
+    /// MAC array rows.
+    pub mac_rows: usize,
+    /// MAC array columns.
+    pub mac_cols: usize,
+    /// Clock frequency in MHz (paper: 150).
+    pub clock_mhz: f64,
+    /// Sustained compute throughput in GMAC/s at batch size one.
+    pub effective_gmacs: f64,
+    /// Weight-streaming DRAM bandwidth in MB/s.
+    pub weight_stream_mb_s: f64,
+    /// Full passes over the trainable weights per update.
+    pub weight_passes_per_update: f64,
+    /// Cycles per 32-bit word for off-chip replay-store accesses.
+    pub replay_word_cycles: f64,
+    /// Accelerator power draw in watts (PL domain).
+    pub power_w: f64,
+    /// On-chip weight buffer in KB.
+    pub weight_buffer_kb: usize,
+    /// On-chip activation working buffer in KB.
+    pub activation_buffer_kb: usize,
+    /// On-chip short-term replay store in KB (10 latents = 320 KB).
+    pub short_term_buffer_kb: usize,
+    /// Instruction/config memory in KB.
+    pub instruction_buffer_kb: usize,
+}
+
+impl Default for FpgaConfig {
+    fn default() -> Self {
+        Self {
+            mac_rows: 32,
+            mac_cols: 32,
+            clock_mhz: 150.0,
+            effective_gmacs: 7.0,
+            weight_stream_mb_s: 160.0,
+            weight_passes_per_update: 3.0,
+            replay_word_cycles: 100.0,
+            power_w: 2.5,
+            weight_buffer_kb: 2048,
+            activation_buffer_kb: 456,
+            short_term_buffer_kb: 320,
+            instruction_buffer_kb: 20,
+        }
+    }
+}
+
+/// The ZCU102 device model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zcu102 {
+    config: FpgaConfig,
+    energy: EnergyTable,
+    /// Nominal trainable-weight bytes streamed per update group.
+    head_weight_bytes: f64,
+    /// Nominal frozen-trunk weight bytes (streamed once per image).
+    trunk_weight_bytes: f64,
+}
+
+impl Zcu102 {
+    /// Creates the model with default (paper-calibrated) parameters.
+    pub fn new() -> Self {
+        Self::with_config(FpgaConfig::default())
+    }
+
+    /// Creates the model with an explicit configuration (ablations).
+    pub fn with_config(config: FpgaConfig) -> Self {
+        Self {
+            config,
+            energy: EnergyTable::horowitz_45nm(),
+            head_weight_bytes: 3_125_000.0 * 2.0,
+            trunk_weight_bytes: 1_100_000.0 * 2.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FpgaConfig {
+        &self.config
+    }
+
+    /// Resource utilization of this configuration (Table III).
+    pub fn resources(&self) -> ResourceUsage {
+        ResourceModel::new(self.config).utilization()
+    }
+}
+
+impl Default for Zcu102 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Device for Zcu102 {
+    fn name(&self) -> &str {
+        "ZCU102 FPGA"
+    }
+
+    fn cost(&self, w: &Workload) -> CostReport {
+        let c = &self.config;
+        let compute_ms = w.total_macs() / (c.effective_gmacs * 1e9) * 1e3;
+
+        // Weight streaming: the trunk once per image; the trainable tail
+        // once per update group. On-chip rows batch into one group;
+        // every off-chip replay element is its own group.
+        let update_groups = 1.0 + w.offchip_replay_elements;
+        let weight_bytes = self.trunk_weight_bytes
+            + update_groups * c.weight_passes_per_update * self.head_weight_bytes;
+        let weight_stream_ms = weight_bytes / (c.weight_stream_mb_s * 1e6) * 1e3;
+
+        // Replay-store traffic: word-wise AXI, `replay_word_cycles` per
+        // 32-bit word. On-chip accesses are effectively free (wide BRAM).
+        let words = w.offchip_replay_bytes / 4.0;
+        let replay_traffic_ms = words * c.replay_word_cycles / (c.clock_mhz * 1e6) * 1e3;
+
+        let latency_ms = compute_ms + weight_stream_ms + replay_traffic_ms;
+        let energy_j = c.power_w * latency_ms * 1e-3
+            + self.energy.fp16_macs_j(w.total_macs())
+            + self.energy.dram_j(weight_bytes + w.offchip_replay_bytes)
+            + self.energy.sram_j(w.onchip_bytes);
+        CostReport {
+            latency_ms,
+            energy_j,
+            compute_ms,
+            weight_stream_ms,
+            replay_traffic_ms,
+        }
+    }
+}
+
+/// Parametric ZCU102 resource estimator reproducing Table III.
+///
+/// Constants are calibrated so the default [`FpgaConfig`] reproduces the
+/// paper's utilization (DSP 1164/2520, BRAM 632/656, LUT 169 428/233 707):
+///
+/// * DSPs: one per MAC array cell, two per row for accumulation trees, and
+///   a fixed pool for address generation / the vector unit,
+/// * BRAM: one 36 Kb block per 4.5 KB of on-chip buffer,
+/// * LUTs: a fixed control base plus per-DSP glue and per-BRAM muxing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceModel {
+    config: FpgaConfig,
+}
+
+/// Absolute and relative utilization of the three ZCU102 resource classes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceUsage {
+    /// DSP48 slices used.
+    pub dsp: usize,
+    /// 36 Kb BRAM blocks used.
+    pub bram: usize,
+    /// LUTs used.
+    pub lut: usize,
+}
+
+impl ResourceUsage {
+    /// DSPs available on the ZCU102.
+    pub const DSP_AVAILABLE: usize = 2520;
+    /// BRAM blocks available on the ZCU102.
+    pub const BRAM_AVAILABLE: usize = 656;
+    /// LUTs available on the ZCU102.
+    pub const LUT_AVAILABLE: usize = 233_707;
+
+    /// DSP utilization percentage.
+    pub fn dsp_pct(&self) -> f64 {
+        100.0 * self.dsp as f64 / Self::DSP_AVAILABLE as f64
+    }
+
+    /// BRAM utilization percentage.
+    pub fn bram_pct(&self) -> f64 {
+        100.0 * self.bram as f64 / Self::BRAM_AVAILABLE as f64
+    }
+
+    /// LUT utilization percentage.
+    pub fn lut_pct(&self) -> f64 {
+        100.0 * self.lut as f64 / Self::LUT_AVAILABLE as f64
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self) -> bool {
+        self.dsp <= Self::DSP_AVAILABLE
+            && self.bram <= Self::BRAM_AVAILABLE
+            && self.lut <= Self::LUT_AVAILABLE
+    }
+}
+
+impl ResourceModel {
+    /// Creates the estimator for a configuration.
+    pub fn new(config: FpgaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Estimated utilization.
+    pub fn utilization(&self) -> ResourceUsage {
+        let c = &self.config;
+        let array = c.mac_rows * c.mac_cols;
+        let dsp = array + 2 * c.mac_rows + 76;
+        let buffer_kb = c.weight_buffer_kb
+            + c.activation_buffer_kb
+            + c.short_term_buffer_kb
+            + c.instruction_buffer_kb;
+        // One 36 Kb block holds 4.5 KB.
+        let bram = (buffer_kb as f64 / 4.5).ceil() as usize;
+        let lut = 10_288 + 115 * dsp + 40 * bram;
+        ResourceUsage { dsp, bram, lut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NominalModel;
+    use chameleon_core::StepTrace;
+
+    /// Per-image traces for the three methods in the paper's batch-1 FPGA
+    /// configuration ("ten replay elements per incoming input").
+    fn latent_replay_workload() -> Workload {
+        let t = StepTrace {
+            inputs: 1,
+            trunk_passes: 1,
+            head_fwd_passes: 11,
+            head_bwd_passes: 11,
+            offchip_latent_reads: 10,
+            offchip_latent_writes: 1,
+            ..StepTrace::new()
+        };
+        Workload::from_trace(
+            &t.per_input().expect("inputs"),
+            &NominalModel::mobilenet_v1(),
+        )
+    }
+
+    fn chameleon_workload() -> Workload {
+        let t = StepTrace {
+            inputs: 10,
+            trunk_passes: 10,
+            head_fwd_passes: 120,
+            head_bwd_passes: 120,
+            onchip_sample_reads: 100,
+            onchip_sample_writes: 10,
+            offchip_latent_reads: 10,
+            offchip_latent_writes: 1,
+            ..StepTrace::new()
+        };
+        Workload::from_trace(
+            &t.per_input().expect("inputs"),
+            &NominalModel::mobilenet_v1(),
+        )
+    }
+
+    #[test]
+    fn chameleon_beats_latent_replay_by_severalfold() {
+        let fpga = Zcu102::new();
+        let lr = fpga.cost(&latent_replay_workload());
+        let ch = fpga.cost(&chameleon_workload());
+        let latency_ratio = lr.latency_ms / ch.latency_ms;
+        let energy_ratio = lr.energy_j / ch.energy_j;
+        // Paper: 6.75× latency, 7.07× energy. Our first-order model should
+        // land in the same regime (≥ 3×).
+        assert!(latency_ratio > 3.0, "latency ratio {latency_ratio}");
+        assert!(energy_ratio > 3.0, "energy ratio {energy_ratio}");
+        assert!(
+            ch.latency_ms > 50.0 && ch.latency_ms < 2000.0,
+            "{}",
+            ch.latency_ms
+        );
+    }
+
+    #[test]
+    fn latent_replay_breakdown_shows_replay_traffic() {
+        let fpga = Zcu102::new();
+        let lr = fpga.cost(&latent_replay_workload());
+        assert!(lr.replay_traffic_ms > 0.0);
+        assert!(lr.replay_traffic_fraction() > 0.02);
+        let ch = fpga.cost(&chameleon_workload());
+        assert!(ch.replay_traffic_fraction() < lr.replay_traffic_fraction());
+    }
+
+    #[test]
+    fn resources_match_table3() {
+        let usage = Zcu102::new().resources();
+        assert_eq!(usage.dsp, 1164);
+        assert_eq!(usage.bram, 632);
+        assert!(
+            (usage.lut as i64 - 169_428).abs() < 2000,
+            "lut {}",
+            usage.lut
+        );
+        assert!((usage.dsp_pct() - 46.19).abs() < 0.1);
+        assert!((usage.bram_pct() - 96.34).abs() < 0.5);
+        assert!((usage.lut_pct() - 72.50).abs() < 1.0);
+        assert!(usage.fits());
+    }
+
+    #[test]
+    fn bigger_array_uses_more_resources() {
+        let small = ResourceModel::new(FpgaConfig::default()).utilization();
+        let big = ResourceModel::new(FpgaConfig {
+            mac_rows: 64,
+            mac_cols: 64,
+            ..FpgaConfig::default()
+        })
+        .utilization();
+        assert!(big.dsp > small.dsp);
+        assert!(big.lut > small.lut);
+        assert!(!big.fits(), "a 64×64 fp16 array should not fit the ZCU102");
+    }
+}

@@ -1,0 +1,185 @@
+//! Jetson Nano GPU model (Table II Jetson columns).
+
+use crate::{CostReport, Device, EnergyTable, Workload};
+
+/// Roofline-plus-overhead model of the Jetson Nano (128-core Maxwell,
+/// 472 GFLOPS fp16, 25.6 GB/s LPDDR4, ~10 W module power).
+///
+/// Batch-1 online training keeps the GPU far from peak: the model uses a
+/// sustained-efficiency factor (`compute_efficiency`, default 0.2 ⇒
+/// ≈ 47 GMAC/s) calibrated to the paper's measured 33 ms/image for
+/// Chameleon.
+///
+/// The paper notes it "could not take advantage of the on-chip L2 cache",
+/// so Chameleon's short-term store lives in DRAM like everything else —
+/// but it is a small contiguous (TLB/cache-friendly) region gathered in a
+/// single transaction, whereas a multi-MB reservoir buffer produces
+/// scattered accesses; the model charges `scattered_gather_ms` per replay
+/// element fetched from a large off-chip buffer, the same sequential
+/// element-processing behaviour measured on the FPGA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JetsonNano {
+    /// Peak fp16 throughput in GMAC/s.
+    pub peak_gmacs: f64,
+    /// Sustained fraction of peak at batch size one.
+    pub compute_efficiency: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gb_s: f64,
+    /// Per-element cost of gathering a replay sample from a large
+    /// scattered off-chip buffer (kernel launch + page-missing gather).
+    pub scattered_gather_ms: f64,
+    /// Fixed per-image framework overhead in ms.
+    pub framework_overhead_ms: f64,
+    /// Module power draw in watts.
+    pub power_w: f64,
+    energy: EnergyTable,
+}
+
+impl JetsonNano {
+    /// Creates the model with paper-calibrated defaults.
+    pub fn new() -> Self {
+        Self {
+            peak_gmacs: 236.0,
+            compute_efficiency: 0.2,
+            dram_gb_s: 25.6,
+            scattered_gather_ms: 8.0,
+            framework_overhead_ms: 1.0,
+            power_w: 9.5,
+            energy: EnergyTable::horowitz_45nm(),
+        }
+    }
+}
+
+impl Default for JetsonNano {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Device for JetsonNano {
+    fn name(&self) -> &str {
+        "Jetson Nano"
+    }
+
+    fn cost(&self, w: &Workload) -> CostReport {
+        let sustained = self.peak_gmacs * self.compute_efficiency * 1e9;
+        let compute_ms = w.total_macs() / sustained * 1e3;
+        let bulk_bytes = w.offchip_replay_bytes + w.onchip_bytes;
+        let bandwidth_ms = bulk_bytes / (self.dram_gb_s * 1e9) * 1e3;
+        let replay_traffic_ms = w.offchip_replay_elements * self.scattered_gather_ms + bandwidth_ms;
+        let latency_ms =
+            compute_ms.max(bandwidth_ms) + replay_traffic_ms + self.framework_overhead_ms;
+        // The Nano's module power dominates; dynamic terms are added for
+        // completeness but contribute little.
+        let energy_j = self.power_w * latency_ms * 1e-3
+            + self.energy.fp16_macs_j(w.total_macs())
+            + self.energy.dram_j(bulk_bytes);
+        CostReport {
+            latency_ms,
+            energy_j,
+            compute_ms,
+            weight_stream_ms: 0.0,
+            replay_traffic_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NominalModel;
+    use chameleon_core::StepTrace;
+
+    fn workload(t: StepTrace) -> Workload {
+        Workload::from_trace(
+            &t.per_input().expect("inputs"),
+            &NominalModel::mobilenet_v1(),
+        )
+    }
+
+    fn chameleon() -> Workload {
+        workload(StepTrace {
+            inputs: 10,
+            trunk_passes: 10,
+            head_fwd_passes: 120,
+            head_bwd_passes: 120,
+            onchip_sample_reads: 100,
+            onchip_sample_writes: 10,
+            offchip_latent_reads: 10,
+            offchip_latent_writes: 1,
+            ..StepTrace::new()
+        })
+    }
+
+    fn latent_replay() -> Workload {
+        workload(StepTrace {
+            inputs: 1,
+            trunk_passes: 1,
+            head_fwd_passes: 11,
+            head_bwd_passes: 11,
+            offchip_latent_reads: 10,
+            offchip_latent_writes: 1,
+            ..StepTrace::new()
+        })
+    }
+
+    fn slda() -> Workload {
+        workload(StepTrace {
+            inputs: 1,
+            trunk_passes: 1,
+            covariance_updates: 1,
+            matrix_inversions: 1,
+            inversion_dim: 1024,
+            ..StepTrace::new()
+        })
+    }
+
+    #[test]
+    fn table2_jetson_ordering_holds() {
+        let gpu = JetsonNano::new();
+        let ch = gpu.cost(&chameleon());
+        let lr = gpu.cost(&latent_replay());
+        let sl = gpu.cost(&slda());
+        // Paper: Chameleon 33 ms < SLDA 69 ms < Latent Replay 115 ms.
+        assert!(
+            ch.latency_ms < sl.latency_ms,
+            "{} vs {}",
+            ch.latency_ms,
+            sl.latency_ms
+        );
+        assert!(
+            sl.latency_ms < lr.latency_ms,
+            "{} vs {}",
+            sl.latency_ms,
+            lr.latency_ms
+        );
+        // Speedups in the paper's regime: 2.1× over SLDA... wait, the
+        // paper reports up to 2.1× over SLDA and 3.5× over Latent Replay.
+        let vs_lr = lr.latency_ms / ch.latency_ms;
+        assert!(vs_lr > 1.8 && vs_lr < 8.0, "LR speedup {vs_lr}");
+    }
+
+    #[test]
+    fn absolute_latencies_are_in_the_paper_regime() {
+        let gpu = JetsonNano::new();
+        let ch = gpu.cost(&chameleon());
+        // Paper: 33 ms / 0.31 J per image; accept the right order of
+        // magnitude from the analytical model.
+        assert!(
+            ch.latency_ms > 10.0 && ch.latency_ms < 120.0,
+            "{}",
+            ch.latency_ms
+        );
+        assert!(ch.energy_j > 0.05 && ch.energy_j < 1.5, "{}", ch.energy_j);
+    }
+
+    #[test]
+    fn energy_tracks_latency() {
+        let gpu = JetsonNano::new();
+        let ch = gpu.cost(&chameleon());
+        let lr = gpu.cost(&latent_replay());
+        let latency_ratio = lr.latency_ms / ch.latency_ms;
+        let energy_ratio = lr.energy_j / ch.energy_j;
+        assert!((latency_ratio - energy_ratio).abs() < 0.5 * latency_ratio);
+    }
+}

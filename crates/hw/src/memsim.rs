@@ -1,0 +1,425 @@
+//! Memory-hierarchy simulator: scratchpad partitions + a DRAM timing model.
+//!
+//! The paper's argument rests on the asymmetry between a small on-chip
+//! SRAM and a large off-chip DRAM. This module models that hierarchy one
+//! level deeper than the bandwidth constants in the device models:
+//!
+//! * [`Scratchpad`] — a capacity-budgeted on-chip memory with named
+//!   partitions (weight buffer, activation buffer, the short-term replay
+//!   store). Allocation failure is exactly the "replay buffer does not fit
+//!   on-chip" condition that motivates the dual-memory design.
+//! * [`DramModel`] — a single-bank open-page DRAM timing model: accesses
+//!   that hit the open row pay only CAS latency; row misses pay
+//!   precharge + activate. Sequential streams (weights) hit the row buffer
+//!   almost always; *scattered replay fetches from a multi-MB buffer miss
+//!   almost always* — the microarchitectural reason random replay reads are
+//!   more expensive per byte than their size suggests.
+//! * [`MemoryHierarchy`] — glues the two together and prices replay fetch
+//!   patterns ([`AccessPattern`]).
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_hw::memsim::{AccessPattern, MemoryHierarchy};
+//!
+//! let mut hierarchy = MemoryHierarchy::zcu102();
+//! // Latent Replay: ten 32 KiB samples scattered across a 48 MB buffer.
+//! let scattered = hierarchy.replay_fetch(10, 32 * 1024, AccessPattern::Scattered { seed: 1 });
+//! let mut hierarchy2 = MemoryHierarchy::zcu102();
+//! let streamed = hierarchy2.replay_fetch(10, 32 * 1024, AccessPattern::Sequential { start: 0 });
+//! assert!(scattered > streamed);
+//! ```
+
+use std::collections::BTreeMap;
+
+use chameleon_tensor::Prng;
+
+/// Error returned when a scratchpad partition cannot be allocated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocatePartitionError {
+    /// Partition that failed.
+    pub name: String,
+    /// Requested bytes.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for AllocatePartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partition `{}` needs {} bytes but only {} remain on-chip",
+            self.name, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocatePartitionError {}
+
+/// A capacity-budgeted on-chip memory with named partitions.
+#[derive(Clone, Debug)]
+pub struct Scratchpad {
+    capacity: usize,
+    partitions: BTreeMap<String, usize>,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "scratchpad capacity must be positive");
+        Self {
+            capacity,
+            partitions: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes not yet reserved.
+    pub fn available(&self) -> usize {
+        self.capacity - self.partitions.values().sum::<usize>()
+    }
+
+    /// Reserves a named partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocatePartitionError`] when the remaining capacity is
+    /// insufficient or the name is taken.
+    pub fn allocate(&mut self, name: &str, bytes: usize) -> Result<(), AllocatePartitionError> {
+        if self.partitions.contains_key(name) || bytes > self.available() {
+            return Err(AllocatePartitionError {
+                name: name.to_string(),
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.partitions.insert(name.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Releases a partition, returning its size.
+    pub fn free(&mut self, name: &str) -> Option<usize> {
+        self.partitions.remove(name)
+    }
+
+    /// Size of a partition, if present.
+    pub fn partition(&self, name: &str) -> Option<usize> {
+        self.partitions.get(name).copied()
+    }
+
+    /// Partition names in deterministic order.
+    pub fn partition_names(&self) -> Vec<&str> {
+        self.partitions.keys().map(String::as_str).collect()
+    }
+}
+
+/// Access statistics of the DRAM model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Bursts that hit the open row.
+    pub row_hits: u64,
+    /// Bursts whose precharge + activate stalled the requester.
+    pub row_misses: u64,
+    /// Row misses whose activate was hidden behind a predictable stream
+    /// (bank-interleaved prefetch).
+    pub hidden_misses: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Total cycles spent in DRAM.
+    pub cycles: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate over all bursts.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Open-page DRAM timing model with bank-interleaved prefetch (DDR-class
+/// default timings at the accelerator clock).
+///
+/// The model distinguishes *predictable* accesses (streaming: the next
+/// address is known, so the controller activates the next row in another
+/// bank while the current one drains — the miss is hidden) from
+/// *data-dependent* accesses (a replay sample's address comes from the
+/// sampling RNG at request time, so nothing can be activated early and
+/// the full precharge + activate latency stalls the requester).
+#[derive(Clone, Debug)]
+pub struct DramModel {
+    /// Row-buffer size in bytes (2 KiB typical).
+    pub row_bytes: usize,
+    /// Burst granularity in bytes (64 B).
+    pub burst_bytes: usize,
+    /// Cycles to transfer one burst once the row is open.
+    pub cas_cycles: u64,
+    /// Extra cycles on an exposed row miss (precharge + activate).
+    pub row_miss_cycles: u64,
+    /// Banks available for interleaved prefetch.
+    pub banks: usize,
+    open_rows: Vec<Option<u64>>,
+    /// Transfer cycles accumulated since the last miss — the window a
+    /// predictable next-row activate can hide under.
+    overlap_credit: u64,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// DDR4-ish timings as seen from a 150 MHz accelerator: CAS ≈ 4
+    /// cycles per 64 B burst in-page, ~18 extra on an exposed row miss,
+    /// 8 banks.
+    pub fn ddr4() -> Self {
+        Self {
+            row_bytes: 2048,
+            burst_bytes: 64,
+            cas_cycles: 4,
+            row_miss_cycles: 18,
+            banks: 8,
+            open_rows: vec![None; 8],
+            overlap_credit: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Performs one contiguous access; returns the cycles it took.
+    /// `prefetchable` marks addresses the controller knew in advance
+    /// (streaming weights/outputs) — their row misses can hide behind the
+    /// preceding transfer. Data-dependent fetches must pass `false`.
+    pub fn access(&mut self, addr: u64, bytes: usize, prefetchable: bool) -> u64 {
+        let mut cycles = 0;
+        let mut offset = 0usize;
+        let mut first_burst = true;
+        while offset < bytes {
+            let burst_addr = addr + offset as u64;
+            let row = burst_addr / self.row_bytes as u64;
+            let bank = (row % self.banks as u64) as usize;
+            if self.open_rows[bank] == Some(row) {
+                self.stats.row_hits += 1;
+                cycles += self.cas_cycles;
+                self.overlap_credit =
+                    (self.overlap_credit + self.cas_cycles).min(self.row_miss_cycles);
+            } else {
+                // Within one contiguous access, bursts after the first are
+                // sequential and therefore predictable regardless of how
+                // the access itself was addressed.
+                let predictable = prefetchable || !first_burst;
+                if predictable && self.overlap_credit >= self.row_miss_cycles {
+                    self.stats.hidden_misses += 1;
+                    cycles += self.cas_cycles;
+                } else {
+                    self.stats.row_misses += 1;
+                    cycles += self.cas_cycles + self.row_miss_cycles;
+                }
+                self.open_rows[bank] = Some(row);
+                self.overlap_credit = 0;
+            }
+            first_burst = false;
+            offset += self.burst_bytes;
+        }
+        self.stats.bytes += bytes as u64;
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+}
+
+/// Where replay samples are read from within their buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Samples laid out back-to-back starting at `start` (streaming).
+    Sequential {
+        /// Base address of the stream.
+        start: u64,
+    },
+    /// Samples at uniformly random offsets in the buffer (reservoir reads).
+    Scattered {
+        /// Seed of the address stream.
+        seed: u64,
+    },
+}
+
+/// The two-level hierarchy: an on-chip scratchpad (1 cycle/word, modeled
+/// as free next to DRAM) and the DRAM model.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    /// The on-chip scratchpad.
+    pub scratchpad: Scratchpad,
+    /// The off-chip DRAM.
+    pub dram: DramModel,
+    /// Size of the off-chip replay region scattered reads land in.
+    pub replay_region_bytes: u64,
+}
+
+impl MemoryHierarchy {
+    /// The ZCU102 configuration: 2.8 MB of BRAM scratchpad, DDR4, and a
+    /// 48 MB off-chip replay region (Latent Replay's 1500-sample buffer).
+    pub fn zcu102() -> Self {
+        Self {
+            scratchpad: Scratchpad::new(2_844 * 1024),
+            dram: DramModel::ddr4(),
+            replay_region_bytes: 48 * 1024 * 1024,
+        }
+    }
+
+    /// Fetches `n` replay samples of `bytes_per_sample` from DRAM under the
+    /// given pattern; returns total DRAM cycles. On-chip fetches cost no
+    /// DRAM cycles by definition — call nothing for them.
+    pub fn replay_fetch(
+        &mut self,
+        n: usize,
+        bytes_per_sample: usize,
+        pattern: AccessPattern,
+    ) -> u64 {
+        let mut cycles = 0;
+        match pattern {
+            AccessPattern::Sequential { start } => {
+                for i in 0..n {
+                    cycles += self.dram.access(
+                        start + (i * bytes_per_sample) as u64,
+                        bytes_per_sample,
+                        true,
+                    );
+                }
+            }
+            AccessPattern::Scattered { seed } => {
+                let mut rng = Prng::new(seed);
+                let slots = (self.replay_region_bytes / bytes_per_sample as u64).max(1);
+                for _ in 0..n {
+                    let slot = rng.below(slots as usize) as u64;
+                    // The slot index is produced by the sampling RNG at
+                    // request time: the controller cannot prefetch it.
+                    cycles +=
+                        self.dram
+                            .access(slot * bytes_per_sample as u64, bytes_per_sample, false);
+                }
+            }
+        }
+        cycles
+    }
+
+    /// Whether a replay store of `bytes` can be placed on-chip next to the
+    /// accelerator's own partitions.
+    pub fn replay_store_fits_on_chip(&self, bytes: usize) -> bool {
+        bytes <= self.scratchpad.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratchpad_allocates_and_frees() {
+        let mut s = Scratchpad::new(1000);
+        s.allocate("weights", 600).expect("fits");
+        assert_eq!(s.available(), 400);
+        let err = s.allocate("acts", 500).expect_err("too big");
+        assert_eq!(err.available, 400);
+        assert!(err.to_string().contains("acts"));
+        assert_eq!(s.free("weights"), Some(600));
+        assert_eq!(s.available(), 1000);
+        assert!(s.partition("weights").is_none());
+    }
+
+    #[test]
+    fn duplicate_partition_is_rejected() {
+        let mut s = Scratchpad::new(100);
+        s.allocate("a", 10).expect("fits");
+        assert!(s.allocate("a", 10).is_err());
+        assert_eq!(s.partition_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn sequential_access_hits_the_row_buffer() {
+        let mut dram = DramModel::ddr4();
+        // 2 KiB = one row = 32 bursts: 1 exposed miss + 31 hits.
+        dram.access(0, 2048, true);
+        let stats = dram.stats();
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 31);
+        assert!(stats.hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn long_stream_hides_row_misses_behind_prefetch() {
+        let mut dram = DramModel::ddr4();
+        // 16 KiB stream = 8 rows: first miss exposed, the rest hidden.
+        dram.access(0, 16 * 1024, true);
+        let stats = dram.stats();
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.hidden_misses, 7);
+    }
+
+    #[test]
+    fn strided_dependent_access_misses_every_row() {
+        let mut dram = DramModel::ddr4();
+        for i in 0..16 {
+            dram.access(i * 4096, 64, false); // fresh row, data-dependent
+        }
+        let stats = dram.stats();
+        assert_eq!(stats.row_misses, 16);
+        assert_eq!(stats.row_hits, 0);
+        assert_eq!(stats.hidden_misses, 0);
+    }
+
+    #[test]
+    fn cycle_arithmetic_is_exact() {
+        let mut dram = DramModel::ddr4();
+        // One 128-byte dependent access in a fresh row: exposed miss burst
+        // (4+18) + in-row hit (4).
+        let cycles = dram.access(0, 128, false);
+        assert_eq!(cycles, 22 + 4);
+    }
+
+    #[test]
+    fn scattered_replay_costs_more_than_streamed() {
+        let mut scattered = MemoryHierarchy::zcu102();
+        let mut streamed = MemoryHierarchy::zcu102();
+        let a = scattered.replay_fetch(10, 32 * 1024, AccessPattern::Scattered { seed: 3 });
+        let b = streamed.replay_fetch(10, 32 * 1024, AccessPattern::Sequential { start: 0 });
+        assert!(a > b, "scattered {a} should exceed streamed {b}");
+        // The stream pays one exposed miss in total; scattered pays one
+        // per data-dependent sample fetch.
+        assert_eq!(streamed.dram.stats().row_misses, 1);
+        assert!(scattered.dram.stats().row_misses >= 9);
+    }
+
+    #[test]
+    fn short_term_store_fits_but_long_term_does_not() {
+        let mut h = MemoryHierarchy::zcu102();
+        // Accelerator partitions first (Table III configuration).
+        h.scratchpad.allocate("weights", 2048 * 1024).expect("fits");
+        h.scratchpad
+            .allocate("activations", 456 * 1024)
+            .expect("fits");
+        // Chameleon's 10-latent short-term store fits…
+        assert!(h.replay_store_fits_on_chip(10 * 32 * 1024));
+        // …but even the smallest Table I long-term buffer does not.
+        assert!(!h.replay_store_fits_on_chip(100 * 32 * 1024));
+    }
+
+    #[test]
+    fn replay_fetch_accounts_bytes() {
+        let mut h = MemoryHierarchy::zcu102();
+        h.replay_fetch(5, 1024, AccessPattern::Sequential { start: 0 });
+        assert_eq!(h.dram.stats().bytes, 5 * 1024);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-image workload derived from a strategy trace.
+
+use chameleon_core::PerInputTrace;
+
+use crate::NominalModel;
+
+/// Average per-image work of a continual-learning method under the nominal
+/// MobileNetV1 shapes — the quantity each [`Device`](crate::Device) prices.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Workload {
+    /// Frozen-trunk MACs per image (new input + raw-replay re-extraction).
+    pub trunk_macs: f64,
+    /// Trainable-head MACs per image (forward + backward over all trained
+    /// rows).
+    pub head_macs: f64,
+    /// Method-specific MACs per image (SLDA covariance + pseudo-inverse).
+    pub special_macs: f64,
+    /// Bytes served from the on-chip replay store per image.
+    pub onchip_bytes: f64,
+    /// Bytes of replay data crossing the DRAM interface per image.
+    pub offchip_replay_bytes: f64,
+    /// Replay elements fetched from off-chip memory per image (drives the
+    /// sequential-processing penalty on weight-streaming devices).
+    pub offchip_replay_elements: f64,
+    /// Replay elements served on-chip per image.
+    pub onchip_replay_elements: f64,
+    /// Samples trained per image (incoming + replay rows).
+    pub trained_rows: f64,
+}
+
+impl Workload {
+    /// Builds the per-image workload from a recorded per-input trace.
+    pub fn from_trace(per: &PerInputTrace, model: &NominalModel) -> Self {
+        let head_rows = per.head_fwd_passes.max(per.head_bwd_passes);
+        Self {
+            trunk_macs: per.trunk_passes * model.trunk_macs,
+            head_macs: per.head_fwd_passes * model.head_fwd_macs
+                + per.head_bwd_passes * model.head_bwd_macs,
+            special_macs: per.covariance_updates * model.covariance_update_macs()
+                + per.matrix_inversions * model.inverse_macs(),
+            onchip_bytes: (per.onchip_sample_reads + per.onchip_sample_writes) * model.latent_bytes,
+            offchip_replay_bytes: (per.offchip_latent_reads + per.offchip_latent_writes)
+                * model.latent_bytes
+                + (per.offchip_raw_reads + per.offchip_raw_writes) * model.raw_bytes,
+            offchip_replay_elements: per.offchip_latent_reads + per.offchip_raw_reads,
+            onchip_replay_elements: per.onchip_sample_reads,
+            trained_rows: head_rows,
+        }
+    }
+
+    /// Total MACs per image.
+    pub fn total_macs(&self) -> f64 {
+        self.trunk_macs + self.head_macs + self.special_macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::StepTrace;
+
+    fn latent_replay_like_trace() -> PerInputTrace {
+        // 1 input, 10 off-chip latent replays per image, 11 trained rows.
+        StepTrace {
+            inputs: 10,
+            trunk_passes: 10,
+            head_fwd_passes: 110,
+            head_bwd_passes: 110,
+            offchip_latent_reads: 100,
+            offchip_latent_writes: 10,
+            ..StepTrace::new()
+        }
+        .per_input()
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn workload_scales_with_trace() {
+        let m = NominalModel::mobilenet_v1();
+        let w = Workload::from_trace(&latent_replay_like_trace(), &m);
+        assert!((w.trunk_macs - m.trunk_macs).abs() < 1.0);
+        assert!((w.head_macs - 11.0 * (m.head_fwd_macs + m.head_bwd_macs)).abs() < 1.0);
+        assert!((w.offchip_replay_elements - 10.0).abs() < 1e-9);
+        assert!((w.offchip_replay_bytes - 11.0 * m.latent_bytes).abs() < 1.0);
+        assert_eq!(w.special_macs, 0.0);
+        assert!((w.trained_rows - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slda_trace_prices_inverse() {
+        let m = NominalModel::mobilenet_v1();
+        let per = StepTrace {
+            inputs: 5,
+            trunk_passes: 5,
+            covariance_updates: 5,
+            matrix_inversions: 5,
+            inversion_dim: 1024,
+            ..StepTrace::new()
+        }
+        .per_input()
+        .expect("non-empty");
+        let w = Workload::from_trace(&per, &m);
+        assert!(
+            w.special_macs > 2.0e9,
+            "inverse should dominate: {}",
+            w.special_macs
+        );
+        assert_eq!(w.head_macs, 0.0);
+    }
+
+    #[test]
+    fn raw_replay_counts_raw_bytes() {
+        let m = NominalModel::mobilenet_v1();
+        let per = StepTrace {
+            inputs: 1,
+            offchip_raw_reads: 10,
+            ..StepTrace::new()
+        }
+        .per_input()
+        .expect("non-empty");
+        let w = Workload::from_trace(&per, &m);
+        assert!((w.offchip_replay_bytes - 10.0 * m.raw_bytes).abs() < 1.0);
+    }
+}

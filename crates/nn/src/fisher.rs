@@ -1,0 +1,189 @@
+//! Online Fisher-information accumulator for EWC++.
+
+/// Diagonal Fisher information maintained online, as in EWC++
+/// (Chaudhry et al., 2018): `F ← γ·F + (1−γ)·g²` after every step, with a
+/// moving anchor `θ*` of the parameters.
+///
+/// The quadratic penalty `λ/2 · Σ_i F_i (θ_i − θ*_i)²` is added to the loss;
+/// its gradient `λ · F_i (θ_i − θ*_i)` is what [`Self::penalty_gradient`]
+/// returns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FisherDiagonal {
+    fisher: Vec<f32>,
+    anchor: Vec<f32>,
+    decay: f32,
+}
+
+impl FisherDiagonal {
+    /// Creates an accumulator for `dim` parameters with EMA decay `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `decay` is outside `[0, 1)`.
+    pub fn new(dim: usize, decay: f32) -> Self {
+        assert!(dim > 0, "parameter dimension must be non-zero");
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
+        Self {
+            fisher: vec![0.0; dim],
+            anchor: vec![0.0; dim],
+            decay,
+        }
+    }
+
+    /// Number of tracked parameters.
+    pub fn dim(&self) -> usize {
+        self.fisher.len()
+    }
+
+    /// Current Fisher diagonal.
+    pub fn fisher(&self) -> &[f32] {
+        &self.fisher
+    }
+
+    /// Current anchor parameters `θ*`.
+    pub fn anchor(&self) -> &[f32] {
+        &self.anchor
+    }
+
+    /// Folds a new gradient sample into the running Fisher estimate:
+    /// `F ← γ·F + (1−γ)·g²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradient.len() != self.dim()`.
+    pub fn observe_gradient(&mut self, gradient: &[f32]) {
+        assert_eq!(
+            gradient.len(),
+            self.fisher.len(),
+            "gradient dimension mismatch"
+        );
+        let keep = self.decay;
+        let add = 1.0 - self.decay;
+        for (f, &g) in self.fisher.iter_mut().zip(gradient) {
+            *f = keep * *f + add * g * g;
+        }
+    }
+
+    /// Re-anchors `θ*` at the given parameters (called at domain/window
+    /// boundaries or every step in fully-online mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.dim()`.
+    pub fn update_anchor(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.fisher.len(),
+            "parameter dimension mismatch"
+        );
+        self.anchor.copy_from_slice(params);
+    }
+
+    /// Gradient of the EWC penalty at `params`: `λ · F ⊙ (θ − θ*)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.dim()`.
+    pub fn penalty_gradient(&self, params: &[f32], lambda: f32) -> Vec<f32> {
+        assert_eq!(
+            params.len(),
+            self.fisher.len(),
+            "parameter dimension mismatch"
+        );
+        self.fisher
+            .iter()
+            .zip(params)
+            .zip(&self.anchor)
+            .map(|((&f, &p), &a)| lambda * f * (p - a))
+            .collect()
+    }
+
+    /// Value of the EWC penalty `λ/2 · Σ F (θ − θ*)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.dim()`.
+    pub fn penalty(&self, params: &[f32], lambda: f32) -> f32 {
+        assert_eq!(
+            params.len(),
+            self.fisher.len(),
+            "parameter dimension mismatch"
+        );
+        0.5 * lambda
+            * self
+                .fisher
+                .iter()
+                .zip(params)
+                .zip(&self.anchor)
+                .map(|((&f, &p), &a)| f * (p - a) * (p - a))
+                .sum::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fisher_accumulates_squared_gradients() {
+        let mut f = FisherDiagonal::new(3, 0.0);
+        f.observe_gradient(&[1.0, -2.0, 0.5]);
+        assert_eq!(f.fisher(), &[1.0, 4.0, 0.25]);
+    }
+
+    #[test]
+    fn decay_blends_old_and_new() {
+        let mut f = FisherDiagonal::new(1, 0.9);
+        f.observe_gradient(&[1.0]); // F = 0.1
+        f.observe_gradient(&[0.0]); // F = 0.09
+        assert!((f.fisher()[0] - 0.09).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_is_zero_at_anchor() {
+        let mut f = FisherDiagonal::new(2, 0.5);
+        f.observe_gradient(&[1.0, 1.0]);
+        f.update_anchor(&[0.3, -0.7]);
+        assert_eq!(f.penalty(&[0.3, -0.7], 10.0), 0.0);
+        assert!(f
+            .penalty_gradient(&[0.3, -0.7], 10.0)
+            .iter()
+            .all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn penalty_grows_quadratically_away_from_anchor() {
+        let mut f = FisherDiagonal::new(1, 0.0);
+        f.observe_gradient(&[2.0]); // F = 4
+        f.update_anchor(&[0.0]);
+        let p1 = f.penalty(&[1.0], 1.0);
+        let p2 = f.penalty(&[2.0], 1.0);
+        assert!((p1 - 2.0).abs() < 1e-6); // 0.5·4·1
+        assert!((p2 - 8.0).abs() < 1e-6); // 0.5·4·4
+    }
+
+    #[test]
+    fn penalty_gradient_matches_finite_difference() {
+        let mut f = FisherDiagonal::new(3, 0.0);
+        f.observe_gradient(&[1.0, 0.5, 2.0]);
+        f.update_anchor(&[0.1, 0.2, 0.3]);
+        let params = [0.5, -0.4, 1.0];
+        let lambda = 3.0;
+        let grad = f.penalty_gradient(&params, lambda);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = params;
+            plus[i] += eps;
+            let mut minus = params;
+            minus[i] -= eps;
+            let numeric = (f.penalty(&plus, lambda) - f.penalty(&minus, lambda)) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn invalid_decay_panics() {
+        let _ = FisherDiagonal::new(3, 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! SGD optimizer with momentum and weight decay.
+
+use std::collections::HashMap;
+
+use chameleon_tensor::Matrix;
+
+use crate::Linear;
+
+/// Stochastic gradient descent, the optimizer the paper uses for all
+/// experiments (lr = 0.001, batch size 10, single pass).
+///
+/// Momentum buffers are allocated lazily per layer index, so one `Sgd` value
+/// serves a whole [`MlpHead`](crate::MlpHead) regardless of depth.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_nn::Sgd;
+///
+/// let sgd = Sgd::new(0.001).with_momentum(0.9).with_weight_decay(1e-4);
+/// assert_eq!(sgd.learning_rate(), 0.001);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, (Matrix, Vec<f32>)>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate (no momentum, no
+    /// weight decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Builder: sets the momentum coefficient in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Builder: sets L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (e.g. for schedules in ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one step to `layer` (identified by `layer_index` for the
+    /// momentum buffer) with gradients `(dw, db)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shapes do not match the layer.
+    pub fn step(&mut self, layer_index: usize, layer: &mut Linear, dw: &Matrix, db: &[f32]) {
+        let mut dw_eff = dw.clone();
+        if self.weight_decay > 0.0 {
+            dw_eff.axpy(self.weight_decay, layer.weight());
+        }
+        let mut db_eff = db.to_vec();
+        if self.weight_decay > 0.0 {
+            for (g, &b) in db_eff.iter_mut().zip(layer.bias()) {
+                *g += self.weight_decay * b;
+            }
+        }
+
+        if self.momentum > 0.0 {
+            let (vw, vb) = self
+                .velocity
+                .entry(layer_index)
+                .or_insert_with(|| (Matrix::zeros(dw.rows(), dw.cols()), vec![0.0; db.len()]));
+            vw.scale(self.momentum);
+            vw.axpy(1.0, &dw_eff);
+            for (v, &g) in vb.iter_mut().zip(&db_eff) {
+                *v = self.momentum * *v + g;
+            }
+            layer.apply_raw(vw, vb, self.lr);
+        } else {
+            layer.apply_raw(&dw_eff, &db_eff, self.lr);
+        }
+    }
+
+    /// Clears momentum state (used when a strategy resets between domains).
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_tensor::Prng;
+
+    fn quadratic_grad(layer: &Linear) -> (Matrix, Vec<f32>) {
+        // Gradient of 0.5‖W‖² + 0.5‖b‖² is (W, b): descending should shrink
+        // the parameters toward zero.
+        (layer.weight().clone(), layer.bias().to_vec())
+    }
+
+    #[test]
+    fn plain_sgd_shrinks_quadratic() {
+        let mut rng = Prng::new(0);
+        let mut layer = Linear::new(3, 3, &mut rng);
+        let mut sgd = Sgd::new(0.1);
+        let initial = layer.weight().frobenius_norm();
+        for _ in 0..100 {
+            let (dw, db) = quadratic_grad(&layer);
+            sgd.step(0, &mut layer, &dw, &db);
+        }
+        assert!(layer.weight().frobenius_norm() < initial * 0.01);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let mut rng = Prng::new(1);
+        let layer0 = Linear::new(4, 4, &mut rng);
+
+        let run = |mut sgd: Sgd| {
+            let mut layer = layer0.clone();
+            for _ in 0..20 {
+                let (dw, db) = quadratic_grad(&layer);
+                sgd.step(0, &mut layer, &dw, &db);
+            }
+            layer.weight().frobenius_norm()
+        };
+        let plain = run(Sgd::new(0.05));
+        let momentum = run(Sgd::new(0.05).with_momentum(0.9));
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero_with_zero_gradient() {
+        let mut rng = Prng::new(2);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.5);
+        let initial = layer.weight().frobenius_norm();
+        let zero_dw = Matrix::zeros(2, 2);
+        let zero_db = vec![0.0; 2];
+        for _ in 0..50 {
+            sgd.step(0, &mut layer, &zero_dw, &zero_db);
+        }
+        assert!(layer.weight().frobenius_norm() < initial * 0.1);
+    }
+
+    #[test]
+    fn reset_state_clears_momentum() {
+        let mut rng = Prng::new(3);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let (dw, db) = quadratic_grad(&layer);
+        sgd.step(0, &mut layer, &dw, &db);
+        assert!(!sgd.velocity.is_empty());
+        sgd.reset_state();
+        assert!(sgd.velocity.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0);
+    }
+}

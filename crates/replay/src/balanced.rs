@@ -1,0 +1,303 @@
+//! Class-balanced buffer (Chameleon's long-term store container).
+
+use std::collections::BTreeMap;
+
+use chameleon_tensor::Prng;
+
+use crate::{AccessStats, StoredSample};
+
+/// A bounded buffer that keeps an (approximately) equal number of samples
+/// per class — the paper's long-term store `M_l` stores "an equal number of
+/// samples for each class" to preserve a holistic snapshot of the whole
+/// class distribution.
+///
+/// Insertion policy when full:
+///
+/// * if the incoming sample's class is *under-represented* (below the
+///   per-class quota), a slot is freed by evicting a random sample from the
+///   currently *largest* class,
+/// * otherwise a random sample **of the same class** is replaced
+///   (Algorithm 1 line 14, `replace(m_l^c, m_s^c)`) — *with reservoir
+///   acceptance*: the replacement happens with probability
+///   `slots_c / offers_c`, so each class's slots remain a uniform sample
+///   of everything that class ever offered. Unconditional replacement
+///   would bias the store exponentially toward recent domains, defeating
+///   its stated purpose of "retaining cumulative information of all
+///   classes" (§II); see DESIGN.md for this fidelity note.
+#[derive(Clone, Debug)]
+pub struct ClassBalancedBuffer {
+    /// Per-class sample lists; `BTreeMap` keeps iteration deterministic.
+    by_class: BTreeMap<usize, Vec<StoredSample>>,
+    /// Per-class lifetime offer counts (reservoir denominators).
+    offers: BTreeMap<usize, u64>,
+    capacity: usize,
+    len: usize,
+    stats: AccessStats,
+}
+
+impl ClassBalancedBuffer {
+    /// Creates an empty buffer of at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            by_class: BTreeMap::new(),
+            offers: BTreeMap::new(),
+            capacity,
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Offers a sample under the class-balancing policy, returning the
+    /// evicted sample if a replacement happened. Once the buffer is full
+    /// and the class is at quota, acceptance follows per-class reservoir
+    /// probabilities (see the type docs).
+    pub fn insert(&mut self, sample: StoredSample, rng: &mut Prng) -> Option<StoredSample> {
+        let class = sample.label;
+        *self.offers.entry(class).or_insert(0) += 1;
+        if self.len < self.capacity {
+            self.by_class.entry(class).or_default().push(sample);
+            self.len += 1;
+            self.stats.sample_writes += 1;
+            return None;
+        }
+
+        let class_count = self.by_class.get(&class).map_or(0, Vec::len);
+        let largest = self.largest_class().expect("buffer is non-empty when full");
+        let evicted = if class_count < self.by_class[&largest].len() && largest != class {
+            // Under-represented class: free a slot from the largest class.
+            let list = self.by_class.get_mut(&largest).expect("largest exists");
+            let i = rng.below(list.len());
+            let out = list.swap_remove(i);
+            if list.is_empty() {
+                self.by_class.remove(&largest);
+            }
+            self.by_class.entry(class).or_default().push(sample);
+            self.stats.sample_writes += 1;
+            out
+        } else if class_count > 0 {
+            // Same-class replacement with reservoir acceptance: keep each
+            // class's slots a uniform sample of its offer history.
+            let offers = self.offers[&class];
+            let accept = rng.below(offers as usize) < class_count;
+            if !accept {
+                return None;
+            }
+            let list = self.by_class.get_mut(&class).expect("class has samples");
+            let i = rng.below(list.len());
+            self.stats.sample_writes += 1;
+            std::mem::replace(&mut list[i], sample)
+        } else {
+            // Degenerate tiny buffer: evict from the largest class.
+            let list = self.by_class.get_mut(&largest).expect("largest exists");
+            let i = rng.below(list.len());
+            let out = list.swap_remove(i);
+            if list.is_empty() {
+                self.by_class.remove(&largest);
+            }
+            self.by_class.entry(class).or_default().push(sample);
+            self.stats.sample_writes += 1;
+            out
+        };
+        Some(evicted)
+    }
+
+    /// Draws up to `k` samples uniformly at random across the whole buffer.
+    pub fn sample_batch(&mut self, k: usize, rng: &mut Prng) -> Vec<StoredSample> {
+        let flat: Vec<&StoredSample> = self.by_class.values().flatten().collect();
+        let idx = rng.sample_without_replacement(flat.len(), k);
+        self.stats.sample_reads += idx.len() as u64;
+        idx.into_iter().map(|i| flat[i].clone()).collect()
+    }
+
+    /// Borrow the samples of one class (empty slice if none).
+    pub fn samples_of_class(&self, class: usize) -> &[StoredSample] {
+        self.by_class.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Classes currently present, in ascending order.
+    pub fn classes(&self) -> Vec<usize> {
+        self.by_class.keys().copied().collect()
+    }
+
+    /// Per-class sample count.
+    pub fn class_count(&self, class: usize) -> usize {
+        self.by_class.get(&class).map_or(0, Vec::len)
+    }
+
+    /// The class holding the most samples.
+    pub fn largest_class(&self) -> Option<usize> {
+        self.by_class
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .map(|(&c, _)| c)
+    }
+
+    /// Total stored samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate over all stored samples (deterministic class order).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredSample> {
+        self.by_class.values().flatten()
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(class: usize, v: f32) -> StoredSample {
+        StoredSample::latent(vec![v], class)
+    }
+
+    #[test]
+    fn fills_below_capacity_without_eviction() {
+        let mut rng = Prng::new(0);
+        let mut b = ClassBalancedBuffer::new(10);
+        for i in 0..10 {
+            assert!(b.insert(sample(i % 3, i as f32), &mut rng).is_none());
+        }
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn stays_bounded_and_balanced_under_skewed_input() {
+        let mut rng = Prng::new(1);
+        let mut b = ClassBalancedBuffer::new(12);
+        // Feed 90% class 0, 10% spread over classes 1..=3.
+        for i in 0..400 {
+            let class = if i % 10 == 0 { 1 + (i / 10) % 3 } else { 0 };
+            b.insert(sample(class, i as f32), &mut rng);
+        }
+        assert_eq!(b.len(), 12);
+        // Despite the skew, no class should dominate: each of the four
+        // classes observed should hold ≥ 1 and ≤ 6 slots.
+        for class in 0..4 {
+            let c = b.class_count(class);
+            assert!(c >= 1, "class {class} starved: {c}");
+            assert!(c <= 6, "class {class} dominates: {c}");
+        }
+    }
+
+    #[test]
+    fn same_class_replacement_keeps_other_classes_intact() {
+        let mut rng = Prng::new(2);
+        let mut b = ClassBalancedBuffer::new(4);
+        b.insert(sample(0, 1.0), &mut rng);
+        b.insert(sample(0, 2.0), &mut rng);
+        b.insert(sample(1, 3.0), &mut rng);
+        b.insert(sample(1, 4.0), &mut rng);
+        // Buffer full and balanced; offering class 0 may only ever evict
+        // class 0, and the per-class counts never change.
+        let mut replaced = 0;
+        for i in 0..20 {
+            if let Some(evicted) = b.insert(sample(0, 10.0 + i as f32), &mut rng) {
+                assert_eq!(evicted.label, 0);
+                replaced += 1;
+            }
+            assert_eq!(b.class_count(0), 2);
+            assert_eq!(b.class_count(1), 2);
+        }
+        assert!(
+            replaced > 0,
+            "reservoir acceptance never fired in 20 offers"
+        );
+    }
+
+    #[test]
+    fn within_class_content_is_reservoir_uniform() {
+        // Offer 100 class-0 samples to a 2-slot class; early samples should
+        // survive with probability ≈ 2/100 — i.e. sometimes, not never.
+        let trials = 300;
+        let mut early_survivals = 0;
+        for t in 0..trials {
+            let mut rng = Prng::new(t);
+            let mut b = ClassBalancedBuffer::new(2);
+            for i in 0..100 {
+                b.insert(sample(0, i as f32), &mut rng);
+            }
+            if b.samples_of_class(0).iter().any(|s| s.features[0] < 10.0) {
+                early_survivals += 1;
+            }
+        }
+        // P(early sample among the 2 kept) ≈ 1 − C(90,2)/C(100,2) ≈ 0.19.
+        let p = early_survivals as f32 / trials as f32;
+        assert!(p > 0.08 && p < 0.35, "early survival rate {p}");
+    }
+
+    #[test]
+    fn under_represented_class_steals_from_largest() {
+        let mut rng = Prng::new(3);
+        let mut b = ClassBalancedBuffer::new(4);
+        for i in 0..4 {
+            b.insert(sample(0, i as f32), &mut rng);
+        }
+        let evicted = b.insert(sample(1, 100.0), &mut rng).expect("full");
+        assert_eq!(evicted.label, 0);
+        assert_eq!(b.class_count(1), 1);
+        assert_eq!(b.class_count(0), 3);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn sample_batch_draws_across_classes() {
+        let mut rng = Prng::new(4);
+        let mut b = ClassBalancedBuffer::new(9);
+        for class in 0..3 {
+            for v in 0..3 {
+                b.insert(sample(class, v as f32), &mut rng);
+            }
+        }
+        let batch = b.sample_batch(9, &mut rng);
+        assert_eq!(batch.len(), 9);
+        for class in 0..3 {
+            assert_eq!(batch.iter().filter(|s| s.label == class).count(), 3);
+        }
+    }
+
+    #[test]
+    fn len_invariant_holds_under_random_workload() {
+        let mut rng = Prng::new(5);
+        let mut b = ClassBalancedBuffer::new(7);
+        for i in 0..500 {
+            let class = rng.below(5);
+            b.insert(sample(class, i as f32), &mut rng);
+            let total: usize = b.classes().iter().map(|&c| b.class_count(c)).sum();
+            assert_eq!(total, b.len());
+            assert!(b.len() <= 7);
+        }
+        assert_eq!(b.len(), 7);
+    }
+
+    #[test]
+    fn stats_track_access() {
+        let mut rng = Prng::new(6);
+        let mut b = ClassBalancedBuffer::new(3);
+        b.insert(sample(0, 0.0), &mut rng);
+        b.insert(sample(1, 1.0), &mut rng);
+        let _ = b.sample_batch(2, &mut rng);
+        assert_eq!(b.stats().sample_writes, 2);
+        assert_eq!(b.stats().sample_reads, 2);
+    }
+}

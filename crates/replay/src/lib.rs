@@ -1,0 +1,45 @@
+//! Replay-buffer primitives for the Chameleon reproduction.
+//!
+//! Every replay-based continual-learning method in the paper is built on a
+//! bounded sample store with an insertion policy and a retrieval policy.
+//! This crate provides the storage layer:
+//!
+//! * [`StoredSample`] — a replayable sample with the optional payloads the
+//!   baselines attach (DER's logits, GSS's gradient direction),
+//! * [`ReservoirBuffer`] — uniform reservoir sampling over the stream
+//!   (ER/DER/Latent Replay's insertion rule),
+//! * [`RingBuffer`] — FIFO store (Chameleon's short-term buffer *container*;
+//!   its probabilistic insertion rule lives in `chameleon-core`),
+//! * [`ClassBalancedBuffer`] — an equal-per-class store (Chameleon's
+//!   long-term buffer container),
+//! * [`AccessStats`] — read/write counters every buffer maintains, which the
+//!   hardware model converts into on-chip/off-chip traffic for Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_replay::{ReservoirBuffer, StoredSample};
+//! use chameleon_tensor::Prng;
+//!
+//! let mut rng = Prng::new(0);
+//! let mut buffer = ReservoirBuffer::new(3);
+//! for i in 0..10 {
+//!     buffer.offer(StoredSample::latent(vec![i as f32], i % 2), &mut rng);
+//! }
+//! assert_eq!(buffer.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balanced;
+mod reservoir;
+mod ring;
+mod sample;
+mod stats;
+
+pub use balanced::ClassBalancedBuffer;
+pub use reservoir::ReservoirBuffer;
+pub use ring::RingBuffer;
+pub use sample::StoredSample;
+pub use stats::AccessStats;

@@ -1,0 +1,194 @@
+//! Uniform reservoir-sampling buffer.
+
+use chameleon_tensor::Prng;
+
+use crate::{AccessStats, StoredSample};
+
+/// A bounded buffer holding a uniform random subset of everything offered
+/// to it — Vitter's reservoir sampling, the insertion rule of ER, DER, and
+/// Latent Replay.
+///
+/// After `n ≥ capacity` offers, each offered sample is retained with
+/// probability `capacity / n`, independent of arrival order; this is what
+/// keeps a single replay buffer representative of the whole stream without
+/// knowing its length in advance.
+#[derive(Clone, Debug)]
+pub struct ReservoirBuffer {
+    items: Vec<StoredSample>,
+    capacity: usize,
+    seen: u64,
+    stats: AccessStats,
+}
+
+impl ReservoirBuffer {
+    /// Creates an empty buffer that will hold at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Offers a sample to the reservoir. Returns `true` if it was stored
+    /// (always, until the buffer is full; with probability `capacity/seen`
+    /// afterwards).
+    pub fn offer(&mut self, sample: StoredSample, rng: &mut Prng) -> bool {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(sample);
+            self.stats.sample_writes += 1;
+            return true;
+        }
+        let j = rng.below(self.seen as usize);
+        if j < self.capacity {
+            self.items[j] = sample;
+            self.stats.sample_writes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws up to `k` distinct stored samples uniformly at random.
+    pub fn sample_batch(&mut self, k: usize, rng: &mut Prng) -> Vec<StoredSample> {
+        let idx = rng.sample_without_replacement(self.items.len(), k);
+        self.stats.sample_reads += idx.len() as u64;
+        idx.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total samples offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Borrow the stored samples (does not count as a replay read).
+    pub fn items(&self) -> &[StoredSample] {
+        &self.items
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> StoredSample {
+        StoredSample::latent(vec![i as f32], i % 5)
+    }
+
+    #[test]
+    fn fills_to_capacity_then_stays_bounded() {
+        let mut rng = Prng::new(0);
+        let mut b = ReservoirBuffer::new(8);
+        for i in 0..100 {
+            b.offer(sample(i), &mut rng);
+            assert!(b.len() <= 8);
+        }
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.seen(), 100);
+    }
+
+    #[test]
+    fn first_capacity_offers_are_always_kept() {
+        let mut rng = Prng::new(1);
+        let mut b = ReservoirBuffer::new(4);
+        for i in 0..4 {
+            assert!(b.offer(sample(i), &mut rng));
+        }
+    }
+
+    #[test]
+    fn retention_is_approximately_uniform() {
+        // Offer 0..200 to a capacity-20 reservoir many times; each item
+        // should be retained with probability ~0.1.
+        let trials = 400;
+        let mut early = 0usize; // retention of item 5
+        let mut late = 0usize; // retention of item 195
+        for t in 0..trials {
+            let mut rng = Prng::new(t as u64);
+            let mut b = ReservoirBuffer::new(20);
+            for i in 0..200 {
+                b.offer(sample(i), &mut rng);
+            }
+            if b.items().iter().any(|s| s.features[0] == 5.0) {
+                early += 1;
+            }
+            if b.items().iter().any(|s| s.features[0] == 195.0) {
+                late += 1;
+            }
+        }
+        let p_early = early as f32 / trials as f32;
+        let p_late = late as f32 / trials as f32;
+        assert!((p_early - 0.1).abs() < 0.05, "early retention {p_early}");
+        assert!((p_late - 0.1).abs() < 0.05, "late retention {p_late}");
+    }
+
+    #[test]
+    fn sample_batch_returns_distinct_items() {
+        let mut rng = Prng::new(2);
+        let mut b = ReservoirBuffer::new(10);
+        for i in 0..10 {
+            b.offer(sample(i), &mut rng);
+        }
+        let batch = b.sample_batch(5, &mut rng);
+        assert_eq!(batch.len(), 5);
+        let mut keys: Vec<i64> = batch.iter().map(|s| s.features[0] as i64).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn sample_batch_clamps_to_len() {
+        let mut rng = Prng::new(3);
+        let mut b = ReservoirBuffer::new(10);
+        b.offer(sample(0), &mut rng);
+        assert_eq!(b.sample_batch(5, &mut rng).len(), 1);
+        assert!(ReservoirBuffer::new(4).sample_batch(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes() {
+        let mut rng = Prng::new(4);
+        let mut b = ReservoirBuffer::new(4);
+        for i in 0..4 {
+            b.offer(sample(i), &mut rng);
+        }
+        let _ = b.sample_batch(2, &mut rng);
+        let s = b.stats();
+        assert_eq!(s.sample_writes, 4);
+        assert_eq!(s.sample_reads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ReservoirBuffer::new(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The unit of replay storage.
+
+/// One stored replay sample.
+///
+/// `features` holds whatever representation the owning method stores — raw
+/// input for ER/DER/GSS, a latent activation for Latent Replay and
+/// Chameleon. Optional payloads carry the extra state some baselines
+/// require. Memory accounting for the tables is done with the *nominal*
+/// shapes in [`chameleon_stream::shapes`], not the simulated vector sizes.
+///
+/// [`chameleon_stream::shapes`]: https://docs.rs/chameleon-stream
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredSample {
+    /// Stored representation (raw or latent, method-dependent).
+    pub features: Vec<f32>,
+    /// Ground-truth class label.
+    pub label: usize,
+    /// Teacher logits recorded at insertion time (DER).
+    pub logits: Option<Vec<f32>>,
+    /// Flattened gradient direction recorded at insertion time (GSS).
+    pub gradient: Option<Vec<f32>>,
+}
+
+impl StoredSample {
+    /// A latent-representation sample (Latent Replay, Chameleon).
+    pub fn latent(features: Vec<f32>, label: usize) -> Self {
+        Self {
+            features,
+            label,
+            logits: None,
+            gradient: None,
+        }
+    }
+
+    /// A raw-input sample (ER).
+    pub fn raw(features: Vec<f32>, label: usize) -> Self {
+        Self {
+            features,
+            label,
+            logits: None,
+            gradient: None,
+        }
+    }
+
+    /// A raw sample with recorded teacher logits (DER).
+    pub fn with_logits(features: Vec<f32>, label: usize, logits: Vec<f32>) -> Self {
+        Self {
+            features,
+            label,
+            logits: Some(logits),
+            gradient: None,
+        }
+    }
+
+    /// A raw sample with a recorded gradient direction (GSS).
+    pub fn with_gradient(features: Vec<f32>, label: usize, gradient: Vec<f32>) -> Self {
+        Self {
+            features,
+            label,
+            logits: None,
+            gradient: Some(gradient),
+        }
+    }
+
+    /// Dimension of the stored representation.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_payloads() {
+        let s = StoredSample::latent(vec![1.0, 2.0], 3);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.label, 3);
+        assert!(s.logits.is_none() && s.gradient.is_none());
+
+        let d = StoredSample::with_logits(vec![0.0], 1, vec![0.5, 0.5]);
+        assert_eq!(d.logits.as_deref(), Some(&[0.5, 0.5][..]));
+
+        let g = StoredSample::with_gradient(vec![0.0], 0, vec![1.0]);
+        assert_eq!(g.gradient.as_deref(), Some(&[1.0][..]));
+    }
+}

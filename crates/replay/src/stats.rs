@@ -1,0 +1,60 @@
+//! Buffer access accounting.
+
+/// Read/write counters maintained by every buffer.
+///
+/// The hardware model (crate `chameleon-hw`) multiplies these counts by the
+/// nominal per-sample byte size and the buffer's placement (on-chip SRAM for
+/// Chameleon's short-term store, off-chip DRAM for everything large) to
+/// obtain the memory-traffic component of Table II's latency/energy numbers
+/// — the paper attributes Latent Replay's 7× energy gap almost entirely to
+/// this traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Samples read out of the buffer (for replay training).
+    pub sample_reads: u64,
+    /// Samples written into the buffer (insertions/replacements).
+    pub sample_writes: u64,
+}
+
+impl AccessStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another counter's totals into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.sample_reads += other.sample_reads;
+        self.sample_writes += other.sample_writes;
+    }
+
+    /// Total accesses of either kind.
+    pub fn total(&self) -> u64 {
+        self.sample_reads + self.sample_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = AccessStats {
+            sample_reads: 2,
+            sample_writes: 3,
+        };
+        a.merge(&AccessStats {
+            sample_reads: 10,
+            sample_writes: 1,
+        });
+        assert_eq!(
+            a,
+            AccessStats {
+                sample_reads: 12,
+                sample_writes: 4
+            }
+        );
+        assert_eq!(a.total(), 16);
+    }
+}

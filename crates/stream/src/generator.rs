@@ -1,0 +1,356 @@
+//! Latent-cluster sample generator underlying both benchmarks.
+
+use chameleon_tensor::Prng;
+
+use crate::DatasetSpec;
+
+/// Generates raw samples for `(class, domain)` pairs.
+///
+/// Geometry: a sample of class `c` in domain `d` is
+///
+/// ```text
+/// x = gain_d · id_c + A[π_d(c)] + ε
+/// ```
+///
+/// where
+///
+/// * `id_c` is a fixed per-class *identity* direction (‖id‖ =
+///   `class_separation`) — the domain-invariant object evidence,
+/// * `A` is a shared pool of *context anchors* (‖A‖ = `domain_shift`) —
+///   backgrounds/lighting contexts that dominate the representation,
+/// * `π_d` is a per-domain permutation assigning contexts to classes, and
+/// * `ε` is isotropic noise.
+///
+/// The permutation structure is what makes Domain-IL genuinely
+/// *catastrophic* for single-pass learners: the context that co-occurred
+/// with class `c` in an early domain is re-assigned to a different class
+/// later, so a model that leaned on context evidence actively misclassifies
+/// old domains. Replaying old samples teaches the learner that contexts are
+/// uninformative, recovering the domain-invariant identity solution — the
+/// mechanism replay methods exploit in the paper.
+///
+/// `domain_smoothness = s` controls how much of the assignment carries over
+/// between consecutive domains: `s = 0` redraws the whole permutation
+/// (CORe50's abrupt sessions), `s → 1` re-assigns only a few classes
+/// (OpenLORIS's smooth transitions).
+#[derive(Clone, Debug)]
+pub struct ClusterGenerator {
+    spec: DatasetSpec,
+    /// Per-class identity directions, scaled to `class_separation`.
+    identities: Vec<Vec<f32>>,
+    /// Shared pool of context anchors, scaled to `domain_shift`.
+    anchors: Vec<Vec<f32>>,
+    /// `num_domains × num_classes`: anchor index assigned to each class.
+    assignments: Vec<Vec<usize>>,
+    /// Per-domain multiplicative gain (lighting).
+    gains: Vec<f32>,
+}
+
+impl ClusterGenerator {
+    /// Builds the generator's fixed geometry from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`DatasetSpec::validate`].
+    pub fn new(spec: &DatasetSpec, seed: u64) -> Self {
+        spec.validate();
+        let mut rng = Prng::new(seed ^ 0xC1A5_5E5E_D00D_F00D);
+
+        let identities: Vec<Vec<f32>> = (0..spec.num_classes)
+            .map(|_| random_direction(spec.raw_dim, &mut rng, spec.class_separation))
+            .collect();
+        let anchors: Vec<Vec<f32>> = (0..spec.num_classes)
+            .map(|_| random_direction(spec.raw_dim, &mut rng, spec.domain_shift))
+            .collect();
+
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(spec.num_domains);
+        let mut current: Vec<usize> = (0..spec.num_classes).collect();
+        rng.shuffle(&mut current);
+        assignments.push(current.clone());
+        for _ in 1..spec.num_domains {
+            // Re-assign a (1 − smoothness) fraction of the classes by
+            // shuffling their anchor slots among themselves.
+            let churn = ((1.0 - spec.domain_smoothness) * spec.num_classes as f32)
+                .round()
+                .max(1.0) as usize;
+            let positions = rng.sample_without_replacement(spec.num_classes, churn);
+            let mut values: Vec<usize> = positions.iter().map(|&p| current[p]).collect();
+            rng.shuffle(&mut values);
+            for (&p, &v) in positions.iter().zip(&values) {
+                current[p] = v;
+            }
+            assignments.push(current.clone());
+        }
+
+        let gains = (0..spec.num_domains)
+            .map(|_| rng.uniform_in(spec.gain_range.0, spec.gain_range.1))
+            .collect();
+
+        Self {
+            spec: spec.clone(),
+            identities,
+            anchors,
+            assignments,
+            gains,
+        }
+    }
+
+    /// The dataset specification this generator was built from.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The noiseless cluster mean of `(class, domain)` — useful for tests
+    /// and for visualizing domain shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` or `domain` is out of range.
+    pub fn cluster_mean(&self, class: usize, domain: usize) -> Vec<f32> {
+        assert!(class < self.spec.num_classes, "class out of range");
+        assert!(domain < self.spec.num_domains, "domain out of range");
+        let gain = self.gains[domain];
+        let anchor = &self.anchors[self.assignments[domain][class]];
+        self.identities[class]
+            .iter()
+            .zip(anchor)
+            .map(|(&id, &a)| gain * id + a)
+            .collect()
+    }
+
+    /// The context-anchor index class `c` wears in `domain` (for tests and
+    /// diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` or `domain` is out of range.
+    pub fn anchor_assignment(&self, class: usize, domain: usize) -> usize {
+        assert!(class < self.spec.num_classes, "class out of range");
+        assert!(domain < self.spec.num_domains, "domain out of range");
+        self.assignments[domain][class]
+    }
+
+    /// Draws one noisy raw sample of `(class, domain)`, applying the
+    /// domain's environmental factor when the spec defines one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` or `domain` is out of range.
+    pub fn sample(&self, class: usize, domain: usize, rng: &mut Prng) -> Vec<f32> {
+        let mut x = self.cluster_mean(class, domain);
+        for v in &mut x {
+            *v += self.spec.noise_std * rng.randn();
+        }
+        self.apply_factor(&mut x, class, domain, rng);
+        x
+    }
+
+    /// Applies the domain's environmental factor (if any) to a raw frame.
+    fn apply_factor(&self, x: &mut [f32], class: usize, domain: usize, rng: &mut Prng) {
+        let Some(factor) = self.spec.factors.get(domain) else {
+            return;
+        };
+        // Clutter needs a distractor object: a random *other* class's
+        // identity direction.
+        let mut other = rng.below(self.spec.num_classes);
+        if other == class {
+            other = (other + 1) % self.spec.num_classes;
+        }
+        factor.apply(x, &self.identities[other], rng);
+    }
+
+    /// Draws a "video frame" near a previous frame of the same object —
+    /// temporal correlation within a run is stronger than i.i.d. sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `previous.len() != raw_dim`.
+    pub fn sample_correlated(
+        &self,
+        class: usize,
+        domain: usize,
+        previous: &[f32],
+        rng: &mut Prng,
+    ) -> Vec<f32> {
+        assert_eq!(
+            previous.len(),
+            self.spec.raw_dim,
+            "frame dimension mismatch"
+        );
+        // Blend toward the cluster mean with small innovation noise: an
+        // AR(1) process around the cluster center.
+        let mean = self.cluster_mean(class, domain);
+        let rho = 0.7;
+        let mut x: Vec<f32> = previous
+            .iter()
+            .zip(&mean)
+            .map(|(&p, &m)| m + rho * (p - m) + self.spec.noise_std * 0.5 * rng.randn())
+            .collect();
+        // Environmental factors are per-frame effects (the occluder moves,
+        // the lighting flickers), so they apply after temporal blending.
+        self.apply_factor(&mut x, class, domain, rng);
+        x
+    }
+
+    /// Mean distance between the same class's cluster centers in two
+    /// domains, averaged over classes — a direct measure of domain shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either domain is out of range.
+    pub fn domain_distance(&self, a: usize, b: usize) -> f32 {
+        let total: f32 = (0..self.spec.num_classes)
+            .map(|c| {
+                chameleon_tensor::ops::l2_distance(
+                    &self.cluster_mean(c, a),
+                    &self.cluster_mean(c, b),
+                )
+            })
+            .sum();
+        total / self.spec.num_classes as f32
+    }
+
+    /// Fraction of classes whose context anchor changed between two domains
+    /// (1.0 = fully re-assigned, 0.0 = identical context layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either domain is out of range.
+    pub fn assignment_churn(&self, a: usize, b: usize) -> f32 {
+        assert!(
+            a < self.spec.num_domains && b < self.spec.num_domains,
+            "domain out of range"
+        );
+        let changed = self.assignments[a]
+            .iter()
+            .zip(&self.assignments[b])
+            .filter(|(x, y)| x != y)
+            .count();
+        changed as f32 / self.spec.num_classes as f32
+    }
+}
+
+/// Uniform random direction scaled to `radius`.
+fn random_direction(dim: usize, rng: &mut Prng, radius: f32) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.randn()).collect();
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        let s = radius / norm;
+        for x in &mut v {
+            *x *= s;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_seed_deterministic() {
+        let spec = DatasetSpec::core50_tiny();
+        let a = ClusterGenerator::new(&spec, 5);
+        let b = ClusterGenerator::new(&spec, 5);
+        assert_eq!(a.cluster_mean(3, 2), b.cluster_mean(3, 2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetSpec::core50_tiny();
+        let a = ClusterGenerator::new(&spec, 1);
+        let b = ClusterGenerator::new(&spec, 2);
+        assert_ne!(a.cluster_mean(0, 0), b.cluster_mean(0, 0));
+    }
+
+    #[test]
+    fn classes_are_separated_within_a_domain() {
+        let spec = DatasetSpec::core50_tiny();
+        let g = ClusterGenerator::new(&spec, 3);
+        let d01 = chameleon_tensor::ops::l2_distance(&g.cluster_mean(0, 0), &g.cluster_mean(1, 0));
+        assert!(d01 > 1.0, "classes too close: {d01}");
+    }
+
+    #[test]
+    fn domains_displace_clusters() {
+        let spec = DatasetSpec::core50_tiny();
+        let g = ClusterGenerator::new(&spec, 4);
+        let shift = g.domain_distance(0, 1);
+        assert!(
+            shift > spec.domain_shift * 0.3,
+            "domain shift too small: {shift}"
+        );
+    }
+
+    #[test]
+    fn anchors_are_a_permutation_each_domain() {
+        let spec = DatasetSpec::core50_tiny();
+        let g = ClusterGenerator::new(&spec, 6);
+        for d in 0..spec.num_domains {
+            let mut seen: Vec<usize> = (0..spec.num_classes)
+                .map(|c| g.anchor_assignment(c, d))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..spec.num_classes).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn smooth_spec_churns_less_between_domains() {
+        let abrupt = ClusterGenerator::new(&DatasetSpec::core50_tiny(), 7);
+        let smooth = ClusterGenerator::new(&DatasetSpec::openloris_tiny(), 7);
+        let mut churn_abrupt = 0.0;
+        let mut churn_smooth = 0.0;
+        for d in 1..4 {
+            churn_abrupt += abrupt.assignment_churn(d - 1, d);
+            churn_smooth += smooth.assignment_churn(d - 1, d);
+        }
+        assert!(
+            churn_smooth < churn_abrupt,
+            "smooth churn {churn_smooth} should be below abrupt {churn_abrupt}"
+        );
+    }
+
+    #[test]
+    fn samples_scatter_around_the_mean() {
+        let spec = DatasetSpec::core50_tiny();
+        let g = ClusterGenerator::new(&spec, 8);
+        let mut rng = Prng::new(0);
+        let mean = g.cluster_mean(2, 1);
+        let mut avg = vec![0.0f32; spec.raw_dim];
+        let n = 200;
+        for _ in 0..n {
+            for (a, v) in avg.iter_mut().zip(g.sample(2, 1, &mut rng)) {
+                *a += v / n as f32;
+            }
+        }
+        let err = chameleon_tensor::ops::l2_distance(&avg, &mean);
+        assert!(err < spec.noise_std * 2.0, "sample mean drifted {err}");
+    }
+
+    #[test]
+    fn correlated_frames_stay_near_previous() {
+        let spec = DatasetSpec::core50_tiny();
+        let g = ClusterGenerator::new(&spec, 9);
+        let mut rng = Prng::new(1);
+        let mut wins = 0;
+        for _ in 0..20 {
+            let f = g.sample(0, 0, &mut rng);
+            let c = g.sample_correlated(0, 0, &f, &mut rng);
+            let i = g.sample(0, 0, &mut rng);
+            if chameleon_tensor::ops::l2_distance(&f, &c)
+                < chameleon_tensor::ops::l2_distance(&f, &i)
+            {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 14, "correlated frames not closer ({wins}/20)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let g = ClusterGenerator::new(&DatasetSpec::core50_tiny(), 0);
+        let _ = g.cluster_mean(99, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Synthetic continual-learning benchmarks for the Chameleon reproduction.
+//!
+//! The paper evaluates on CORe50-NI and OpenLORIS-Object in the
+//! *Domain Incremental Learning* (Domain-IL) setting: the same classes are
+//! seen under a sequence of domains (backgrounds, lighting, occlusion), and
+//! the model must keep classifying all domains after training on each in
+//! turn, in a single pass.
+//!
+//! We cannot ship those video datasets, so this crate generates synthetic
+//! equivalents that preserve the structure the evaluation depends on
+//! (see `DESIGN.md`, "Substitutions"):
+//!
+//! * each **class** is a cluster in raw feature space,
+//! * each **domain** perturbs every class cluster (shift + gain), with a
+//!   configurable magnitude and smoothness — CORe50's abrupt session
+//!   changes vs OpenLORIS's smooth transitions,
+//! * the **stream** is temporally correlated (video-like runs of one object)
+//!   and optionally skewed toward *user-preferred* classes, which is the
+//!   situation Chameleon's short-term store is designed for,
+//! * the **test set** spans all domains, so forgetting any earlier domain
+//!   costs accuracy — exactly the paper's `Acc_all` protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+//!
+//! let spec = DatasetSpec::core50_tiny();
+//! let scenario = DomainIlScenario::generate(&spec, 42);
+//! let config = StreamConfig::default();
+//! let mut batches = 0;
+//! for domain in 0..spec.num_domains {
+//!     batches += scenario.domain_stream(domain, &config, 7).count();
+//! }
+//! assert!(batches > 0);
+//! let (x, y) = scenario.test_set();
+//! assert_eq!(x.rows(), y.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod factors;
+mod generator;
+mod scenario;
+pub mod shapes;
+mod spec;
+mod stream;
+
+pub use factors::DomainFactor;
+pub use generator::ClusterGenerator;
+pub use scenario::DomainIlScenario;
+pub use spec::DatasetSpec;
+pub use stream::{Batch, PreferenceProfile, StreamConfig};

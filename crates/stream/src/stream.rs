@@ -1,0 +1,380 @@
+//! Online batch stream with temporal correlation and user-preference skew.
+
+use chameleon_tensor::{Matrix, Prng};
+
+use crate::ClusterGenerator;
+
+/// One mini-batch from the stream, as delivered to a strategy's
+/// `observe` call.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Raw inputs, one row per sample (`batch × raw_dim`).
+    pub raw: Matrix,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+    /// Domain index the batch was drawn from.
+    pub domain: usize,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty (never produced by the stream, but useful
+    /// for defensive code).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// How strongly the stream favors *user-preferred* classes — the paper's
+/// motivating observation is that an individual user accesses a small subset
+/// of classes most of the time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PreferenceProfile {
+    /// All classes are equally likely (no personalization signal).
+    Uniform,
+    /// The listed classes receive `boost`× the base probability. The paper's
+    /// user-affinity mechanism tracks exactly this kind of skew.
+    Skewed {
+        /// Classes the simulated user interacts with most.
+        preferred: Vec<usize>,
+        /// Probability multiplier for preferred classes (> 1).
+        boost: f32,
+    },
+    /// Preferences switch to a different class subset halfway through each
+    /// domain — stresses the learning-window recalibration of §III-C.
+    Shifting {
+        /// First-half preferred classes.
+        early: Vec<usize>,
+        /// Second-half preferred classes.
+        late: Vec<usize>,
+        /// Probability multiplier for the active subset.
+        boost: f32,
+    },
+}
+
+impl PreferenceProfile {
+    /// Class-sampling weights at stream progress `t ∈ [0,1]` within the
+    /// current domain.
+    pub fn weights(&self, num_classes: usize, progress: f32) -> Vec<f32> {
+        let mut w = vec![1.0f32; num_classes];
+        match self {
+            Self::Uniform => {}
+            Self::Skewed { preferred, boost } => {
+                for &c in preferred {
+                    if c < num_classes {
+                        w[c] = *boost;
+                    }
+                }
+            }
+            Self::Shifting { early, late, boost } => {
+                let active = if progress < 0.5 { early } else { late };
+                for &c in active {
+                    if c < num_classes {
+                        w[c] = *boost;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// The classes currently preferred at `progress` (empty for uniform).
+    pub fn active_preferred(&self, progress: f32) -> Vec<usize> {
+        match self {
+            Self::Uniform => Vec::new(),
+            Self::Skewed { preferred, .. } => preferred.clone(),
+            Self::Shifting { early, late, .. } => {
+                if progress < 0.5 {
+                    early.clone()
+                } else {
+                    late.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Stream shaping parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamConfig {
+    /// Mini-batch size (paper: 10).
+    pub batch_size: usize,
+    /// Mean length of a temporally-correlated run of one object (video
+    /// frames of the same instance).
+    pub run_length: usize,
+    /// User-preference skew.
+    pub preference: PreferenceProfile,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 10,
+            run_length: 8,
+            preference: PreferenceProfile::Uniform,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `run_length` is zero, or a boost ≤ 1.
+    pub fn validate(&self) {
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.run_length > 0, "run length must be positive");
+        match &self.preference {
+            PreferenceProfile::Uniform => {}
+            PreferenceProfile::Skewed { boost, .. } | PreferenceProfile::Shifting { boost, .. } => {
+                assert!(*boost > 1.0, "preference boost must exceed 1");
+            }
+        }
+    }
+}
+
+/// Iterator of [`Batch`]es over one domain: temporally-correlated runs of
+/// single objects, classes drawn by the preference profile, for a total of
+/// `total_samples` samples.
+pub struct DomainStream<'a> {
+    generator: &'a ClusterGenerator,
+    domain: usize,
+    config: StreamConfig,
+    rng: Prng,
+    emitted: usize,
+    total_samples: usize,
+    /// Current video run: (class, frames remaining, last frame).
+    run: Option<(usize, usize, Vec<f32>)>,
+}
+
+impl<'a> DomainStream<'a> {
+    pub(crate) fn new(
+        generator: &'a ClusterGenerator,
+        domain: usize,
+        config: StreamConfig,
+        total_samples: usize,
+        seed: u64,
+    ) -> Self {
+        config.validate();
+        assert!(domain < generator.spec().num_domains, "domain out of range");
+        Self {
+            generator,
+            domain,
+            config,
+            rng: Prng::new(seed ^ (domain as u64).wrapping_mul(0x9E37_79B9)),
+            emitted: 0,
+            total_samples,
+            run: None,
+        }
+    }
+
+    fn next_sample(&mut self) -> (Vec<f32>, usize) {
+        let progress = self.emitted as f32 / self.total_samples.max(1) as f32;
+        // Refill the video run when exhausted.
+        if self.run.as_ref().is_none_or(|(_, left, _)| *left == 0) {
+            let weights = self
+                .config
+                .preference
+                .weights(self.generator.spec().num_classes, progress);
+            let class = self.rng.weighted_choice(&weights);
+            let length = 1 + self.rng.below(self.config.run_length * 2);
+            let frame = self.generator.sample(class, self.domain, &mut self.rng);
+            self.run = Some((class, length, frame));
+        }
+        let (class, left, last) = self.run.take().expect("run refilled above");
+        let frame = if left > 1 {
+            self.generator
+                .sample_correlated(class, self.domain, &last, &mut self.rng)
+        } else {
+            last.clone()
+        };
+        self.run = Some((class, left - 1, frame.clone()));
+        (frame, class)
+    }
+}
+
+impl Iterator for DomainStream<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.emitted >= self.total_samples {
+            return None;
+        }
+        let n = self
+            .config
+            .batch_size
+            .min(self.total_samples - self.emitted);
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (frame, class) = self.next_sample();
+            rows.push(frame);
+            labels.push(class);
+        }
+        self.emitted += n;
+        let raw = Matrix::try_from_row_iter(rows.iter().map(Vec::as_slice))
+            .expect("generator rows share raw_dim");
+        Some(Batch {
+            raw,
+            labels,
+            domain: self.domain,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+
+    fn make_stream(
+        config: StreamConfig,
+        total: usize,
+        seed: u64,
+    ) -> (ClusterGenerator, StreamConfig, usize, u64) {
+        let spec = DatasetSpec::core50_tiny();
+        (ClusterGenerator::new(&spec, 1), config, total, seed)
+    }
+
+    #[test]
+    fn stream_emits_exactly_total_samples() {
+        let (g, c, total, seed) = make_stream(StreamConfig::default(), 95, 3);
+        let s = DomainStream::new(&g, 0, c, total, seed);
+        let emitted: usize = s.map(|b| b.len()).sum();
+        assert_eq!(emitted, 95);
+    }
+
+    #[test]
+    fn last_batch_may_be_partial() {
+        let (g, c, total, seed) = make_stream(StreamConfig::default(), 25, 4);
+        let batches: Vec<Batch> = DomainStream::new(&g, 0, c, total, seed).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2].len(), 5);
+    }
+
+    #[test]
+    fn labels_are_in_range_and_domain_is_tagged() {
+        let (g, c, total, seed) = make_stream(StreamConfig::default(), 50, 5);
+        for batch in DomainStream::new(&g, 2, c, total, seed) {
+            assert_eq!(batch.domain, 2);
+            assert!(batch.labels.iter().all(|&l| l < 10));
+            assert_eq!(batch.raw.rows(), batch.len());
+        }
+    }
+
+    #[test]
+    fn stream_is_seed_deterministic() {
+        let (g, c, total, _) = make_stream(StreamConfig::default(), 40, 0);
+        let a: Vec<Vec<usize>> = DomainStream::new(&g, 1, c.clone(), total, 9)
+            .map(|b| b.labels)
+            .collect();
+        let b: Vec<Vec<usize>> = DomainStream::new(&g, 1, c, total, 9)
+            .map(|b| b.labels)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temporal_runs_repeat_classes() {
+        let config = StreamConfig {
+            run_length: 10,
+            ..StreamConfig::default()
+        };
+        let (g, c, total, seed) = make_stream(config, 200, 6);
+        let labels: Vec<usize> = DomainStream::new(&g, 0, c, total, seed)
+            .flat_map(|b| b.labels)
+            .collect();
+        // With run lengths ~10, consecutive samples repeat far more often
+        // than the 1/10 iid rate.
+        let repeats = labels.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            repeats as f32 / (labels.len() - 1) as f32 > 0.5,
+            "only {repeats} repeats in {} transitions",
+            labels.len() - 1
+        );
+    }
+
+    #[test]
+    fn skewed_preferences_dominate_the_stream() {
+        let config = StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![0, 1],
+                boost: 20.0,
+            },
+            ..StreamConfig::default()
+        };
+        let (g, c, total, seed) = make_stream(config, 600, 7);
+        let labels: Vec<usize> = DomainStream::new(&g, 0, c, total, seed)
+            .flat_map(|b| b.labels)
+            .collect();
+        let preferred = labels.iter().filter(|&&l| l <= 1).count();
+        // 2 classes with boost 20 vs 8 at weight 1: expected share
+        // 40/48 ≈ 83 %.
+        assert!(
+            preferred as f32 / labels.len() as f32 > 0.6,
+            "preferred share too low: {preferred}/{}",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn shifting_preferences_switch_midway() {
+        let config = StreamConfig {
+            run_length: 2,
+            preference: PreferenceProfile::Shifting {
+                early: vec![0],
+                late: vec![9],
+                boost: 50.0,
+            },
+            ..StreamConfig::default()
+        };
+        let (g, c, total, seed) = make_stream(config, 1000, 8);
+        let labels: Vec<usize> = DomainStream::new(&g, 0, c, total, seed)
+            .flat_map(|b| b.labels)
+            .collect();
+        let first_half = &labels[..500];
+        let second_half = &labels[500..];
+        let early_share = first_half.iter().filter(|&&l| l == 0).count() as f32 / 500.0;
+        let late_share = second_half.iter().filter(|&&l| l == 9).count() as f32 / 500.0;
+        assert!(early_share > 0.4, "early preferred share {early_share}");
+        assert!(late_share > 0.4, "late preferred share {late_share}");
+    }
+
+    #[test]
+    fn preference_weights_reflect_profiles() {
+        let p = PreferenceProfile::Skewed {
+            preferred: vec![1],
+            boost: 5.0,
+        };
+        assert_eq!(p.weights(3, 0.0), vec![1.0, 5.0, 1.0]);
+        let u = PreferenceProfile::Uniform;
+        assert_eq!(u.weights(2, 0.9), vec![1.0, 1.0]);
+        let s = PreferenceProfile::Shifting {
+            early: vec![0],
+            late: vec![1],
+            boost: 2.0,
+        };
+        assert_eq!(s.weights(2, 0.1), vec![2.0, 1.0]);
+        assert_eq!(s.weights(2, 0.9), vec![1.0, 2.0]);
+        assert_eq!(s.active_preferred(0.2), vec![0]);
+        assert_eq!(s.active_preferred(0.8), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boost")]
+    fn invalid_boost_panics() {
+        let config = StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![0],
+                boost: 1.0,
+            },
+            ..StreamConfig::default()
+        };
+        config.validate();
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense numerical kernels for the Chameleon reproduction.
+//!
+//! This crate is the numeric substrate shared by every other crate in the
+//! workspace. It deliberately avoids external BLAS/ndarray dependencies so
+//! the whole reproduction is self-contained and bit-for-bit deterministic:
+//!
+//! * [`Matrix`] — a small row-major `f32` matrix with the GEMM variants the
+//!   training loop needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`),
+//! * [`ops`] — softmax-family element-wise kernels and divergences,
+//! * [`Prng`] — a seedable xoshiro256** generator with Gaussian sampling and
+//!   weighted/without-replacement sampling helpers,
+//! * [`linalg`] — regularized symmetric inverse (Gauss–Jordan) used by the
+//!   SLDA baseline,
+//! * [`stats`] — Welford online moments and mean±std aggregation used by the
+//!   multi-seed experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_tensor::{Matrix, Prng};
+//!
+//! let mut rng = Prng::new(7);
+//! let a = Matrix::randn(2, 3, &mut rng);
+//! let b = Matrix::randn(3, 4, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!((c.rows(), c.cols()), (2, 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+mod matrix;
+pub mod ops;
+mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::Prng;

@@ -1,0 +1,256 @@
+//! Small dense linear algebra: regularized inversion for the SLDA baseline.
+//!
+//! SLDA (Hayes & Kanan, 2020) maintains a running shared covariance matrix
+//! `Σ` over latent features and classifies with weights `W = Λ · μ` where
+//! `Λ = [(1-ε)Σ + εI]⁻¹`. The paper highlights that this (pseudo-)inverse is
+//! the dominant `O(N³)` cost that makes SLDA slow on edge devices — the
+//! operation count of [`invert_regularized`] is exactly what
+//! `chameleon-hw` prices when reproducing Table II's EdgeTPU row.
+
+use crate::Matrix;
+
+/// Error returned when a matrix cannot be inverted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvertMatrixError {
+    /// Pivot column where elimination failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for InvertMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at pivot column {}", self.pivot)
+    }
+}
+
+impl std::error::Error for InvertMatrixError {}
+
+/// Inverts `(1-shrinkage)·A + shrinkage·I` by Gauss–Jordan elimination with
+/// partial pivoting.
+///
+/// The shrinkage term is SLDA's standard ridge regularizer; with
+/// `shrinkage > 0` the blended matrix is well-conditioned for any positive
+/// semi-definite `A`, so in practice this never fails for covariance inputs.
+///
+/// Returns the inverse together with the number of fused multiply-adds
+/// performed, which the hardware model uses as the operation count of the
+/// pseudo-inverse.
+///
+/// # Errors
+///
+/// Returns [`InvertMatrixError`] when a pivot underflows (singular input and
+/// `shrinkage == 0`).
+///
+/// # Panics
+///
+/// Panics if `A` is not square.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_tensor::{linalg, Matrix};
+///
+/// # fn main() -> Result<(), linalg::InvertMatrixError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let (inv, _macs) = linalg::invert_regularized(&a, 0.0)?;
+/// let product = a.matmul(&inv);
+/// assert!((product.get(0, 0) - 1.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn invert_regularized(a: &Matrix, shrinkage: f32) -> Result<(Matrix, u64), InvertMatrixError> {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "invert_regularized requires a square matrix"
+    );
+    let n = a.rows();
+    let mut macs: u64 = 0;
+
+    // Augmented [M | I] working copy in f64 for pivoting stability.
+    let mut work = vec![0.0f64; n * 2 * n];
+    for r in 0..n {
+        for c in 0..n {
+            let blended = (1.0 - shrinkage) * a.get(r, c) + if r == c { shrinkage } else { 0.0 };
+            work[r * 2 * n + c] = f64::from(blended);
+        }
+        work[r * 2 * n + n + r] = 1.0;
+    }
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        for r in col + 1..n {
+            if work[r * 2 * n + col].abs() > work[pivot_row * 2 * n + col].abs() {
+                pivot_row = r;
+            }
+        }
+        let pivot = work[pivot_row * 2 * n + col];
+        if pivot.abs() < 1e-12 {
+            return Err(InvertMatrixError { pivot: col });
+        }
+        if pivot_row != col {
+            for c in 0..2 * n {
+                work.swap(col * 2 * n + c, pivot_row * 2 * n + c);
+            }
+        }
+        // Normalize pivot row.
+        let inv_pivot = 1.0 / pivot;
+        for c in 0..2 * n {
+            work[col * 2 * n + c] *= inv_pivot;
+        }
+        macs += 2 * n as u64;
+        // Eliminate the column from every other row.
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = work[r * 2 * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in 0..2 * n {
+                work[r * 2 * n + c] -= factor * work[col * 2 * n + c];
+            }
+            macs += 2 * n as u64;
+        }
+    }
+
+    let mut inv = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            inv.set(r, c, work[r * 2 * n + n + c] as f32);
+        }
+    }
+    Ok((inv, macs))
+}
+
+/// Rank-1 symmetric update `A += alpha · (x · xᵀ)` used by SLDA's running
+/// covariance.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `x.len() != A.rows()`.
+pub fn rank1_update(a: &mut Matrix, alpha: f32, x: &[f32]) {
+    assert_eq!(a.rows(), a.cols(), "rank1_update requires a square matrix");
+    assert_eq!(
+        x.len(),
+        a.rows(),
+        "vector length must match matrix dimension"
+    );
+    let n = x.len();
+    for r in 0..n {
+        let xr = x[r];
+        if xr == 0.0 {
+            continue;
+        }
+        let row = a.row_mut(r);
+        for (c, &xc) in x.iter().enumerate() {
+            row[c] += alpha * xr * xc;
+        }
+    }
+}
+
+/// Matrix–vector product `A · x`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.cols()`.
+pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), a.cols(), "matvec length mismatch");
+    a.iter_rows()
+        .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = Matrix::identity(4);
+        let (inv, _) = invert_regularized(&i, 0.0).expect("identity is invertible");
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((inv.get(r, c) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut rng = Prng::new(3);
+        // Build a well-conditioned SPD matrix A = B·Bᵀ + I.
+        let b = Matrix::randn(6, 6, &mut rng);
+        let mut a = b.matmul_nt(&b);
+        for i in 0..6 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let (inv, macs) = invert_regularized(&a, 0.0).expect("SPD is invertible");
+        let prod = a.matmul(&inv);
+        for r in 0..6 {
+            for c in 0..6 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((prod.get(r, c) - want).abs() < 1e-3, "({r},{c})");
+            }
+        }
+        assert!(macs > 0);
+    }
+
+    #[test]
+    fn singular_matrix_errors_without_shrinkage() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = invert_regularized(&a, 0.0).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn shrinkage_rescues_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let (inv, _) = invert_regularized(&a, 1e-2).expect("ridge makes it invertible");
+        assert!(inv.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mac_count_scales_cubically() {
+        let a8 = Matrix::identity(8);
+        let a16 = Matrix::identity(16);
+        let (_, m8) = invert_regularized(&a8, 0.0).unwrap();
+        let (_, m16) = invert_regularized(&a16, 0.0).unwrap();
+        // Identity skips eliminations, but normalization alone is O(n²);
+        // dense matrices reach O(n³). Check monotone growth at least.
+        assert!(m16 > m8);
+        let mut rng = Prng::new(1);
+        let d8 = Matrix::randn(8, 8, &mut rng).matmul_nt(&Matrix::identity(8));
+        let d16 = Matrix::randn(16, 16, &mut rng).matmul_nt(&Matrix::identity(16));
+        let (_, dm8) = invert_regularized(&d8, 0.5).unwrap();
+        let (_, dm16) = invert_regularized(&d16, 0.5).unwrap();
+        let ratio = dm16 as f64 / dm8 as f64;
+        assert!(ratio > 6.0, "expected ~8x growth, got {ratio}");
+    }
+
+    #[test]
+    fn rank1_update_matches_outer_product() {
+        let mut a = Matrix::zeros(3, 3);
+        rank1_update(&mut a, 2.0, &[1.0, 0.0, -1.0]);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), -2.0);
+        assert_eq!(a.get(2, 2), 2.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Prng::new(5);
+        let a = Matrix::randn(4, 3, &mut rng);
+        let x = [1.0, -2.0, 0.5];
+        let via_matmul = a.matmul(&Matrix::from_vec(3, 1, x.to_vec()));
+        let via_matvec = matvec(&a, &x);
+        for (m, v) in via_matmul.as_slice().iter().zip(&via_matvec) {
+            assert!((m - v).abs() < 1e-5);
+        }
+    }
+}

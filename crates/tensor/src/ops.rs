@@ -1,0 +1,273 @@
+//! Element-wise kernels: softmax family, divergences, and small vector
+//! helpers used throughout the training loop and the Chameleon sampling
+//! rules (Eqs. 3–6 of the paper).
+
+/// Numerically stable softmax over a logit slice, returned as a new vector.
+///
+/// # Example
+///
+/// ```
+/// let p = chameleon_tensor::ops::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = out.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for v in &mut out {
+            *v /= sum;
+        }
+    } else {
+        // Degenerate logits (all -inf / NaN): fall back to uniform so
+        // downstream KL terms stay finite.
+        let u = 1.0 / out.len() as f32;
+        out.fill(u);
+    }
+    out
+}
+
+/// Numerically stable log-softmax.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "log_softmax of empty slice");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = logits.iter().map(|&l| (l - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&l| l - max - log_sum).collect()
+}
+
+/// Index of the maximum element (first occurrence on ties).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` between two discrete
+/// distributions, in nats.
+///
+/// Zero entries of `p` contribute nothing; zero entries of `q` where `p > 0`
+/// are floored at `1e-12` so the result stays finite — this matches the
+/// "computationally inexpensive measure" role of Eq. 6, where the value is
+/// squashed through `tanh` anyway.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    assert!(!p.is_empty(), "kl_divergence of empty distributions");
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            kl += pi * (pi / qi.max(1e-12)).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
+/// Cross-entropy `−log q[target]` of a probability vector against an integer
+/// label, in nats, with the same `1e-12` floor as [`kl_divergence`].
+///
+/// # Panics
+///
+/// Panics if `target >= q.len()`.
+pub fn cross_entropy(q: &[f32], target: usize) -> f32 {
+    assert!(
+        target < q.len(),
+        "target {target} out of range ({})",
+        q.len()
+    );
+    -q[target].max(1e-12).ln()
+}
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity of two vectors; 0.0 when either norm vanishes.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// One-hot encodes `class` into a length-`num_classes` vector.
+///
+/// # Panics
+///
+/// Panics if `class >= num_classes`.
+pub fn one_hot(class: usize, num_classes: usize) -> Vec<f32> {
+    assert!(
+        class < num_classes,
+        "class {class} out of range ({num_classes})"
+    );
+    let mut v = vec![0.0; num_classes];
+    v[class] = 1.0;
+    v
+}
+
+/// The paper's Eq. 3 uncertainty statistic: `U_i = Σ_c |o(x_i)_c · y_c|`,
+/// which with one-hot `y` reduces to the absolute logit of the true class.
+/// A *low* `U` means the sample sits near the decision boundary and should
+/// be replayed.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()`.
+pub fn logit_margin_uncertainty(logits: &[f32], label: usize) -> f32 {
+    assert!(
+        label < logits.len(),
+        "label {label} out of range ({})",
+        logits.len()
+    );
+    logits[label].abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[0.5, -1.0, 3.0, 0.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_extreme_logits() {
+        let p = softmax(&[1e30, -1e30, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_degenerate_falls_back_to_uniform() {
+        let p = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = [0.3, -2.0, 1.5];
+        let ls = log_softmax(&logits);
+        let s = softmax(&logits);
+        for (l, p) in ls.iter().zip(&s) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_finds_first_max() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn kl_is_zero_for_identical_distributions() {
+        let p = softmax(&[0.2, 0.8, -1.0]);
+        assert!(kl_divergence(&p, &p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        assert!(kl_divergence(&p, &q) > 0.5);
+    }
+
+    #[test]
+    fn kl_stays_finite_with_zero_support() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!(kl_divergence(&p, &q).is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let q = [0.25, 0.75];
+        assert!((cross_entropy(&q, 1) - (-(0.75f32).ln())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_hot_sets_single_entry() {
+        let v = one_hot(2, 4);
+        assert_eq!(v, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn uncertainty_is_abs_true_class_logit() {
+        let logits = [-3.0, 0.5, 2.0];
+        assert!((logit_margin_uncertainty(&logits, 0) - 3.0).abs() < 1e-6);
+        assert!((logit_margin_uncertainty(&logits, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&a, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_distance_matches_pythagoras() {
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The experiment harness needs identical streams on every platform, so the
+//! generator is implemented in-repo (xoshiro256** seeded through SplitMix64)
+//! rather than relying on an external crate whose output could change across
+//! versions.
+
+/// A seedable, deterministic pseudo-random number generator.
+///
+/// Internally this is xoshiro256** with SplitMix64 seed expansion — the same
+/// construction used by `rand`'s small RNGs — plus the sampling helpers the
+/// continual-learning code needs (Gaussian draws, weighted choice, reservoir
+/// updates, sampling without replacement).
+///
+/// # Example
+///
+/// ```
+/// use chameleon_tensor::Prng;
+///
+/// let mut a = Prng::new(42);
+/// let mut b = Prng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_gaussian: Option<f32>,
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion guarantees a non-zero xoshiro state even for
+        // seed 0.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// experiment run or each strategy its own stream.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.next_u64();
+        Self::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // Use the top 24 bits for a uniformly distributed f32 mantissa.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_in(&mut self, low: f32, high: f32) -> f32 {
+        assert!(low < high, "uniform_in requires low < high");
+        low + (high - low) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        let bound = bound as u64;
+        // Simple unbiased rejection sampling on the multiply-shift scheme.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    pub fn randn(&mut self) -> f32 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Guard against log(0).
+        let mut u1 = self.uniform();
+        while u1 <= f32::MIN_POSITIVE {
+            u1 = self.uniform();
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f32::consts::TAU * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    pub fn coin(&mut self, p: f32) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an index proportionally to non-negative `weights`.
+    ///
+    /// Falls back to a uniform draw when every weight is zero or non-finite
+    /// (the caller's distribution degenerated — e.g. all-zero uncertainty
+    /// scores on the very first batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn weighted_choice(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weighted_choice on empty weights");
+        let total: f32 = weights
+            .iter()
+            .copied()
+            .filter(|w| w.is_finite() && *w > 0.0)
+            .sum();
+        if total <= 0.0 || !total.is_finite() {
+            return self.below(weights.len());
+        }
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return i;
+                }
+            }
+        }
+        // Floating-point underflow at the boundary: return last positive.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+            .unwrap_or(weights.len() - 1)
+    }
+
+    /// Samples `k` distinct indices uniformly from `[0, n)` (partial
+    /// Fisher–Yates). When `k >= n` every index is returned in shuffled
+    /// order.
+    pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::new(123);
+        let mut b = Prng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Prng::new(9);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = Prng::new(4);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers_range() {
+        let mut rng = Prng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = Prng::new(6);
+        let n = 50_000;
+        let draws: Vec<f32> = (0..n).map(|_| rng.randn()).collect();
+        let mean = draws.iter().sum::<f32>() / n as f32;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_choice_prefers_heavy_weights() {
+        let mut rng = Prng::new(7);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_choice(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate_falls_back_to_uniform() {
+        let mut rng = Prng::new(8);
+        let weights = [0.0, 0.0, 0.0];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.weighted_choice(&weights)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_choice_handles_nan_and_inf() {
+        let mut rng = Prng::new(11);
+        let weights = [f32::NAN, 1.0, f32::INFINITY];
+        for _ in 0..100 {
+            let i = rng.weighted_choice(&weights);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = Prng::new(9);
+        for _ in 0..100 {
+            let mut s = rng.sample_without_replacement(20, 8);
+            assert_eq!(s.len(), 8);
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8);
+            assert!(s.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_clamps_k() {
+        let mut rng = Prng::new(10);
+        let s = rng.sample_without_replacement(3, 10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = Prng::new(12);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

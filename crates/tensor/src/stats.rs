@@ -1,0 +1,291 @@
+//! Online statistics used by the experiment harness.
+//!
+//! Table I of the paper reports mean ± standard deviation over ten runs;
+//! [`RunningMoments`] (Welford's algorithm) and [`MeanStd`] provide that
+//! aggregation without storing the per-run values.
+
+/// Welford online mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_tensor::stats::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert!((m.mean() - 5.0).abs() < 1e-6);
+/// assert!((m.population_std() - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.count += 1;
+        let x = f64::from(x);
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Population variance (divides by `n`; 0.0 for fewer than 2 samples).
+    pub fn population_variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64) as f32
+        }
+    }
+
+    /// Sample variance (divides by `n-1`; 0.0 for fewer than 2 samples).
+    pub fn sample_variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64) as f32
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f32 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f32 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Collapses the accumulator into a [`MeanStd`] (sample std).
+    pub fn to_mean_std(self) -> MeanStd {
+        MeanStd {
+            mean: self.mean(),
+            std: self.sample_std(),
+            runs: self.count,
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+impl FromIterator<f32> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+/// A `mean ± std` summary over `runs` repetitions, as printed in Table I.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanStd {
+    /// Mean over the runs.
+    pub mean: f32,
+    /// Sample standard deviation over the runs.
+    pub std: f32,
+    /// Number of runs aggregated.
+    pub runs: u64,
+}
+
+impl MeanStd {
+    /// Summarizes a slice of run results.
+    pub fn from_samples(samples: &[f32]) -> Self {
+        samples
+            .iter()
+            .copied()
+            .collect::<RunningMoments>()
+            .to_mean_std()
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+/// Fixed-width histogram over `[low, high)` with saturating edge bins,
+/// used by the examples to visualize score distributions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    low: f32,
+    high: f32,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `low >= high`.
+    pub fn new(low: f32, high: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(low < high, "histogram range must be non-empty");
+        Self {
+            low,
+            high,
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Records one observation; out-of-range values clamp to the edge bins.
+    pub fn push(&mut self, x: f32) {
+        let n = self.bins.len();
+        let t = (x - self.low) / (self.high - self.low);
+        let idx = ((t * n as f32).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.bins[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Renders a one-line sparkline (`▁▂▃▄▅▆▇█`) of the bucket counts.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return GLYPHS[0].to_string().repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&b| GLYPHS[((b * 7) / max) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_mean_and_var() {
+        let xs = [1.0f32, 2.5, -3.0, 4.0, 0.0, 2.0];
+        let m: RunningMoments = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!((m.mean() - mean).abs() < 1e-6);
+        assert!((m.population_variance() - var).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_std(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let mut m = RunningMoments::new();
+        m.push(5.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut a: RunningMoments = xs[..3].iter().copied().collect();
+        let b: RunningMoments = xs[3..].iter().copied().collect();
+        a.merge(&b);
+        let all: RunningMoments = xs.iter().copied().collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-6);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0f32, 2.0];
+        let mut a: RunningMoments = xs.iter().copied().collect();
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn mean_std_formats_like_table1() {
+        let ms = MeanStd {
+            mean: 79.481,
+            std: 0.994,
+            runs: 10,
+        };
+        assert_eq!(ms.to_string(), "79.48 ± 0.99");
+    }
+
+    #[test]
+    fn mean_std_from_samples() {
+        let ms = MeanStd::from_samples(&[10.0, 12.0, 14.0]);
+        assert!((ms.mean - 12.0).abs() < 1e-6);
+        assert_eq!(ms.runs, 3);
+        assert!((ms.std - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [-1.0, 0.1, 0.3, 0.6, 0.9, 2.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bins(), &[2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.push(0.5);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+}

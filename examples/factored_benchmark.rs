@@ -1,0 +1,55 @@
+//! Factored benchmark: run Chameleon on the OpenLORIS scenario with its
+//! real environmental-factor structure (illumination / occlusion / clutter
+//! / pixel-size at three levels) and report which conditions are hardest,
+//! plus the backward-transfer (forgetting) score.
+//!
+//! ```sh
+//! cargo run --release --example factored_benchmark
+//! ```
+
+use chameleon_repro::core::{backward_transfer, Chameleon, ChameleonConfig, ModelConfig, Trainer};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn main() {
+    let spec = DatasetSpec::openloris_factored();
+    let scenario = DomainIlScenario::generate(&spec, 21);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!(
+        "dataset: {} — {} classes, {} factored domains:",
+        spec.name, spec.num_classes, spec.num_domains
+    );
+    for (domain, factor) in spec.factors.iter().enumerate() {
+        println!("  domain {domain:2}: {factor}");
+    }
+
+    let mut learner = Chameleon::new(&model, ChameleonConfig::default(), 3);
+    println!("\ntraining single-pass with per-domain evaluation…");
+    let snapshots = trainer.run_with_domain_evals(&scenario, &mut learner, 3);
+    let last = snapshots.last().expect("at least one domain");
+
+    println!("\nfinal Acc_all: {:.1} %", last.acc_all);
+    println!(
+        "backward transfer (BWT): {:+.1} points",
+        backward_transfer(&snapshots)
+    );
+
+    println!("\nper-condition accuracy at the end of training:");
+    let mut ranked: Vec<(String, f32)> = spec
+        .factors
+        .iter()
+        .enumerate()
+        .map(|(d, f)| (f.to_string(), last.per_domain[d]))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (condition, acc) in &ranked {
+        let bar = "#".repeat((acc / 4.0) as usize);
+        println!("  {condition:<16} {acc:5.1} %  {bar}");
+    }
+    println!(
+        "\nhardest condition: {} — heavy corruption of the object evidence is\n\
+         exactly where replay quality matters most.",
+        ranked.first().map(|(c, _)| c.as_str()).unwrap_or("?")
+    );
+}

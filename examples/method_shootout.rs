@@ -1,0 +1,95 @@
+//! Method shootout: every continual-learning strategy in the workspace on
+//! one synthetic benchmark, printed as a live leaderboard — a fast sanity
+//! check of the Table I orderings (the full table runs via
+//! `chameleon-bench`).
+//!
+//! ```sh
+//! cargo run --release --example method_shootout [core50|openloris]
+//! ```
+
+use std::time::Instant;
+
+use chameleon_repro::core::{
+    Chameleon, ChameleonConfig, Der, DerConfig, Er, EwcConfig, EwcPlusPlus, Finetune, Gss,
+    GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda, SldaConfig,
+    Strategy, Trainer,
+};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn main() {
+    let spec = match std::env::args().nth(1).as_deref() {
+        Some("openloris") => DatasetSpec::openloris(),
+        _ => DatasetSpec::core50(),
+    };
+    let scenario = DomainIlScenario::generate(&spec, 99);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!(
+        "shootout on {} ({} classes × {} domains, single seed)\n",
+        spec.name, spec.num_classes, spec.num_domains
+    );
+
+    let contestants: Vec<(&str, Box<dyn Strategy>)> = vec![
+        (
+            "JOINT (upper bound)",
+            Box::new(Joint::new(&model, JointConfig::default(), 1)),
+        ),
+        (
+            "Finetuning (lower bound)",
+            Box::new(Finetune::new(&model, 1)),
+        ),
+        (
+            "EWC++",
+            Box::new(EwcPlusPlus::new(&model, EwcConfig::default(), 1)),
+        ),
+        ("LwF", Box::new(Lwf::new(&model, LwfConfig::default(), 1))),
+        (
+            "SLDA",
+            Box::new(Slda::new(&model, SldaConfig::default(), 1)),
+        ),
+        (
+            "GSS (500)",
+            Box::new(Gss::new(&model, GssConfig::new(500), 1)),
+        ),
+        ("ER (500)", Box::new(Er::new(&model, 500, 1))),
+        (
+            "DER (500)",
+            Box::new(Der::new(&model, DerConfig::new(500), 1)),
+        ),
+        (
+            "Latent Replay (500)",
+            Box::new(LatentReplay::new(&model, 500, 1)),
+        ),
+        (
+            "Chameleon (10+100)",
+            Box::new(Chameleon::new(&model, ChameleonConfig::default(), 1)),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (name, mut strategy) in contestants {
+        let started = Instant::now();
+        let report = trainer.run(&scenario, strategy.as_mut(), 1);
+        println!(
+            "  {:<26} Acc_all {:5.1} %   memory {:>6.1} MB   ({:.1}s)",
+            name,
+            report.acc_all,
+            report.memory_overhead_mb,
+            started.elapsed().as_secs_f32()
+        );
+        results.push((name, report.acc_all, report.memory_overhead_mb));
+    }
+
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite accuracies"));
+    println!("\nleaderboard (accuracy / memory):");
+    for (rank, (name, acc, mb)) in results.iter().enumerate() {
+        println!(
+            "  {}. {:<26} {:5.1} %  @ {:>6.1} MB",
+            rank + 1,
+            name,
+            acc,
+            mb
+        );
+    }
+}

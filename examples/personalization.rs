@@ -1,0 +1,89 @@
+//! Personalization: the user-centric scenario Chameleon is designed for
+//! (paper §III-C) — a stream heavily skewed toward a few *preferred*
+//! classes whose identity changes midway, exercising the learning-window
+//! recalibration of the preference tracker.
+//!
+//! ```sh
+//! cargo run --release --example personalization
+//! ```
+
+use chameleon_repro::core::{Chameleon, ChameleonConfig, EvalReport, ModelConfig, Strategy};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
+
+fn main() {
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 7);
+    let model = ModelConfig::for_spec(&spec);
+
+    // Figure-1 analogue: how far each class cluster moves across domains.
+    let generator = scenario.generator();
+    println!("domain shift of the synthetic CORe50 (Fig. 1 analogue):");
+    for d in 1..4 {
+        println!(
+            "  domain {} → {}: mean cluster displacement {:.2}, context churn {:.0} %",
+            d - 1,
+            d,
+            generator.domain_distance(d - 1, d),
+            100.0 * generator.assignment_churn(d - 1, d)
+        );
+    }
+
+    // The user mostly interacts with classes 0–4 early on, then switches
+    // to classes 45–49 — e.g. a household robot handed a new set of
+    // objects.
+    let early: Vec<usize> = (0..5).collect();
+    let late: Vec<usize> = (45..50).collect();
+    let stream = StreamConfig {
+        preference: PreferenceProfile::Shifting {
+            early: early.clone(),
+            late: late.clone(),
+            boost: 10.0,
+        },
+        ..StreamConfig::default()
+    };
+
+    let config = ChameleonConfig {
+        learning_window: 400, // recalibrate preferences every 400 images
+        ..ChameleonConfig::default()
+    };
+    let mut chameleon = Chameleon::new(&model, config, 3);
+
+    println!(
+        "\nstreaming {} domains with shifting user preferences…",
+        spec.num_domains
+    );
+    for domain in 0..spec.num_domains {
+        for batch in scenario.domain_stream(domain, &stream, 11 + domain as u64) {
+            chameleon.observe(&batch);
+        }
+        let prefs = chameleon.preferences();
+        println!(
+            "  after domain {domain:2}: tracker prefers {:?} (Δ = {:.2}, {} windows)",
+            prefs.preferred(),
+            prefs.delta(),
+            prefs.windows_completed()
+        );
+    }
+
+    let report = EvalReport::evaluate(&scenario, &chameleon);
+    println!("\nfinal evaluation:");
+    println!("  Acc_all              : {:5.1} %", report.acc_all);
+    println!(
+        "  early-preferred (0–4) : {:5.1} %",
+        report.class_subset_accuracy(&early)
+    );
+    println!(
+        "  late-preferred (45–49): {:5.1} %",
+        report.class_subset_accuracy(&late)
+    );
+    println!(
+        "  short-term store {}  /  long-term store {} samples",
+        chameleon.short_term_len(),
+        chameleon.long_term_len()
+    );
+    println!(
+        "\nThe tracker's preferred set should have migrated from the early to the\n\
+         late classes, and both preferred groups should score at or above the\n\
+         overall average — the paper's personalization objective."
+    );
+}

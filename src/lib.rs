@@ -1,0 +1,23 @@
+//! Facade crate for the Chameleon reproduction workspace.
+//!
+//! Re-exports every member crate under a short module name so examples and
+//! downstream users can depend on a single package:
+//!
+//! ```
+//! use chameleon_repro::tensor::Prng;
+//!
+//! let mut rng = Prng::new(1);
+//! let _ = rng.next_u64();
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+#![forbid(unsafe_code)]
+
+pub use chameleon_core as core;
+pub use chameleon_hw as hw;
+pub use chameleon_nn as nn;
+pub use chameleon_replay as replay;
+pub use chameleon_stream as stream;
+pub use chameleon_tensor as tensor;

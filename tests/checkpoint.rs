@@ -1,0 +1,185 @@
+//! Integration: checkpoint round trips across the full pipeline — a
+//! trained learner saved, reloaded, and resumed must behave like the
+//! original.
+
+use chameleon_repro::core::checkpoint::LoadCheckpointError;
+use chameleon_repro::core::{Chameleon, ChameleonConfig, EvalReport, ModelConfig, Strategy};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn trained_learner(scenario: &DomainIlScenario, model: &ModelConfig) -> Chameleon {
+    let config = ChameleonConfig {
+        long_term_capacity: 40,
+        ..ChameleonConfig::default()
+    };
+    let mut learner = Chameleon::new(model, config, 5);
+    let stream = StreamConfig::default();
+    for domain in 0..2 {
+        for batch in scenario.domain_stream(domain, &stream, 9 + domain as u64) {
+            learner.observe(&batch);
+        }
+    }
+    learner
+}
+
+#[test]
+fn checkpoint_preserves_predictions_and_buffers() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 30);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+    let restored = Chameleon::load_checkpoint(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 40,
+            ..ChameleonConfig::default()
+        },
+        5,
+        blob.as_slice(),
+    )
+    .expect("load");
+
+    // Identical classifier behaviour.
+    let (x, _) = scenario.test_set();
+    assert_eq!(
+        learner.logits(x).as_slice(),
+        restored.logits(x).as_slice(),
+        "restored head must predict identically"
+    );
+    assert_eq!(learner.short_term_len(), restored.short_term_len());
+    assert_eq!(learner.long_term_len(), restored.long_term_len());
+}
+
+#[test]
+fn restored_learner_continues_training() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 31);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+    let mut restored = Chameleon::load_checkpoint(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 40,
+            ..ChameleonConfig::default()
+        },
+        5,
+        blob.as_slice(),
+    )
+    .expect("load");
+
+    let stream = StreamConfig::default();
+    for domain in 2..spec.num_domains {
+        for batch in scenario.domain_stream(domain, &stream, 9 + domain as u64) {
+            restored.observe(&batch);
+        }
+    }
+    let report = EvalReport::evaluate(&scenario, &restored);
+    assert!(
+        report.acc_all > 100.0 / spec.num_classes as f32,
+        "resumed training collapsed: {}",
+        report.acc_all
+    );
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let model = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+    let blob = b"NOTCHAM0rest-of-garbage".to_vec();
+    let err = Chameleon::load_checkpoint(&model, ChameleonConfig::default(), 1, blob.as_slice())
+        .expect_err("garbage must not load");
+    assert!(matches!(err, LoadCheckpointError::BadMagic), "{err}");
+}
+
+#[test]
+fn wrong_architecture_is_rejected() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 32);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+
+    // A model with a different latent width must refuse the checkpoint.
+    let other = ModelConfig::for_spec(&spec).with_latent_dim(32);
+    let err = Chameleon::load_checkpoint(&other, ChameleonConfig::default(), 1, blob.as_slice())
+        .expect_err("mismatched architecture must not load");
+    assert!(
+        matches!(err, LoadCheckpointError::ShapeMismatch { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 33);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+    blob.truncate(blob.len() / 2);
+    let err = Chameleon::load_checkpoint(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 40,
+            ..ChameleonConfig::default()
+        },
+        5,
+        blob.as_slice(),
+    )
+    .expect_err("truncated checkpoint must not load");
+    assert!(matches!(err, LoadCheckpointError::Io(_)), "{err}");
+}
+
+#[test]
+fn corrupted_checkpoints_never_panic() {
+    // Fuzz-style robustness: MAGIC followed by arbitrary bytes must decode
+    // to an error, never a panic or a bogus learner.
+    use chameleon_repro::tensor::Prng;
+    let model = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+    let mut rng = Prng::new(99);
+    for trial in 0..200 {
+        let len = rng.below(256);
+        let mut blob = b"CHAMLN01".to_vec();
+        for _ in 0..len {
+            blob.push((rng.below(256)) as u8);
+        }
+        let result = Chameleon::load_checkpoint(
+            &model,
+            ChameleonConfig::default(),
+            trial,
+            blob.as_slice(),
+        );
+        assert!(result.is_err(), "garbage blob of {len} bytes decoded successfully");
+    }
+}
+
+#[test]
+fn bitflipped_valid_checkpoint_errors_or_roundtrips_sanely() {
+    use chameleon_repro::tensor::Prng;
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 34);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+
+    let mut rng = Prng::new(5);
+    for _ in 0..50 {
+        let mut corrupted = blob.clone();
+        // Flip a byte in the length-bearing early section.
+        let pos = 8 + rng.below(64.min(corrupted.len() - 8));
+        corrupted[pos] ^= 0xFF;
+        // Must not panic; may error or (for payload-only flips) load.
+        let _ = Chameleon::load_checkpoint(
+            &model,
+            ChameleonConfig { long_term_capacity: 40, ..ChameleonConfig::default() },
+            5,
+            corrupted.as_slice(),
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Reproducibility: every randomized component is seed-deterministic, so
+//! each table in `EXPERIMENTS.md` can be regenerated bit-for-bit.
+
+use chameleon_repro::core::{
+    Chameleon, ChameleonConfig, Er, Gss, GssConfig, LatentReplay, ModelConfig, Strategy, Trainer,
+};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+type StrategyBuilder<'a> = Box<dyn Fn() -> Box<dyn Strategy> + 'a>;
+
+fn run_acc(build: impl Fn() -> Box<dyn Strategy>, seed: u64) -> f32 {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 10);
+    let mut strategy = build();
+    Trainer::new(StreamConfig::default())
+        .run(&scenario, strategy.as_mut(), seed)
+        .acc_all
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_accuracy() {
+    let spec = DatasetSpec::core50_tiny();
+    let model = ModelConfig::for_spec(&spec);
+    let builders: Vec<(&str, StrategyBuilder)> = vec![
+        (
+            "chameleon",
+            Box::new(|| Box::new(Chameleon::new(&model, ChameleonConfig::default(), 7))),
+        ),
+        (
+            "latent",
+            Box::new(|| Box::new(LatentReplay::new(&model, 40, 7))),
+        ),
+        ("er", Box::new(|| Box::new(Er::new(&model, 40, 7)))),
+        (
+            "gss",
+            Box::new(|| Box::new(Gss::new(&model, GssConfig::new(40), 7))),
+        ),
+    ];
+    for (name, build) in builders {
+        let a = run_acc(&build, 3);
+        let b = run_acc(&build, 3);
+        assert_eq!(a, b, "{name} is not seed-deterministic");
+    }
+}
+
+#[test]
+fn different_stream_seeds_differ() {
+    let spec = DatasetSpec::core50_tiny();
+    let model = ModelConfig::for_spec(&spec);
+    let build =
+        || -> Box<dyn Strategy> { Box::new(Chameleon::new(&model, ChameleonConfig::default(), 7)) };
+    let a = run_acc(build, 3);
+    let b = run_acc(build, 4);
+    // Different stream orders should produce (at least slightly) different
+    // final models; equal accuracies are astronomically unlikely but not
+    // impossible, so compare with a tolerance-free inequality and accept a
+    // rare false failure by checking two alternative seeds as well.
+    assert!(
+        a != b || a != run_acc(build, 5),
+        "stream seed appears to be ignored"
+    );
+}
+
+#[test]
+fn scenario_generation_is_seed_deterministic_across_crates() {
+    let spec = DatasetSpec::openloris_tiny();
+    let a = DomainIlScenario::generate(&spec, 77);
+    let b = DomainIlScenario::generate(&spec, 77);
+    assert_eq!(a.test_set().0.as_slice(), b.test_set().0.as_slice());
+    let c = DomainIlScenario::generate(&spec, 78);
+    assert_ne!(a.test_set().0.as_slice(), c.test_set().0.as_slice());
+}
+
+#[test]
+fn run_many_is_order_independent() {
+    // Parallel multi-seed aggregation must not depend on thread scheduling.
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 11);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+    let agg1 = trainer.run_many(
+        &scenario,
+        |s| Box::new(LatentReplay::new(&model, 30, s)) as Box<dyn Strategy>,
+        &[1, 2, 3, 4],
+    );
+    let agg2 = trainer.run_many(
+        &scenario,
+        |s| Box::new(LatentReplay::new(&model, 30, s)) as Box<dyn Strategy>,
+        &[1, 2, 3, 4],
+    );
+    assert_eq!(agg1.acc_all.mean, agg2.acc_all.mean);
+    assert_eq!(agg1.acc_all.std, agg2.acc_all.std);
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: the full pipeline — synthetic scenario →
+//! online strategies → evaluation — must reproduce the paper's qualitative
+//! orderings on the miniature benchmarks.
+
+use chameleon_repro::core::{
+    Chameleon, ChameleonConfig, Finetune, Joint, JointConfig, LatentReplay, ModelConfig, Slda,
+    SldaConfig, Strategy, Trainer,
+};
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+use chameleon_repro::tensor::stats::MeanStd;
+
+fn acc_over_seeds<F>(scenario: &DomainIlScenario, _model: &ModelConfig, factory: F) -> MeanStd
+where
+    F: Fn(u64) -> Box<dyn Strategy> + Sync,
+{
+    Trainer::new(StreamConfig::default())
+        .run_many(scenario, factory, &[1, 2, 3])
+        .acc_all
+}
+
+#[test]
+fn joint_upper_bounds_everything() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 0);
+    let model = ModelConfig::for_spec(&spec);
+    let joint = acc_over_seeds(&scenario, &model, |s| {
+        Box::new(Joint::new(&model, JointConfig::default(), s))
+    });
+    let finetune = acc_over_seeds(&scenario, &model, |s| Box::new(Finetune::new(&model, s)));
+    assert!(
+        joint.mean > finetune.mean,
+        "joint {} should beat finetune {}",
+        joint.mean,
+        finetune.mean
+    );
+}
+
+#[test]
+fn chameleon_beats_finetune_with_tiny_memory() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 1);
+    let model = ModelConfig::for_spec(&spec);
+    let config = ChameleonConfig {
+        long_term_capacity: 60,
+        ..ChameleonConfig::default()
+    };
+    let chameleon = acc_over_seeds(&scenario, &model, |s| {
+        Box::new(Chameleon::new(&model, config.clone(), s))
+    });
+    let finetune = acc_over_seeds(&scenario, &model, |s| Box::new(Finetune::new(&model, s)));
+    assert!(
+        chameleon.mean > finetune.mean + 3.0,
+        "chameleon {} vs finetune {}",
+        chameleon.mean,
+        finetune.mean
+    );
+}
+
+#[test]
+fn slda_is_strong_on_both_benchmarks() {
+    for (spec, floor) in [
+        (DatasetSpec::core50_tiny(), 55.0f32),
+        (DatasetSpec::openloris_tiny(), 55.0),
+    ] {
+        let scenario = DomainIlScenario::generate(&spec, 2);
+        let model = ModelConfig::for_spec(&spec);
+        let mut slda = Slda::new(&model, SldaConfig::default(), 1);
+        let report = Trainer::new(StreamConfig::default()).run(&scenario, &mut slda, 1);
+        assert!(
+            report.acc_all > floor,
+            "{}: SLDA only {}",
+            spec.name,
+            report.acc_all
+        );
+    }
+}
+
+#[test]
+fn openloris_is_easier_than_core50() {
+    // The paper's consistent observation: every method scores higher on
+    // OpenLORIS (smoother domains, more data).
+    let c50 = DatasetSpec::core50_tiny();
+    let ol = DatasetSpec::openloris_tiny();
+    let s_c50 = DomainIlScenario::generate(&c50, 3);
+    let s_ol = DomainIlScenario::generate(&ol, 3);
+    let m_c50 = ModelConfig::for_spec(&c50);
+    let m_ol = ModelConfig::for_spec(&ol);
+    let acc_c50 = acc_over_seeds(&s_c50, &m_c50, |s| {
+        Box::new(LatentReplay::new(&m_c50, 60, s))
+    });
+    let acc_ol = acc_over_seeds(&s_ol, &m_ol, |s| Box::new(LatentReplay::new(&m_ol, 60, s)));
+    assert!(
+        acc_ol.mean > acc_c50.mean,
+        "openloris {} should exceed core50 {}",
+        acc_ol.mean,
+        acc_c50.mean
+    );
+}
+
+#[test]
+fn bigger_long_term_store_never_hurts_much() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 4);
+    let model = ModelConfig::for_spec(&spec);
+    let small = acc_over_seeds(&scenario, &model, |s| {
+        Box::new(Chameleon::new(
+            &model,
+            ChameleonConfig {
+                long_term_capacity: 20,
+                ..ChameleonConfig::default()
+            },
+            s,
+        ))
+    });
+    let large = acc_over_seeds(&scenario, &model, |s| {
+        Box::new(Chameleon::new(
+            &model,
+            ChameleonConfig {
+                long_term_capacity: 120,
+                ..ChameleonConfig::default()
+            },
+            s,
+        ))
+    });
+    assert!(
+        large.mean + 6.0 > small.mean,
+        "LT 120 ({}) much worse than LT 20 ({})",
+        large.mean,
+        small.mean
+    );
+}
+
+#[test]
+fn finetune_shows_recency_bias_chameleon_does_not() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 5);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    let mut ft = Finetune::new(&model, 2);
+    let ft_report = trainer.run(&scenario, &mut ft, 2);
+    let mut ch = Chameleon::new(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 60,
+            ..ChameleonConfig::default()
+        },
+        2,
+    );
+    let ch_report = trainer.run(&scenario, &mut ch, 2);
+
+    // Finetune: last domain much better than first. Chameleon: flatter.
+    let ft_gap = -ft_report.first_vs_last_domain();
+    let ch_gap = -ch_report.first_vs_last_domain();
+    assert!(ft_gap > 10.0, "finetune recency gap only {ft_gap}");
+    assert!(
+        ch_gap < ft_gap,
+        "chameleon gap {ch_gap} should be flatter than finetune {ft_gap}"
+    );
+}

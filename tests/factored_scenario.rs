@@ -1,0 +1,102 @@
+//! Integration: the OpenLORIS environmental-factor extension end to end.
+
+use chameleon_repro::core::{
+    backward_transfer, Chameleon, ChameleonConfig, ModelConfig, Slda, SldaConfig, Trainer,
+};
+use chameleon_repro::stream::{DatasetSpec, DomainFactor, DomainIlScenario, StreamConfig};
+
+#[test]
+fn factored_scenario_trains_end_to_end() {
+    let mut spec = DatasetSpec::openloris_factored();
+    // Shrink for test speed while keeping one factor per domain.
+    spec.num_classes = 12;
+    spec.train_per_class_per_domain = 8;
+    spec.test_per_class_per_domain = 2;
+    spec.validate();
+
+    let scenario = DomainIlScenario::generate(&spec, 40);
+    let model = ModelConfig::for_spec(&spec);
+    let mut learner = Chameleon::new(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 48,
+            ..ChameleonConfig::default()
+        },
+        1,
+    );
+    let report = Trainer::new(StreamConfig::default()).run(&scenario, &mut learner, 1);
+    let chance = 100.0 / spec.num_classes as f32;
+    assert!(
+        report.acc_all > 2.0 * chance,
+        "factored acc {}",
+        report.acc_all
+    );
+    assert_eq!(report.per_domain.len(), 12);
+}
+
+#[test]
+fn factor_levels_order_difficulty_for_slda() {
+    // Same factor family at rising levels should not get easier. SLDA is
+    // the cleanest probe (no forgetting confound). Averaged over occlusion,
+    // the most destructive family.
+    let mut spec = DatasetSpec::openloris_factored();
+    spec.num_classes = 15;
+    spec.train_per_class_per_domain = 20;
+    spec.test_per_class_per_domain = 4;
+
+    let scenario = DomainIlScenario::generate(&spec, 41);
+    let model = ModelConfig::for_spec(&spec);
+    let mut slda = Slda::new(&model, SldaConfig::default(), 1);
+    let report = Trainer::new(StreamConfig::default()).run(&scenario, &mut slda, 1);
+
+    let level_acc = |level: u8| -> f32 {
+        spec.factors
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, DomainFactor::Occlusion(l) if *l == level))
+            .map(|(d, _)| report.per_domain[d])
+            .sum::<f32>()
+    };
+    let l1 = level_acc(1);
+    let l3 = level_acc(3);
+    assert!(
+        l1 + 10.0 > l3,
+        "occlusion L3 ({l3}) should not be easier than L1 ({l1}) by a wide margin"
+    );
+}
+
+#[test]
+fn backward_transfer_is_negative_without_replay_coverage() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 42);
+    let model = ModelConfig::for_spec(&spec);
+    let mut finetune = chameleon_repro::core::Finetune::new(&model, 3);
+    let snapshots =
+        Trainer::new(StreamConfig::default()).run_with_domain_evals(&scenario, &mut finetune, 3);
+    let bwt = backward_transfer(&snapshots);
+    assert!(bwt < 0.0, "finetuning should have negative BWT, got {bwt}");
+}
+
+#[test]
+fn chameleon_bwt_is_less_negative_than_finetune() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 43);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    let mut finetune = chameleon_repro::core::Finetune::new(&model, 4);
+    let ft_bwt = backward_transfer(&trainer.run_with_domain_evals(&scenario, &mut finetune, 4));
+    let mut chameleon = Chameleon::new(
+        &model,
+        ChameleonConfig {
+            long_term_capacity: 60,
+            ..ChameleonConfig::default()
+        },
+        4,
+    );
+    let ch_bwt = backward_transfer(&trainer.run_with_domain_evals(&scenario, &mut chameleon, 4));
+    assert!(
+        ch_bwt > ft_bwt,
+        "replay should reduce forgetting: chameleon BWT {ch_bwt} vs finetune {ft_bwt}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the hardware models: the cycle simulator's
+//! scheduling invariants and the BFP datatype's quantization bounds.
+
+use proptest::prelude::*;
+
+use chameleon_repro::hw::sim::{Gemm, SystolicSim, SystolicSimConfig};
+use chameleon_repro::hw::BfpFormat;
+use chameleon_repro::tensor::Prng;
+
+proptest! {
+    #[test]
+    fn gemm_cycles_are_monotone_in_every_dimension(
+        m in 1usize..512,
+        k in 1usize..512,
+        n in 1usize..512,
+    ) {
+        let sim = SystolicSim::new(SystolicSimConfig::edge_tpu());
+        let base = sim.gemm(&Gemm::new(m, k, n)).total_cycles;
+        prop_assert!(sim.gemm(&Gemm::new(m + 64, k, n)).total_cycles >= base);
+        prop_assert!(sim.gemm(&Gemm::new(m, k + 64, n)).total_cycles >= base);
+        prop_assert!(sim.gemm(&Gemm::new(m, k, n + 64)).total_cycles >= base);
+    }
+
+    #[test]
+    fn double_buffering_never_slows_a_gemm(
+        m in 1usize..512,
+        k in 1usize..512,
+        n in 1usize..512,
+    ) {
+        let db = SystolicSim::new(SystolicSimConfig::edge_tpu());
+        let sb = SystolicSim::new(SystolicSimConfig {
+            double_buffered: false,
+            ..SystolicSimConfig::edge_tpu()
+        });
+        let g = Gemm::new(m, k, n);
+        prop_assert!(db.gemm(&g).total_cycles <= sb.gemm(&g).total_cycles);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one(
+        m in 1usize..2048,
+        k in 1usize..512,
+        n in 1usize..512,
+    ) {
+        // Even a binary-parallel array with infinite bandwidth cannot beat
+        // peak throughput.
+        let sim = SystolicSim::new(SystolicSimConfig {
+            dram_gb_s: 1e9,
+            ..SystolicSimConfig::binary_parallel()
+        });
+        let r = sim.gemm(&Gemm::new(m, k, n));
+        prop_assert!(r.utilization_on(64, 64) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn backward_macs_are_exactly_double(
+        m in 1usize..256,
+        k in 1usize..256,
+        n in 1usize..256,
+    ) {
+        let g = Gemm::new(m, k, n);
+        let total: u64 = g.backward().iter().map(Gemm::macs).sum();
+        prop_assert_eq!(total, 2 * g.macs());
+    }
+
+    #[test]
+    fn lower_bandwidth_never_reduces_latency(
+        m in 1usize..256,
+        k in 1usize..512,
+        n in 1usize..512,
+    ) {
+        let fast = SystolicSim::new(SystolicSimConfig::edge_tpu());
+        let slow = SystolicSim::new(SystolicSimConfig {
+            dram_gb_s: 0.5,
+            ..SystolicSimConfig::edge_tpu()
+        });
+        let g = Gemm::new(m, k, n);
+        prop_assert!(slow.gemm(&g).total_cycles >= fast.gemm(&g).total_cycles);
+    }
+
+    #[test]
+    fn bfp_error_is_bounded_by_the_mantissa_step(
+        seed in 0u64..500,
+        mantissa in 4u8..16,
+    ) {
+        let mut rng = Prng::new(seed);
+        let block: Vec<f32> = (0..16).map(|_| rng.randn()).collect();
+        let format = BfpFormat::new(mantissa, 16);
+        let q = format.quantize_block(&block);
+        let max = block.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        prop_assume!(max > 0.0);
+        // Grid step: max / (2^(m-1) − 1) scaled to the next power of two —
+        // at most 2 · max / levels.
+        let levels = ((1u32 << (mantissa - 1)) - 1) as f32;
+        let bound = 2.0 * max / levels + 1e-6;
+        for (a, b) in block.iter().zip(&q) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    #[test]
+    fn bfp_quantization_is_idempotent(seed in 0u64..500, mantissa in 3u8..12) {
+        let mut rng = Prng::new(seed);
+        let block: Vec<f32> = (0..8).map(|_| rng.randn() * 10.0).collect();
+        let format = BfpFormat::new(mantissa, 8);
+        let once = format.quantize_block(&block);
+        let twice = format.quantize_block(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bfp_preserves_signs_and_zero(seed in 0u64..500) {
+        let mut rng = Prng::new(seed);
+        let mut block: Vec<f32> = (0..16).map(|_| rng.randn()).collect();
+        block[3] = 0.0;
+        let q = BfpFormat::bfp8().quantize_block(&block);
+        prop_assert_eq!(q[3], 0.0);
+        for (a, b) in block.iter().zip(&q) {
+            // Quantized values never flip sign (they may flush to zero).
+            prop_assert!(*b == 0.0 || a.signum() == b.signum());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numeric invariants.
+
+use proptest::prelude::*;
+
+use chameleon_repro::core::PreferenceTracker;
+use chameleon_repro::nn::{loss, MlpHead, Sgd};
+use chameleon_repro::replay::{ClassBalancedBuffer, ReservoirBuffer, RingBuffer, StoredSample};
+use chameleon_repro::tensor::stats::RunningMoments;
+use chameleon_repro::tensor::{linalg, ops, Matrix, Prng};
+
+fn sample(class: usize, v: f32) -> StoredSample {
+    StoredSample::latent(vec![v], class)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let p = ops::softmax(&logits);
+        prop_assert_eq!(p.len(), logits.len());
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(logits in prop::collection::vec(-50.0f32..50.0, 2..64)) {
+        let p = ops::softmax(&logits);
+        prop_assert_eq!(ops::argmax(&logits), ops::argmax(&p));
+    }
+
+    #[test]
+    fn kl_divergence_is_non_negative(
+        a in prop::collection::vec(-10.0f32..10.0, 2..32),
+        shift in -5.0f32..5.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|&v| v + shift * v.cos()).collect();
+        let p = ops::softmax(&a);
+        let q = ops::softmax(&b);
+        let kl = ops::kl_divergence(&p, &q);
+        prop_assert!(kl >= 0.0, "KL {}", kl);
+        prop_assert!(kl.is_finite());
+    }
+
+    #[test]
+    fn reservoir_never_exceeds_capacity(
+        capacity in 1usize..32,
+        offers in prop::collection::vec(0usize..10, 0..200),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::new(seed);
+        let mut buffer = ReservoirBuffer::new(capacity);
+        for (i, &class) in offers.iter().enumerate() {
+            buffer.offer(sample(class, i as f32), &mut rng);
+            prop_assert!(buffer.len() <= capacity);
+            prop_assert_eq!(buffer.len(), capacity.min(i + 1));
+        }
+        prop_assert_eq!(buffer.seen(), offers.len() as u64);
+    }
+
+    #[test]
+    fn class_balanced_total_equals_per_class_sum(
+        capacity in 1usize..40,
+        offers in prop::collection::vec(0usize..8, 0..300),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::new(seed);
+        let mut buffer = ClassBalancedBuffer::new(capacity);
+        for (i, &class) in offers.iter().enumerate() {
+            buffer.insert(sample(class, i as f32), &mut rng);
+            let total: usize = buffer.classes().iter().map(|&c| buffer.class_count(c)).sum();
+            prop_assert_eq!(total, buffer.len());
+            prop_assert!(buffer.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn class_balanced_no_class_dominates(
+        offers in prop::collection::vec(0usize..4, 200..400),
+        seed in 0u64..100,
+    ) {
+        // With capacity 8 and 4 classes each seen ≥ 20 times, balance means
+        // no class may hold more than half the buffer.
+        let mut counts = [0usize; 4];
+        for &c in &offers { counts[c] += 1; }
+        prop_assume!(counts.iter().all(|&c| c >= 20));
+        let mut rng = Prng::new(seed);
+        let mut buffer = ClassBalancedBuffer::new(8);
+        for (i, &class) in offers.iter().enumerate() {
+            buffer.insert(sample(class, i as f32), &mut rng);
+        }
+        for class in 0..4 {
+            prop_assert!(
+                buffer.class_count(class) <= 4,
+                "class {} holds {}",
+                class,
+                buffer.class_count(class)
+            );
+        }
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_fifo_below_capacity(
+        capacity in 1usize..16,
+        pushes in 0usize..40,
+    ) {
+        let mut buffer = RingBuffer::new(capacity);
+        for i in 0..pushes {
+            buffer.push(sample(0, i as f32));
+            prop_assert!(buffer.len() <= capacity);
+        }
+        if pushes <= capacity {
+            // Below capacity, insertion order is preserved.
+            for (i, s) in buffer.items().iter().enumerate() {
+                prop_assert_eq!(s.features[0] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn preference_tracker_delta_stays_in_unit_interval(
+        labels in prop::collection::vec(0usize..12, 1..500),
+        k in 1usize..6,
+        window in 5usize..60,
+        rho in 0.0f32..1.0,
+    ) {
+        let mut tracker = PreferenceTracker::new(12, k, window, rho);
+        for &label in &labels {
+            tracker.observe(label);
+            let d = tracker.delta();
+            prop_assert!((0.0..=1.0).contains(&d), "delta {}", d);
+            prop_assert!(tracker.preferred().len() <= k);
+        }
+        let total: u64 = tracker.total_counts().iter().sum();
+        prop_assert_eq!(total, labels.len() as u64);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential(
+        a in prop::collection::vec(-100.0f32..100.0, 0..50),
+        b in prop::collection::vec(-100.0f32..100.0, 0..50),
+    ) {
+        let mut left: RunningMoments = a.iter().copied().collect();
+        let right: RunningMoments = b.iter().copied().collect();
+        left.merge(&right);
+        let all: RunningMoments = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-3);
+        prop_assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-1);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let mut rng = Prng::new(seed);
+        let a = Matrix::randn(4, 3, &mut rng);
+        let b = Matrix::randn(3, 5, &mut rng);
+        let c = Matrix::randn(3, 5, &mut rng);
+        let mut b_plus_c = b.clone();
+        b_plus_c.axpy(1.0, &c);
+        let left = a.matmul(&b_plus_c);
+        let mut right = a.matmul(&b);
+        right.axpy(1.0, &a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn regularized_inverse_roundtrips_spd(seed in 0u64..200) {
+        let mut rng = Prng::new(seed);
+        let b = Matrix::randn(6, 6, &mut rng);
+        let mut spd = b.matmul_nt(&b);
+        for i in 0..6 {
+            spd.set(i, i, spd.get(i, i) + 1.0);
+        }
+        let (inv, _) = linalg::invert_regularized(&spd, 0.0).expect("SPD invertible");
+        let product = spd.matmul(&inv);
+        for r in 0..6 {
+            for c in 0..6 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                prop_assert!(
+                    (product.get(r, c) - want).abs() < 5e-2,
+                    "({},{}) = {}",
+                    r, c, product.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prng_below_is_always_in_range(seed in 0u64..1000, bound in 1usize..10_000) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn head_gradients_match_finite_differences_for_random_architectures(
+        seed in 0u64..200,
+        in_dim in 2usize..8,
+        hidden in 0usize..6,
+        classes in 2usize..6,
+    ) {
+        let mut rng = Prng::new(seed);
+        let dims: Vec<usize> = if hidden == 0 {
+            vec![in_dim, classes]
+        } else {
+            vec![in_dim, hidden + 2, classes]
+        };
+        let head = MlpHead::new(&dims, &mut rng);
+        let x = Matrix::randn(2, in_dim, &mut rng);
+        let labels = [0usize, classes - 1];
+
+        let fwd = head.forward(&x);
+        let (_, dlogits) = loss::softmax_cross_entropy(fwd.logits(), &labels);
+        let analytic = head.backward(&fwd, &dlogits).to_flat();
+
+        let base = head.parameters();
+        let eps = 1e-3;
+        // Spot-check three parameter coordinates.
+        for idx in [0, base.len() / 2, base.len() - 1] {
+            let mut plus = base.clone();
+            plus[idx] += eps;
+            let mut minus = base.clone();
+            minus[idx] -= eps;
+            let mut hp = head.clone();
+            hp.set_parameters(&plus);
+            let mut hm = head.clone();
+            hm.set_parameters(&minus);
+            let lp = loss::softmax_cross_entropy(hp.forward(&x).logits(), &labels).0;
+            let lm = loss::softmax_cross_entropy(hm.forward(&x).logits(), &labels).0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!(
+                (numeric - analytic[idx]).abs() < 5e-2,
+                "param {}: numeric {} vs analytic {}",
+                idx, numeric, analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_training_never_diverges_on_separable_data(seed in 0u64..100) {
+        let mut rng = Prng::new(seed);
+        let mut head = MlpHead::new(&[4, 3], &mut rng);
+        let mut sgd = Sgd::new(0.1);
+        // Three well-separated clusters.
+        let x = Matrix::from_rows(&[
+            &[5.0, 0.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0, 0.0],
+            &[0.0, 0.0, 5.0, 0.0],
+        ]);
+        let labels = [0usize, 1, 2];
+        let mut last = f32::INFINITY;
+        for step in 0..60 {
+            let fwd = head.forward(&x);
+            let (l, dl) = loss::softmax_cross_entropy(fwd.logits(), &labels);
+            prop_assert!(l.is_finite(), "loss diverged at step {}", step);
+            let grads = head.backward(&fwd, &dl);
+            head.apply(&grads, &mut sgd);
+            last = l;
+        }
+        prop_assert!(last < 0.2, "final loss {}", last);
+    }
+
+    #[test]
+    fn weighted_choice_never_picks_zero_weight(
+        seed in 0u64..500,
+        n in 2usize..20,
+        zero_index in 0usize..20,
+    ) {
+        prop_assume!(zero_index < n);
+        let mut rng = Prng::new(seed);
+        let weights: Vec<f32> =
+            (0..n).map(|i| if i == zero_index { 0.0 } else { 1.0 }).collect();
+        for _ in 0..50 {
+            prop_assert_ne!(rng.weighted_choice(&weights), zero_index);
+        }
+    }
+}
