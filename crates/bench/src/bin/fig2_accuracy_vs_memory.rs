@@ -18,8 +18,7 @@ fn ascii_plot(points: &[(char, f64, f32)]) -> String {
     let (min_mb, max_mb) = (0.5f64, 1000.0f64);
     let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
     for &(glyph, mb, acc) in points {
-        let x = ((mb.max(min_mb).log10() - min_mb.log10())
-            / (max_mb.log10() - min_mb.log10())
+        let x = ((mb.max(min_mb).log10() - min_mb.log10()) / (max_mb.log10() - min_mb.log10())
             * (WIDTH - 1) as f64)
             .round()
             .clamp(0.0, (WIDTH - 1) as f64) as usize;
@@ -76,7 +75,11 @@ fn main() {
             format!("{:.1}", agg.memory_overhead_mb),
             agg.acc_all.to_string(),
         ]);
-        points.push((label.chars().next().expect("non-empty"), agg.memory_overhead_mb, agg.acc_all.mean));
+        points.push((
+            label.chars().next().expect("non-empty"),
+            agg.memory_overhead_mb,
+            agg.acc_all.mean,
+        ));
         eprintln!("  {label} done");
     }
 

@@ -1,0 +1,204 @@
+//! Extension: **memory-fault robustness** — how gracefully each replay
+//! method degrades as bit upsets accumulate in its resident stores.
+//!
+//! Sweeps a DRAM bit-flip rate (SRAM derived via the fixed hierarchy
+//! ratio) across Chameleon (quarantine on and off), ER, and Latent Replay,
+//! and emits the accuracy-degradation curves as JSON to
+//! `results/robustness_report.json` alongside a markdown summary on
+//! stdout.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin robustness_report
+//! [--runs N]` (default 2 seeds per point).
+
+use std::fmt::Write as _;
+
+use chameleon_bench::report::Table;
+use chameleon_bench::suite::runs_from_args;
+use chameleon_core::{Chameleon, ChameleonConfig, Er, LatentReplay, ModelConfig, Trainer};
+use chameleon_faults::{FaultInjector, FaultPlan};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+use chameleon_tensor::stats::MeanStd;
+
+/// DRAM bit-flip rates swept, in flips per stored bit per stream sample.
+/// Zero anchors the clean baseline; the nonzero points trace the curve.
+const RATES: [f64; 4] = [0.0, 1e-6, 1e-5, 1e-4];
+
+const BUFFER: usize = 100;
+
+struct Point {
+    dram_rate: f64,
+    acc: MeanStd,
+    bits_flipped: u64,
+    evictions: u64,
+    rebuilds: u64,
+}
+
+struct Curve {
+    method: &'static str,
+    quarantine: Option<bool>,
+    points: Vec<Point>,
+}
+
+fn chameleon_variant(model: &ModelConfig, quarantine: bool, seed: u64) -> Chameleon {
+    let config = ChameleonConfig {
+        long_term_capacity: BUFFER,
+        quarantine,
+        ..ChameleonConfig::default()
+    };
+    Chameleon::new(model, config, seed)
+}
+
+fn main() {
+    let seeds = runs_from_args(2) as u64;
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!(
+        "# Memory-fault robustness ({} synthetic, {seeds} seeds per point)\n",
+        spec.name
+    );
+
+    let variants: [(&'static str, Option<bool>); 4] = [
+        ("Chameleon", Some(true)),
+        ("Chameleon", Some(false)),
+        ("ER", None),
+        ("Latent Replay", None),
+    ];
+
+    let mut curves = Vec::new();
+    for (method, quarantine) in variants {
+        let mut points = Vec::new();
+        for &rate in &RATES {
+            let mut accs = Vec::new();
+            let mut bits_flipped = 0;
+            let mut evictions = 0;
+            let mut rebuilds = 0;
+            for seed in 1..=seeds {
+                let mut injector = FaultInjector::new(FaultPlan::bit_flips(seed * 31 + 7, rate));
+                let acc = match (method, quarantine) {
+                    ("Chameleon", Some(q)) => {
+                        let mut c = chameleon_variant(&model, q, seed);
+                        let report =
+                            trainer.run_with_faults(&scenario, &mut c, seed, &mut injector);
+                        let r = c.resilience();
+                        evictions += r.short_term_evictions + r.long_term_evictions;
+                        rebuilds += r.prototype_rebuilds;
+                        report.acc_all
+                    }
+                    ("ER", _) => {
+                        let mut er = Er::new(&model, BUFFER, seed);
+                        trainer
+                            .run_with_faults(&scenario, &mut er, seed, &mut injector)
+                            .acc_all
+                    }
+                    _ => {
+                        let mut lr = LatentReplay::new(&model, BUFFER, seed);
+                        trainer
+                            .run_with_faults(&scenario, &mut lr, seed, &mut injector)
+                            .acc_all
+                    }
+                };
+                accs.push(acc);
+                bits_flipped += injector.stats().bits_flipped;
+            }
+            points.push(Point {
+                dram_rate: rate,
+                acc: MeanStd::from_samples(&accs),
+                bits_flipped,
+                evictions,
+                rebuilds,
+            });
+        }
+        let label = match quarantine {
+            Some(true) => format!("{method} (quarantine)"),
+            Some(false) => format!("{method} (no quarantine)"),
+            None => method.to_string(),
+        };
+        eprintln!("  {label} done");
+        curves.push(Curve {
+            method,
+            quarantine,
+            points,
+        });
+    }
+
+    let mut table = Table::new(&["Method", "clean", "1e-6", "1e-5", "1e-4", "drop @1e-4"]);
+    for curve in &curves {
+        let label = match curve.quarantine {
+            Some(true) => format!("{} (quarantine)", curve.method),
+            Some(false) => format!("{} (no quarantine)", curve.method),
+            None => curve.method.to_string(),
+        };
+        let clean = curve.points[0].acc.mean;
+        let mut cells = vec![label];
+        for p in &curve.points {
+            cells.push(format!("{:.1}", p.acc.mean));
+        }
+        cells.push(format!(
+            "{:.1}",
+            clean - curve.points.last().expect("nonempty").acc.mean
+        ));
+        table.row_owned(cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "Degradation = clean accuracy minus accuracy at the given DRAM\n\
+         bit-flip rate (SRAM rate 16× lower). Quarantine evicts samples whose\n\
+         checksums fail before training on them; without it, corrupted\n\
+         latents feed the head directly."
+    );
+
+    let json = render_json(spec.name, seeds, &curves);
+    let path = "results/robustness_report.json";
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("  wrote {path}");
+}
+
+fn render_json(dataset: &str, seeds: u64, curves: &[Curve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"dataset\": \"{dataset}\",");
+    let _ = writeln!(out, "  \"seeds\": {seeds},");
+    let _ = writeln!(
+        out,
+        "  \"dram_to_sram_ratio\": {},",
+        chameleon_faults::DRAM_TO_SRAM_RATIO
+    );
+    let _ = writeln!(out, "  \"curves\": [");
+    for (i, curve) in curves.iter().enumerate() {
+        let clean = curve.points[0].acc.mean;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"method\": \"{}\",", curve.method);
+        let _ = match curve.quarantine {
+            Some(q) => writeln!(out, "      \"quarantine\": {q},"),
+            None => writeln!(out, "      \"quarantine\": null,"),
+        };
+        let _ = writeln!(out, "      \"points\": [");
+        for (j, p) in curve.points.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"dram_rate\": {:e}, \"acc_all_mean\": {:.4}, \"acc_all_std\": {:.4}, \
+                 \"degradation\": {:.4}, \"bits_flipped\": {}, \"corrupt_evictions\": {}, \
+                 \"prototype_rebuilds\": {}}}{}",
+                p.dram_rate,
+                p.acc.mean,
+                p.acc.std,
+                clean - p.acc.mean,
+                p.bits_flipped,
+                p.evictions,
+                p.rebuilds,
+                if j + 1 < curve.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{}", if i + 1 < curves.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

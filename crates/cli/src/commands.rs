@@ -8,6 +8,7 @@ use chameleon_core::{
     Gss, GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda,
     SldaConfig, Strategy, Trainer,
 };
+use chameleon_faults::{FaultInjector, FaultPlan};
 use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
 use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
 
@@ -38,6 +39,11 @@ COMMANDS:
     --method <name>  [--buffer <n>]
   resources                     ZCU102 utilization of an accelerator config
     [--st-kb <n>] [--array <RxC>]
+  faults                        train under seeded fault injection and report
+                                resilience counters
+    --rate <r>                  DRAM bit-flips per bit per sample [default: 1e-5]
+    [--dataset <name>] [--method <name>] [--buffer <n>] [--seed <n>]
+    [--fault-seed <n>] [--no-quarantine] (quarantine: chameleon only)
   help                          show this message
 ";
 
@@ -54,6 +60,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("sweep") => sweep(&Options::parse(&argv[1..])?),
         Some("price") => price(&Options::parse(&argv[1..])?),
         Some("resources") => resources(&Options::parse(&argv[1..])?),
+        Some("faults") => faults(&Options::parse(&argv[1..])?),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -82,6 +89,19 @@ const METHODS: [&str; 10] = [
     "joint",
 ];
 
+/// Builds a Chameleon config for a CLI-provided buffer size, turning a
+/// validation failure into a reportable error instead of a panic.
+fn chameleon_config(buffer: usize) -> Result<ChameleonConfig, String> {
+    let config = ChameleonConfig {
+        long_term_capacity: buffer,
+        ..ChameleonConfig::default()
+    };
+    config
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(config)
+}
+
 fn build_method(
     name: &str,
     model: &ModelConfig,
@@ -89,14 +109,7 @@ fn build_method(
     seed: u64,
 ) -> Result<Box<dyn Strategy>, String> {
     Ok(match name {
-        "chameleon" => Box::new(Chameleon::new(
-            model,
-            ChameleonConfig {
-                long_term_capacity: buffer,
-                ..ChameleonConfig::default()
-            },
-            seed,
-        )),
+        "chameleon" => Box::new(Chameleon::new(model, chameleon_config(buffer)?, seed)),
         "latent-replay" => Box::new(LatentReplay::new(model, buffer, seed)),
         "er" => Box::new(Er::new(model, buffer, seed)),
         "der" => Box::new(Der::new(model, DerConfig::new(buffer), seed)),
@@ -197,17 +210,10 @@ fn train(options: &Options) -> Result<(), String> {
         if method != "chameleon" {
             return Err("--save currently supports only --method chameleon".to_string());
         }
-        let config = ChameleonConfig {
-            long_term_capacity: buffer,
-            ..ChameleonConfig::default()
-        };
-        let mut learner = Chameleon::new(&model, config, seed);
+        let mut learner = Chameleon::new(&model, chameleon_config(buffer)?, seed);
         let report = trainer.run(&scenario, &mut learner, seed);
         print_report(&spec, "Chameleon", &report);
-        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        learner
-            .save_checkpoint(BufWriter::new(file))
-            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+        save_checkpoint_atomically(&learner, path)?;
         println!("checkpoint saved to {path}");
         return Ok(());
     }
@@ -215,6 +221,96 @@ fn train(options: &Options) -> Result<(), String> {
     let mut strategy = build_method(&method, &model, buffer, seed)?;
     let report = trainer.run(&scenario, strategy.as_mut(), seed);
     print_report(&spec, strategy.name(), &report);
+    Ok(())
+}
+
+/// Writes a checkpoint through a temp file in the destination directory,
+/// fsyncs it, then renames into place — a crash mid-save leaves either the
+/// old checkpoint or none, never a half-written blob at `path`.
+fn save_checkpoint_atomically(learner: &Chameleon, path: &str) -> Result<(), String> {
+    let target = std::path::Path::new(path);
+    let dir = target.parent().filter(|d| !d.as_os_str().is_empty());
+    let tmp = match dir {
+        Some(d) => d.join(format!(
+            ".{}.tmp",
+            target
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("checkpoint")
+        )),
+        None => std::path::PathBuf::from(format!(".{path}.tmp")),
+    };
+    let file = File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+    let mut writer = BufWriter::new(file);
+    learner
+        .save_checkpoint(&mut writer)
+        .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| format!("cannot flush checkpoint: {e}"))?;
+    file.sync_all()
+        .map_err(|e| format!("cannot sync checkpoint: {e}"))?;
+    drop(file);
+    std::fs::rename(&tmp, target).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        format!("cannot move checkpoint into place: {e}")
+    })
+}
+
+fn faults(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "dataset",
+        "method",
+        "buffer",
+        "seed",
+        "fault-seed",
+        "rate",
+        "no-quarantine",
+    ])?;
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let method = options.get_or("method", "chameleon").to_string();
+    let buffer: usize = options.get_parsed_or("buffer", 100)?;
+    let seed: u64 = options.get_parsed_or("seed", 1)?;
+    let fault_seed: u64 = options.get_parsed_or("fault-seed", 7)?;
+    let rate: f64 = options.get_parsed_or("rate", 1e-5)?;
+    if !(rate >= 0.0 && rate.is_finite()) {
+        return Err("--rate must be a finite non-negative number".to_string());
+    }
+    let quarantine = !options.has_flag("no-quarantine");
+    if !quarantine && method != "chameleon" {
+        return Err("--no-quarantine applies only to --method chameleon".to_string());
+    }
+
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let trainer = Trainer::new(StreamConfig::default());
+    let plan = FaultPlan::bit_flips(fault_seed, rate);
+    let mut injector = FaultInjector::new(plan);
+
+    if method == "chameleon" {
+        let config = ChameleonConfig {
+            quarantine,
+            ..chameleon_config(buffer)?
+        };
+        let mut learner = Chameleon::new(&model, config, seed);
+        let report = trainer.run_with_faults(&scenario, &mut learner, seed, &mut injector);
+        print_report(&spec, "Chameleon", &report);
+        let r = learner.resilience();
+        println!(
+            "  resilience: {} short-term / {} long-term evictions, {} rebuilds, {} skipped updates",
+            r.short_term_evictions, r.long_term_evictions, r.prototype_rebuilds, r.skipped_updates
+        );
+        println!("  long-term integrity: {:.3}", r.long_term_integrity);
+    } else {
+        let mut strategy = build_method(&method, &model, buffer, seed)?;
+        let report = trainer.run_with_faults(&scenario, strategy.as_mut(), seed, &mut injector);
+        print_report(&spec, strategy.name(), &report);
+    }
+    let stats = injector.stats();
+    println!(
+        "  faults injected (dram rate {rate:.1e}, seed {fault_seed}): {} bit flips across {} store residents",
+        stats.bits_flipped, stats.vectors_hit
+    );
     Ok(())
 }
 
@@ -242,16 +338,9 @@ fn evaluate(options: &Options) -> Result<(), String> {
     let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
     let model = ModelConfig::for_spec(&spec);
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let learner = Chameleon::load_checkpoint(
-        &model,
-        ChameleonConfig {
-            long_term_capacity: buffer,
-            ..ChameleonConfig::default()
-        },
-        1,
-        BufReader::new(file),
-    )
-    .map_err(|e| format!("cannot load checkpoint: {e}"))?;
+    let learner =
+        Chameleon::load_checkpoint(&model, chameleon_config(buffer)?, 1, BufReader::new(file))
+            .map_err(|e| format!("cannot load checkpoint: {e}"))?;
     let report = EvalReport::evaluate(&scenario, &learner);
     print_report(&spec, "Chameleon (checkpoint)", &report);
     println!(
@@ -499,5 +588,78 @@ mod tests {
     fn resources_parses_array() {
         assert!(dispatch(&toks(&["resources", "--array", "16x16"])).is_ok());
         assert!(dispatch(&toks(&["resources", "--array", "16by16"])).is_err());
+    }
+
+    #[test]
+    fn invalid_buffer_is_reported_not_panicked() {
+        // A zero long-term capacity fails config validation; the CLI must
+        // surface the message instead of aborting the process.
+        let err = dispatch(&toks(&["train", "--method", "chameleon", "--buffer", "0"]))
+            .expect_err("zero buffer accepted");
+        assert!(err.contains("long-term capacity"), "{err}");
+    }
+
+    #[test]
+    fn faults_command_runs_and_validates() {
+        let argv = toks(&[
+            "faults",
+            "--dataset",
+            "core50-tiny",
+            "--buffer",
+            "30",
+            "--rate",
+            "1e-4",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["faults", "--rate", "-1"])).is_err());
+        assert!(dispatch(&toks(&["faults", "--rate", "nope"])).is_err());
+        assert!(
+            dispatch(&toks(&["faults", "--method", "er", "--no-quarantine"])).is_err(),
+            "--no-quarantine must be chameleon-only"
+        );
+    }
+
+    #[test]
+    fn faults_command_supports_baselines() {
+        let argv = toks(&[
+            "faults",
+            "--dataset",
+            "core50-tiny",
+            "--method",
+            "latent-replay",
+            "--buffer",
+            "30",
+            "--rate",
+            "1e-5",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("chameleon-cli-atomic-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("ckpt.bin");
+        let path_str = path.to_str().expect("utf8 path");
+        let save = toks(&[
+            "train",
+            "--dataset",
+            "core50-tiny",
+            "--method",
+            "chameleon",
+            "--buffer",
+            "30",
+            "--save",
+            path_str,
+        ]);
+        dispatch(&save).expect("train+save");
+        assert!(path.exists(), "checkpoint missing");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,6 +1,6 @@
 //! Experience Replay (Chaudhry et al., 2019).
 
-use chameleon_replay::{ReservoirBuffer, StoredSample};
+use chameleon_replay::{ReservoirBuffer, StorePlacement, StoredSample};
 use chameleon_stream::Batch;
 use chameleon_tensor::{Matrix, Prng};
 
@@ -90,6 +90,13 @@ impl Strategy for Er {
 
     fn trace(&self) -> StepTrace {
         self.trace
+    }
+
+    fn visit_stores(&mut self, visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {
+        // ER's single raw-image buffer is too large for on-chip SRAM.
+        for s in self.buffer.samples_mut() {
+            visit(StorePlacement::OffChipDram, s);
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Latent Replay (Pellegrini et al., 2020).
 
-use chameleon_replay::{ReservoirBuffer, StoredSample};
+use chameleon_replay::{ReservoirBuffer, StorePlacement, StoredSample};
 use chameleon_stream::Batch;
 use chameleon_tensor::{Matrix, Prng};
 
@@ -97,6 +97,13 @@ impl Strategy for LatentReplay {
 
     fn trace(&self) -> StepTrace {
         self.trace
+    }
+
+    fn visit_stores(&mut self, visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {
+        // The single large latent buffer lives off-chip (paper §IV).
+        for s in self.buffer.samples_mut() {
+            visit(StorePlacement::OffChipDram, s);
+        }
     }
 }
 

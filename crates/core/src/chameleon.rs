@@ -1,7 +1,7 @@
 //! The Chameleon dual-memory replay strategy (paper §III, Algorithm 1).
 
 use chameleon_nn::{loss, FrozenExtractor, MlpHead, Sgd};
-use chameleon_replay::{ClassBalancedBuffer, RingBuffer, StoredSample};
+use chameleon_replay::{ClassBalancedBuffer, RingBuffer, StorePlacement, StoredSample};
 use chameleon_stream::Batch;
 use chameleon_tensor::{ops, Matrix, Prng};
 
@@ -33,6 +33,15 @@ pub struct ChameleonConfig {
     pub alpha: f32,
     /// Weight `β` of the uncertainty term in Eq. 4.
     pub beta: f32,
+    /// Whether corrupted replay samples (failed integrity checksums) are
+    /// detected and evicted before training on them.
+    pub quarantine: bool,
+    /// Long-term integrity fraction below which a quarantine sweep also
+    /// rebuilds the long-term store from the (verified) short-term store —
+    /// after catastrophic corruption the surviving prototypes are too
+    /// sparse to select against, so the store is reseeded from trusted
+    /// on-chip data.
+    pub rebuild_integrity_floor: f32,
 }
 
 impl Default for ChameleonConfig {
@@ -47,41 +56,85 @@ impl Default for ChameleonConfig {
             rho: 1.0,
             alpha: 0.3,
             beta: 0.7,
+            quarantine: true,
+            rebuild_integrity_floor: 0.5,
         }
     }
 }
 
+/// A [`ChameleonConfig`] field rejected by
+/// [`ChameleonConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field (or field combination).
+    pub field: &'static str,
+    /// What the field must satisfy.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.field, self.requirement)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl ChameleonConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, returning the first violated
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field when a value is
+    /// out of range. (NaN fails every range check.)
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |field, requirement| Err(ConfigError { field, requirement });
+        if self.short_term_capacity == 0 {
+            return err("short-term capacity", "must be positive");
+        }
+        if self.long_term_capacity == 0 {
+            return err("long-term capacity", "must be positive");
+        }
+        if self.long_term_period == 0 {
+            return err("long-term period", "must be positive");
+        }
+        if self.long_term_batch == 0 {
+            return err("long-term batch", "must be positive");
+        }
+        if self.top_k == 0 {
+            return err("top-k", "must be positive");
+        }
+        if self.learning_window == 0 {
+            return err("learning window", "must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.rho) {
+            return err("rho", "must be in [0,1]");
+        }
+        if !(self.alpha >= 0.0 && self.beta >= 0.0) {
+            return err("alpha/beta weights", "must be non-negative");
+        }
+        // NaN weights were rejected by the non-negativity check above, so
+        // the sum is totally ordered here.
+        if self.alpha + self.beta <= 0.0 {
+            return err("alpha + beta", "must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.rebuild_integrity_floor) {
+            return err("rebuild integrity floor", "must be in [0,1]");
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`ChameleonConfig::validate`] for internal
+    /// construction paths.
     ///
     /// # Panics
     ///
-    /// Panics when a field is out of range.
-    pub fn validate(&self) {
-        assert!(
-            self.short_term_capacity > 0,
-            "short-term capacity must be positive"
-        );
-        assert!(
-            self.long_term_capacity > 0,
-            "long-term capacity must be positive"
-        );
-        assert!(
-            self.long_term_period > 0,
-            "long-term period must be positive"
-        );
-        assert!(self.long_term_batch > 0, "long-term batch must be positive");
-        assert!(self.top_k > 0, "top-k must be positive");
-        assert!(self.learning_window > 0, "learning window must be positive");
-        assert!((0.0..=1.0).contains(&self.rho), "rho must be in [0,1]");
-        assert!(
-            self.alpha >= 0.0 && self.beta >= 0.0,
-            "weights must be non-negative"
-        );
-        assert!(
-            self.alpha + self.beta > 0.0,
-            "alpha + beta must be positive"
-        );
+    /// Panics with the violated constraint when a field is out of range.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid Chameleon config: {e}");
+        }
     }
 }
 
@@ -136,6 +189,24 @@ pub struct Chameleon {
     rng: Prng,
     samples_seen: u64,
     trace: StepTrace,
+    prototype_rebuilds: u64,
+}
+
+/// Resilience counters of a [`Chameleon`] learner: what its integrity
+/// machinery detected and repaired so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Corrupted samples evicted from the short-term store.
+    pub short_term_evictions: u64,
+    /// Corrupted samples evicted from the long-term store.
+    pub long_term_evictions: u64,
+    /// SGD updates rejected because gradients contained NaN/Inf.
+    pub skipped_updates: u64,
+    /// Times catastrophic long-term corruption triggered a rebuild from
+    /// the short-term store.
+    pub prototype_rebuilds: u64,
+    /// Current fraction of long-term samples passing their checksum.
+    pub long_term_integrity: f64,
 }
 
 impl Chameleon {
@@ -143,7 +214,7 @@ impl Chameleon {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`ChameleonConfig::validate`].
+    /// Panics if `config` fails [`ChameleonConfig::validate`] (see [`ChameleonConfig::assert_valid`]).
     pub fn new(model: &ModelConfig, config: ChameleonConfig, seed: u64) -> Self {
         Self::with_policies(
             model,
@@ -159,7 +230,7 @@ impl Chameleon {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`ChameleonConfig::validate`].
+    /// Panics if `config` fails [`ChameleonConfig::validate`] (see [`ChameleonConfig::assert_valid`]).
     pub fn with_policies(
         model: &ModelConfig,
         config: ChameleonConfig,
@@ -167,7 +238,7 @@ impl Chameleon {
         lt_policy: LongTermPolicy,
         seed: u64,
     ) -> Self {
-        config.validate();
+        config.assert_valid();
         Self {
             extractor: model.build_extractor(),
             head: model.build_head(seed),
@@ -187,6 +258,19 @@ impl Chameleon {
             rng: Prng::new(seed ^ 0xC4A3_31E0),
             samples_seen: 0,
             trace: StepTrace::new(),
+            prototype_rebuilds: 0,
+        }
+    }
+
+    /// Resilience counters: quarantine evictions, rejected updates, and
+    /// long-term rebuilds so far.
+    pub fn resilience(&self) -> ResilienceReport {
+        ResilienceReport {
+            short_term_evictions: self.short_term.stats().corrupt_evictions,
+            long_term_evictions: self.long_term.stats().corrupt_evictions,
+            skipped_updates: self.sgd.skipped_updates(),
+            prototype_rebuilds: self.prototype_rebuilds,
+            long_term_integrity: self.long_term.integrity_fraction(),
         }
     }
 
@@ -290,15 +374,29 @@ impl Chameleon {
         let mut rows: Vec<Vec<f32>> = incoming.iter_rows().map(<[f32]>::to_vec).collect();
         let mut all_labels = labels.to_vec();
 
-        // Full short-term sweep (on-chip reads).
-        let st_items = self.short_term.read_all();
+        // Full short-term sweep (on-chip reads), quarantining corrupted
+        // slots first when enabled.
+        let st_items = if self.config.quarantine {
+            self.short_term.read_all_verified()
+        } else {
+            self.short_term.read_all()
+        };
         self.trace.onchip_sample_reads += st_items.len() as u64;
         for s in st_items {
             rows.push(s.features.clone());
             all_labels.push(s.label);
         }
 
-        // Periodic long-term access (off-chip reads).
+        // Periodic long-term access (off-chip reads). A quarantine sweep
+        // precedes the draw; if it reveals catastrophic corruption, the
+        // store is rebuilt from the just-verified short-term data.
+        if lt_due && self.config.quarantine && !self.long_term.is_empty() {
+            let integrity = self.long_term.integrity_fraction();
+            let evicted = self.long_term.purge_corrupt();
+            if evicted > 0 && integrity < f64::from(self.config.rebuild_integrity_floor) {
+                self.rebuild_long_term_from_short_term();
+            }
+        }
         if lt_due && !self.long_term.is_empty() {
             let lt = self
                 .long_term
@@ -360,6 +458,22 @@ impl Chameleon {
         self.trace.offchip_latent_writes += 1;
     }
 
+    /// Reseeds a catastrophically corrupted long-term store from the
+    /// verified short-term store. Prototypes are derived state (means over
+    /// long-term samples), so repopulating the store *is* the prototype
+    /// rebuild: subsequent Eq. 5/6 selections score against trusted data
+    /// again instead of a nearly-empty survivor set.
+    fn rebuild_long_term_from_short_term(&mut self) {
+        let survivors = self.short_term.items().to_vec();
+        for s in survivors {
+            if s.integrity_ok() {
+                self.long_term.insert(s, &mut self.rng);
+                self.trace.offchip_latent_writes += 1;
+            }
+        }
+        self.prototype_rebuilds += 1;
+    }
+
     /// Raw `KL(p(y|st_j) ‖ p(y|P_c))` underlying Eq. 6; `None` when the
     /// class has no long-term prototype yet.
     fn prototype_kl_raw(&self, sample: &StoredSample) -> Option<f32> {
@@ -387,18 +501,18 @@ impl Chameleon {
     /// Propagates I/O errors from the writer.
     pub fn save_checkpoint<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         use crate::checkpoint as ck;
-        w.write_all(ck::MAGIC)?;
-        ck::write_f32_slice(&mut w, &self.head.parameters())?;
-        ck::write_samples(&mut w, self.short_term.items())?;
+        let mut payload = Vec::new();
+        ck::write_f32_slice(&mut payload, &self.head.parameters())?;
+        ck::write_samples(&mut payload, self.short_term.items())?;
         let lt: Vec<StoredSample> = self.long_term.iter().cloned().collect();
-        ck::write_samples(&mut w, &lt)?;
+        ck::write_samples(&mut payload, &lt)?;
         let counts = self.prefs.total_counts();
-        ck::write_u32(&mut w, counts.len() as u32)?;
+        ck::write_u32(&mut payload, counts.len() as u32)?;
         for &c in counts {
-            ck::write_u64(&mut w, c)?;
+            ck::write_u64(&mut payload, c)?;
         }
-        ck::write_u64(&mut w, self.samples_seen)?;
-        Ok(())
+        ck::write_u64(&mut payload, self.samples_seen)?;
+        w.write_all(&ck::seal(&payload))
     }
 
     /// Restores a learner from a checkpoint written by
@@ -409,7 +523,9 @@ impl Chameleon {
     /// # Errors
     ///
     /// Returns [`LoadCheckpointError`](crate::checkpoint::LoadCheckpointError)
-    /// on I/O failure, bad magic, or shape mismatch with `model`/`config`.
+    /// on I/O failure, bad magic, truncation, a CRC32 footer mismatch, or a
+    /// shape mismatch with `model`/`config`. Decoding never panics on
+    /// arbitrary input.
     pub fn load_checkpoint<R: std::io::Read>(
         model: &ModelConfig,
         config: ChameleonConfig,
@@ -419,11 +535,11 @@ impl Chameleon {
         use crate::checkpoint as ck;
         use crate::checkpoint::LoadCheckpointError as E;
 
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != ck::MAGIC {
-            return Err(E::BadMagic);
-        }
+        let mut blob = Vec::new();
+        r.read_to_end(&mut blob)?;
+        // Verify the envelope (magic + CRC32 footer) before touching any
+        // section; decode then proceeds over the validated payload slice.
+        let mut r = ck::open(&blob)?;
         let mut learner = Self::new(model, config, seed);
 
         let params = ck::read_f32_vec(&mut r)?;
@@ -472,6 +588,23 @@ impl Chameleon {
         learner.prefs.restore_counts(&counts);
         learner.samples_seen = ck::read_u64(&mut r)?;
         Ok(learner)
+    }
+
+    /// Restores a learner from a checkpoint, falling back to a freshly
+    /// initialized one when the blob is missing, truncated, or corrupted.
+    /// This is the recovery path an edge deployment takes after power loss
+    /// mid-write: training resumes from scratch rather than crashing. The
+    /// returned error (if any) says why the checkpoint was rejected.
+    pub fn load_or_fresh<R: std::io::Read>(
+        model: &ModelConfig,
+        config: ChameleonConfig,
+        seed: u64,
+        r: R,
+    ) -> (Self, Option<crate::checkpoint::LoadCheckpointError>) {
+        match Self::load_checkpoint(model, config.clone(), seed, r) {
+            Ok(learner) => (learner, None),
+            Err(e) => (Self::new(model, config, seed), Some(e)),
+        }
     }
 }
 
@@ -525,6 +658,15 @@ impl Strategy for Chameleon {
 
     fn trace(&self) -> StepTrace {
         self.trace
+    }
+
+    fn visit_stores(&mut self, visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {
+        for s in self.short_term.samples_mut() {
+            visit(StorePlacement::OnChipSram, s);
+        }
+        for s in self.long_term.samples_mut() {
+            visit(StorePlacement::OffChipDram, s);
+        }
     }
 }
 
@@ -727,5 +869,113 @@ mod tests {
             ..ChameleonConfig::default()
         };
         let _ = Chameleon::new(&model, config, 0);
+    }
+
+    #[test]
+    fn validate_reports_field_and_requirement() {
+        let config = ChameleonConfig {
+            short_term_capacity: 0,
+            ..ChameleonConfig::default()
+        };
+        let err = config.validate().expect_err("zero capacity must fail");
+        assert_eq!(err.field, "short-term capacity");
+        assert!(err.to_string().contains("short-term capacity"));
+        assert!(ChameleonConfig::default().validate().is_ok());
+    }
+
+    /// Corrupts one stored feature in every sample the closure selects,
+    /// without resealing — exactly what a memory fault looks like.
+    fn corrupt_stores(c: &mut Chameleon, placement: StorePlacement) {
+        c.visit_stores(&mut |p, s| {
+            if p == placement {
+                s.features[0] += 1.0e3;
+            }
+        });
+    }
+
+    #[test]
+    fn quarantine_evicts_corrupted_short_term_samples() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 11);
+        run_domains(&mut c, &scenario, 1);
+        assert_eq!(c.short_term_len(), 10);
+        corrupt_stores(&mut c, StorePlacement::OnChipSram);
+        run_domains(&mut c, &scenario, 1);
+        let r = c.resilience();
+        assert!(
+            r.short_term_evictions >= 10,
+            "corrupted ST samples not quarantined: {r:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_off_trains_on_corrupted_samples() {
+        let (scenario, model) = setup();
+        let config = ChameleonConfig {
+            quarantine: false,
+            ..ChameleonConfig::default()
+        };
+        let mut c = Chameleon::new(&model, config, 11);
+        run_domains(&mut c, &scenario, 1);
+        corrupt_stores(&mut c, StorePlacement::OnChipSram);
+        run_domains(&mut c, &scenario, 1);
+        let r = c.resilience();
+        assert_eq!(r.short_term_evictions, 0);
+        assert_eq!(r.long_term_evictions, 0);
+    }
+
+    #[test]
+    fn catastrophic_long_term_corruption_triggers_rebuild() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 12);
+        run_domains(&mut c, &scenario, 2);
+        assert!(c.long_term_len() > 0);
+        // Damage every long-term resident: integrity drops to 0, far below
+        // the rebuild floor, so the next periodic access reseeds from the
+        // (intact) short-term store.
+        corrupt_stores(&mut c, StorePlacement::OffChipDram);
+        assert_eq!(c.resilience().long_term_integrity, 0.0);
+        run_domains(&mut c, &scenario, 1);
+        let r = c.resilience();
+        assert!(r.long_term_evictions > 0, "{r:?}");
+        assert!(r.prototype_rebuilds >= 1, "{r:?}");
+        assert!(c.long_term_len() > 0, "long-term store left empty");
+        assert_eq!(r.long_term_integrity, 1.0, "rebuilt store not clean");
+    }
+
+    #[test]
+    fn light_long_term_corruption_purges_without_rebuild() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 13);
+        run_domains(&mut c, &scenario, 2);
+        let lt = c.long_term_len();
+        assert!(lt >= 4, "need a populated store, got {lt}");
+        // Damage a single resident: integrity stays above the 0.5 floor.
+        let mut hit = false;
+        c.visit_stores(&mut |p, s| {
+            if p == StorePlacement::OffChipDram && !hit {
+                s.features[0] += 1.0e3;
+                hit = true;
+            }
+        });
+        run_domains(&mut c, &scenario, 1);
+        let r = c.resilience();
+        assert_eq!(r.long_term_evictions, 1, "{r:?}");
+        assert_eq!(r.prototype_rebuilds, 0, "{r:?}");
+    }
+
+    #[test]
+    fn visit_stores_tags_each_store_with_its_placement() {
+        let (scenario, model) = setup();
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 14);
+        run_domains(&mut c, &scenario, 2);
+        let (mut sram, mut dram) = (0, 0);
+        c.visit_stores(&mut |p, _| match p {
+            StorePlacement::OnChipSram => sram += 1,
+            StorePlacement::OffChipDram => dram += 1,
+        });
+        assert_eq!(sram, c.short_term_len());
+        assert_eq!(dram, c.long_term_len());
+        assert!(sram > 0 && dram > 0);
     }
 }

@@ -3,23 +3,36 @@
 //! On-device continual learning must survive power cycles: the trained
 //! head and the replay stores *are* the accumulated knowledge, so both are
 //! persisted. The format is a small self-describing little-endian binary
-//! layout (magic + version + sections), written without external
-//! serialization dependencies.
+//! layout, written without external serialization dependencies:
+//!
+//! ```text
+//! "CHAMLN02" | payload (sections) | CRC32(payload)
+//! ```
+//!
+//! The CRC32 footer makes every flash/transfer corruption detectable at
+//! load time; a blob cut short by power loss mid-write is reported as
+//! [`LoadCheckpointError::Truncated`]. Stored samples additionally persist
+//! their own integrity checksums, so replay-store corruption that happened
+//! *before* a save is still quarantined after the restore.
 //!
 //! What is and is not persisted:
 //!
 //! * **persisted** — head parameters, short-term and long-term store
-//!   contents (features + labels), lifetime class counts,
+//!   contents (features + labels + integrity checksums), lifetime class
+//!   counts,
 //! * **reset on load** — RNG streams, optimizer momentum, learning-window
 //!   progress: these are transient training state, and restarting them
 //!   only perturbs the next few selections.
 
 use std::io::{self, Read, Write};
 
-use chameleon_replay::StoredSample;
+use chameleon_replay::{crc32, StoredSample};
 
-/// Magic bytes identifying a Chameleon checkpoint.
-pub const MAGIC: &[u8; 8] = b"CHAMLN01";
+/// Magic bytes identifying a Chameleon checkpoint (format version 2).
+pub const MAGIC: &[u8; 8] = b"CHAMLN02";
+
+/// Magic of the retired version-1 format (no integrity footer).
+pub const LEGACY_MAGIC: &[u8; 8] = b"CHAMLN01";
 
 /// Errors produced when decoding a checkpoint.
 #[derive(Debug)]
@@ -28,6 +41,19 @@ pub enum LoadCheckpointError {
     Io(io::Error),
     /// The stream does not start with [`MAGIC`].
     BadMagic,
+    /// The stream is a checkpoint of a format version this build no longer
+    /// reads.
+    UnsupportedVersion,
+    /// The stream ends before the declared contents (interrupted write).
+    Truncated,
+    /// The payload does not match its CRC32 footer (bit rot / transfer
+    /// corruption).
+    BadChecksum {
+        /// CRC32 recomputed over the payload as read.
+        found: u32,
+        /// CRC32 recorded in the footer at save time.
+        expected: u32,
+    },
     /// A section's declared shape conflicts with the model configuration.
     ShapeMismatch {
         /// What was being decoded.
@@ -44,6 +70,14 @@ impl std::fmt::Display for LoadCheckpointError {
         match self {
             Self::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             Self::BadMagic => write!(f, "not a chameleon checkpoint (bad magic)"),
+            Self::UnsupportedVersion => {
+                write!(f, "checkpoint format version is no longer supported")
+            }
+            Self::Truncated => write!(f, "checkpoint is truncated"),
+            Self::BadChecksum { found, expected } => write!(
+                f,
+                "checkpoint is corrupted: crc32 {found:#010x}, footer says {expected:#010x}"
+            ),
             Self::ShapeMismatch {
                 what,
                 found,
@@ -67,8 +101,48 @@ impl std::error::Error for LoadCheckpointError {
 
 impl From<io::Error> for LoadCheckpointError {
     fn from(e: io::Error) -> Self {
-        Self::Io(e)
+        // Running out of bytes mid-decode means the blob was cut short;
+        // everything else is a real I/O failure.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Self::Truncated
+        } else {
+            Self::Io(e)
+        }
     }
+}
+
+/// Wraps a serialized payload in the v2 envelope: magic + payload + CRC32.
+pub(crate) fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(payload.len() + 12);
+    blob.extend_from_slice(MAGIC);
+    blob.extend_from_slice(payload);
+    blob.extend_from_slice(&crc32(payload).to_le_bytes());
+    blob
+}
+
+/// Verifies the v2 envelope of `blob`, returning the payload slice.
+pub(crate) fn open(blob: &[u8]) -> Result<&[u8], LoadCheckpointError> {
+    if blob.len() < MAGIC.len() {
+        return Err(LoadCheckpointError::Truncated);
+    }
+    let magic = &blob[..MAGIC.len()];
+    if magic == LEGACY_MAGIC {
+        return Err(LoadCheckpointError::UnsupportedVersion);
+    }
+    if magic != MAGIC {
+        return Err(LoadCheckpointError::BadMagic);
+    }
+    if blob.len() < MAGIC.len() + 4 {
+        return Err(LoadCheckpointError::Truncated);
+    }
+    let payload = &blob[MAGIC.len()..blob.len() - 4];
+    let footer = &blob[blob.len() - 4..];
+    let expected = u32::from_le_bytes(footer.try_into().expect("footer is 4 bytes"));
+    let found = crc32(payload);
+    if found != expected {
+        return Err(LoadCheckpointError::BadChecksum { found, expected });
+    }
+    Ok(payload)
 }
 
 pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
@@ -115,6 +189,9 @@ pub(crate) fn write_samples(w: &mut impl Write, samples: &[StoredSample]) -> io:
     for s in samples {
         write_u32(w, s.label as u32)?;
         write_f32_slice(w, &s.features)?;
+        // The checksum recorded at insertion time, not a fresh one: a
+        // sample corrupted in memory before the save stays detectable.
+        write_u32(w, s.checksum())?;
     }
     Ok(())
 }
@@ -125,7 +202,10 @@ pub(crate) fn read_samples(r: &mut impl Read) -> io::Result<Vec<StoredSample>> {
     for _ in 0..count {
         let label = read_u32(r)? as usize;
         let features = read_f32_vec(r)?;
-        out.push(StoredSample::latent(features, label));
+        let checksum = read_u32(r)?;
+        out.push(StoredSample::from_parts(
+            features, label, None, None, checksum,
+        ));
     }
     Ok(out)
 }
@@ -147,7 +227,7 @@ mod tests {
     }
 
     #[test]
-    fn samples_roundtrip() {
+    fn samples_roundtrip_with_integrity() {
         let samples = vec![
             StoredSample::latent(vec![1.0, 2.0], 3),
             StoredSample::latent(vec![-0.5], 7),
@@ -156,6 +236,17 @@ mod tests {
         write_samples(&mut buf, &samples).expect("write");
         let back = read_samples(&mut buf.as_slice()).expect("read");
         assert_eq!(back, samples);
+        assert!(back.iter().all(StoredSample::integrity_ok));
+    }
+
+    #[test]
+    fn corrupted_samples_stay_detectable_across_roundtrip() {
+        let mut s = StoredSample::latent(vec![1.0, 2.0], 0);
+        s.features[0] = 9.0; // upset before the save; no reseal
+        let mut buf = Vec::new();
+        write_samples(&mut buf, &[s]).expect("write");
+        let back = read_samples(&mut buf.as_slice()).expect("read");
+        assert!(!back[0].integrity_ok());
     }
 
     #[test]
@@ -167,6 +258,48 @@ mod tests {
     }
 
     #[test]
+    fn seal_open_roundtrip() {
+        let payload = b"section data".to_vec();
+        let blob = seal(&payload);
+        assert_eq!(open(&blob).expect("valid"), payload.as_slice());
+    }
+
+    #[test]
+    fn open_rejects_every_single_byte_corruption() {
+        let blob = seal(b"0123456789abcdef");
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(open(&bad).is_err(), "corruption at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn open_rejects_every_truncation() {
+        let blob = seal(&[7u8; 40]);
+        for keep in 0..blob.len() {
+            let err = open(&blob[..keep]).expect_err("truncated blob accepted");
+            assert!(
+                matches!(
+                    err,
+                    LoadCheckpointError::Truncated | LoadCheckpointError::BadChecksum { .. }
+                ),
+                "unexpected error at {keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_identifies_legacy_version() {
+        let mut blob = seal(b"payload");
+        blob[..8].copy_from_slice(LEGACY_MAGIC);
+        assert!(matches!(
+            open(&blob),
+            Err(LoadCheckpointError::UnsupportedVersion)
+        ));
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let e = LoadCheckpointError::ShapeMismatch {
             what: "head",
@@ -175,5 +308,13 @@ mod tests {
         };
         assert!(e.to_string().contains("head"));
         assert!(LoadCheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(LoadCheckpointError::Truncated
+            .to_string()
+            .contains("truncated"));
+        let c = LoadCheckpointError::BadChecksum {
+            found: 1,
+            expected: 2,
+        };
+        assert!(c.to_string().contains("corrupted"));
     }
 }

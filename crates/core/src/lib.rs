@@ -52,7 +52,9 @@ pub use baselines::{
     Der, DerConfig, Er, EwcConfig, EwcPlusPlus, Finetune, Gss, GssConfig, Joint, JointConfig,
     LatentReplay, Lwf, LwfConfig, Slda, SldaConfig,
 };
-pub use chameleon::{Chameleon, ChameleonConfig, LongTermPolicy, ShortTermPolicy};
+pub use chameleon::{
+    Chameleon, ChameleonConfig, ConfigError, LongTermPolicy, ResilienceReport, ShortTermPolicy,
+};
 pub use metrics::{backward_transfer, confusion_matrix, EvalReport};
 pub use model::ModelConfig;
 pub use prefs::PreferenceTracker;

@@ -1,5 +1,6 @@
 //! The common interface of all continual-learning strategies.
 
+use chameleon_replay::{StorePlacement, StoredSample};
 use chameleon_stream::Batch;
 use chameleon_tensor::Matrix;
 
@@ -49,6 +50,14 @@ pub trait Strategy {
     fn trace(&self) -> StepTrace {
         StepTrace::new()
     }
+
+    /// Visits every replay sample the strategy holds, tagged with the
+    /// memory level the store resides in. Fault injection uses this to
+    /// apply placement-scaled bit upsets to resident data; the visitor
+    /// deliberately does *not* reseal checksums, so corruption it inflicts
+    /// is later detectable. Strategies without replay stores (Finetune,
+    /// EWC++, LwF, SLDA) keep the empty default.
+    fn visit_stores(&mut self, _visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {}
 }
 
 /// Blanket impl so `Box<dyn Strategy>` composes with the trainer.
@@ -76,5 +85,8 @@ impl Strategy for Box<dyn Strategy> {
     }
     fn trace(&self) -> StepTrace {
         self.as_ref().trace()
+    }
+    fn visit_stores(&mut self, visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {
+        self.as_mut().visit_stores(visit);
     }
 }

@@ -1,5 +1,6 @@
 //! The Domain-IL training/evaluation harness.
 
+use chameleon_faults::FaultInjector;
 use chameleon_stream::{DomainIlScenario, StreamConfig};
 use chameleon_tensor::stats::MeanStd;
 
@@ -65,6 +66,36 @@ impl Trainer {
         order: &[usize],
         stream_seed: u64,
     ) -> EvalReport {
+        self.run_inner(scenario, strategy, order, stream_seed, None)
+    }
+
+    /// Like [`Trainer::run`], but with a fault injector between the
+    /// scenario and the strategy: arriving batches pass through the
+    /// injector's stream faults, and after every observed batch the
+    /// strategy's replay stores receive placement-scaled bit upsets for the
+    /// ticks that batch represents.
+    ///
+    /// A zero-rate injector leaves this bit-identical to [`Trainer::run`]:
+    /// the fault paths neither perturb data nor consume randomness.
+    pub fn run_with_faults<S: Strategy + ?Sized>(
+        &self,
+        scenario: &DomainIlScenario,
+        strategy: &mut S,
+        stream_seed: u64,
+        faults: &mut FaultInjector,
+    ) -> EvalReport {
+        let order: Vec<usize> = (0..scenario.spec().num_domains).collect();
+        self.run_inner(scenario, strategy, &order, stream_seed, Some(faults))
+    }
+
+    fn run_inner<S: Strategy + ?Sized>(
+        &self,
+        scenario: &DomainIlScenario,
+        strategy: &mut S,
+        order: &[usize],
+        stream_seed: u64,
+        mut faults: Option<&mut FaultInjector>,
+    ) -> EvalReport {
         let num_domains = scenario.spec().num_domains;
         let mut seen = vec![false; num_domains];
         assert_eq!(order.len(), num_domains, "order must cover every domain");
@@ -82,7 +113,21 @@ impl Trainer {
                 &self.stream_config,
                 stream_seed.wrapping_add(position as u64 * 0x9E37),
             ) {
-                strategy.observe(&batch);
+                match faults.as_deref_mut() {
+                    None => strategy.observe(&batch),
+                    Some(injector) => {
+                        // Stream time passes whether or not the batch is
+                        // delivered: a dropped batch's samples still age
+                        // whatever is resident in the stores.
+                        let ticks = batch.len() as u64;
+                        for delivered in injector.mangle_batch(batch) {
+                            strategy.observe(&delivered);
+                        }
+                        strategy.visit_stores(&mut |placement, sample| {
+                            injector.flip_bits(&mut sample.features, ticks, placement);
+                        });
+                    }
+                }
             }
             strategy.end_domain(position);
         }

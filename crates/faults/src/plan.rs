@@ -1,0 +1,194 @@
+//! Declarative description of which faults to inject, at which rates.
+
+use chameleon_replay::StorePlacement;
+
+/// Relative susceptibility of off-chip DRAM vs on-chip SRAM to bit upsets.
+///
+/// Must match `SoftErrorModel::DRAM_TO_SRAM_RATIO` in `chameleon-hw` (the
+/// crates cannot share the constant without a dependency cycle; a
+/// cross-crate test in the root package keeps them in sync).
+pub const DRAM_TO_SRAM_RATIO: f64 = 16.0;
+
+/// Bit-upset rates for data resident in each memory level, in expected
+/// flips per stored bit per stream tick (one tick = one streamed sample).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryFaultModel {
+    /// Upset rate for on-chip SRAM residents (short-term store).
+    pub sram_flips_per_bit_per_tick: f64,
+    /// Upset rate for off-chip DRAM residents (long-term store, baseline
+    /// replay buffers).
+    pub dram_flips_per_bit_per_tick: f64,
+}
+
+impl MemoryFaultModel {
+    /// No memory faults.
+    pub fn disabled() -> Self {
+        Self {
+            sram_flips_per_bit_per_tick: 0.0,
+            dram_flips_per_bit_per_tick: 0.0,
+        }
+    }
+
+    /// Explicit per-level rates (e.g. copied from a hardware soft-error
+    /// model).
+    pub fn from_rates(sram: f64, dram: f64) -> Self {
+        Self {
+            sram_flips_per_bit_per_tick: sram,
+            dram_flips_per_bit_per_tick: dram,
+        }
+    }
+
+    /// DRAM rate with the SRAM rate derived via [`DRAM_TO_SRAM_RATIO`].
+    pub fn from_dram_rate(dram: f64) -> Self {
+        Self::from_rates(dram / DRAM_TO_SRAM_RATIO, dram)
+    }
+
+    /// The upset rate applying to data at `placement`.
+    pub fn rate_for(&self, placement: StorePlacement) -> f64 {
+        match placement {
+            StorePlacement::OnChipSram => self.sram_flips_per_bit_per_tick,
+            StorePlacement::OffChipDram => self.dram_flips_per_bit_per_tick,
+        }
+    }
+
+    /// Whether both rates are exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.sram_flips_per_bit_per_tick == 0.0 && self.dram_flips_per_bit_per_tick == 0.0
+    }
+}
+
+/// Damage model for serialized checkpoint blobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointFaultModel {
+    /// Probability a saved blob is truncated at a random offset
+    /// (interrupted write / power loss).
+    pub truncate_prob: f64,
+    /// Probability a saved blob has random bytes corrupted (bad flash
+    /// sectors, transfer errors).
+    pub corrupt_prob: f64,
+    /// Upper bound on how many bytes one corruption event damages.
+    pub max_corrupt_bytes: usize,
+}
+
+impl CheckpointFaultModel {
+    /// No checkpoint faults.
+    pub fn disabled() -> Self {
+        Self {
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+            max_corrupt_bytes: 0,
+        }
+    }
+
+    /// Whether both damage probabilities are exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.truncate_prob == 0.0 && self.corrupt_prob == 0.0
+    }
+}
+
+/// Perturbations of the input stream between scenario and strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamFaultModel {
+    /// Probability an arriving batch is dropped entirely (sensor outage).
+    pub drop_batch_prob: f64,
+    /// Probability an arriving batch is delivered twice (retransmission).
+    pub duplicate_batch_prob: f64,
+    /// Per-sample probability the label is replaced by a different class
+    /// (annotation/user-feedback noise). Requires `num_classes >= 2`.
+    pub label_noise_prob: f64,
+    /// Number of classes labels are drawn from, for noise replacement.
+    pub num_classes: usize,
+}
+
+impl StreamFaultModel {
+    /// No stream faults.
+    pub fn disabled() -> Self {
+        Self {
+            drop_batch_prob: 0.0,
+            duplicate_batch_prob: 0.0,
+            label_noise_prob: 0.0,
+            num_classes: 0,
+        }
+    }
+
+    /// Whether every perturbation probability is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.drop_batch_prob == 0.0
+            && self.duplicate_batch_prob == 0.0
+            && self.label_noise_prob == 0.0
+    }
+}
+
+/// A complete, seeded fault-injection campaign description.
+///
+/// The same plan always produces the same faults over the same run: the
+/// seed feeds independently forked RNG streams per category (see
+/// [`crate::FaultInjector`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed for all fault randomness.
+    pub seed: u64,
+    /// Memory bit-upset rates.
+    pub memory: MemoryFaultModel,
+    /// Checkpoint damage model.
+    pub checkpoint: CheckpointFaultModel,
+    /// Stream perturbation model.
+    pub stream: StreamFaultModel,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing; running under it is bit-identical to not
+    /// running an injector at all.
+    pub fn disabled(seed: u64) -> Self {
+        Self {
+            seed,
+            memory: MemoryFaultModel::disabled(),
+            checkpoint: CheckpointFaultModel::disabled(),
+            stream: StreamFaultModel::disabled(),
+        }
+    }
+
+    /// A memory-faults-only plan at the given DRAM bit-flip rate, with the
+    /// SRAM rate derived via the fixed DRAM:SRAM susceptibility ratio.
+    pub fn bit_flips(seed: u64, dram_flips_per_bit_per_tick: f64) -> Self {
+        Self {
+            seed,
+            memory: MemoryFaultModel::from_dram_rate(dram_flips_per_bit_per_tick),
+            checkpoint: CheckpointFaultModel::disabled(),
+            stream: StreamFaultModel::disabled(),
+        }
+    }
+
+    /// Whether every fault category is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.memory.is_zero() && self.checkpoint.is_zero() && self.stream.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_noop() {
+        assert!(FaultPlan::disabled(0).is_noop());
+        assert!(!FaultPlan::bit_flips(0, 1e-6).is_noop());
+    }
+
+    #[test]
+    fn bit_flip_plan_keeps_hierarchy_asymmetry() {
+        let plan = FaultPlan::bit_flips(0, 1.6e-5);
+        assert!(
+            plan.memory.rate_for(StorePlacement::OffChipDram)
+                > plan.memory.rate_for(StorePlacement::OnChipSram)
+        );
+        assert_eq!(plan.memory.rate_for(StorePlacement::OffChipDram), 1.6e-5);
+    }
+
+    #[test]
+    fn derived_sram_rate_follows_ratio() {
+        let m = MemoryFaultModel::from_dram_rate(1.6e-5);
+        assert_eq!(m.dram_flips_per_bit_per_tick, 1.6e-5);
+        assert_eq!(m.sram_flips_per_bit_per_tick, 1.6e-5 / DRAM_TO_SRAM_RATIO);
+    }
+}

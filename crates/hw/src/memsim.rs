@@ -32,6 +32,7 @@
 
 use std::collections::BTreeMap;
 
+use chameleon_replay::StorePlacement;
 use chameleon_tensor::Prng;
 
 /// Error returned when a scratchpad partition cannot be allocated.
@@ -241,6 +242,66 @@ impl DramModel {
     }
 }
 
+/// Soft-error (single-event-upset) rates of the two memory levels, in
+/// expected bit flips per stored bit per stream tick (one tick = one
+/// streamed sample).
+///
+/// The asymmetry mirrors the hierarchy itself: off-chip DRAM retains data
+/// by charge on capacitors and accumulates retention/disturb errors at a
+/// much higher rate than the flip-flop-based on-chip BRAM, so Chameleon's
+/// DRAM-resident long-term store sees more upsets per resident sample than
+/// the on-chip short-term store. Absolute magnitudes here are knobs for
+/// fault-injection sweeps, not field-measured FIT rates; only the SRAM/DRAM
+/// ratio is meant to be physically suggestive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoftErrorModel {
+    /// Upsets per stored bit per tick in on-chip SRAM/BRAM.
+    pub sram_flips_per_bit_per_tick: f64,
+    /// Upsets per stored bit per tick in off-chip DRAM.
+    pub dram_flips_per_bit_per_tick: f64,
+}
+
+impl SoftErrorModel {
+    /// DRAM-to-SRAM upset-rate ratio used by the device defaults.
+    pub const DRAM_TO_SRAM_RATIO: f64 = 16.0;
+
+    /// A perfectly reliable memory system (no upsets).
+    pub fn none() -> Self {
+        Self {
+            sram_flips_per_bit_per_tick: 0.0,
+            dram_flips_per_bit_per_tick: 0.0,
+        }
+    }
+
+    /// Baseline rates for the ZCU102-class hierarchy: a nominal DRAM rate
+    /// with SRAM [`SoftErrorModel::DRAM_TO_SRAM_RATIO`]× lower.
+    pub fn zcu102() -> Self {
+        Self::from_dram_rate(1e-8)
+    }
+
+    /// Builds a model from a DRAM upset rate, deriving the SRAM rate via
+    /// the fixed [`SoftErrorModel::DRAM_TO_SRAM_RATIO`].
+    pub fn from_dram_rate(dram_flips_per_bit_per_tick: f64) -> Self {
+        Self {
+            sram_flips_per_bit_per_tick: dram_flips_per_bit_per_tick / Self::DRAM_TO_SRAM_RATIO,
+            dram_flips_per_bit_per_tick,
+        }
+    }
+
+    /// Scales both rates by `factor` (accelerated-aging sweeps).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            sram_flips_per_bit_per_tick: self.sram_flips_per_bit_per_tick * factor,
+            dram_flips_per_bit_per_tick: self.dram_flips_per_bit_per_tick * factor,
+        }
+    }
+
+    /// Whether both rates are exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.sram_flips_per_bit_per_tick == 0.0 && self.dram_flips_per_bit_per_tick == 0.0
+    }
+}
+
 /// Where replay samples are read from within their buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessPattern {
@@ -319,6 +380,18 @@ impl MemoryHierarchy {
     /// accelerator's own partitions.
     pub fn replay_store_fits_on_chip(&self, bytes: usize) -> bool {
         bytes <= self.scratchpad.available()
+    }
+
+    /// Where a replay store of `bytes` physically lives on this device:
+    /// on-chip if it fits in the scratchpad, off-chip otherwise. This is
+    /// the same placement decision the traffic model prices, and the one
+    /// that selects a store's soft-error rate under fault injection.
+    pub fn placement_for_store(&self, bytes: usize) -> StorePlacement {
+        if self.replay_store_fits_on_chip(bytes) {
+            StorePlacement::OnChipSram
+        } else {
+            StorePlacement::OffChipDram
+        }
     }
 }
 
@@ -414,6 +487,23 @@ mod tests {
         assert!(h.replay_store_fits_on_chip(10 * 32 * 1024));
         // …but even the smallest Table I long-term buffer does not.
         assert!(!h.replay_store_fits_on_chip(100 * 32 * 1024));
+    }
+
+    #[test]
+    fn soft_error_model_keeps_hierarchy_asymmetry() {
+        let m = SoftErrorModel::zcu102();
+        assert!(m.dram_flips_per_bit_per_tick > m.sram_flips_per_bit_per_tick);
+        let scaled = m.scaled(100.0);
+        assert!(
+            (scaled.dram_flips_per_bit_per_tick / m.dram_flips_per_bit_per_tick - 100.0).abs()
+                < 1e-9
+        );
+        assert_eq!(
+            scaled.dram_flips_per_bit_per_tick / scaled.sram_flips_per_bit_per_tick,
+            SoftErrorModel::DRAM_TO_SRAM_RATIO
+        );
+        assert!(SoftErrorModel::none().is_zero());
+        assert!(!m.is_zero());
     }
 
     #[test]

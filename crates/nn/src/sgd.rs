@@ -20,12 +20,19 @@ use crate::Linear;
 /// let sgd = Sgd::new(0.001).with_momentum(0.9).with_weight_decay(1e-4);
 /// assert_eq!(sgd.learning_rate(), 0.001);
 /// ```
+/// A corrupted replay sample (e.g. a memory upset flipping a float's
+/// exponent) can push activations to ±∞ and poison the gradients; one such
+/// step would destroy the head and, with momentum, keep destroying it on
+/// every later step. `step` therefore rejects any update whose gradients
+/// contain NaN/Inf, counting it in [`Sgd::skipped_updates`] instead of
+/// applying it.
 #[derive(Clone, Debug)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
     velocity: HashMap<usize, (Matrix, Vec<f32>)>,
+    skipped_updates: u64,
 }
 
 impl Sgd {
@@ -42,6 +49,7 @@ impl Sgd {
             momentum: 0.0,
             weight_decay: 0.0,
             velocity: HashMap::new(),
+            skipped_updates: 0,
         }
     }
 
@@ -88,7 +96,15 @@ impl Sgd {
     /// # Panics
     ///
     /// Panics if the gradient shapes do not match the layer.
+    /// Does nothing (beyond incrementing [`Sgd::skipped_updates`]) when any
+    /// gradient entry is NaN or infinite.
     pub fn step(&mut self, layer_index: usize, layer: &mut Linear, dw: &Matrix, db: &[f32]) {
+        let finite =
+            dw.as_slice().iter().all(|v| v.is_finite()) && db.iter().all(|v| v.is_finite());
+        if !finite {
+            self.skipped_updates += 1;
+            return;
+        }
         let mut dw_eff = dw.clone();
         if self.weight_decay > 0.0 {
             dw_eff.axpy(self.weight_decay, layer.weight());
@@ -119,6 +135,12 @@ impl Sgd {
     /// Clears momentum state (used when a strategy resets between domains).
     pub fn reset_state(&mut self) {
         self.velocity.clear();
+    }
+
+    /// Number of updates rejected because their gradients contained
+    /// NaN/Inf values.
+    pub fn skipped_updates(&self) -> u64 {
+        self.skipped_updates
     }
 }
 
@@ -188,6 +210,32 @@ mod tests {
         assert!(!sgd.velocity.is_empty());
         sgd.reset_state();
         assert!(sgd.velocity.is_empty());
+    }
+
+    #[test]
+    fn non_finite_gradients_are_skipped_not_applied() {
+        let mut rng = Prng::new(4);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let before = layer.weight().clone();
+
+        let mut bad_dw = Matrix::zeros(2, 2);
+        bad_dw.set(0, 1, f32::NAN);
+        sgd.step(0, &mut layer, &bad_dw, &[0.0, 0.0]);
+        sgd.step(0, &mut layer, &Matrix::zeros(2, 2), &[f32::INFINITY, 0.0]);
+
+        assert_eq!(sgd.skipped_updates(), 2);
+        assert_eq!(layer.weight().as_slice(), before.as_slice());
+        assert!(
+            sgd.velocity.is_empty(),
+            "skipped steps must not touch momentum"
+        );
+
+        // A clean step afterwards still works.
+        let (dw, db) = quadratic_grad(&layer);
+        sgd.step(0, &mut layer, &dw, &db);
+        assert_eq!(sgd.skipped_updates(), 2);
+        assert!(layer.weight().as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -114,6 +114,39 @@ impl ClassBalancedBuffer {
         idx.into_iter().map(|i| flat[i].clone()).collect()
     }
 
+    /// Removes every sample failing its integrity check, returning how many
+    /// were evicted and recording them in the corrupt-eviction counter.
+    /// Reservoir offer counts are left untouched: a quarantined slot was a
+    /// legitimate reservoir member until the upset destroyed it.
+    pub fn purge_corrupt(&mut self) -> usize {
+        let mut evicted = 0;
+        self.by_class.retain(|_, list| {
+            let before = list.len();
+            list.retain(|s| s.integrity_ok());
+            evicted += before - list.len();
+            !list.is_empty()
+        });
+        self.len -= evicted;
+        self.stats.corrupt_evictions += evicted as u64;
+        evicted
+    }
+
+    /// Fraction of stored samples whose integrity checksum still matches
+    /// (1.0 for an empty buffer). Does not count replay reads.
+    pub fn integrity_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        let valid = self.iter().filter(|s| s.integrity_ok()).count();
+        valid as f64 / self.len as f64
+    }
+
+    /// Mutable access to stored samples, for in-place fault injection.
+    /// Does not count replay reads or writes.
+    pub fn samples_mut(&mut self) -> impl Iterator<Item = &mut StoredSample> {
+        self.by_class.values_mut().flatten()
+    }
+
     /// Borrow the samples of one class (empty slice if none).
     pub fn samples_of_class(&self, class: usize) -> &[StoredSample] {
         self.by_class.get(&class).map_or(&[], Vec::as_slice)
@@ -288,6 +321,32 @@ mod tests {
             assert!(b.len() <= 7);
         }
         assert_eq!(b.len(), 7);
+    }
+
+    #[test]
+    fn purge_corrupt_evicts_only_damaged_slots() {
+        let mut rng = Prng::new(7);
+        let mut b = ClassBalancedBuffer::new(6);
+        for class in 0..3 {
+            for v in 0..2 {
+                b.insert(sample(class, v as f32), &mut rng);
+            }
+        }
+        assert_eq!(b.integrity_fraction(), 1.0);
+        // Corrupt both samples of class 1 without resealing.
+        for s in b.samples_mut() {
+            if s.label == 1 {
+                s.features[0] += 1000.0;
+            }
+        }
+        assert!(b.integrity_fraction() < 1.0);
+        let evicted = b.purge_corrupt();
+        assert_eq!(evicted, 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.class_count(1), 0);
+        assert_eq!(b.classes(), vec![0, 2]);
+        assert_eq!(b.stats().corrupt_evictions, 2);
+        assert_eq!(b.integrity_fraction(), 1.0);
     }
 
     #[test]

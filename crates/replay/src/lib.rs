@@ -15,6 +15,12 @@
 //! * [`AccessStats`] — read/write counters every buffer maintains, which the
 //!   hardware model converts into on-chip/off-chip traffic for Table II.
 //!
+//! Resilience support: every [`StoredSample`] is sealed with a [`crc32`]
+//! checksum at construction, buffers can quarantine corrupted slots
+//! (`purge_corrupt`), and [`StorePlacement`] records whether a store lives
+//! in on-chip SRAM or off-chip DRAM — the split `chameleon-faults` uses to
+//! scale bit-upset rates.
+//!
 //! # Example
 //!
 //! ```
@@ -33,12 +39,16 @@
 #![warn(missing_docs)]
 
 mod balanced;
+mod integrity;
+mod placement;
 mod reservoir;
 mod ring;
 mod sample;
 mod stats;
 
 pub use balanced::ClassBalancedBuffer;
+pub use integrity::{crc32, Crc32};
+pub use placement::StorePlacement;
 pub use reservoir::ReservoirBuffer;
 pub use ring::RingBuffer;
 pub use sample::StoredSample;

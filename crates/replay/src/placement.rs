@@ -1,0 +1,40 @@
+//! Physical placement of a replay store in the memory hierarchy.
+
+/// Where a replay store physically resides on the target device.
+///
+/// This mirrors the placement split in `chameleon-hw`'s memory simulator:
+/// Chameleon's 10-sample short-term store fits in the ZCU102's on-chip
+/// scratchpad, while the long-term store (and every baseline's single large
+/// buffer) spills to off-chip DRAM. The distinction matters for fault
+/// injection because DRAM retention upsets occur at a much higher rate than
+/// flip-flop/SRAM upsets, so the two stores see different bit-error rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StorePlacement {
+    /// On-chip SRAM/BRAM scratchpad (Chameleon's short-term store).
+    OnChipSram,
+    /// Off-chip DRAM (long-term store, baseline replay buffers).
+    OffChipDram,
+}
+
+impl StorePlacement {
+    /// Short human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorePlacement::OnChipSram => "on-chip-sram",
+            StorePlacement::OffChipDram => "off-chip-dram",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(
+            StorePlacement::OnChipSram.name(),
+            StorePlacement::OffChipDram.name()
+        );
+    }
+}

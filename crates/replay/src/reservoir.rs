@@ -88,6 +88,23 @@ impl ReservoirBuffer {
         &self.items
     }
 
+    /// Mutable access to stored samples, for in-place fault injection.
+    /// Does not count replay reads or writes.
+    pub fn samples_mut(&mut self) -> impl Iterator<Item = &mut StoredSample> {
+        self.items.iter_mut()
+    }
+
+    /// Removes every sample failing its integrity check, returning how many
+    /// were evicted and recording them in the corrupt-eviction counter.
+    /// `seen` is left untouched so future acceptance odds are unchanged.
+    pub fn purge_corrupt(&mut self) -> usize {
+        let before = self.items.len();
+        self.items.retain(|s| s.integrity_ok());
+        let evicted = before - self.items.len();
+        self.stats.corrupt_evictions += evicted as u64;
+        evicted
+    }
+
     /// Access counters accumulated so far.
     pub fn stats(&self) -> AccessStats {
         self.stats

@@ -80,9 +80,38 @@ impl RingBuffer {
         self.items.clone()
     }
 
+    /// Reads the buffer like [`RingBuffer::read_all`], but first evicts
+    /// every sample whose integrity checksum no longer matches its contents
+    /// (memory-upset quarantine). Evictions are counted in
+    /// [`AccessStats::corrupt_evictions`]; only surviving samples count as
+    /// reads.
+    pub fn read_all_verified(&mut self) -> Vec<StoredSample> {
+        self.purge_corrupt();
+        self.read_all()
+    }
+
+    /// Removes every sample failing its integrity check, returning how many
+    /// were evicted and recording them in the corrupt-eviction counter.
+    pub fn purge_corrupt(&mut self) -> usize {
+        let before = self.items.len();
+        self.items.retain(|s| s.integrity_ok());
+        let evicted = before - self.items.len();
+        self.stats.corrupt_evictions += evicted as u64;
+        if evicted > 0 {
+            self.next_fifo = 0;
+        }
+        evicted
+    }
+
     /// Borrow stored samples without counting a replay read.
     pub fn items(&self) -> &[StoredSample] {
         &self.items
+    }
+
+    /// Mutable access to stored samples, for in-place fault injection.
+    /// Does not count replay reads or writes.
+    pub fn samples_mut(&mut self) -> impl Iterator<Item = &mut StoredSample> {
+        self.items.iter_mut()
     }
 
     /// Number of stored samples.
@@ -170,6 +199,25 @@ mod tests {
         let t = b.take(0);
         assert_eq!(t.features[0], 0.0);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn read_all_verified_quarantines_corruption() {
+        let mut b = RingBuffer::new(4);
+        for i in 0..3 {
+            b.push(sample(i));
+        }
+        // Corrupt one slot in place without resealing.
+        for (i, s) in b.samples_mut().enumerate() {
+            if i == 1 {
+                s.features[0] = f32::from_bits(s.features[0].to_bits() ^ 1);
+            }
+        }
+        let survivors = b.read_all_verified();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.stats().corrupt_evictions, 1);
+        assert!(survivors.iter().all(|s| s.integrity_ok()));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The unit of replay storage.
 
+use crate::integrity::Crc32;
+
 /// One stored replay sample.
 ///
 /// `features` holds whatever representation the owning method stores — raw
@@ -7,6 +9,13 @@
 /// Chameleon. Optional payloads carry the extra state some baselines
 /// require. Memory accounting for the tables is done with the *nominal*
 /// shapes in [`chameleon_stream::shapes`], not the simulated vector sizes.
+///
+/// Every sample carries a CRC32 over its contents, sealed at construction
+/// time. Replay stores are long-lived and exposed to memory upsets, so
+/// readers can call [`StoredSample::integrity_ok`] to detect silent
+/// corruption before training on a sample. Code that *legitimately* mutates
+/// a sample must call [`StoredSample::reseal`] afterwards; fault injection
+/// deliberately does not.
 ///
 /// [`chameleon_stream::shapes`]: https://docs.rs/chameleon-stream
 #[derive(Clone, Debug, PartialEq)]
@@ -19,52 +28,108 @@ pub struct StoredSample {
     pub logits: Option<Vec<f32>>,
     /// Flattened gradient direction recorded at insertion time (GSS).
     pub gradient: Option<Vec<f32>>,
+    /// CRC32 over the fields above, sealed at construction.
+    checksum: u32,
 }
 
 impl StoredSample {
-    /// A latent-representation sample (Latent Replay, Chameleon).
-    pub fn latent(features: Vec<f32>, label: usize) -> Self {
-        Self {
+    fn sealed(
+        features: Vec<f32>,
+        label: usize,
+        logits: Option<Vec<f32>>,
+        gradient: Option<Vec<f32>>,
+    ) -> Self {
+        let mut sample = Self {
             features,
             label,
-            logits: None,
-            gradient: None,
-        }
+            logits,
+            gradient,
+            checksum: 0,
+        };
+        sample.reseal();
+        sample
+    }
+
+    /// A latent-representation sample (Latent Replay, Chameleon).
+    pub fn latent(features: Vec<f32>, label: usize) -> Self {
+        Self::sealed(features, label, None, None)
     }
 
     /// A raw-input sample (ER).
     pub fn raw(features: Vec<f32>, label: usize) -> Self {
-        Self {
-            features,
-            label,
-            logits: None,
-            gradient: None,
-        }
+        Self::sealed(features, label, None, None)
     }
 
     /// A raw sample with recorded teacher logits (DER).
     pub fn with_logits(features: Vec<f32>, label: usize, logits: Vec<f32>) -> Self {
-        Self {
-            features,
-            label,
-            logits: Some(logits),
-            gradient: None,
-        }
+        Self::sealed(features, label, Some(logits), None)
     }
 
     /// A raw sample with a recorded gradient direction (GSS).
     pub fn with_gradient(features: Vec<f32>, label: usize, gradient: Vec<f32>) -> Self {
+        Self::sealed(features, label, None, Some(gradient))
+    }
+
+    /// Reconstructs a sample with an *already recorded* checksum — used by
+    /// checkpoint loading so corruption that happened before a save is still
+    /// detected after the restore.
+    pub fn from_parts(
+        features: Vec<f32>,
+        label: usize,
+        logits: Option<Vec<f32>>,
+        gradient: Option<Vec<f32>>,
+        checksum: u32,
+    ) -> Self {
         Self {
             features,
             label,
-            logits: None,
-            gradient: Some(gradient),
+            logits,
+            gradient,
+            checksum,
         }
     }
 
     /// Dimension of the stored representation.
     pub fn dim(&self) -> usize {
         self.features.len()
+    }
+
+    /// The checksum sealed over this sample's contents.
+    pub fn checksum(&self) -> u32 {
+        self.checksum
+    }
+
+    /// CRC32 of the sample's *current* contents.
+    fn content_checksum(&self) -> u32 {
+        let mut h = Crc32::new();
+        h.update(&(self.label as u64).to_le_bytes());
+        h.update(&(self.features.len() as u64).to_le_bytes());
+        for &v in &self.features {
+            h.update(&v.to_bits().to_le_bytes());
+        }
+        for payload in [&self.logits, &self.gradient] {
+            match payload {
+                Some(values) => {
+                    h.update(&[1]);
+                    h.update(&(values.len() as u64).to_le_bytes());
+                    for &v in values {
+                        h.update(&v.to_bits().to_le_bytes());
+                    }
+                }
+                None => h.update(&[0]),
+            }
+        }
+        h.finish()
+    }
+
+    /// Whether the sealed checksum still matches the contents.
+    pub fn integrity_ok(&self) -> bool {
+        self.checksum == self.content_checksum()
+    }
+
+    /// Recomputes the checksum after a legitimate mutation.
+    pub fn reseal(&mut self) {
+        self.checksum = self.content_checksum();
     }
 }
 
@@ -84,5 +149,41 @@ mod tests {
 
         let g = StoredSample::with_gradient(vec![0.0], 0, vec![1.0]);
         assert_eq!(g.gradient.as_deref(), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn fresh_samples_pass_integrity() {
+        assert!(StoredSample::latent(vec![0.5; 8], 2).integrity_ok());
+        assert!(StoredSample::with_logits(vec![1.0], 0, vec![0.1]).integrity_ok());
+    }
+
+    #[test]
+    fn bit_flip_breaks_integrity_and_reseal_restores_it() {
+        let mut s = StoredSample::latent(vec![1.0, -2.0, 3.0], 1);
+        s.features[1] = f32::from_bits(s.features[1].to_bits() ^ (1 << 17));
+        assert!(!s.integrity_ok());
+        s.reseal();
+        assert!(s.integrity_ok());
+    }
+
+    #[test]
+    fn label_corruption_is_detected() {
+        let mut s = StoredSample::latent(vec![0.0; 4], 3);
+        s.label = 4;
+        assert!(!s.integrity_ok());
+    }
+
+    #[test]
+    fn from_parts_preserves_recorded_checksum() {
+        let mut s = StoredSample::latent(vec![1.0], 0);
+        let good = s.checksum();
+        s.features[0] = 2.0; // corrupt in place, do not reseal
+        let restored = StoredSample::from_parts(s.features.clone(), s.label, None, None, good);
+        assert!(
+            !restored.integrity_ok(),
+            "pre-save corruption must survive a roundtrip"
+        );
+        let clean = StoredSample::from_parts(vec![1.0], 0, None, None, good);
+        assert!(clean.integrity_ok());
     }
 }

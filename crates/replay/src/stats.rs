@@ -14,6 +14,9 @@ pub struct AccessStats {
     pub sample_reads: u64,
     /// Samples written into the buffer (insertions/replacements).
     pub sample_writes: u64,
+    /// Samples evicted because their integrity checksum no longer matched
+    /// (quarantine of memory-upset corruption).
+    pub corrupt_evictions: u64,
 }
 
 impl AccessStats {
@@ -26,6 +29,7 @@ impl AccessStats {
     pub fn merge(&mut self, other: &AccessStats) {
         self.sample_reads += other.sample_reads;
         self.sample_writes += other.sample_writes;
+        self.corrupt_evictions += other.corrupt_evictions;
     }
 
     /// Total accesses of either kind.
@@ -43,16 +47,19 @@ mod tests {
         let mut a = AccessStats {
             sample_reads: 2,
             sample_writes: 3,
+            corrupt_evictions: 1,
         };
         a.merge(&AccessStats {
             sample_reads: 10,
             sample_writes: 1,
+            corrupt_evictions: 2,
         });
         assert_eq!(
             a,
             AccessStats {
                 sample_reads: 12,
-                sample_writes: 4
+                sample_writes: 4,
+                corrupt_evictions: 3,
             }
         );
         assert_eq!(a.total(), 16);

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub use chameleon_core as core;
+pub use chameleon_faults as faults;
 pub use chameleon_hw as hw;
 pub use chameleon_nn as nn;
 pub use chameleon_replay as replay;

@@ -132,7 +132,38 @@ fn truncated_checkpoint_is_rejected() {
         blob.as_slice(),
     )
     .expect_err("truncated checkpoint must not load");
-    assert!(matches!(err, LoadCheckpointError::Io(_)), "{err}");
+    // The v2 envelope reports a cut-short blob as Truncated (or as a CRC
+    // mismatch when the cut happens to leave 12+ bytes ending in what reads
+    // as a footer).
+    assert!(
+        matches!(
+            err,
+            LoadCheckpointError::Truncated | LoadCheckpointError::BadChecksum { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn every_truncation_point_is_rejected_and_recoverable() {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 36);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+
+    // Sweep truncation points (stride keeps runtime sane on large blobs).
+    let stride = (blob.len() / 97).max(1);
+    for keep in (0..blob.len()).step_by(stride) {
+        let cfg = ChameleonConfig {
+            long_term_capacity: 40,
+            ..ChameleonConfig::default()
+        };
+        let (fresh, err) = Chameleon::load_or_fresh(&model, cfg, 5, &blob[..keep]);
+        assert!(err.is_some(), "truncation at {keep} accepted");
+        assert_eq!(fresh.short_term_len(), 0, "recovery learner must be fresh");
+    }
 }
 
 #[test]
@@ -148,13 +179,57 @@ fn corrupted_checkpoints_never_panic() {
         for _ in 0..len {
             blob.push((rng.below(256)) as u8);
         }
-        let result = Chameleon::load_checkpoint(
-            &model,
-            ChameleonConfig::default(),
-            trial,
-            blob.as_slice(),
+        let result =
+            Chameleon::load_checkpoint(&model, ChameleonConfig::default(), trial, blob.as_slice());
+        assert!(
+            result.is_err(),
+            "garbage blob of {len} bytes decoded successfully"
         );
-        assert!(result.is_err(), "garbage blob of {len} bytes decoded successfully");
+    }
+}
+
+mod arbitrary_bytes {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Property: the loader never panics, whatever bytes it is handed —
+        // it returns Err for anything that is not a sealed checkpoint, and
+        // load_or_fresh always yields a usable learner.
+        #[test]
+        fn loader_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            let model = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+            let result = Chameleon::load_checkpoint(
+                &model,
+                ChameleonConfig::default(),
+                1,
+                bytes.as_slice(),
+            );
+            // A random blob virtually never carries a valid CRC32 footer.
+            prop_assert!(result.is_err());
+            let (fresh, err) =
+                Chameleon::load_or_fresh(&model, ChameleonConfig::default(), 1, bytes.as_slice());
+            prop_assert!(err.is_some());
+            prop_assert_eq!(fresh.short_term_len(), 0);
+        }
+
+        #[test]
+        fn loader_never_panics_with_valid_magic_prefix(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            let model = ModelConfig::for_spec(&DatasetSpec::core50_tiny());
+            let mut blob = b"CHAMLN02".to_vec();
+            blob.extend_from_slice(&bytes);
+            let result = Chameleon::load_checkpoint(
+                &model,
+                ChameleonConfig::default(),
+                1,
+                blob.as_slice(),
+            );
+            prop_assert!(result.is_err());
+        }
     }
 }
 
@@ -177,7 +252,10 @@ fn bitflipped_valid_checkpoint_errors_or_roundtrips_sanely() {
         // Must not panic; may error or (for payload-only flips) load.
         let _ = Chameleon::load_checkpoint(
             &model,
-            ChameleonConfig { long_term_capacity: 40, ..ChameleonConfig::default() },
+            ChameleonConfig {
+                long_term_capacity: 40,
+                ..ChameleonConfig::default()
+            },
             5,
             corrupted.as_slice(),
         );

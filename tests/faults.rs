@@ -1,0 +1,130 @@
+//! Integration: fault injection end to end — the injector's no-op and
+//! determinism guarantees, and the hierarchy-model agreement between the
+//! fault and hardware crates.
+
+use chameleon_repro::core::{Chameleon, ChameleonConfig, ModelConfig, Strategy, Trainer};
+use chameleon_repro::faults::{FaultInjector, FaultPlan, DRAM_TO_SRAM_RATIO};
+use chameleon_repro::hw::memsim::SoftErrorModel;
+use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn setup() -> (DomainIlScenario, ModelConfig, Trainer) {
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 21);
+    let model = ModelConfig::for_spec(&spec);
+    (scenario, model, Trainer::new(StreamConfig::default()))
+}
+
+#[test]
+fn zero_rate_plan_is_bit_identical_to_no_injector() {
+    let (scenario, model, trainer) = setup();
+
+    let mut clean = Chameleon::new(&model, ChameleonConfig::default(), 7);
+    let clean_report = trainer.run(&scenario, &mut clean, 7);
+
+    let mut faulted = Chameleon::new(&model, ChameleonConfig::default(), 7);
+    let mut injector = FaultInjector::new(FaultPlan::disabled(99));
+    let faulted_report = trainer.run_with_faults(&scenario, &mut faulted, 7, &mut injector);
+
+    // Bit-for-bit identical learners: same predictions, same accuracy,
+    // and the injector must not have recorded a single event.
+    let (x, _) = scenario.test_set();
+    let clean_bits: Vec<u32> = clean
+        .logits(x)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let faulted_bits: Vec<u32> = faulted
+        .logits(x)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        clean_bits, faulted_bits,
+        "zero-rate injector perturbed the run"
+    );
+    assert_eq!(clean_report.acc_all, faulted_report.acc_all);
+    assert!(!injector.stats().any(), "{:?}", injector.stats());
+    assert_eq!(clean.resilience(), faulted.resilience());
+}
+
+#[test]
+fn same_fault_seed_reproduces_identical_runs() {
+    let (scenario, model, trainer) = setup();
+    let run = |fault_seed: u64| {
+        let mut c = Chameleon::new(&model, ChameleonConfig::default(), 7);
+        let mut injector = FaultInjector::new(FaultPlan::bit_flips(fault_seed, 1e-5));
+        let report = trainer.run_with_faults(&scenario, &mut c, 7, &mut injector);
+        let (x, _) = scenario.test_set();
+        let bits: Vec<u32> = c.logits(x).as_slice().iter().map(|v| v.to_bits()).collect();
+        (report.acc_all, bits, injector.stats(), c.resilience())
+    };
+
+    let (acc_a, bits_a, stats_a, res_a) = run(42);
+    let (acc_b, bits_b, stats_b, res_b) = run(42);
+    assert_eq!(acc_a, acc_b);
+    assert_eq!(
+        bits_a, bits_b,
+        "same fault seed must reproduce bit-identically"
+    );
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(res_a, res_b);
+    assert!(stats_a.bits_flipped > 0, "rate 1e-5 injected nothing");
+
+    // A different fault seed lands flips elsewhere.
+    let (_, bits_c, stats_c, _) = run(43);
+    assert!(
+        bits_c != bits_a || stats_c != stats_a,
+        "fault seed had no effect"
+    );
+}
+
+#[test]
+fn quarantine_detects_injected_corruption() {
+    let (scenario, model, trainer) = setup();
+    let mut c = Chameleon::new(&model, ChameleonConfig::default(), 7);
+    let mut injector = FaultInjector::new(FaultPlan::bit_flips(1, 1e-4));
+    trainer.run_with_faults(&scenario, &mut c, 7, &mut injector);
+    assert!(injector.stats().bits_flipped > 0);
+    let r = c.resilience();
+    assert!(
+        r.short_term_evictions + r.long_term_evictions > 0,
+        "heavy bit-flip campaign went undetected: {r:?}"
+    );
+}
+
+#[test]
+fn fault_and_hw_crates_agree_on_hierarchy_asymmetry() {
+    // The two crates cannot share the constant without a dependency cycle;
+    // this pins them together.
+    assert_eq!(DRAM_TO_SRAM_RATIO, SoftErrorModel::DRAM_TO_SRAM_RATIO);
+}
+
+#[test]
+fn injected_checkpoint_damage_is_always_detected() {
+    let (scenario, model, trainer) = setup();
+    let mut c = Chameleon::new(&model, ChameleonConfig::default(), 7);
+    trainer.run(&scenario, &mut c, 7);
+    let mut blob = Vec::new();
+    c.save_checkpoint(&mut blob).expect("save");
+
+    let plan = FaultPlan {
+        checkpoint: chameleon_repro::faults::CheckpointFaultModel {
+            truncate_prob: 0.5,
+            corrupt_prob: 1.0,
+            max_corrupt_bytes: 16,
+        },
+        ..FaultPlan::disabled(3)
+    };
+    let mut injector = FaultInjector::new(plan);
+    for _ in 0..50 {
+        let mut damaged = blob.clone();
+        let damage = injector.corrupt_checkpoint(&mut damaged);
+        assert!(damage.any(), "checkpoint fault model injected nothing");
+        let (fresh, err) =
+            Chameleon::load_or_fresh(&model, ChameleonConfig::default(), 7, damaged.as_slice());
+        assert!(err.is_some(), "damaged checkpoint loaded cleanly");
+        assert_eq!(fresh.short_term_len(), 0);
+    }
+}
