@@ -9,6 +9,9 @@ use chameleon_core::{
     SldaConfig, Strategy, Trainer,
 };
 use chameleon_faults::{FaultInjector, FaultPlan};
+use chameleon_fleet::{
+    FleetConfig, FleetEngine, SessionCommand, SessionEventKind, SessionSpec as FleetSessionSpec,
+};
 use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
 use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
 
@@ -44,6 +47,12 @@ COMMANDS:
     --rate <r>                  DRAM bit-flips per bit per sample [default: 1e-5]
     [--dataset <name>] [--method <name>] [--buffer <n>] [--seed <n>]
     [--fault-seed <n>] [--no-quarantine] (quarantine: chameleon only)
+  fleet                         run many per-user sessions on a sharded engine
+    --sessions <n>              concurrent user sessions   [default: 8]
+    --shards <n>                worker shards (threads)    [default: 2]
+    --budget-mb <n>             per-shard resident session-memory budget
+    [--dataset <name>] [--buffer <n>] [--seed <n>] [--queue <n>]
+    [--step-batches <n>] [--rate <r>] [--fault-seed <n>]
   help                          show this message
 ";
 
@@ -61,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("price") => price(&Options::parse(&argv[1..])?),
         Some("resources") => resources(&Options::parse(&argv[1..])?),
         Some("faults") => faults(&Options::parse(&argv[1..])?),
+        Some("fleet") => fleet(&Options::parse(&argv[1..])?),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -311,6 +321,195 @@ fn faults(options: &Options) -> Result<(), String> {
         "  faults injected (dram rate {rate:.1e}, seed {fault_seed}): {} bit flips across {} store residents",
         stats.bits_flipped, stats.vectors_hit
     );
+    Ok(())
+}
+
+/// Runs a fleet of per-user sessions (each with its own preference skew)
+/// to completion on a sharded engine, then reports per-user accuracy,
+/// engine counters, and the hardware cost of the merged fleet trace.
+fn fleet(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "dataset",
+        "sessions",
+        "shards",
+        "buffer",
+        "seed",
+        "queue",
+        "budget-mb",
+        "step-batches",
+        "rate",
+        "fault-seed",
+    ])?;
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let sessions: u64 = options.get_parsed_or("sessions", 8)?;
+    let shards: usize = options.get_parsed_or("shards", 2)?;
+    let buffer: usize = options.get_parsed_or("buffer", 30)?;
+    let seed: u64 = options.get_parsed_or("seed", 1)?;
+    let queue: usize = options.get_parsed_or("queue", 32)?;
+    let step_batches: usize = options.get_parsed_or("step-batches", 4)?;
+    let rate: f64 = options.get_parsed_or("rate", 0.0)?;
+    let fault_seed: u64 = options.get_parsed_or("fault-seed", 7)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    if step_batches == 0 {
+        return Err("--step-batches must be at least 1".to_string());
+    }
+    if !(rate >= 0.0 && rate.is_finite()) {
+        return Err("--rate must be a finite non-negative number".to_string());
+    }
+    let budget_bytes = match options.get("budget-mb") {
+        None => u64::MAX,
+        Some(v) => {
+            let mb: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid --budget-mb `{v}`"))?;
+            if !(mb > 0.0 && mb.is_finite()) {
+                return Err("--budget-mb must be a positive number".to_string());
+            }
+            (mb * 1024.0 * 1024.0) as u64
+        }
+    };
+
+    let learner = chameleon_config(buffer)?;
+    let config = FleetConfig {
+        num_shards: shards,
+        queue_depth: queue,
+        budget_bytes,
+        assignment_seed: seed,
+        faults: (rate > 0.0).then(|| FaultPlan::bit_flips(fault_seed, rate)),
+    };
+    config
+        .validate()
+        .map_err(|e| format!("invalid fleet config: {e}"))?;
+
+    let scenario = std::sync::Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
+    let mut engine = FleetEngine::new(std::sync::Arc::clone(&scenario), config);
+
+    // Each simulated user prefers a rotating 3-class slice — genuinely
+    // different workloads, so per-user heads diverge.
+    for user in 0..sessions {
+        let base = (user as usize * 3) % spec.num_classes;
+        let session_spec = FleetSessionSpec {
+            learner: learner.clone(),
+            stream: StreamConfig {
+                preference: PreferenceProfile::Skewed {
+                    preferred: vec![
+                        base,
+                        (base + 1) % spec.num_classes,
+                        (base + 2) % spec.num_classes,
+                    ],
+                    boost: 8.0,
+                },
+                ..StreamConfig::default()
+            },
+            learner_seed: seed.wrapping_add(user),
+            stream_seed: seed.wrapping_add(user.wrapping_mul(0x51_7C)),
+        };
+        engine
+            .create_blocking(user, session_spec)
+            .map_err(|e| format!("create session {user}: {e}"))?;
+    }
+
+    let start = std::time::Instant::now();
+    let mut live: Vec<u64> = (0..sessions).collect();
+    while !live.is_empty() {
+        for &user in &live {
+            engine
+                .command_blocking(
+                    user,
+                    SessionCommand::Step {
+                        batches: step_batches,
+                    },
+                )
+                .map_err(|e| format!("step session {user}: {e}"))?;
+        }
+        for event in engine.drain_pending() {
+            match event.kind {
+                SessionEventKind::Stepped { done: true, .. } => {
+                    live.retain(|&u| u != event.session);
+                }
+                SessionEventKind::Failed(reason) => {
+                    return Err(format!("session {} failed: {reason}", event.session));
+                }
+                _ => {}
+            }
+        }
+    }
+    let wall = start.elapsed();
+
+    for user in 0..sessions {
+        engine
+            .command_blocking(user, SessionCommand::Evaluate)
+            .map_err(|e| format!("evaluate session {user}: {e}"))?;
+    }
+    let mut reports: Vec<(u64, EvalReport)> = engine
+        .drain_pending()
+        .into_iter()
+        .filter_map(|event| match event.kind {
+            SessionEventKind::Evaluated(report) => Some((event.session, *report)),
+            _ => None,
+        })
+        .collect();
+    reports.sort_by_key(|(user, _)| *user);
+
+    println!(
+        "fleet of {sessions} sessions on {} across {shards} shard(s):",
+        spec.name
+    );
+    for (user, report) in &reports {
+        println!(
+            "  user {user:>3} (shard {}): Acc_all {:6.2} %",
+            engine.shard_of(*user),
+            report.acc_all
+        );
+    }
+    let mean = reports
+        .iter()
+        .map(|(_, r)| f64::from(r.acc_all))
+        .sum::<f64>()
+        / reports.len().max(1) as f64;
+    println!("  mean Acc_all: {mean:.2} %");
+
+    let metrics = engine.metrics();
+    println!(
+        "engine: {} batches in {:.2} s ({:.0} batches/s wall), {} evictions, {} restores",
+        metrics.batches(),
+        wall.as_secs_f64(),
+        metrics.batches() as f64 / wall.as_secs_f64().max(1e-9),
+        metrics.evictions(),
+        metrics.restores()
+    );
+    for shard in &metrics.per_shard {
+        println!(
+            "  shard {}: {} resident / {} cold sessions, {} batches, {:.0} steps/s compute, {:.1} MB resident",
+            shard.shard,
+            shard.sessions_resident,
+            shard.sessions_cold,
+            shard.batches,
+            shard.steps_per_sec(),
+            shard.resident_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    let merged = metrics.merged_trace();
+    if let Some(per) = merged.per_input() {
+        let workload = Workload::from_trace(&per, &NominalModel::mobilenet_v1());
+        println!("fleet-wide hardware cost ({} inputs):", merged.inputs);
+        for device in [
+            &JetsonNano::new() as &dyn Device,
+            &Zcu102::new(),
+            &SystolicAccelerator::new(),
+        ] {
+            let cost = device.cost(&workload);
+            println!(
+                "  {:<26} {:10.1} ms   {:8.3} J",
+                device.name(),
+                cost.latency_ms * merged.inputs as f64,
+                cost.energy_j * merged.inputs as f64
+            );
+        }
+    }
     Ok(())
 }
 
@@ -629,6 +828,47 @@ mod tests {
             "latent-replay",
             "--buffer",
             "30",
+            "--rate",
+            "1e-5",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn fleet_command_runs_and_validates() {
+        let argv = toks(&[
+            "fleet",
+            "--dataset",
+            "core50-tiny",
+            "--sessions",
+            "3",
+            "--shards",
+            "2",
+            "--buffer",
+            "20",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["fleet", "--sessions", "0"])).is_err());
+        assert!(dispatch(&toks(&["fleet", "--shards", "0"])).is_err());
+        assert!(dispatch(&toks(&["fleet", "--step-batches", "0"])).is_err());
+        assert!(dispatch(&toks(&["fleet", "--budget-mb", "-3"])).is_err());
+        assert!(dispatch(&toks(&["fleet", "--rate", "nope"])).is_err());
+    }
+
+    #[test]
+    fn fleet_command_survives_eviction_churn_and_faults() {
+        let argv = toks(&[
+            "fleet",
+            "--dataset",
+            "core50-tiny",
+            "--sessions",
+            "4",
+            "--shards",
+            "1",
+            "--buffer",
+            "20",
+            "--budget-mb",
+            "0.01",
             "--rate",
             "1e-5",
         ]);

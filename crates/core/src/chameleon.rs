@@ -1,7 +1,9 @@
 //! The Chameleon dual-memory replay strategy (paper §III, Algorithm 1).
 
 use chameleon_nn::{loss, FrozenExtractor, MlpHead, Sgd};
-use chameleon_replay::{ClassBalancedBuffer, RingBuffer, StorePlacement, StoredSample};
+use chameleon_replay::{
+    AccessStats, ClassBalancedBuffer, RingBuffer, StorePlacement, StoredSample,
+};
 use chameleon_stream::Batch;
 use chameleon_tensor::{ops, Matrix, Prng};
 
@@ -209,6 +211,27 @@ pub struct ResilienceReport {
     pub long_term_integrity: f64,
 }
 
+/// Lifetime counters of a [`Chameleon`] learner that the checkpoint format
+/// does *not* persist: operation traces and store access/quarantine
+/// statistics. Session managers (the fleet engine) snapshot these via
+/// [`Chameleon::counters`] alongside a checkpoint and re-apply them with
+/// [`Chameleon::restore_counters`], so an evicted-then-restored session
+/// reports the same quarantine history and hardware-priceable trace as one
+/// that never left memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LearnerCounters {
+    /// Accumulated operation/traffic trace ([`Chameleon::trace`]).
+    pub trace: StepTrace,
+    /// Short-term store access counters (reads/writes/corrupt evictions).
+    pub short_term_stats: AccessStats,
+    /// Long-term store access counters (reads/writes/corrupt evictions).
+    pub long_term_stats: AccessStats,
+    /// SGD updates rejected for non-finite gradients.
+    pub skipped_updates: u64,
+    /// Catastrophic long-term rebuilds performed.
+    pub prototype_rebuilds: u64,
+}
+
 impl Chameleon {
     /// Creates a Chameleon learner with the paper's default policies.
     ///
@@ -272,6 +295,29 @@ impl Chameleon {
             prototype_rebuilds: self.prototype_rebuilds,
             long_term_integrity: self.long_term.integrity_fraction(),
         }
+    }
+
+    /// Snapshot of the lifetime counters the checkpoint format does not
+    /// persist (trace, store access stats, skipped updates, rebuilds).
+    pub fn counters(&self) -> LearnerCounters {
+        LearnerCounters {
+            trace: self.trace,
+            short_term_stats: self.short_term.stats(),
+            long_term_stats: self.long_term.stats(),
+            skipped_updates: self.sgd.skipped_updates(),
+            prototype_rebuilds: self.prototype_rebuilds,
+        }
+    }
+
+    /// Re-applies counters captured by [`Chameleon::counters`] onto a
+    /// learner reloaded from a checkpoint, so eviction + restore preserves
+    /// quarantine history and the hardware-priceable operation trace.
+    pub fn restore_counters(&mut self, counters: &LearnerCounters) {
+        self.trace = counters.trace;
+        self.short_term.restore_stats(counters.short_term_stats);
+        self.long_term.restore_stats(counters.long_term_stats);
+        self.sgd.restore_skipped_updates(counters.skipped_updates);
+        self.prototype_rebuilds = counters.prototype_rebuilds;
     }
 
     /// The current preference tracker (for inspection in examples).

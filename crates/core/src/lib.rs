@@ -53,7 +53,8 @@ pub use baselines::{
     LatentReplay, Lwf, LwfConfig, Slda, SldaConfig,
 };
 pub use chameleon::{
-    Chameleon, ChameleonConfig, ConfigError, LongTermPolicy, ResilienceReport, ShortTermPolicy,
+    Chameleon, ChameleonConfig, ConfigError, LearnerCounters, LongTermPolicy, ResilienceReport,
+    ShortTermPolicy,
 };
 pub use metrics::{backward_transfer, confusion_matrix, EvalReport};
 pub use model::ModelConfig;

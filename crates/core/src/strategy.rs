@@ -22,7 +22,13 @@ use crate::StepTrace;
 ///   reported in Table I's MB column,
 /// * [`Strategy::trace`] — accumulated operation/traffic counts priced by
 ///   the hardware models of Table II.
-pub trait Strategy {
+///
+/// `Send` is a supertrait: a deployed learner is owned by one user session,
+/// and the fleet engine moves sessions onto shard worker threads. Every
+/// strategy in this crate is plain owned data (no `Rc`, no raw pointers),
+/// so the bound costs nothing; the compile-time checks in this module's
+/// tests keep it that way.
+pub trait Strategy: Send {
     /// Human-readable method name as it appears in the paper's tables.
     fn name(&self) -> &str;
 
@@ -88,5 +94,29 @@ impl Strategy for Box<dyn Strategy> {
     }
     fn visit_stores(&mut self, visit: &mut dyn FnMut(StorePlacement, &mut StoredSample)) {
         self.as_mut().visit_stores(visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+
+    fn assert_send<T: Send>() {}
+
+    /// Compile-time check: every strategy, and the boxed trait object, can
+    /// be moved onto a shard worker thread.
+    #[test]
+    fn all_strategies_are_send() {
+        assert_send::<crate::Chameleon>();
+        assert_send::<crate::Er>();
+        assert_send::<crate::Der>();
+        assert_send::<crate::Gss>();
+        assert_send::<crate::LatentReplay>();
+        assert_send::<crate::Finetune>();
+        assert_send::<crate::Joint>();
+        assert_send::<crate::EwcPlusPlus>();
+        assert_send::<crate::Lwf>();
+        assert_send::<crate::Slda>();
+        assert_send::<Box<dyn Strategy>>();
     }
 }

@@ -30,8 +30,12 @@ pub struct Trainer {
 
 impl Trainer {
     /// Creates a trainer with the given stream shaping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream configuration is invalid.
     pub fn new(stream_config: StreamConfig) -> Self {
-        stream_config.validate();
+        stream_config.assert_valid();
         Self { stream_config }
     }
 

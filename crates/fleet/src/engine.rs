@@ -1,0 +1,393 @@
+//! The fleet engine: multiplexes many user sessions across N shard worker
+//! threads with deterministic assignment and bounded-queue backpressure.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use chameleon_faults::FaultPlan;
+use chameleon_stream::{ConfigError, DomainIlScenario};
+
+use crate::metrics::FleetMetrics;
+use crate::session::{splitmix64, SessionId, SessionSpec};
+use crate::shard::{Request, SessionCommand, SessionEvent, ShardWorker};
+
+/// Shape of a fleet: shard count, queue bound, per-shard session-memory
+/// budget, and optional fleet-wide fault plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Worker shard count (threads).
+    pub num_shards: usize,
+    /// Bounded request-queue depth per shard; a full queue rejects with
+    /// [`FleetError::Rejected`] instead of blocking the caller.
+    pub queue_depth: usize,
+    /// Per-shard resident session-memory budget in bytes; exceeding it
+    /// evicts least-recently-used sessions to checkpoint form.
+    pub budget_bytes: u64,
+    /// Seed of the session→shard hash. Assignment depends only on this
+    /// seed and the session id, never on arrival order.
+    pub assignment_seed: u64,
+    /// Optional fleet-wide fault plan; each session derives a private,
+    /// interleaving-independent plan from it.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 2,
+            queue_depth: 64,
+            budget_bytes: u64::MAX,
+            assignment_seed: 0,
+            faults: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated requirement.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_shards == 0 {
+            return Err(ConfigError {
+                field: "shard count",
+                requirement: "must be positive",
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError {
+                field: "queue depth",
+                requirement: "must be positive",
+            });
+        }
+        if self.budget_bytes == 0 {
+            return Err(ConfigError {
+                field: "session-memory budget",
+                requirement: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a request was turned down at the engine boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// The target shard's bounded queue is full; retry after draining
+    /// events (or use the `_blocking` submit variants).
+    Rejected(Backpressure),
+    /// The session id was never created on this engine.
+    UnknownSession,
+    /// The session id already exists.
+    DuplicateSession,
+    /// The shard's worker thread is gone (it can no longer accept work).
+    ShardDown(usize),
+}
+
+/// Details of a backpressure rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Shard whose queue was full.
+    pub shard: usize,
+    /// The configured queue bound that was hit.
+    pub queue_depth: usize,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(bp) => write!(
+                f,
+                "shard {} queue full (depth {})",
+                bp.shard, bp.queue_depth
+            ),
+            Self::UnknownSession => write!(f, "unknown session"),
+            Self::DuplicateSession => write!(f, "session already exists"),
+            Self::ShardDown(shard) => write!(f, "shard {shard} worker is down"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+struct ShardHandle {
+    sender: SyncSender<Request>,
+    in_flight: Arc<AtomicUsize>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A sharded multi-session engine.
+///
+/// Sessions are assigned to shards by seeded hash of their id, so an
+/// N-shard run processes each session with exactly the same request
+/// sequence a 1-shard run (or a solo [`crate::UserSession`]) would — the
+/// basis of the fleet's determinism contract (see `DESIGN.md`).
+pub struct FleetEngine {
+    config: FleetConfig,
+    shards: Vec<ShardHandle>,
+    events: Receiver<SessionEvent>,
+    buffered: VecDeque<SessionEvent>,
+    known: HashSet<SessionId>,
+    pending: usize,
+}
+
+impl FleetEngine {
+    /// Spawns the shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn new(scenario: Arc<DomainIlScenario>, config: FleetConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid fleet config: {e}");
+        }
+        let (event_tx, event_rx) = mpsc::channel();
+        let shards = (0..config.num_shards)
+            .map(|shard| {
+                let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+                let worker = ShardWorker::new(
+                    shard,
+                    Arc::clone(&scenario),
+                    config.faults,
+                    config.budget_bytes,
+                    event_tx.clone(),
+                );
+                let join = std::thread::Builder::new()
+                    .name(format!("fleet-shard-{shard}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    sender: tx,
+                    in_flight: Arc::new(AtomicUsize::new(0)),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Self {
+            config,
+            shards,
+            events: event_rx,
+            buffered: VecDeque::new(),
+            known: HashSet::new(),
+            pending: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Deterministic session→shard assignment: seeded hash of the id,
+    /// independent of creation order and of every other session.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        (splitmix64(id ^ self.config.assignment_seed) % self.config.num_shards as u64) as usize
+    }
+
+    /// Requests (once acknowledged by an event) not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Submits session creation; acknowledged later by a `Created` event.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateSession`] for a known id,
+    /// [`FleetError::Rejected`] under backpressure,
+    /// [`FleetError::ShardDown`] if the worker died.
+    pub fn create(&mut self, id: SessionId, spec: SessionSpec) -> Result<(), FleetError> {
+        if self.known.contains(&id) {
+            return Err(FleetError::DuplicateSession);
+        }
+        self.dispatch(
+            id,
+            Request::Create {
+                id,
+                spec: Box::new(spec),
+            },
+        )?;
+        self.known.insert(id);
+        Ok(())
+    }
+
+    /// Submits a command on an existing session; acknowledged later by
+    /// exactly one event.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownSession`] for an id never created,
+    /// [`FleetError::Rejected`] under backpressure,
+    /// [`FleetError::ShardDown`] if the worker died.
+    pub fn command(&mut self, id: SessionId, command: SessionCommand) -> Result<(), FleetError> {
+        if !self.known.contains(&id) {
+            return Err(FleetError::UnknownSession);
+        }
+        self.dispatch(id, Request::Command { id, command })
+    }
+
+    /// [`Self::create`] that rides out backpressure by draining events
+    /// (buffering them for the next [`Self::drain`]) and retrying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure except `Rejected`.
+    pub fn create_blocking(&mut self, id: SessionId, spec: SessionSpec) -> Result<(), FleetError> {
+        if self.known.contains(&id) {
+            return Err(FleetError::DuplicateSession);
+        }
+        loop {
+            let request = Request::Create {
+                id,
+                spec: Box::new(spec.clone()),
+            };
+            match self.dispatch(id, request) {
+                Ok(()) => {
+                    self.known.insert(id);
+                    return Ok(());
+                }
+                Err(FleetError::Rejected(_)) => self.absorb_backpressure(),
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// [`Self::command`] that rides out backpressure by draining events
+    /// (buffering them for the next [`Self::drain`]) and retrying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure except `Rejected`.
+    pub fn command_blocking(
+        &mut self,
+        id: SessionId,
+        command: SessionCommand,
+    ) -> Result<(), FleetError> {
+        loop {
+            match self.command(id, command.clone()) {
+                Err(FleetError::Rejected(_)) => self.absorb_backpressure(),
+                other => return other,
+            }
+        }
+    }
+
+    /// Pulls every event currently available without blocking. Buffered
+    /// events from `_blocking` submits come first, in arrival order.
+    pub fn drain(&mut self) -> Vec<SessionEvent> {
+        let mut out: Vec<SessionEvent> = self.buffered.drain(..).collect();
+        while let Ok(event) = self.events.try_recv() {
+            self.account(&event);
+            out.push(event);
+        }
+        out
+    }
+
+    /// Blocks until every submitted request has been acknowledged, then
+    /// returns all events (buffered first, then in arrival order).
+    pub fn drain_pending(&mut self) -> Vec<SessionEvent> {
+        let mut out = self.drain();
+        while self.pending > 0 {
+            match self.events.recv() {
+                Ok(event) => {
+                    self.account(&event);
+                    out.push(event);
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Snapshots every shard's metrics (blocking round-trip per shard).
+    pub fn metrics(&mut self) -> FleetMetrics {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (index, shard) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            // A metrics request bypasses the bounded submit path: block
+            // for space rather than reject, since it emits no event.
+            if shard
+                .sender
+                .send(Request::Metrics { reply: reply_tx })
+                .is_err()
+            {
+                continue;
+            }
+            let mut snapshot = match reply_rx.recv() {
+                Ok(snapshot) => snapshot,
+                Err(_) => continue,
+            };
+            snapshot.shard = index;
+            snapshot.queue_depth = shard.in_flight.load(Ordering::Relaxed);
+            per_shard.push(snapshot);
+        }
+        FleetMetrics { per_shard }
+    }
+
+    /// Stops all workers and joins their threads. Called by `Drop`;
+    /// explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            let _ = shard.sender.send(Request::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+
+    fn dispatch(&mut self, id: SessionId, request: Request) -> Result<(), FleetError> {
+        let shard = self.shard_of(id);
+        let handle = &self.shards[shard];
+        match handle.sender.try_send(request) {
+            Ok(()) => {
+                handle.in_flight.fetch_add(1, Ordering::Relaxed);
+                self.pending += 1;
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(FleetError::Rejected(Backpressure {
+                shard,
+                queue_depth: self.config.queue_depth,
+            })),
+            Err(TrySendError::Disconnected(_)) => Err(FleetError::ShardDown(shard)),
+        }
+    }
+
+    fn account(&mut self, event: &SessionEvent) {
+        self.pending = self.pending.saturating_sub(1);
+        if let Some(shard) = self.shards.get(event.shard) {
+            shard
+                .in_flight
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(1))
+                })
+                .ok();
+        }
+    }
+
+    /// Under backpressure: pull at least one event (blocking briefly if
+    /// none is ready) and buffer it so submit order is preserved for the
+    /// caller's next `drain`.
+    fn absorb_backpressure(&mut self) {
+        let mut drained = false;
+        while let Ok(event) = self.events.try_recv() {
+            self.account(&event);
+            self.buffered.push_back(event);
+            drained = true;
+        }
+        if !drained {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

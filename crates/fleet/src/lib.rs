@@ -1,0 +1,73 @@
+//! `chameleon-fleet`: a sharded multi-session engine for concurrent
+//! per-user continual learning.
+//!
+//! The paper evaluates one Chameleon learner against one user's stream.
+//! Deployed on an edge gateway, the same learner runs once *per user* —
+//! many small, independent `(Strategy, dual-memory state, stream cursor)`
+//! triples that must share constrained compute and memory. This crate
+//! provides that hosting layer:
+//!
+//! * [`FleetEngine`] — multiplexes sessions across N shard worker threads
+//!   (`std::thread` + bounded `std::sync::mpsc` queues, no external deps),
+//! * [`UserSession`] — one user's resident session, bit-identical to a
+//!   solo `Trainer` run over the same spec,
+//! * [`SessionCheckpoint`] — the eviction format: learner blob +
+//!   replay-buffer integrity metadata + exact stream position,
+//! * [`ShardMetrics`]/[`FleetMetrics`] — per-shard and fleet-wide
+//!   counters, including a merged [`chameleon_core::StepTrace`] that
+//!   `chameleon-hw` can price.
+//!
+//! # Determinism contract
+//!
+//! Session→shard assignment is a seeded hash of the session id
+//! ([`FleetEngine::shard_of`]) — independent of arrival order and shard
+//! load. Sessions never share mutable state, and fault plans are mixed
+//! per session ([`session_fault_plan`]), so every session's outcome is a
+//! pure function of `(scenario, spec, fault plan, command sequence)`:
+//! the same fleet run with 1 shard, 4 shards, or as solo sessions yields
+//! bit-identical evaluation reports and checkpoints, as long as the
+//! per-session command sequence is the same and no budget eviction
+//! occurs. Evictions preserve all *observable* state (stores, integrity
+//! quarantine, counters, stream position) but restart transient training
+//! state (sampling RNG, momentum, learning window) exactly as the PR-1
+//! learner checkpoint format documents.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use chameleon_core::ChameleonConfig;
+//! use chameleon_fleet::{FleetConfig, FleetEngine, SessionCommand, SessionSpec};
+//! use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+//!
+//! let scenario = Arc::new(DomainIlScenario::generate(&DatasetSpec::core50_tiny(), 1));
+//! let mut fleet = FleetEngine::new(scenario, FleetConfig::default());
+//! for user in 0..4u64 {
+//!     let spec = SessionSpec {
+//!         learner: ChameleonConfig::default(),
+//!         stream: StreamConfig::default(),
+//!         learner_seed: user,
+//!         stream_seed: user,
+//!     };
+//!     fleet.create_blocking(user, spec).unwrap();
+//!     fleet.command_blocking(user, SessionCommand::Step { batches: 4 }).unwrap();
+//! }
+//! let events = fleet.drain_pending();
+//! assert_eq!(events.len(), 8); // one ack per create + step
+//! assert_eq!(fleet.metrics().batches(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod engine;
+mod metrics;
+mod session;
+mod shard;
+
+pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC};
+pub use engine::{Backpressure, FleetConfig, FleetEngine, FleetError};
+pub use metrics::{FleetMetrics, ShardMetrics};
+pub use session::{session_fault_plan, SessionId, SessionSpec, UserSession};
+pub use shard::{SessionCommand, SessionEvent, SessionEventKind};

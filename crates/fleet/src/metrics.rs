@@ -1,0 +1,159 @@
+//! Per-shard and fleet-wide operational metrics.
+//!
+//! Shards keep their counters locally (no shared atomics on the step path)
+//! and snapshot them on request; [`FleetMetrics`] aggregates the snapshots
+//! and merges every session's [`StepTrace`] so `chameleon-hw` can price a
+//! whole fleet's traffic in one call.
+
+use chameleon_core::StepTrace;
+
+/// Counter snapshot of one shard worker.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardMetrics {
+    /// Shard index within the fleet.
+    pub shard: usize,
+    /// Sessions currently resident in memory.
+    pub sessions_resident: usize,
+    /// Sessions currently evicted to checkpoint form.
+    pub sessions_cold: usize,
+    /// Sessions ever created on this shard.
+    pub sessions_created: u64,
+    /// `Step` commands processed.
+    pub step_commands: u64,
+    /// Stream batches actually delivered to learners.
+    pub batches: u64,
+    /// Budget-driven (implicit) plus explicit evictions performed.
+    pub evictions: u64,
+    /// Cold sessions brought back to residency.
+    pub restores: u64,
+    /// Requests queued to the shard but not yet answered (sampled by the
+    /// engine at snapshot time).
+    pub queue_depth: usize,
+    /// Resident session footprint currently accounted, in bytes.
+    pub resident_bytes: u64,
+    /// The shard's session-memory budget, in bytes.
+    pub budget_bytes: u64,
+    /// Wall time spent stepping learners, in nanoseconds.
+    pub step_nanos: u64,
+    /// Wall time spent serializing checkpoints (evictions included).
+    pub checkpoint_nanos: u64,
+    /// Wall time spent restoring evicted sessions.
+    pub restore_nanos: u64,
+    /// Wall time spent in test-set evaluation.
+    pub eval_nanos: u64,
+    /// Merged operation trace of every session hosted by this shard
+    /// (resident and cold alike).
+    pub trace: StepTrace,
+}
+
+impl ShardMetrics {
+    /// Steps per wall-clock second of learner compute on this shard (0.0
+    /// before any step ran).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.step_nanos == 0 {
+            0.0
+        } else {
+            self.batches as f64 / (self.step_nanos as f64 * 1e-9)
+        }
+    }
+}
+
+/// Aggregated snapshot of every shard in a fleet.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetMetrics {
+    /// One snapshot per shard, indexed by shard id.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+impl FleetMetrics {
+    /// Sessions resident across all shards.
+    pub fn sessions_resident(&self) -> usize {
+        self.per_shard.iter().map(|s| s.sessions_resident).sum()
+    }
+
+    /// Sessions evicted to checkpoint form across all shards.
+    pub fn sessions_cold(&self) -> usize {
+        self.per_shard.iter().map(|s| s.sessions_cold).sum()
+    }
+
+    /// Sessions ever created across all shards.
+    pub fn sessions_created(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.sessions_created).sum()
+    }
+
+    /// Stream batches delivered fleet-wide.
+    pub fn batches(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.batches).sum()
+    }
+
+    /// Evictions performed fleet-wide.
+    pub fn evictions(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Restores performed fleet-wide.
+    pub fn restores(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.restores).sum()
+    }
+
+    /// Requests in flight fleet-wide at snapshot time.
+    pub fn queue_depth(&self) -> usize {
+        self.per_shard.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Every session's operation trace merged into one, ready for
+    /// `chameleon-hw` pricing.
+    pub fn merged_trace(&self) -> StepTrace {
+        let mut out = StepTrace::new();
+        for shard in &self.per_shard {
+            out.merge(&shard.trace);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_across_shards() {
+        let mut a = ShardMetrics {
+            shard: 0,
+            sessions_resident: 3,
+            sessions_cold: 1,
+            batches: 100,
+            evictions: 4,
+            restores: 2,
+            ..ShardMetrics::default()
+        };
+        a.trace.inputs = 10;
+        let mut b = ShardMetrics {
+            shard: 1,
+            sessions_resident: 2,
+            batches: 50,
+            ..ShardMetrics::default()
+        };
+        b.trace.inputs = 5;
+        let fleet = FleetMetrics {
+            per_shard: vec![a, b],
+        };
+        assert_eq!(fleet.sessions_resident(), 5);
+        assert_eq!(fleet.sessions_cold(), 1);
+        assert_eq!(fleet.batches(), 150);
+        assert_eq!(fleet.evictions(), 4);
+        assert_eq!(fleet.restores(), 2);
+        assert_eq!(fleet.merged_trace().inputs, 15);
+    }
+
+    #[test]
+    fn steps_per_sec_handles_zero_time() {
+        assert_eq!(ShardMetrics::default().steps_per_sec(), 0.0);
+        let m = ShardMetrics {
+            batches: 10,
+            step_nanos: 1_000_000_000,
+            ..ShardMetrics::default()
+        };
+        assert!((m.steps_per_sec() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,390 @@
+//! One user's continual-learning session: learner + dual-memory state +
+//! stream cursor, advanced batch by batch.
+
+use std::sync::Arc;
+
+use chameleon_core::{Chameleon, ChameleonConfig, EvalReport, ModelConfig, StepTrace, Strategy};
+use chameleon_faults::{FaultInjector, FaultPlan};
+use chameleon_stream::{DomainIlScenario, StreamConfig, StreamCursor};
+
+/// Identifier of a user session, unique within a fleet.
+pub type SessionId = u64;
+
+/// Everything needed to (re)build one user's session deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSpec {
+    /// Chameleon hyperparameters of this user's private learner.
+    pub learner: ChameleonConfig,
+    /// Stream shaping — per-user preference skew lives here.
+    pub stream: StreamConfig,
+    /// Seed of the learner's head init and sampling RNG.
+    pub learner_seed: u64,
+    /// Base seed of the user's domain streams (the per-domain seed is
+    /// derived exactly as the sequential `Trainer` derives it).
+    pub stream_seed: u64,
+}
+
+/// Mixes a fleet-wide fault plan down to one session's private plan.
+///
+/// Each session gets independently seeded fault RNG streams (splitmix64
+/// over the session id), so per-session fault sequences do not depend on
+/// how sessions are interleaved across shards — the key to the fleet's
+/// determinism contract. Exposed so solo reference runs (and the
+/// determinism tests) can reproduce a fleet session exactly.
+pub fn session_fault_plan(base: &FaultPlan, session: SessionId) -> FaultPlan {
+    FaultPlan {
+        seed: base.seed ^ splitmix64(session),
+        ..*base
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer, used for seed mixing and
+/// shard assignment hashing.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One resident user session: a `(Strategy, dual-memory state, stream
+/// cursor)` triple that can be advanced one batch at a time, suspended,
+/// checkpointed, and resumed.
+///
+/// Stepping replicates the sequential `Trainer` protocol exactly —
+/// identity domain order, the same per-domain stream seeds, and the same
+/// fault-injection ordering per batch — so a fleet-hosted session is
+/// bit-identical to a solo `Trainer::run`/`run_with_faults` over the same
+/// scenario and spec.
+#[derive(Debug)]
+pub struct UserSession {
+    id: SessionId,
+    spec: SessionSpec,
+    scenario: Arc<DomainIlScenario>,
+    learner: Chameleon,
+    injector: Option<FaultInjector>,
+    cursor: Option<StreamCursor>,
+    next_domain: usize,
+    batches_into_domain: u64,
+    finalized: bool,
+}
+
+impl UserSession {
+    /// Creates a fresh session at the start of its stream.
+    ///
+    /// `fleet_faults` is the fleet-wide plan; the session derives its
+    /// private plan via [`session_fault_plan`]. A no-op plan wires no
+    /// injector (bit-identical to `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's learner or stream config is invalid for the
+    /// scenario.
+    pub fn new(
+        id: SessionId,
+        spec: SessionSpec,
+        scenario: Arc<DomainIlScenario>,
+        fleet_faults: Option<&FaultPlan>,
+    ) -> Self {
+        let model = ModelConfig::for_spec(scenario.spec());
+        let learner = Chameleon::new(&model, spec.learner.clone(), spec.learner_seed);
+        let injector = fleet_faults
+            .filter(|plan| !plan.is_noop())
+            .map(|plan| FaultInjector::new(session_fault_plan(plan, id)));
+        Self {
+            id,
+            spec,
+            scenario,
+            learner,
+            injector,
+            cursor: None,
+            next_domain: 0,
+            batches_into_domain: 0,
+            finalized: false,
+        }
+    }
+
+    /// Session identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The session's rebuild spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Whether the whole stream has been consumed and the learner
+    /// finalized.
+    pub fn is_done(&self) -> bool {
+        self.finalized
+    }
+
+    /// Index of the domain currently streaming (or next to stream).
+    pub fn current_domain(&self) -> usize {
+        self.next_domain
+    }
+
+    /// Batches already delivered within the current domain.
+    pub fn batches_into_domain(&self) -> u64 {
+        self.batches_into_domain
+    }
+
+    /// The hosted learner (inspection / fault-injection hooks for tests).
+    pub fn learner(&self) -> &Chameleon {
+        &self.learner
+    }
+
+    /// Mutable access to the hosted learner (test hooks only; mutating
+    /// mid-stream voids the determinism contract).
+    pub fn learner_mut(&mut self) -> &mut Chameleon {
+        &mut self.learner
+    }
+
+    /// Accumulated operation trace of the learner.
+    pub fn trace(&self) -> StepTrace {
+        self.learner.trace()
+    }
+
+    /// Nominal resident footprint of the session's replay stores, in
+    /// bytes — what shard session-memory budgets are accounted against.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.learner.memory_overhead_mb() * 1024.0 * 1024.0).ceil() as u64
+    }
+
+    /// Advances the session by at most one stream batch, mirroring the
+    /// sequential trainer loop (begin/end-domain hooks, per-domain stream
+    /// seeds, fault ordering). Returns `false` once the stream is
+    /// exhausted and the learner finalized; further calls are no-ops.
+    pub fn step_batch(&mut self) -> bool {
+        if self.finalized {
+            return false;
+        }
+        loop {
+            if self.cursor.is_none() {
+                if self.next_domain == self.scenario.spec().num_domains {
+                    self.learner.finalize();
+                    self.finalized = true;
+                    return false;
+                }
+                self.learner.begin_domain(self.next_domain);
+                self.cursor = Some(self.scenario.stream_cursor(
+                    self.next_domain,
+                    &self.spec.stream,
+                    self.domain_seed(self.next_domain),
+                ));
+                self.batches_into_domain = 0;
+            }
+            let cursor = self.cursor.as_mut().expect("cursor set above");
+            match cursor.next_batch(self.scenario.generator()) {
+                Some(batch) => {
+                    self.batches_into_domain += 1;
+                    match self.injector.as_mut() {
+                        None => self.learner.observe(&batch),
+                        Some(injector) => {
+                            // Same ordering as the sequential trainer:
+                            // stream time passes whether or not the batch
+                            // is delivered, then resident stores age.
+                            let ticks = batch.len() as u64;
+                            for delivered in injector.mangle_batch(batch) {
+                                self.learner.observe(&delivered);
+                            }
+                            self.learner.visit_stores(&mut |placement, sample| {
+                                injector.flip_bits(&mut sample.features, ticks, placement);
+                            });
+                        }
+                    }
+                    return true;
+                }
+                None => {
+                    self.learner.end_domain(self.next_domain);
+                    self.cursor = None;
+                    self.next_domain += 1;
+                }
+            }
+        }
+    }
+
+    /// Advances by up to `batches` stream batches; returns how many were
+    /// actually delivered (fewer when the stream ends).
+    pub fn step_batches(&mut self, batches: usize) -> usize {
+        let mut done = 0;
+        for _ in 0..batches {
+            if !self.step_batch() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+
+    /// Evaluates the learner on the scenario's all-domain test set.
+    pub fn evaluate(&self) -> EvalReport {
+        EvalReport::evaluate(&self.scenario, &self.learner)
+    }
+
+    /// The exact per-domain stream seed the sequential trainer would use
+    /// (identity domain order: position == domain).
+    fn domain_seed(&self, domain: usize) -> u64 {
+        self.spec.stream_seed.wrapping_add(domain as u64 * 0x9E37)
+    }
+
+    pub(crate) fn parts_for_checkpoint(&self) -> (&Chameleon, usize, bool, u64, bool) {
+        (
+            &self.learner,
+            self.next_domain,
+            self.cursor.is_some(),
+            self.batches_into_domain,
+            self.finalized,
+        )
+    }
+
+    /// Rebuilds a session from checkpointed progress: a reloaded learner
+    /// plus the stream position. The cursor is recreated from the
+    /// deterministic per-domain seed and fast-forwarded by replaying
+    /// `progress.batches_into_domain` batches, reproducing the exact
+    /// stream state at eviction time.
+    pub(crate) fn from_restored_parts(
+        id: SessionId,
+        spec: SessionSpec,
+        scenario: Arc<DomainIlScenario>,
+        learner: Chameleon,
+        fleet_faults: Option<&FaultPlan>,
+        progress: StreamProgress,
+    ) -> Self {
+        let injector = fleet_faults
+            .filter(|plan| !plan.is_noop())
+            .map(|plan| FaultInjector::new(session_fault_plan(plan, id)));
+        let mut session = Self {
+            id,
+            spec,
+            scenario,
+            learner,
+            injector,
+            cursor: None,
+            next_domain: progress.next_domain,
+            batches_into_domain: 0,
+            finalized: progress.finalized,
+        };
+        if progress.mid_domain && !progress.finalized {
+            let mut cursor = session.scenario.stream_cursor(
+                progress.next_domain,
+                &session.spec.stream,
+                session.domain_seed(progress.next_domain),
+            );
+            let generator = session.scenario.generator();
+            for _ in 0..progress.batches_into_domain {
+                let _ = cursor.next_batch(generator);
+            }
+            session.cursor = Some(cursor);
+            session.batches_into_domain = progress.batches_into_domain;
+        }
+        session
+    }
+}
+
+/// Stream position captured at eviction time, as a unit.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StreamProgress {
+    pub(crate) next_domain: usize,
+    pub(crate) mid_domain: bool,
+    pub(crate) batches_into_domain: u64,
+    pub(crate) finalized: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::Trainer;
+    use chameleon_stream::DatasetSpec;
+
+    fn tiny_scenario() -> Arc<DomainIlScenario> {
+        Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0xDA7A,
+        ))
+    }
+
+    fn tiny_spec(stream_seed: u64) -> SessionSpec {
+        SessionSpec {
+            learner: ChameleonConfig {
+                long_term_capacity: 30,
+                ..ChameleonConfig::default()
+            },
+            stream: StreamConfig::default(),
+            learner_seed: 5,
+            stream_seed,
+        }
+    }
+
+    #[test]
+    fn session_matches_sequential_trainer_bit_for_bit() {
+        let scenario = tiny_scenario();
+        let spec = tiny_spec(9);
+        let mut session = UserSession::new(1, spec.clone(), Arc::clone(&scenario), None);
+        while session.step_batch() {}
+        assert!(session.is_done());
+
+        let model = ModelConfig::for_spec(scenario.spec());
+        let mut solo = Chameleon::new(&model, spec.learner.clone(), spec.learner_seed);
+        let solo_report = Trainer::new(spec.stream).run(&scenario, &mut solo, spec.stream_seed);
+
+        assert_eq!(session.evaluate(), solo_report);
+        assert_eq!(session.trace(), solo.trace());
+    }
+
+    #[test]
+    fn session_with_faults_matches_solo_faulted_run() {
+        let scenario = tiny_scenario();
+        let spec = tiny_spec(3);
+        let plan = FaultPlan::bit_flips(77, 1e-4);
+        let mut session = UserSession::new(4, spec.clone(), Arc::clone(&scenario), Some(&plan));
+        while session.step_batch() {}
+
+        let model = ModelConfig::for_spec(scenario.spec());
+        let mut solo = Chameleon::new(&model, spec.learner.clone(), spec.learner_seed);
+        let mut injector = FaultInjector::new(session_fault_plan(&plan, 4));
+        let solo_report = Trainer::new(spec.stream).run_with_faults(
+            &scenario,
+            &mut solo,
+            spec.stream_seed,
+            &mut injector,
+        );
+
+        assert_eq!(session.evaluate(), solo_report);
+        assert_eq!(session.learner().resilience(), solo.resilience());
+    }
+
+    #[test]
+    fn step_batches_counts_deliveries_and_stops_at_end() {
+        let scenario = tiny_scenario();
+        let mut session = UserSession::new(0, tiny_spec(1), scenario, None);
+        // core50-tiny: 4 domains × 12 batches of 10.
+        assert_eq!(session.step_batches(20), 20);
+        assert_eq!(session.current_domain(), 1);
+        assert_eq!(session.step_batches(1000), 28);
+        assert!(session.is_done());
+        assert_eq!(session.step_batches(5), 0);
+    }
+
+    #[test]
+    fn per_session_fault_plans_are_distinct_but_deterministic() {
+        let base = FaultPlan::bit_flips(1, 1e-5);
+        assert_ne!(
+            session_fault_plan(&base, 0).seed,
+            session_fault_plan(&base, 1).seed
+        );
+        assert_eq!(session_fault_plan(&base, 7), session_fault_plan(&base, 7));
+        assert_eq!(session_fault_plan(&base, 7).memory, base.memory);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_store_capacity() {
+        let scenario = tiny_scenario();
+        let small = UserSession::new(0, tiny_spec(1), Arc::clone(&scenario), None);
+        let mut big_spec = tiny_spec(1);
+        big_spec.learner.long_term_capacity = 300;
+        let big = UserSession::new(1, big_spec, scenario, None);
+        assert!(big.resident_bytes() > small.resident_bytes());
+    }
+}

@@ -1,0 +1,471 @@
+//! A shard worker: owns a disjoint subset of the fleet's sessions and
+//! processes requests from its bounded queue one at a time.
+//!
+//! Sessions a shard hosts are either **resident** (live [`UserSession`])
+//! or **cold** (a [`SessionCheckpoint`]). Whenever the resident footprint
+//! exceeds the shard's session-memory budget, the least-recently-used
+//! resident session is evicted to checkpoint form; touching a cold session
+//! restores it first. Budget-driven evictions are implicit — they show up
+//! in [`ShardMetrics`] but emit no events; only an explicit
+//! [`SessionCommand::Evict`] acknowledges with an event.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use chameleon_core::EvalReport;
+use chameleon_faults::FaultPlan;
+use chameleon_stream::DomainIlScenario;
+
+use crate::checkpoint::SessionCheckpoint;
+use crate::metrics::ShardMetrics;
+use crate::session::{SessionId, SessionSpec, UserSession};
+
+/// An operation on one already-created session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionCommand {
+    /// Deliver up to this many stream batches to the session's learner.
+    Step {
+        /// Maximum batches to deliver (fewer when the stream ends).
+        batches: usize,
+    },
+    /// Evaluate the learner on the scenario's all-domain test set.
+    Evaluate,
+    /// Serialize the session to a portable checkpoint blob (the session
+    /// stays in whatever residency state it was).
+    Checkpoint,
+    /// Force the session out of residency into checkpoint form.
+    Evict,
+}
+
+/// What a shard did in response to one request. Every accepted `Create` or
+/// `Command` produces exactly one event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionEventKind {
+    /// The session was created and is resident.
+    Created,
+    /// A `Step` command ran.
+    Stepped {
+        /// Batches actually delivered.
+        delivered: usize,
+        /// Whether the session's stream is now exhausted and finalized.
+        done: bool,
+    },
+    /// An `Evaluate` command ran.
+    Evaluated(Box<EvalReport>),
+    /// A `Checkpoint` command ran; the serialized `CHAMFLT1` blob.
+    Checkpointed(Vec<u8>),
+    /// An explicit `Evict` command completed (idempotent when the session
+    /// was already cold).
+    Evicted,
+    /// The request could not be honored; human-readable reason.
+    Failed(String),
+}
+
+/// A shard's response to one request, tagged with its origin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionEvent {
+    /// Session the request addressed.
+    pub session: SessionId,
+    /// Shard that processed it.
+    pub shard: usize,
+    /// What happened.
+    pub kind: SessionEventKind,
+}
+
+/// A request on a shard's bounded queue.
+pub(crate) enum Request {
+    Create {
+        id: SessionId,
+        spec: Box<SessionSpec>,
+    },
+    Command {
+        id: SessionId,
+        command: SessionCommand,
+    },
+    Metrics {
+        reply: Sender<ShardMetrics>,
+    },
+    Shutdown,
+}
+
+struct Resident {
+    session: UserSession,
+    last_touch: u64,
+    bytes: u64,
+}
+
+struct Cold {
+    checkpoint: SessionCheckpoint,
+}
+
+/// The state owned by one shard worker thread.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    scenario: Arc<DomainIlScenario>,
+    faults: Option<FaultPlan>,
+    budget_bytes: u64,
+    resident: HashMap<SessionId, Resident>,
+    cold: HashMap<SessionId, Cold>,
+    resident_bytes: u64,
+    clock: u64,
+    events: Sender<SessionEvent>,
+    metrics: ShardMetrics,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        scenario: Arc<DomainIlScenario>,
+        faults: Option<FaultPlan>,
+        budget_bytes: u64,
+        events: Sender<SessionEvent>,
+    ) -> Self {
+        Self {
+            shard,
+            scenario,
+            faults,
+            budget_bytes,
+            resident: HashMap::new(),
+            cold: HashMap::new(),
+            resident_bytes: 0,
+            clock: 0,
+            events,
+            metrics: ShardMetrics {
+                shard,
+                budget_bytes,
+                ..ShardMetrics::default()
+            },
+        }
+    }
+
+    /// Blocking request loop; returns when `Shutdown` arrives or every
+    /// engine handle hung up.
+    pub(crate) fn run(mut self, requests: Receiver<Request>) {
+        while let Ok(request) = requests.recv() {
+            match request {
+                Request::Create { id, spec } => self.handle_create(id, *spec),
+                Request::Command { id, command } => self.handle_command(id, command),
+                Request::Metrics { reply } => {
+                    let _ = reply.send(self.snapshot());
+                }
+                Request::Shutdown => break,
+            }
+        }
+    }
+
+    fn emit(&self, session: SessionId, kind: SessionEventKind) {
+        // The engine may have dropped the receiver during teardown; events
+        // are best-effort at that point.
+        let _ = self.events.send(SessionEvent {
+            session,
+            shard: self.shard,
+            kind,
+        });
+    }
+
+    fn handle_create(&mut self, id: SessionId, spec: SessionSpec) {
+        if self.resident.contains_key(&id) || self.cold.contains_key(&id) {
+            self.emit(
+                id,
+                SessionEventKind::Failed("session already exists".into()),
+            );
+            return;
+        }
+        if let Err(e) = spec.learner.validate() {
+            self.emit(
+                id,
+                SessionEventKind::Failed(format!("invalid learner config: {e}")),
+            );
+            return;
+        }
+        if let Err(e) = spec.stream.validate() {
+            self.emit(
+                id,
+                SessionEventKind::Failed(format!("invalid stream config: {e}")),
+            );
+            return;
+        }
+        let session = UserSession::new(id, spec, Arc::clone(&self.scenario), self.faults.as_ref());
+        self.admit(id, session);
+        self.metrics.sessions_created += 1;
+        self.enforce_budget(id);
+        self.emit(id, SessionEventKind::Created);
+    }
+
+    fn handle_command(&mut self, id: SessionId, command: SessionCommand) {
+        match command {
+            SessionCommand::Step { batches } => match self.touch(id) {
+                Err(reason) => self.emit(id, SessionEventKind::Failed(reason)),
+                Ok(()) => {
+                    let start = Instant::now();
+                    let resident = self.resident.get_mut(&id).expect("touched");
+                    let delivered = resident.session.step_batches(batches);
+                    let done = resident.session.is_done();
+                    self.metrics.step_nanos += start.elapsed().as_nanos() as u64;
+                    self.metrics.step_commands += 1;
+                    self.metrics.batches += delivered as u64;
+                    self.emit(id, SessionEventKind::Stepped { delivered, done });
+                }
+            },
+            SessionCommand::Evaluate => match self.touch(id) {
+                Err(reason) => self.emit(id, SessionEventKind::Failed(reason)),
+                Ok(()) => {
+                    let start = Instant::now();
+                    let report = self.resident[&id].session.evaluate();
+                    self.metrics.eval_nanos += start.elapsed().as_nanos() as u64;
+                    self.emit(id, SessionEventKind::Evaluated(Box::new(report)));
+                }
+            },
+            SessionCommand::Checkpoint => {
+                // Served from either residency state without changing it —
+                // a cold session's blob is re-serialized directly.
+                let blob = if let Some(resident) = self.resident.get(&id) {
+                    let start = Instant::now();
+                    let blob = SessionCheckpoint::capture(&resident.session).to_bytes();
+                    self.metrics.checkpoint_nanos += start.elapsed().as_nanos() as u64;
+                    Some(blob)
+                } else {
+                    self.cold.get(&id).map(|cold| cold.checkpoint.to_bytes())
+                };
+                match blob {
+                    Some(blob) => self.emit(id, SessionEventKind::Checkpointed(blob)),
+                    None => self.emit(
+                        id,
+                        SessionEventKind::Failed("session unknown to this shard".into()),
+                    ),
+                }
+            }
+            SessionCommand::Evict => {
+                if self.resident.contains_key(&id) {
+                    self.evict(id);
+                    self.emit(id, SessionEventKind::Evicted);
+                } else if self.cold.contains_key(&id) {
+                    self.emit(id, SessionEventKind::Evicted);
+                } else {
+                    self.emit(
+                        id,
+                        SessionEventKind::Failed("session unknown to this shard".into()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Makes `id` resident (restoring from cold if needed), bumps its LRU
+    /// stamp, and re-enforces the budget with `id` protected.
+    fn touch(&mut self, id: SessionId) -> Result<(), String> {
+        if let Some(resident) = self.resident.get_mut(&id) {
+            self.clock += 1;
+            resident.last_touch = self.clock;
+            return Ok(());
+        }
+        let Some(cold) = self.cold.remove(&id) else {
+            return Err("session unknown to this shard".into());
+        };
+        let start = Instant::now();
+        let restored = cold
+            .checkpoint
+            .restore(Arc::clone(&self.scenario), self.faults.as_ref());
+        self.metrics.restore_nanos += start.elapsed().as_nanos() as u64;
+        match restored {
+            Ok(session) => {
+                self.metrics.restores += 1;
+                self.admit(id, session);
+                self.enforce_budget(id);
+                Ok(())
+            }
+            Err(e) => {
+                // Put the blob back so the session is not silently lost.
+                self.cold.insert(id, cold);
+                Err(format!("restore failed: {e:?}"))
+            }
+        }
+    }
+
+    fn admit(&mut self, id: SessionId, session: UserSession) {
+        self.clock += 1;
+        let bytes = session.resident_bytes();
+        self.resident_bytes += bytes;
+        self.resident.insert(
+            id,
+            Resident {
+                session,
+                last_touch: self.clock,
+                bytes,
+            },
+        );
+    }
+
+    /// Evicts least-recently-used residents (never `protect`, never the
+    /// last one) until the footprint fits the budget.
+    fn enforce_budget(&mut self, protect: SessionId) {
+        while self.resident_bytes > self.budget_bytes && self.resident.len() > 1 {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(id, _)| **id != protect)
+                .min_by_key(|(_, r)| r.last_touch)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => self.evict(id),
+                None => break,
+            }
+        }
+    }
+
+    fn evict(&mut self, id: SessionId) {
+        let resident = self.resident.remove(&id).expect("evict target resident");
+        self.resident_bytes -= resident.bytes;
+        let start = Instant::now();
+        let checkpoint = SessionCheckpoint::capture(&resident.session);
+        self.metrics.checkpoint_nanos += start.elapsed().as_nanos() as u64;
+        self.metrics.evictions += 1;
+        self.cold.insert(id, Cold { checkpoint });
+    }
+
+    fn snapshot(&self) -> ShardMetrics {
+        let mut m = self.metrics.clone();
+        m.sessions_resident = self.resident.len();
+        m.sessions_cold = self.cold.len();
+        m.resident_bytes = self.resident_bytes;
+        m.trace = chameleon_core::StepTrace::new();
+        for resident in self.resident.values() {
+            m.trace.merge(&resident.session.trace());
+        }
+        for cold in self.cold.values() {
+            m.trace.merge(&cold.checkpoint.counters.trace);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::ChameleonConfig;
+    use chameleon_stream::{DatasetSpec, StreamConfig};
+    use std::sync::mpsc;
+
+    fn tiny_worker(budget_bytes: u64) -> (ShardWorker, Receiver<SessionEvent>) {
+        let scenario = Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0xDA7A,
+        ));
+        let (tx, rx) = mpsc::channel();
+        (ShardWorker::new(0, scenario, None, budget_bytes, tx), rx)
+    }
+
+    fn tiny_spec(stream_seed: u64) -> SessionSpec {
+        SessionSpec {
+            learner: ChameleonConfig {
+                long_term_capacity: 30,
+                ..ChameleonConfig::default()
+            },
+            stream: StreamConfig::default(),
+            learner_seed: 5,
+            stream_seed,
+        }
+    }
+
+    #[test]
+    fn lru_eviction_kicks_in_over_budget() {
+        // Budget fits roughly one session, so the second create evicts the
+        // first, and stepping the first swaps residency back.
+        let (mut worker, rx) = tiny_worker(1);
+        worker.handle_create(1, tiny_spec(1));
+        worker.handle_create(2, tiny_spec(2));
+        assert_eq!(worker.resident.len(), 1);
+        assert_eq!(worker.cold.len(), 1);
+        assert!(worker.cold.contains_key(&1));
+        assert_eq!(worker.metrics.evictions, 1);
+
+        worker.handle_command(1, SessionCommand::Step { batches: 4 });
+        assert!(worker.resident.contains_key(&1));
+        assert!(worker.cold.contains_key(&2));
+        assert_eq!(worker.metrics.restores, 1);
+        assert_eq!(worker.metrics.evictions, 2);
+
+        let kinds: Vec<_> = rx.try_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SessionEventKind::Created,
+                SessionEventKind::Created,
+                SessionEventKind::Stepped {
+                    delivered: 4,
+                    done: false
+                },
+            ],
+            "implicit evictions must not emit events"
+        );
+    }
+
+    #[test]
+    fn eviction_roundtrip_preserves_progress() {
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        worker.handle_create(7, tiny_spec(7));
+        worker.handle_command(7, SessionCommand::Step { batches: 17 });
+        let before = worker.resident[&7].session.trace();
+        worker.handle_command(7, SessionCommand::Evict);
+        assert!(worker.cold.contains_key(&7));
+        worker.handle_command(7, SessionCommand::Step { batches: 0 });
+        let after = worker.resident[&7].session.trace();
+        assert_eq!(before, after);
+        assert_eq!(worker.resident[&7].session.batches_into_domain(), 5);
+        let last = rx.try_iter().last().expect("events");
+        assert_eq!(
+            last.kind,
+            SessionEventKind::Stepped {
+                delivered: 0,
+                done: false
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_and_duplicate_sessions_fail_with_events() {
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        worker.handle_command(9, SessionCommand::Evaluate);
+        worker.handle_create(3, tiny_spec(3));
+        worker.handle_create(3, tiny_spec(3));
+        let kinds: Vec<_> = rx.try_iter().map(|e| e.kind).collect();
+        assert!(matches!(kinds[0], SessionEventKind::Failed(_)));
+        assert_eq!(kinds[1], SessionEventKind::Created);
+        assert!(matches!(kinds[2], SessionEventKind::Failed(_)));
+    }
+
+    #[test]
+    fn checkpoint_command_serves_cold_sessions_without_restoring() {
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        worker.handle_create(5, tiny_spec(5));
+        worker.handle_command(5, SessionCommand::Step { batches: 6 });
+        worker.handle_command(5, SessionCommand::Evict);
+        worker.handle_command(5, SessionCommand::Checkpoint);
+        assert_eq!(worker.metrics.restores, 0);
+        let blob = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Checkpointed(blob) => blob,
+            other => panic!("expected checkpoint, got {other:?}"),
+        };
+        let ck = SessionCheckpoint::from_bytes(&blob).expect("valid blob");
+        assert_eq!(ck.session, 5);
+        assert_eq!(ck.batches_into_domain, 6);
+    }
+
+    #[test]
+    fn snapshot_merges_resident_and_cold_traces() {
+        let (mut worker, _rx) = tiny_worker(u64::MAX);
+        worker.handle_create(1, tiny_spec(1));
+        worker.handle_create(2, tiny_spec(2));
+        worker.handle_command(1, SessionCommand::Step { batches: 3 });
+        worker.handle_command(2, SessionCommand::Step { batches: 2 });
+        worker.handle_command(2, SessionCommand::Evict);
+        let snap = worker.snapshot();
+        assert_eq!(snap.sessions_resident, 1);
+        assert_eq!(snap.sessions_cold, 1);
+        assert_eq!(snap.batches, 5);
+        // Default batch size is 10 inputs per batch.
+        assert_eq!(snap.trace.inputs, 50);
+    }
+}

@@ -142,6 +142,13 @@ impl Sgd {
     pub fn skipped_updates(&self) -> u64 {
         self.skipped_updates
     }
+
+    /// Overwrites the skipped-update counter — used when restoring a
+    /// checkpointed learner so its lifetime resilience counts survive
+    /// eviction.
+    pub fn restore_skipped_updates(&mut self, count: u64) {
+        self.skipped_updates = count;
+    }
 }
 
 #[cfg(test)]

@@ -189,7 +189,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specification accepted by [`vec`].
+    /// Size specification accepted by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

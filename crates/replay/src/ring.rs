@@ -133,6 +133,12 @@ impl RingBuffer {
     pub fn stats(&self) -> AccessStats {
         self.stats
     }
+
+    /// Overwrites the access counters — used when restoring a checkpointed
+    /// session so lifetime traffic/quarantine counts survive eviction.
+    pub fn restore_stats(&mut self, stats: AccessStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

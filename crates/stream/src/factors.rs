@@ -20,6 +20,8 @@
 
 use chameleon_tensor::Prng;
 
+use crate::ConfigError;
+
 /// One environmental factor at a difficulty level `1..=3`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DomainFactor {
@@ -66,21 +68,39 @@ impl DomainFactor {
 
     /// Validates the level.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the level is outside `1..=3`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=3).contains(&self.level()) {
+            return Err(ConfigError {
+                field: "factor level",
+                requirement: "must be 1..=3",
+            });
+        }
+        Ok(())
+    }
+
+    /// Panicking companion of [`DomainFactor::validate`].
+    ///
     /// # Panics
     ///
     /// Panics if the level is outside `1..=3`.
-    pub fn validate(&self) {
-        assert!(
-            (1..=3).contains(&self.level()),
-            "factor level must be 1..=3, got {}",
-            self.level()
-        );
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid domain factor: {e}, got level {}", self.level());
+        }
     }
 
     /// Applies the factor to a raw sample in place. `distractor` is the
     /// identity direction of a random *other* class, used by `Clutter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level is invalid or the distractor dimension
+    /// mismatches for `Clutter`.
     pub fn apply(&self, raw: &mut [f32], distractor: &[f32], rng: &mut Prng) {
-        self.validate();
+        self.assert_valid();
         let level = f32::from(self.level());
         match self {
             Self::Illumination(_) => {
@@ -244,6 +264,14 @@ mod tests {
         };
         assert!(count_zeros(1) < count_zeros(2));
         assert!(count_zeros(2) < count_zeros(3));
+    }
+
+    #[test]
+    fn validate_accepts_levels_one_to_three() {
+        assert!(DomainFactor::Occlusion(1).validate().is_ok());
+        assert!(DomainFactor::Occlusion(3).validate().is_ok());
+        let e = DomainFactor::Occlusion(0).validate().expect_err("level 0");
+        assert_eq!(e.field, "factor level");
     }
 
     #[test]

@@ -51,9 +51,10 @@ impl ClusterGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if `spec` fails [`DatasetSpec::validate`].
+    /// Panics if `spec` fails [`DatasetSpec::validate`] (via
+    /// [`DatasetSpec::assert_valid`]).
     pub fn new(spec: &DatasetSpec, seed: u64) -> Self {
-        spec.validate();
+        spec.assert_valid();
         let mut rng = Prng::new(seed ^ 0xC1A5_5E5E_D00D_F00D);
 
         let identities: Vec<Vec<f32>> = (0..spec.num_classes)

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod factors;
 mod generator;
 mod scenario;
@@ -47,8 +48,9 @@ pub mod shapes;
 mod spec;
 mod stream;
 
+pub use error::ConfigError;
 pub use factors::DomainFactor;
 pub use generator::ClusterGenerator;
 pub use scenario::DomainIlScenario;
 pub use spec::DatasetSpec;
-pub use stream::{Batch, PreferenceProfile, StreamConfig};
+pub use stream::{Batch, PreferenceProfile, StreamConfig, StreamCursor};

@@ -4,7 +4,7 @@
 use chameleon_tensor::{Matrix, Prng};
 
 use crate::stream::DomainStream;
-use crate::{ClusterGenerator, DatasetSpec, StreamConfig};
+use crate::{ClusterGenerator, DatasetSpec, StreamConfig, StreamCursor};
 
 /// A full Domain Incremental Learning scenario, the paper's evaluation
 /// protocol: train on domains `0..D` one after another in a single pass,
@@ -86,6 +86,26 @@ impl DomainIlScenario {
         let spec = self.generator.spec();
         let total = spec.num_classes * spec.train_per_class_per_domain;
         DomainStream::new(&self.generator, domain, config.clone(), total, stream_seed)
+    }
+
+    /// An owned [`StreamCursor`] over one domain: the same batches as
+    /// [`DomainIlScenario::domain_stream`] for identical arguments, but
+    /// without borrowing the scenario — long-lived sessions hold the
+    /// cursor and drive it against [`DomainIlScenario::generator`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range or the config is invalid.
+    pub fn stream_cursor(
+        &self,
+        domain: usize,
+        config: &StreamConfig,
+        stream_seed: u64,
+    ) -> StreamCursor {
+        let spec = self.generator.spec();
+        assert!(domain < spec.num_domains, "domain out of range");
+        let total = spec.num_classes * spec.train_per_class_per_domain;
+        StreamCursor::new(domain, config.clone(), total, stream_seed)
     }
 
     /// The held-out test inputs (`test_len × raw_dim`) and labels, covering

@@ -1,6 +1,6 @@
 //! Dataset specifications and the CORe50/OpenLORIS presets.
 
-use crate::DomainFactor;
+use crate::{ConfigError, DomainFactor};
 
 /// Parameters of a synthetic Domain-IL benchmark.
 ///
@@ -133,46 +133,97 @@ impl DatasetSpec {
         self.num_classes * self.num_domains * self.test_per_class_per_domain
     }
 
-    /// Validates internal consistency; called by the generator.
+    /// Validates internal consistency, reporting the first violated
+    /// requirement; the generator calls the panicking companion
+    /// [`DatasetSpec::assert_valid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the out-of-range field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_classes < 2 {
+            return Err(ConfigError {
+                field: "class count",
+                requirement: "needs at least two classes",
+            });
+        }
+        if self.num_domains == 0 {
+            return Err(ConfigError {
+                field: "domain count",
+                requirement: "must be positive",
+            });
+        }
+        if self.raw_dim < 2 {
+            return Err(ConfigError {
+                field: "raw dimension",
+                requirement: "must be at least 2",
+            });
+        }
+        if self.train_per_class_per_domain == 0 {
+            return Err(ConfigError {
+                field: "train samples per class per domain",
+                requirement: "must be positive (empty training domains)",
+            });
+        }
+        if self.test_per_class_per_domain == 0 {
+            return Err(ConfigError {
+                field: "test samples per class per domain",
+                requirement: "must be positive (empty test set)",
+            });
+        }
+        if self.class_separation <= 0.0 {
+            return Err(ConfigError {
+                field: "class separation",
+                requirement: "must be positive",
+            });
+        }
+        if self.domain_shift < 0.0 {
+            return Err(ConfigError {
+                field: "domain shift",
+                requirement: "must be non-negative",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.domain_smoothness) {
+            return Err(ConfigError {
+                field: "domain smoothness",
+                requirement: "must be in [0,1]",
+            });
+        }
+        if !(self.gain_range.0 > 0.0 && self.gain_range.0 <= self.gain_range.1) {
+            return Err(ConfigError {
+                field: "gain range",
+                requirement: "must be positive and ordered",
+            });
+        }
+        if self.noise_std < 0.0 {
+            return Err(ConfigError {
+                field: "noise std",
+                requirement: "must be non-negative",
+            });
+        }
+        if !self.factors.is_empty() {
+            if self.factors.len() != self.num_domains {
+                return Err(ConfigError {
+                    field: "factors",
+                    requirement: "need one environmental factor per domain",
+                });
+            }
+            for factor in &self.factors {
+                factor.validate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking companion of [`DatasetSpec::validate`].
     ///
     /// # Panics
     ///
-    /// Panics with a descriptive message when a field is out of range.
-    pub fn validate(&self) {
-        assert!(self.num_classes >= 2, "need at least two classes");
-        assert!(self.num_domains >= 1, "need at least one domain");
-        assert!(self.raw_dim >= 2, "raw dimension too small");
-        assert!(
-            self.train_per_class_per_domain >= 1,
-            "empty training domains"
-        );
-        assert!(self.test_per_class_per_domain >= 1, "empty test set");
-        assert!(
-            self.class_separation > 0.0,
-            "class separation must be positive"
-        );
-        assert!(
-            self.domain_shift >= 0.0,
-            "domain shift must be non-negative"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.domain_smoothness),
-            "smoothness must be in [0,1]"
-        );
-        assert!(
-            self.gain_range.0 > 0.0 && self.gain_range.0 <= self.gain_range.1,
-            "invalid gain range"
-        );
-        assert!(self.noise_std >= 0.0, "noise must be non-negative");
-        if !self.factors.is_empty() {
-            assert_eq!(
-                self.factors.len(),
-                self.num_domains,
-                "need one environmental factor per domain"
-            );
-            for factor in &self.factors {
-                factor.validate();
-            }
+    /// Panics with the rendered [`ConfigError`] message when a field is out
+    /// of range.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid dataset spec: {e}");
         }
     }
 }
@@ -183,10 +234,24 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        DatasetSpec::core50().validate();
-        DatasetSpec::openloris().validate();
-        DatasetSpec::core50_tiny().validate();
-        DatasetSpec::openloris_tiny().validate();
+        assert!(DatasetSpec::core50().validate().is_ok());
+        assert!(DatasetSpec::openloris().validate().is_ok());
+        assert!(DatasetSpec::core50_tiny().validate().is_ok());
+        assert!(DatasetSpec::openloris_tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_the_offending_field() {
+        let mut s = DatasetSpec::core50_tiny();
+        s.domain_smoothness = 1.5;
+        let e = s.validate().expect_err("bad smoothness");
+        assert_eq!(e.field, "domain smoothness");
+        let mut s = DatasetSpec::core50_tiny();
+        s.gain_range = (0.0, 1.0);
+        assert_eq!(s.validate().expect_err("bad gain").field, "gain range");
+        let mut s = DatasetSpec::openloris_factored();
+        s.factors[0] = crate::DomainFactor::Clutter(9);
+        assert_eq!(s.validate().expect_err("bad level").field, "factor level");
     }
 
     #[test]
@@ -222,7 +287,7 @@ mod tests {
     #[test]
     fn factored_preset_validates_and_covers_domains() {
         let s = DatasetSpec::openloris_factored();
-        s.validate();
+        s.assert_valid();
         assert_eq!(s.factors.len(), s.num_domains);
     }
 
@@ -231,7 +296,7 @@ mod tests {
     fn mismatched_factor_count_panics() {
         let mut s = DatasetSpec::openloris_factored();
         s.factors.pop();
-        s.validate();
+        s.assert_valid();
     }
 
     #[test]
@@ -239,6 +304,6 @@ mod tests {
     fn invalid_spec_panics() {
         let mut s = DatasetSpec::core50_tiny();
         s.num_classes = 1;
-        s.validate();
+        s.assert_valid();
     }
 }

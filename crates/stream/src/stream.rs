@@ -2,7 +2,7 @@
 
 use chameleon_tensor::{Matrix, Prng};
 
-use crate::ClusterGenerator;
+use crate::{ClusterGenerator, ConfigError};
 
 /// One mini-batch from the stream, as delivered to a strategy's
 /// `observe` call.
@@ -121,28 +121,65 @@ impl Default for StreamConfig {
 }
 
 impl StreamConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, reporting the first violated
+    /// requirement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch_size` or `run_length` is zero, or a boost ≤ 1.
-    pub fn validate(&self) {
-        assert!(self.batch_size > 0, "batch size must be positive");
-        assert!(self.run_length > 0, "run length must be positive");
+    /// Returns a [`ConfigError`] if `batch_size` or `run_length` is zero,
+    /// or a preference boost is ≤ 1.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError {
+                field: "batch size",
+                requirement: "must be positive",
+            });
+        }
+        if self.run_length == 0 {
+            return Err(ConfigError {
+                field: "run length",
+                requirement: "must be positive",
+            });
+        }
         match &self.preference {
             PreferenceProfile::Uniform => {}
             PreferenceProfile::Skewed { boost, .. } | PreferenceProfile::Shifting { boost, .. } => {
-                assert!(*boost > 1.0, "preference boost must exceed 1");
+                if *boost <= 1.0 {
+                    return Err(ConfigError {
+                        field: "preference boost",
+                        requirement: "must exceed 1",
+                    });
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Panicking companion of [`StreamConfig::validate`], for call sites
+    /// that treat a bad configuration as a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`ConfigError`] message.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid stream config: {e}");
         }
     }
 }
 
-/// Iterator of [`Batch`]es over one domain: temporally-correlated runs of
-/// single objects, classes drawn by the preference profile, for a total of
-/// `total_samples` samples.
-pub struct DomainStream<'a> {
-    generator: &'a ClusterGenerator,
+/// Owned position within one domain's stream: the RNG, sample count, and
+/// current video run, but *not* a borrow of the generator.
+///
+/// `DomainStream` (the crate's borrowing iterator) is built on top of
+/// this; the cursor form exists so long-lived sessions (e.g. the fleet
+/// engine's per-user sessions) can hold their stream position across
+/// arbitrary suspension points and drive it against a shared
+/// [`ClusterGenerator`] on demand. Batches drawn via
+/// [`StreamCursor::next_batch`] are bit-identical to the ones the
+/// iterator yields for the same `(domain, config, seed)`.
+#[derive(Clone, Debug)]
+pub struct StreamCursor {
     domain: usize,
     config: StreamConfig,
     rng: Prng,
@@ -152,18 +189,15 @@ pub struct DomainStream<'a> {
     run: Option<(usize, usize, Vec<f32>)>,
 }
 
-impl<'a> DomainStream<'a> {
-    pub(crate) fn new(
-        generator: &'a ClusterGenerator,
-        domain: usize,
-        config: StreamConfig,
-        total_samples: usize,
-        seed: u64,
-    ) -> Self {
-        config.validate();
-        assert!(domain < generator.spec().num_domains, "domain out of range");
+impl StreamCursor {
+    /// Creates a cursor at the start of `domain`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(domain: usize, config: StreamConfig, total_samples: usize, seed: u64) -> Self {
+        config.assert_valid();
         Self {
-            generator,
             domain,
             config,
             rng: Prng::new(seed ^ (domain as u64).wrapping_mul(0x9E37_79B9)),
@@ -173,35 +207,55 @@ impl<'a> DomainStream<'a> {
         }
     }
 
-    fn next_sample(&mut self) -> (Vec<f32>, usize) {
+    /// Domain this cursor streams.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Samples emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Whether the domain's sample budget is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.emitted >= self.total_samples
+    }
+
+    fn next_sample(&mut self, generator: &ClusterGenerator) -> (Vec<f32>, usize) {
         let progress = self.emitted as f32 / self.total_samples.max(1) as f32;
         // Refill the video run when exhausted.
         if self.run.as_ref().is_none_or(|(_, left, _)| *left == 0) {
             let weights = self
                 .config
                 .preference
-                .weights(self.generator.spec().num_classes, progress);
+                .weights(generator.spec().num_classes, progress);
             let class = self.rng.weighted_choice(&weights);
             let length = 1 + self.rng.below(self.config.run_length * 2);
-            let frame = self.generator.sample(class, self.domain, &mut self.rng);
+            let frame = generator.sample(class, self.domain, &mut self.rng);
             self.run = Some((class, length, frame));
         }
         let (class, left, last) = self.run.take().expect("run refilled above");
         let frame = if left > 1 {
-            self.generator
-                .sample_correlated(class, self.domain, &last, &mut self.rng)
+            generator.sample_correlated(class, self.domain, &last, &mut self.rng)
         } else {
             last.clone()
         };
         self.run = Some((class, left - 1, frame.clone()));
         (frame, class)
     }
-}
 
-impl Iterator for DomainStream<'_> {
-    type Item = Batch;
-
-    fn next(&mut self) -> Option<Batch> {
+    /// Draws the next batch from `generator`, or `None` once the domain's
+    /// sample budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor's domain is out of range for `generator`.
+    pub fn next_batch(&mut self, generator: &ClusterGenerator) -> Option<Batch> {
+        assert!(
+            self.domain < generator.spec().num_domains,
+            "domain out of range"
+        );
         if self.emitted >= self.total_samples {
             return None;
         }
@@ -212,7 +266,7 @@ impl Iterator for DomainStream<'_> {
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
-            let (frame, class) = self.next_sample();
+            let (frame, class) = self.next_sample(generator);
             rows.push(frame);
             labels.push(class);
         }
@@ -224,6 +278,39 @@ impl Iterator for DomainStream<'_> {
             labels,
             domain: self.domain,
         })
+    }
+}
+
+/// Iterator of [`Batch`]es over one domain: temporally-correlated runs of
+/// single objects, classes drawn by the preference profile, for a total of
+/// `total_samples` samples. A thin borrowing wrapper over
+/// [`StreamCursor`].
+pub struct DomainStream<'a> {
+    generator: &'a ClusterGenerator,
+    cursor: StreamCursor,
+}
+
+impl<'a> DomainStream<'a> {
+    pub(crate) fn new(
+        generator: &'a ClusterGenerator,
+        domain: usize,
+        config: StreamConfig,
+        total_samples: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(domain < generator.spec().num_domains, "domain out of range");
+        Self {
+            generator,
+            cursor: StreamCursor::new(domain, config, total_samples, seed),
+        }
+    }
+}
+
+impl Iterator for DomainStream<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        self.cursor.next_batch(self.generator)
     }
 }
 
@@ -366,6 +453,37 @@ mod tests {
     }
 
     #[test]
+    fn validate_reports_each_requirement() {
+        assert!(StreamConfig::default().validate().is_ok());
+        let zero_batch = StreamConfig {
+            batch_size: 0,
+            ..StreamConfig::default()
+        };
+        assert_eq!(
+            zero_batch.validate().expect_err("zero batch").field,
+            "batch size"
+        );
+        let zero_run = StreamConfig {
+            run_length: 0,
+            ..StreamConfig::default()
+        };
+        assert_eq!(
+            zero_run.validate().expect_err("zero run").field,
+            "run length"
+        );
+        let weak_boost = StreamConfig {
+            preference: PreferenceProfile::Shifting {
+                early: vec![0],
+                late: vec![1],
+                boost: 0.5,
+            },
+            ..StreamConfig::default()
+        };
+        let e = weak_boost.validate().expect_err("weak boost");
+        assert!(e.to_string().contains("boost"));
+    }
+
+    #[test]
     #[should_panic(expected = "boost")]
     fn invalid_boost_panics() {
         let config = StreamConfig {
@@ -375,6 +493,38 @@ mod tests {
             },
             ..StreamConfig::default()
         };
-        config.validate();
+        config.assert_valid();
+    }
+
+    #[test]
+    fn cursor_matches_borrowing_stream_bit_for_bit() {
+        let (g, c, total, seed) = make_stream(StreamConfig::default(), 60, 11);
+        let via_stream: Vec<Batch> = DomainStream::new(&g, 1, c.clone(), total, seed).collect();
+        let mut cursor = StreamCursor::new(1, c, total, seed);
+        let mut via_cursor = Vec::new();
+        while let Some(b) = cursor.next_batch(&g) {
+            via_cursor.push(b);
+        }
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.emitted(), 60);
+        assert_eq!(via_stream.len(), via_cursor.len());
+        for (a, b) in via_stream.iter().zip(&via_cursor) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.raw.as_slice(), b.raw.as_slice());
+        }
+    }
+
+    #[test]
+    fn cursor_clone_resumes_identically() {
+        let (g, c, total, seed) = make_stream(StreamConfig::default(), 50, 12);
+        let mut cursor = StreamCursor::new(0, c, total, seed);
+        let _ = cursor.next_batch(&g);
+        let _ = cursor.next_batch(&g);
+        let mut snapshot = cursor.clone();
+        let a = cursor.next_batch(&g).expect("batch");
+        let b = snapshot.next_batch(&g).expect("batch");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.raw.as_slice(), b.raw.as_slice());
     }
 }

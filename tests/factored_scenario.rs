@@ -12,7 +12,7 @@ fn factored_scenario_trains_end_to_end() {
     spec.num_classes = 12;
     spec.train_per_class_per_domain = 8;
     spec.test_per_class_per_domain = 2;
-    spec.validate();
+    spec.validate().expect("shrunk spec stays valid");
 
     let scenario = DomainIlScenario::generate(&spec, 40);
     let model = ModelConfig::for_spec(&spec);

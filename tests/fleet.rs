@@ -1,0 +1,303 @@
+//! Fleet determinism contract: a sharded fleet run is bit-identical to
+//! solo sessions, shard count does not matter, per-session fault plans are
+//! interleaving-independent, and eviction preserves quarantine state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chameleon_core::{ChameleonConfig, EvalReport, Strategy};
+use chameleon_faults::FaultPlan;
+use chameleon_fleet::{
+    FleetConfig, FleetEngine, SessionCheckpoint, SessionCommand, SessionEventKind, SessionId,
+    SessionSpec, UserSession,
+};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
+
+fn scenario() -> Arc<DomainIlScenario> {
+    Arc::new(DomainIlScenario::generate(
+        &DatasetSpec::core50_tiny(),
+        0xF1EE7,
+    ))
+}
+
+/// Per-user spec: distinct stream seed and a rotating preference skew, so
+/// the sessions are genuinely different workloads.
+fn user_spec(user: SessionId) -> SessionSpec {
+    let classes = DatasetSpec::core50_tiny().num_classes;
+    let base = (user as usize * 3) % classes;
+    SessionSpec {
+        learner: ChameleonConfig {
+            long_term_capacity: 30,
+            ..ChameleonConfig::default()
+        },
+        stream: StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![base, (base + 1) % classes, (base + 2) % classes],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        },
+        learner_seed: user.wrapping_mul(31) ^ 5,
+        stream_seed: user.wrapping_add(100),
+    }
+}
+
+/// Runs `users` to completion on a fleet, round-robin in small step slices
+/// to force interleaving, then evaluates and checkpoints every session.
+fn run_fleet(
+    scenario: Arc<DomainIlScenario>,
+    users: &[SessionId],
+    num_shards: usize,
+    budget_bytes: u64,
+    faults: Option<FaultPlan>,
+) -> HashMap<SessionId, (EvalReport, Vec<u8>)> {
+    let mut fleet = FleetEngine::new(
+        scenario,
+        FleetConfig {
+            num_shards,
+            budget_bytes,
+            faults,
+            ..FleetConfig::default()
+        },
+    );
+    for &user in users {
+        fleet
+            .create_blocking(user, user_spec(user))
+            .expect("create");
+    }
+    let mut live: Vec<SessionId> = users.to_vec();
+    while !live.is_empty() {
+        for &user in &live {
+            fleet
+                .command_blocking(user, SessionCommand::Step { batches: 5 })
+                .expect("step");
+        }
+        for event in fleet.drain_pending() {
+            if let SessionEventKind::Stepped { done: true, .. } = event.kind {
+                live.retain(|&u| u != event.session);
+            }
+        }
+    }
+    for &user in users {
+        fleet
+            .command_blocking(user, SessionCommand::Evaluate)
+            .expect("evaluate");
+        fleet
+            .command_blocking(user, SessionCommand::Checkpoint)
+            .expect("checkpoint");
+    }
+    let mut reports = HashMap::new();
+    let mut blobs = HashMap::new();
+    for event in fleet.drain_pending() {
+        match event.kind {
+            SessionEventKind::Evaluated(report) => {
+                reports.insert(event.session, *report);
+            }
+            SessionEventKind::Checkpointed(blob) => {
+                blobs.insert(event.session, blob);
+            }
+            SessionEventKind::Failed(reason) => panic!("request failed: {reason}"),
+            _ => {}
+        }
+    }
+    users
+        .iter()
+        .map(|&u| {
+            (
+                u,
+                (
+                    reports.remove(&u).expect("report"),
+                    blobs.remove(&u).expect("blob"),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Runs one user solo (no fleet), returning the same observables.
+fn run_solo(
+    scenario: Arc<DomainIlScenario>,
+    user: SessionId,
+    faults: Option<&FaultPlan>,
+) -> (EvalReport, Vec<u8>) {
+    let mut session = UserSession::new(user, user_spec(user), scenario, faults);
+    while session.step_batch() {}
+    let report = session.evaluate();
+    let blob = SessionCheckpoint::capture(&session).to_bytes();
+    (report, blob)
+}
+
+#[test]
+fn four_shard_fleet_matches_solo_runs_bit_for_bit() {
+    let scenario = scenario();
+    let users = [2u64, 11, 29];
+    let fleet = run_fleet(Arc::clone(&scenario), &users, 4, u64::MAX, None);
+    for &user in &users {
+        let (solo_report, solo_blob) = run_solo(Arc::clone(&scenario), user, None);
+        let (fleet_report, fleet_blob) = &fleet[&user];
+        assert_eq!(*fleet_report, solo_report, "user {user} report diverged");
+        assert_eq!(*fleet_blob, solo_blob, "user {user} checkpoint diverged");
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_even_under_faults() {
+    let scenario = scenario();
+    let users = [1u64, 7, 40];
+    let plan = FaultPlan::bit_flips(0xBAD, 1e-4);
+    let one = run_fleet(Arc::clone(&scenario), &users, 1, u64::MAX, Some(plan));
+    let four = run_fleet(Arc::clone(&scenario), &users, 4, u64::MAX, Some(plan));
+    for &user in &users {
+        assert_eq!(
+            one[&user], four[&user],
+            "user {user} diverged across shard counts"
+        );
+        let solo = run_solo(Arc::clone(&scenario), user, Some(&plan));
+        assert_eq!(one[&user].0, solo.0, "user {user} diverged from solo");
+        assert_eq!(
+            one[&user].1, solo.1,
+            "user {user} checkpoint diverged from solo"
+        );
+    }
+}
+
+#[test]
+fn budget_constrained_runs_are_reproducible() {
+    // Eviction resets transient training state, so a thrashing run need
+    // not match an unconstrained one — but the same command sequence must
+    // reproduce the same eviction pattern and the same results.
+    let scenario = scenario();
+    let users = [3u64, 8, 21, 34];
+    let budget = 1; // evict on every admit beyond the first
+    let a = run_fleet(Arc::clone(&scenario), &users, 2, budget, None);
+    let b = run_fleet(Arc::clone(&scenario), &users, 2, budget, None);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn eviction_preserves_quarantine_state() {
+    let scenario = scenario();
+    let mut session = UserSession::new(9, user_spec(9), Arc::clone(&scenario), None);
+    session.step_batches(20);
+
+    // Upset resident samples without resealing checksums — exactly what
+    // memory faults do. The corruption must survive evict/restore.
+    let mut upset = 0;
+    session.learner_mut().visit_stores(&mut |_, sample| {
+        if upset < 4 && !sample.features.is_empty() {
+            sample.features[0] += 1.0;
+            upset += 1;
+        }
+    });
+    assert_eq!(upset, 4);
+    let corrupt_before = count_corrupt(&mut session);
+    assert_eq!(corrupt_before, 4);
+    let counters_before = session.learner().counters();
+
+    let ck = SessionCheckpoint::capture(&session);
+    let mut restored = ck.restore(Arc::clone(&scenario), None).expect("restore");
+    assert_eq!(count_corrupt(&mut restored), corrupt_before);
+    assert_eq!(restored.learner().counters(), counters_before);
+    // Re-capturing is byte-stable: eviction is idempotent on observables.
+    assert_eq!(
+        SessionCheckpoint::capture(&restored).to_bytes(),
+        ck.to_bytes()
+    );
+}
+
+fn count_corrupt(session: &mut UserSession) -> usize {
+    let mut corrupt = 0;
+    session.learner_mut().visit_stores(&mut |_, sample| {
+        if !sample.integrity_ok() {
+            corrupt += 1;
+        }
+    });
+    corrupt
+}
+
+#[test]
+fn backpressure_rejects_then_recovers() {
+    let scenario = scenario();
+    let mut fleet = FleetEngine::new(
+        scenario,
+        FleetConfig {
+            num_shards: 1,
+            queue_depth: 1,
+            ..FleetConfig::default()
+        },
+    );
+    fleet.create_blocking(0, user_spec(0)).expect("create");
+    assert_eq!(
+        fleet.create(0, user_spec(0)),
+        Err(chameleon_fleet::FleetError::DuplicateSession)
+    );
+    assert_eq!(
+        fleet.command(99, SessionCommand::Step { batches: 1 }),
+        Err(chameleon_fleet::FleetError::UnknownSession)
+    );
+
+    // Occupy the worker with a long step, then flood the depth-1 queue:
+    // a rejection must surface, carrying the configured bound.
+    fleet
+        .command_blocking(0, SessionCommand::Step { batches: 48 })
+        .expect("long step");
+    let mut rejected = None;
+    for _ in 0..1000 {
+        match fleet.command(0, SessionCommand::Step { batches: 0 }) {
+            Err(chameleon_fleet::FleetError::Rejected(bp)) => {
+                rejected = Some(bp);
+                break;
+            }
+            Ok(()) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    let bp = rejected.expect("queue depth 1 never rejected");
+    assert_eq!(bp.shard, 0);
+    assert_eq!(bp.queue_depth, 1);
+
+    // The blocking path rides out the same backpressure, and every
+    // accepted request is eventually acknowledged.
+    fleet
+        .command_blocking(0, SessionCommand::Evaluate)
+        .expect("recover");
+    fleet.drain_pending();
+    assert_eq!(fleet.pending(), 0);
+    let metrics = fleet.metrics();
+    assert_eq!(metrics.queue_depth(), 0);
+    assert!(metrics.batches() >= 48);
+}
+
+#[test]
+fn assignment_spreads_sessions_and_ignores_arrival_order() {
+    let scenario = scenario();
+    let fleet = FleetEngine::new(
+        Arc::clone(&scenario),
+        FleetConfig {
+            num_shards: 4,
+            assignment_seed: 7,
+            ..FleetConfig::default()
+        },
+    );
+    let mut counts = [0usize; 4];
+    for id in 0..64u64 {
+        counts[fleet.shard_of(id)] += 1;
+    }
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "seeded hash left a shard empty: {counts:?}"
+    );
+    // Assignment is a pure function of (seed, id): a second engine with
+    // the same seed agrees on every id.
+    let again = FleetEngine::new(
+        scenario,
+        FleetConfig {
+            num_shards: 4,
+            assignment_seed: 7,
+            ..FleetConfig::default()
+        },
+    );
+    for id in 0..64u64 {
+        assert_eq!(fleet.shard_of(id), again.shard_of(id));
+    }
+}
