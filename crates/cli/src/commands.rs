@@ -13,6 +13,8 @@ use chameleon_fleet::{
     FleetConfig, FleetEngine, SessionCommand, SessionEventKind, SessionSpec as FleetSessionSpec,
 };
 use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
+use chameleon_serve::wire::StatsSnapshot;
+use chameleon_serve::{Connection, ServeConfig, ServeCounters, Server};
 use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
 
 use crate::args::Options;
@@ -52,7 +54,20 @@ COMMANDS:
     --shards <n>                worker shards (threads)    [default: 2]
     --budget-mb <n>             per-shard resident session-memory budget
     [--dataset <name>] [--buffer <n>] [--seed <n>] [--queue <n>]
-    [--step-batches <n>] [--rate <r>] [--fault-seed <n>]
+    [--step-batches <n>] [--rate <r>] [--fault-seed <n>] [--json]
+  serve                         serve a fleet engine over TCP (CHAMWIRE)
+    --addr <host:port>          bind address               [default: 127.0.0.1:0]
+    --duration <secs>           run this long, then drain and exit;
+                                omitted: run until stdin reaches EOF
+    [--dataset <name>] [--shards <n>] [--workers <n>] [--queue <n>]
+    [--budget-mb <n>] [--seed <n>] [--rate <r>] [--fault-seed <n>] [--json]
+  loadgen                       drive a CHAMWIRE server with client traffic
+    --addr <host:port>          target server; omitted: a server is started
+                                in-process (loopback self-serve)
+    --connections <n>           concurrent client connections  [default: 2]
+    --sessions <n>              sessions to create and run     [default: 4]
+    [--slice <n>] [--dataset <name>] [--shards <n>] [--workers <n>]
+    [--queue <n>] [--buffer <n>] [--seed <n>] [--json]
   help                          show this message
 ";
 
@@ -71,6 +86,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("resources") => resources(&Options::parse(&argv[1..])?),
         Some("faults") => faults(&Options::parse(&argv[1..])?),
         Some("fleet") => fleet(&Options::parse(&argv[1..])?),
+        Some("serve") => serve(&Options::parse(&argv[1..])?),
+        Some("loadgen") => loadgen(&Options::parse(&argv[1..])?),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -339,6 +356,7 @@ fn fleet(options: &Options) -> Result<(), String> {
         "step-batches",
         "rate",
         "fault-seed",
+        "json",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
     let sessions: u64 = options.get_parsed_or("sessions", 8)?;
@@ -386,28 +404,9 @@ fn fleet(options: &Options) -> Result<(), String> {
     let scenario = std::sync::Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
     let mut engine = FleetEngine::new(std::sync::Arc::clone(&scenario), config);
 
-    // Each simulated user prefers a rotating 3-class slice — genuinely
-    // different workloads, so per-user heads diverge.
     for user in 0..sessions {
-        let base = (user as usize * 3) % spec.num_classes;
-        let session_spec = FleetSessionSpec {
-            learner: learner.clone(),
-            stream: StreamConfig {
-                preference: PreferenceProfile::Skewed {
-                    preferred: vec![
-                        base,
-                        (base + 1) % spec.num_classes,
-                        (base + 2) % spec.num_classes,
-                    ],
-                    boost: 8.0,
-                },
-                ..StreamConfig::default()
-            },
-            learner_seed: seed.wrapping_add(user),
-            stream_seed: seed.wrapping_add(user.wrapping_mul(0x51_7C)),
-        };
         engine
-            .create_blocking(user, session_spec)
+            .create_blocking(user, per_user_spec(user, spec.num_classes, &learner, seed))
             .map_err(|e| format!("create session {user}: {e}"))?;
     }
 
@@ -453,6 +452,29 @@ fn fleet(options: &Options) -> Result<(), String> {
         .collect();
     reports.sort_by_key(|(user, _)| *user);
 
+    let mean = reports
+        .iter()
+        .map(|(_, r)| f64::from(r.acc_all))
+        .sum::<f64>()
+        / reports.len().max(1) as f64;
+    let metrics = engine.metrics();
+
+    if options.has_flag("json") {
+        println!(
+            "{}",
+            fleet_json(
+                spec.name,
+                sessions,
+                wall.as_secs_f64(),
+                mean,
+                &reports,
+                &engine,
+                &metrics
+            )
+        );
+        return Ok(());
+    }
+
     println!(
         "fleet of {sessions} sessions on {} across {shards} shard(s):",
         spec.name
@@ -464,14 +486,8 @@ fn fleet(options: &Options) -> Result<(), String> {
             report.acc_all
         );
     }
-    let mean = reports
-        .iter()
-        .map(|(_, r)| f64::from(r.acc_all))
-        .sum::<f64>()
-        / reports.len().max(1) as f64;
     println!("  mean Acc_all: {mean:.2} %");
 
-    let metrics = engine.metrics();
     println!(
         "engine: {} batches in {:.2} s ({:.0} batches/s wall), {} evictions, {} restores",
         metrics.batches(),
@@ -509,6 +525,395 @@ fn fleet(options: &Options) -> Result<(), String> {
                 cost.energy_j * merged.inputs as f64
             );
         }
+    }
+    Ok(())
+}
+
+/// Per-user session spec shared by `fleet`, `serve`, and `loadgen`: a
+/// rotating 3-class preference slice so each user is a genuinely
+/// different workload.
+fn per_user_spec(
+    user: u64,
+    num_classes: usize,
+    learner: &ChameleonConfig,
+    seed: u64,
+) -> FleetSessionSpec {
+    let base = (user as usize * 3) % num_classes;
+    FleetSessionSpec {
+        learner: learner.clone(),
+        stream: StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![base, (base + 1) % num_classes, (base + 2) % num_classes],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        },
+        learner_seed: seed.wrapping_add(user),
+        stream_seed: seed.wrapping_add(user.wrapping_mul(0x51_7C)),
+    }
+}
+
+fn fleet_json(
+    dataset: &str,
+    sessions: u64,
+    wall_s: f64,
+    mean_acc: f64,
+    reports: &[(u64, EvalReport)],
+    engine: &FleetEngine,
+    metrics: &chameleon_fleet::FleetMetrics,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"dataset\": \"{dataset}\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"shards\": {},", metrics.per_shard.len());
+    let _ = writeln!(out, "  \"wall_s\": {wall_s:.4},");
+    let _ = writeln!(out, "  \"mean_acc_all\": {mean_acc:.4},");
+    let _ = writeln!(out, "  \"batches\": {},", metrics.batches());
+    let _ = writeln!(out, "  \"evictions\": {},", metrics.evictions());
+    let _ = writeln!(out, "  \"restores\": {},", metrics.restores());
+    let _ = writeln!(out, "  \"users\": [");
+    for (i, (user, report)) in reports.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"user\": {user}, \"shard\": {}, \"acc_all\": {:.4}}}{}",
+            engine.shard_of(*user),
+            report.acc_all,
+            if i + 1 < reports.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"per_shard\": [");
+    for (i, shard) in metrics.per_shard.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"shard\": {}, \"resident\": {}, \"cold\": {}, \"batches\": {}, \
+             \"evictions\": {}, \"restores\": {}}}{}",
+            shard.shard,
+            shard.sessions_resident,
+            shard.sessions_cold,
+            shard.batches,
+            shard.evictions,
+            shard.restores,
+            if i + 1 < metrics.per_shard.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// JSON object body (no braces) of the serving-layer counters, shared by
+/// `serve --json` and `loadgen --json` so CI can grep one shape.
+fn counters_json(c: &ServeCounters, indent: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{indent}\"connections_accepted\": {},",
+        c.connections_accepted
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"connections_closed\": {},",
+        c.connections_closed
+    );
+    let _ = writeln!(out, "{indent}\"frames_in\": {},", c.frames_in);
+    let _ = writeln!(out, "{indent}\"frames_out\": {},", c.frames_out);
+    let _ = writeln!(out, "{indent}\"bytes_in\": {},", c.bytes_in);
+    let _ = writeln!(out, "{indent}\"bytes_out\": {},", c.bytes_out);
+    let _ = writeln!(out, "{indent}\"decode_rejects\": {},", c.decode_rejects);
+    let _ = writeln!(
+        out,
+        "{indent}\"backpressure_replies\": {},",
+        c.backpressure_replies
+    );
+    let _ = writeln!(out, "{indent}\"requests_ok\": {},", c.requests_ok);
+    let _ = writeln!(out, "{indent}\"requests_failed\": {},", c.requests_failed);
+    let _ = writeln!(
+        out,
+        "{indent}\"latency_p50_us\": {},",
+        c.latency.quantile_upper_us(0.5)
+    );
+    let _ = write!(
+        out,
+        "{indent}\"latency_p99_us\": {}",
+        c.latency.quantile_upper_us(0.99)
+    );
+    out
+}
+
+fn print_serve_counters(c: &ServeCounters) {
+    println!(
+        "serve: {} frames in / {} out, {} KiB in / {} KiB out",
+        c.frames_in,
+        c.frames_out,
+        c.bytes_in / 1024,
+        c.bytes_out / 1024
+    );
+    println!(
+        "  {} ok, {} failed, {} decode rejects, {} backpressure replies",
+        c.requests_ok, c.requests_failed, c.decode_rejects, c.backpressure_replies
+    );
+    println!(
+        "  latency p50 ≤ {} µs, p99 ≤ {} µs over {} requests",
+        c.latency.quantile_upper_us(0.5),
+        c.latency.quantile_upper_us(0.99),
+        c.latency.count()
+    );
+}
+
+/// Builds the fleet + serve configs the `serve` and `loadgen` (self-serve)
+/// commands share.
+fn serve_configs(options: &Options) -> Result<(DatasetSpec, FleetConfig, ServeConfig), String> {
+    let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
+    let shards: usize = options.get_parsed_or("shards", 2)?;
+    let workers: usize = options.get_parsed_or("workers", 4)?;
+    let queue: usize = options.get_parsed_or("queue", 32)?;
+    let seed: u64 = options.get_parsed_or("seed", 1)?;
+    let rate: f64 = options.get_parsed_or("rate", 0.0)?;
+    let fault_seed: u64 = options.get_parsed_or("fault-seed", 7)?;
+    if !(rate >= 0.0 && rate.is_finite()) {
+        return Err("--rate must be a finite non-negative number".to_string());
+    }
+    let budget_bytes = match options.get("budget-mb") {
+        None => u64::MAX,
+        Some(v) => {
+            let mb: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid --budget-mb `{v}`"))?;
+            if !(mb > 0.0 && mb.is_finite()) {
+                return Err("--budget-mb must be a positive number".to_string());
+            }
+            (mb * 1024.0 * 1024.0) as u64
+        }
+    };
+    let fleet_config = FleetConfig {
+        num_shards: shards,
+        queue_depth: queue,
+        budget_bytes,
+        assignment_seed: seed,
+        faults: (rate > 0.0).then(|| FaultPlan::bit_flips(fault_seed, rate)),
+    };
+    fleet_config
+        .validate()
+        .map_err(|e| format!("invalid fleet config: {e}"))?;
+    let serve_config = ServeConfig {
+        addr: options.get_or("addr", "127.0.0.1:0").to_string(),
+        workers,
+        ..ServeConfig::default()
+    };
+    serve_config
+        .validate()
+        .map_err(|e| format!("invalid serve config: {e}"))?;
+    Ok((spec, fleet_config, serve_config))
+}
+
+/// Serves a fleet engine over TCP until `--duration` elapses (or stdin
+/// reaches EOF), then drains and reports the serving-layer counters.
+fn serve(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "addr",
+        "duration",
+        "dataset",
+        "shards",
+        "workers",
+        "queue",
+        "budget-mb",
+        "seed",
+        "rate",
+        "fault-seed",
+        "json",
+    ])?;
+    let (spec, fleet_config, serve_config) = serve_configs(options)?;
+    let duration = match options.get("duration") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|_| format!("invalid --duration `{v}`"))?;
+            if !(secs >= 0.0 && secs.is_finite()) {
+                return Err("--duration must be a finite non-negative number".to_string());
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+
+    let scenario = std::sync::Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
+    let mut server = Server::start(scenario, fleet_config, serve_config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    eprintln!(
+        "serving {} on {} ({} shard(s)); CHAMWIRE protocol",
+        spec.name,
+        server.local_addr(),
+        options.get_or("shards", "2"),
+    );
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => {
+            eprintln!("running until stdin reaches EOF (Ctrl-D to stop)");
+            let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+        }
+    }
+    server.shutdown();
+    let counters = server.metrics();
+    if options.has_flag("json") {
+        println!("{{\n{}\n}}", counters_json(&counters, "  "));
+    } else {
+        print_serve_counters(&counters);
+    }
+    Ok(())
+}
+
+/// Drives a CHAMWIRE server with concurrent client connections, each
+/// running its share of sessions to completion (create → step* →
+/// predict → checkpoint), then reports throughput and server counters.
+fn loadgen(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "addr",
+        "connections",
+        "sessions",
+        "slice",
+        "dataset",
+        "shards",
+        "workers",
+        "queue",
+        "budget-mb",
+        "buffer",
+        "seed",
+        "rate",
+        "fault-seed",
+        "json",
+    ])?;
+    let connections: usize = options.get_parsed_or("connections", 2)?;
+    let sessions: u64 = options.get_parsed_or("sessions", 4)?;
+    let slice: u32 = options.get_parsed_or("slice", 8)?;
+    let buffer: usize = options.get_parsed_or("buffer", 20)?;
+    let seed: u64 = options.get_parsed_or("seed", 1)?;
+    if connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    if slice == 0 {
+        // A zero-batch step can never finish a stream, so the step loop
+        // below would spin on `Stepped { delivered: 0, done: false }`.
+        return Err("--slice must be at least 1".to_string());
+    }
+    let (spec, fleet_config, serve_config) = serve_configs(options)?;
+    let learner = chameleon_config(buffer)?;
+
+    // No --addr: self-serve a loopback server so one process exercises
+    // the full wire path (the CI smoke mode).
+    let server = match options.get("addr") {
+        Some(_) => None,
+        None => {
+            let scenario = std::sync::Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
+            Some(
+                Server::start(scenario, fleet_config, serve_config)
+                    .map_err(|e| format!("cannot start server: {e}"))?,
+            )
+        }
+    };
+    let addr = match &server {
+        Some(server) => server.local_addr().to_string(),
+        None => options.get("addr").expect("checked above").to_string(),
+    };
+
+    let start = std::time::Instant::now();
+    let num_classes = spec.num_classes;
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let addr = addr.clone();
+            let learner = learner.clone();
+            // Sessions are striped across connections: c, c+N, c+2N, …
+            let users: Vec<u64> = (0..sessions)
+                .filter(|u| (*u as usize) % connections == c)
+                .collect();
+            std::thread::spawn(move || -> Result<u64, String> {
+                fn err<E: std::fmt::Display>(
+                    stage: &'static str,
+                    user: u64,
+                ) -> impl FnOnce(E) -> String {
+                    move |e| format!("{stage} session {user}: {e}")
+                }
+                let mut conn =
+                    Connection::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut requests = 0u64;
+                for &user in &users {
+                    conn.create_session(user, per_user_spec(user, num_classes, &learner, seed))
+                        .map_err(err("create", user))?;
+                    requests += 1;
+                }
+                for &user in &users {
+                    loop {
+                        let (_, done) = conn.step(user, slice).map_err(err("step", user))?;
+                        requests += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    conn.predict(user).map_err(err("predict", user))?;
+                    let blob = conn.checkpoint(user).map_err(err("checkpoint", user))?;
+                    if blob.get(..8) != Some(&chameleon_fleet::FLEET_MAGIC[..]) {
+                        return Err(format!("session {user}: checkpoint blob lacks CHAMFLT1"));
+                    }
+                    requests += 2;
+                }
+                Ok(requests)
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    for handle in handles {
+        requests += handle
+            .join()
+            .map_err(|_| "a loadgen connection panicked".to_string())??;
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut stats_conn =
+        Connection::connect(&addr).map_err(|e| format!("connect for stats: {e}"))?;
+    let stats: StatsSnapshot = stats_conn.stats().map_err(|e| format!("stats: {e}"))?;
+    drop(stats_conn);
+    if let Some(mut server) = server {
+        server.shutdown();
+    }
+
+    if options.has_flag("json") {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"connections\": {connections},");
+        let _ = writeln!(out, "  \"sessions\": {sessions},");
+        let _ = writeln!(out, "  \"requests\": {requests},");
+        let _ = writeln!(out, "  \"wall_s\": {wall:.4},");
+        let _ = writeln!(
+            out,
+            "  \"requests_per_sec\": {:.2},",
+            requests as f64 / wall.max(1e-9)
+        );
+        let _ = writeln!(out, "  \"batches\": {},", stats.batches);
+        let _ = writeln!(out, "  \"evictions\": {},", stats.evictions);
+        let _ = writeln!(
+            out,
+            "  \"serve\": {{\n{}\n  }}",
+            counters_json(&stats.serve, "    ")
+        );
+        let _ = write!(out, "}}");
+        println!("{out}");
+    } else {
+        println!(
+            "loadgen: {requests} requests over {connections} connection(s) in {wall:.2} s \
+             ({:.0} req/s), {} batches trained",
+            requests as f64 / wall.max(1e-9),
+            stats.batches
+        );
+        print_serve_counters(&stats.serve);
     }
     Ok(())
 }
@@ -873,6 +1278,65 @@ mod tests {
             "1e-5",
         ]);
         assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn fleet_json_flag_is_accepted() {
+        let argv = toks(&[
+            "fleet",
+            "--dataset",
+            "core50-tiny",
+            "--sessions",
+            "2",
+            "--shards",
+            "1",
+            "--buffer",
+            "20",
+            "--json",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn serve_command_validates_options() {
+        assert!(dispatch(&toks(&["serve", "--workers", "0"])).is_err());
+        assert!(dispatch(&toks(&["serve", "--shards", "0"])).is_err());
+        assert!(dispatch(&toks(&["serve", "--queue", "0"])).is_err());
+        assert!(dispatch(&toks(&["serve", "--duration", "nope"])).is_err());
+        assert!(dispatch(&toks(&["serve", "--addr", "not-an-address"])).is_err());
+    }
+
+    #[test]
+    fn serve_runs_for_a_bounded_duration() {
+        let argv = toks(&[
+            "serve",
+            "--dataset",
+            "core50-tiny",
+            "--duration",
+            "0.05",
+            "--json",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn loadgen_self_serve_round_trips() {
+        // No --addr: loadgen hosts its own loopback server, so this covers
+        // server start, the full client conversation, and clean shutdown.
+        let argv = toks(&[
+            "loadgen",
+            "--dataset",
+            "core50-tiny",
+            "--connections",
+            "2",
+            "--sessions",
+            "2",
+            "--json",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["loadgen", "--connections", "0"])).is_err());
+        assert!(dispatch(&toks(&["loadgen", "--sessions", "0"])).is_err());
+        assert!(dispatch(&toks(&["loadgen", "--slice", "0"])).is_err());
     }
 
     #[test]

@@ -176,6 +176,31 @@ impl SessionCheckpoint {
     }
 }
 
+impl SessionSpec {
+    /// Serializes the spec in the same binary layout `CHAMFLT1`
+    /// checkpoints embed, so a spec shipped over the wire and a spec
+    /// captured at eviction time are byte-compatible.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(96);
+        encode_spec(&mut p, self);
+        p
+    }
+
+    /// Decodes a spec from the front of `bytes`, returning it together
+    /// with the number of bytes consumed (specs are variable-length:
+    /// preference profiles carry class lists).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadCheckpointError`] on truncation or an unknown
+    /// preference-profile tag. Never panics on arbitrary input.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), LoadCheckpointError> {
+        let mut r = Reader(bytes);
+        let spec = decode_spec(&mut r)?;
+        Ok((spec, bytes.len() - r.0.len()))
+    }
+}
+
 struct Reader<'a>(&'a [u8]);
 
 impl Reader<'_> {

@@ -202,6 +202,22 @@ impl FleetEngine {
     /// [`FleetError::Rejected`] under backpressure,
     /// [`FleetError::ShardDown`] if the worker died.
     pub fn create(&mut self, id: SessionId, spec: SessionSpec) -> Result<(), FleetError> {
+        self.create_correlated(id, spec, 0)
+    }
+
+    /// [`Self::create`] with a caller-chosen correlation id echoed on the
+    /// acknowledging event — the hook network frontends (`chameleon-serve`)
+    /// use to match events to wire requests.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::create`].
+    pub fn create_correlated(
+        &mut self,
+        id: SessionId,
+        spec: SessionSpec,
+        correlation: u64,
+    ) -> Result<(), FleetError> {
         if self.known.contains(&id) {
             return Err(FleetError::DuplicateSession);
         }
@@ -210,6 +226,7 @@ impl FleetEngine {
             Request::Create {
                 id,
                 spec: Box::new(spec),
+                correlation,
             },
         )?;
         self.known.insert(id);
@@ -225,10 +242,32 @@ impl FleetEngine {
     /// [`FleetError::Rejected`] under backpressure,
     /// [`FleetError::ShardDown`] if the worker died.
     pub fn command(&mut self, id: SessionId, command: SessionCommand) -> Result<(), FleetError> {
+        self.command_correlated(id, command, 0)
+    }
+
+    /// [`Self::command`] with a caller-chosen correlation id echoed on the
+    /// acknowledging event.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::command`].
+    pub fn command_correlated(
+        &mut self,
+        id: SessionId,
+        command: SessionCommand,
+        correlation: u64,
+    ) -> Result<(), FleetError> {
         if !self.known.contains(&id) {
             return Err(FleetError::UnknownSession);
         }
-        self.dispatch(id, Request::Command { id, command })
+        self.dispatch(
+            id,
+            Request::Command {
+                id,
+                command,
+                correlation,
+            },
+        )
     }
 
     /// [`Self::create`] that rides out backpressure by draining events
@@ -245,6 +284,7 @@ impl FleetEngine {
             let request = Request::Create {
                 id,
                 spec: Box::new(spec.clone()),
+                correlation: 0,
             };
             match self.dispatch(id, request) {
                 Ok(()) => {

@@ -34,27 +34,36 @@
 //!
 //! # Example
 //!
+//! A compiling, runnable end-to-end fleet: every submit error propagates
+//! through `?` (backpressure is absorbed by the `_blocking` variants, so
+//! the remaining failures — duplicate ids, dead shards — are real bugs
+//! worth surfacing, not `unwrap()` fodder).
+//!
 //! ```
 //! use std::sync::Arc;
 //! use chameleon_core::ChameleonConfig;
-//! use chameleon_fleet::{FleetConfig, FleetEngine, SessionCommand, SessionSpec};
+//! use chameleon_fleet::{FleetConfig, FleetEngine, FleetError, SessionCommand, SessionSpec};
 //! use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
 //!
-//! let scenario = Arc::new(DomainIlScenario::generate(&DatasetSpec::core50_tiny(), 1));
-//! let mut fleet = FleetEngine::new(scenario, FleetConfig::default());
-//! for user in 0..4u64 {
-//!     let spec = SessionSpec {
-//!         learner: ChameleonConfig::default(),
-//!         stream: StreamConfig::default(),
-//!         learner_seed: user,
-//!         stream_seed: user,
-//!     };
-//!     fleet.create_blocking(user, spec).unwrap();
-//!     fleet.command_blocking(user, SessionCommand::Step { batches: 4 }).unwrap();
+//! fn run() -> Result<(), FleetError> {
+//!     let scenario = Arc::new(DomainIlScenario::generate(&DatasetSpec::core50_tiny(), 1));
+//!     let mut fleet = FleetEngine::new(scenario, FleetConfig::default());
+//!     for user in 0..4u64 {
+//!         let spec = SessionSpec {
+//!             learner: ChameleonConfig::default(),
+//!             stream: StreamConfig::default(),
+//!             learner_seed: user,
+//!             stream_seed: user,
+//!         };
+//!         fleet.create_blocking(user, spec)?;
+//!         fleet.command_blocking(user, SessionCommand::Step { batches: 4 })?;
+//!     }
+//!     let events = fleet.drain_pending();
+//!     assert_eq!(events.len(), 8); // one ack per create + step
+//!     assert_eq!(fleet.metrics().batches(), 16);
+//!     Ok(())
 //! }
-//! let events = fleet.drain_pending();
-//! assert_eq!(events.len(), 8); // one ack per create + step
-//! assert_eq!(fleet.metrics().batches(), 16);
+//! run().expect("fleet example");
 //! ```
 
 #![forbid(unsafe_code)]

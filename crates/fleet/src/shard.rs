@@ -70,6 +70,11 @@ pub struct SessionEvent {
     pub session: SessionId,
     /// Shard that processed it.
     pub shard: usize,
+    /// Correlation id the request was submitted with (0 for the untagged
+    /// submit paths). Network frontends use this to match an event back to
+    /// the wire request that caused it without relying on per-session
+    /// ordering.
+    pub correlation: u64,
     /// What happened.
     pub kind: SessionEventKind,
 }
@@ -79,10 +84,12 @@ pub(crate) enum Request {
     Create {
         id: SessionId,
         spec: Box<SessionSpec>,
+        correlation: u64,
     },
     Command {
         id: SessionId,
         command: SessionCommand,
+        correlation: u64,
     },
     Metrics {
         reply: Sender<ShardMetrics>,
@@ -145,8 +152,16 @@ impl ShardWorker {
     pub(crate) fn run(mut self, requests: Receiver<Request>) {
         while let Ok(request) = requests.recv() {
             match request {
-                Request::Create { id, spec } => self.handle_create(id, *spec),
-                Request::Command { id, command } => self.handle_command(id, command),
+                Request::Create {
+                    id,
+                    spec,
+                    correlation,
+                } => self.handle_create(id, *spec, correlation),
+                Request::Command {
+                    id,
+                    command,
+                    correlation,
+                } => self.handle_command(id, command, correlation),
                 Request::Metrics { reply } => {
                     let _ = reply.send(self.snapshot());
                 }
@@ -155,20 +170,22 @@ impl ShardWorker {
         }
     }
 
-    fn emit(&self, session: SessionId, kind: SessionEventKind) {
+    fn emit(&self, session: SessionId, correlation: u64, kind: SessionEventKind) {
         // The engine may have dropped the receiver during teardown; events
         // are best-effort at that point.
         let _ = self.events.send(SessionEvent {
             session,
             shard: self.shard,
+            correlation,
             kind,
         });
     }
 
-    fn handle_create(&mut self, id: SessionId, spec: SessionSpec) {
+    fn handle_create(&mut self, id: SessionId, spec: SessionSpec, correlation: u64) {
         if self.resident.contains_key(&id) || self.cold.contains_key(&id) {
             self.emit(
                 id,
+                correlation,
                 SessionEventKind::Failed("session already exists".into()),
             );
             return;
@@ -176,6 +193,7 @@ impl ShardWorker {
         if let Err(e) = spec.learner.validate() {
             self.emit(
                 id,
+                correlation,
                 SessionEventKind::Failed(format!("invalid learner config: {e}")),
             );
             return;
@@ -183,6 +201,7 @@ impl ShardWorker {
         if let Err(e) = spec.stream.validate() {
             self.emit(
                 id,
+                correlation,
                 SessionEventKind::Failed(format!("invalid stream config: {e}")),
             );
             return;
@@ -191,13 +210,13 @@ impl ShardWorker {
         self.admit(id, session);
         self.metrics.sessions_created += 1;
         self.enforce_budget(id);
-        self.emit(id, SessionEventKind::Created);
+        self.emit(id, correlation, SessionEventKind::Created);
     }
 
-    fn handle_command(&mut self, id: SessionId, command: SessionCommand) {
+    fn handle_command(&mut self, id: SessionId, command: SessionCommand, correlation: u64) {
         match command {
             SessionCommand::Step { batches } => match self.touch(id) {
-                Err(reason) => self.emit(id, SessionEventKind::Failed(reason)),
+                Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
                 Ok(()) => {
                     let start = Instant::now();
                     let resident = self.resident.get_mut(&id).expect("touched");
@@ -206,16 +225,24 @@ impl ShardWorker {
                     self.metrics.step_nanos += start.elapsed().as_nanos() as u64;
                     self.metrics.step_commands += 1;
                     self.metrics.batches += delivered as u64;
-                    self.emit(id, SessionEventKind::Stepped { delivered, done });
+                    self.emit(
+                        id,
+                        correlation,
+                        SessionEventKind::Stepped { delivered, done },
+                    );
                 }
             },
             SessionCommand::Evaluate => match self.touch(id) {
-                Err(reason) => self.emit(id, SessionEventKind::Failed(reason)),
+                Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
                 Ok(()) => {
                     let start = Instant::now();
                     let report = self.resident[&id].session.evaluate();
                     self.metrics.eval_nanos += start.elapsed().as_nanos() as u64;
-                    self.emit(id, SessionEventKind::Evaluated(Box::new(report)));
+                    self.emit(
+                        id,
+                        correlation,
+                        SessionEventKind::Evaluated(Box::new(report)),
+                    );
                 }
             },
             SessionCommand::Checkpoint => {
@@ -230,9 +257,10 @@ impl ShardWorker {
                     self.cold.get(&id).map(|cold| cold.checkpoint.to_bytes())
                 };
                 match blob {
-                    Some(blob) => self.emit(id, SessionEventKind::Checkpointed(blob)),
+                    Some(blob) => self.emit(id, correlation, SessionEventKind::Checkpointed(blob)),
                     None => self.emit(
                         id,
+                        correlation,
                         SessionEventKind::Failed("session unknown to this shard".into()),
                     ),
                 }
@@ -240,12 +268,13 @@ impl ShardWorker {
             SessionCommand::Evict => {
                 if self.resident.contains_key(&id) {
                     self.evict(id);
-                    self.emit(id, SessionEventKind::Evicted);
+                    self.emit(id, correlation, SessionEventKind::Evicted);
                 } else if self.cold.contains_key(&id) {
-                    self.emit(id, SessionEventKind::Evicted);
+                    self.emit(id, correlation, SessionEventKind::Evicted);
                 } else {
                     self.emit(
                         id,
+                        correlation,
                         SessionEventKind::Failed("session unknown to this shard".into()),
                     );
                 }
@@ -374,14 +403,14 @@ mod tests {
         // Budget fits roughly one session, so the second create evicts the
         // first, and stepping the first swaps residency back.
         let (mut worker, rx) = tiny_worker(1);
-        worker.handle_create(1, tiny_spec(1));
-        worker.handle_create(2, tiny_spec(2));
+        worker.handle_create(1, tiny_spec(1), 0);
+        worker.handle_create(2, tiny_spec(2), 0);
         assert_eq!(worker.resident.len(), 1);
         assert_eq!(worker.cold.len(), 1);
         assert!(worker.cold.contains_key(&1));
         assert_eq!(worker.metrics.evictions, 1);
 
-        worker.handle_command(1, SessionCommand::Step { batches: 4 });
+        worker.handle_command(1, SessionCommand::Step { batches: 4 }, 0);
         assert!(worker.resident.contains_key(&1));
         assert!(worker.cold.contains_key(&2));
         assert_eq!(worker.metrics.restores, 1);
@@ -405,12 +434,12 @@ mod tests {
     #[test]
     fn eviction_roundtrip_preserves_progress() {
         let (mut worker, rx) = tiny_worker(u64::MAX);
-        worker.handle_create(7, tiny_spec(7));
-        worker.handle_command(7, SessionCommand::Step { batches: 17 });
+        worker.handle_create(7, tiny_spec(7), 0);
+        worker.handle_command(7, SessionCommand::Step { batches: 17 }, 0);
         let before = worker.resident[&7].session.trace();
-        worker.handle_command(7, SessionCommand::Evict);
+        worker.handle_command(7, SessionCommand::Evict, 0);
         assert!(worker.cold.contains_key(&7));
-        worker.handle_command(7, SessionCommand::Step { batches: 0 });
+        worker.handle_command(7, SessionCommand::Step { batches: 0 }, 0);
         let after = worker.resident[&7].session.trace();
         assert_eq!(before, after);
         assert_eq!(worker.resident[&7].session.batches_into_domain(), 5);
@@ -427,9 +456,9 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_sessions_fail_with_events() {
         let (mut worker, rx) = tiny_worker(u64::MAX);
-        worker.handle_command(9, SessionCommand::Evaluate);
-        worker.handle_create(3, tiny_spec(3));
-        worker.handle_create(3, tiny_spec(3));
+        worker.handle_command(9, SessionCommand::Evaluate, 0);
+        worker.handle_create(3, tiny_spec(3), 0);
+        worker.handle_create(3, tiny_spec(3), 0);
         let kinds: Vec<_> = rx.try_iter().map(|e| e.kind).collect();
         assert!(matches!(kinds[0], SessionEventKind::Failed(_)));
         assert_eq!(kinds[1], SessionEventKind::Created);
@@ -439,10 +468,10 @@ mod tests {
     #[test]
     fn checkpoint_command_serves_cold_sessions_without_restoring() {
         let (mut worker, rx) = tiny_worker(u64::MAX);
-        worker.handle_create(5, tiny_spec(5));
-        worker.handle_command(5, SessionCommand::Step { batches: 6 });
-        worker.handle_command(5, SessionCommand::Evict);
-        worker.handle_command(5, SessionCommand::Checkpoint);
+        worker.handle_create(5, tiny_spec(5), 0);
+        worker.handle_command(5, SessionCommand::Step { batches: 6 }, 0);
+        worker.handle_command(5, SessionCommand::Evict, 0);
+        worker.handle_command(5, SessionCommand::Checkpoint, 0);
         assert_eq!(worker.metrics.restores, 0);
         let blob = match rx.try_iter().last().expect("events").kind {
             SessionEventKind::Checkpointed(blob) => blob,
@@ -456,11 +485,11 @@ mod tests {
     #[test]
     fn snapshot_merges_resident_and_cold_traces() {
         let (mut worker, _rx) = tiny_worker(u64::MAX);
-        worker.handle_create(1, tiny_spec(1));
-        worker.handle_create(2, tiny_spec(2));
-        worker.handle_command(1, SessionCommand::Step { batches: 3 });
-        worker.handle_command(2, SessionCommand::Step { batches: 2 });
-        worker.handle_command(2, SessionCommand::Evict);
+        worker.handle_create(1, tiny_spec(1), 0);
+        worker.handle_create(2, tiny_spec(2), 0);
+        worker.handle_command(1, SessionCommand::Step { batches: 3 }, 0);
+        worker.handle_command(2, SessionCommand::Step { batches: 2 }, 0);
+        worker.handle_command(2, SessionCommand::Evict, 0);
         let snap = worker.snapshot();
         assert_eq!(snap.sessions_resident, 1);
         assert_eq!(snap.sessions_cold, 1);

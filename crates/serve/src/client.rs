@@ -1,0 +1,314 @@
+//! CHAMWIRE client: a blocking connection with typed request helpers and
+//! retry/backoff that honors the server's [`Response::RetryAfter`] hint.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use chameleon_fleet::{SessionId, SessionSpec};
+use chameleon_replay::crc32;
+
+use crate::wire::{
+    encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot, WireError,
+    MAX_PAYLOAD_BYTES, WIRE_MAGIC,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server's bytes did not decode as CHAMWIRE.
+    Wire(WireError),
+    /// The response's correlation id does not match the request's.
+    CorrelationMismatch {
+        /// Correlation id the request carried.
+        sent: u64,
+        /// Correlation id the response echoed.
+        received: u64,
+    },
+    /// The server refused the request with a typed error.
+    Refused {
+        /// Typed refusal reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server kept answering `RetryAfter` past the retry budget.
+    Saturated {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The server answered with a response type the request cannot
+    /// produce (protocol violation).
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::CorrelationMismatch { sent, received } => {
+                write!(f, "correlation mismatch: sent {sent}, received {received}")
+            }
+            Self::Refused { code, message } => write!(f, "refused ({code}): {message}"),
+            Self::Saturated { attempts } => {
+                write!(f, "server still backpressured after {attempts} attempts")
+            }
+            Self::UnexpectedResponse(want) => {
+                write!(f, "unexpected response (wanted {want})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// A blocking CHAMWIRE connection.
+///
+/// Requests are serial: each send waits for its response. Correlation
+/// ids are still generated and checked, so a desynchronized stream is
+/// caught instead of mispairing answers.
+pub struct Connection {
+    stream: TcpStream,
+    next_correlation: u64,
+    max_payload: usize,
+    max_retries: u32,
+}
+
+impl Connection {
+    /// Connects and enables `TCP_NODELAY`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            next_correlation: 1,
+            max_payload: MAX_PAYLOAD_BYTES,
+            max_retries: 10_000,
+        })
+    }
+
+    /// Caps how many `RetryAfter` rounds [`Connection::request`] rides
+    /// out before giving up with [`ClientError::Saturated`].
+    pub fn set_max_retries(&mut self, max_retries: u32) {
+        self.max_retries = max_retries;
+    }
+
+    /// Sends one request and reads its response — no retry: a
+    /// [`Response::RetryAfter`] is returned to the caller as-is.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, undecodable responses, correlation mismatches.
+    pub fn request_once(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        let frame = encode_frame(&request.encode_payload(correlation));
+        self.stream.write_all(&frame)?;
+        let payload = self.read_payload()?;
+        let (received, response) = Response::decode_payload(&payload)?;
+        // A turn-away from a saturated acceptor is sent before any request
+        // is read and carries correlation 0; it can pair with any request.
+        if received != correlation
+            && !(received == 0 && matches!(response, Response::RetryAfter { .. }))
+        {
+            return Err(ClientError::CorrelationMismatch {
+                sent: correlation,
+                received,
+            });
+        }
+        Ok(response)
+    }
+
+    /// Sends a request, sleeping out every `RetryAfter` answer (the
+    /// server's backoff hint, escalated multiplicatively) until a real
+    /// response arrives or the retry budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Connection::request_once`] raises, plus
+    /// [`ClientError::Saturated`] past the retry budget.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut boost: u64 = 0;
+        for _ in 0..=self.max_retries {
+            match self.request_once(request)? {
+                Response::RetryAfter { millis } => {
+                    std::thread::sleep(Duration::from_millis(u64::from(millis).max(1) + boost));
+                    boost = (boost * 2).clamp(1, 64);
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(ClientError::Saturated {
+            attempts: self.max_retries.saturating_add(1),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.settle(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Pong")),
+        }
+    }
+
+    /// Creates a session on the server.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn create_session(
+        &mut self,
+        session: SessionId,
+        spec: SessionSpec,
+    ) -> Result<(), ClientError> {
+        match self.settle(&Request::CreateSession { session, spec })? {
+            Response::Created => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Created")),
+        }
+    }
+
+    /// Delivers up to `batches` stream batches; returns `(delivered,
+    /// done)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn step(&mut self, session: SessionId, batches: u32) -> Result<(u32, bool), ClientError> {
+        match self.settle(&Request::Step { session, batches })? {
+            Response::Stepped { delivered, done } => Ok((delivered, done)),
+            _ => Err(ClientError::UnexpectedResponse("Stepped")),
+        }
+    }
+
+    /// Steps the session in `slice`-batch increments until its stream is
+    /// exhausted; returns total batches delivered.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn run_to_completion(
+        &mut self,
+        session: SessionId,
+        slice: u32,
+    ) -> Result<u64, ClientError> {
+        let mut total = 0u64;
+        loop {
+            let (delivered, done) = self.step(session, slice.max(1))?;
+            total += u64::from(delivered);
+            if done {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Evaluates the session on the scenario's test set.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn predict(&mut self, session: SessionId) -> Result<PredictSummary, ClientError> {
+        match self.settle(&Request::Predict { session })? {
+            Response::Predicted(summary) => Ok(summary),
+            _ => Err(ClientError::UnexpectedResponse("Predicted")),
+        }
+    }
+
+    /// Serializes the session to its `CHAMFLT1` checkpoint blob.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn checkpoint(&mut self, session: SessionId) -> Result<Vec<u8>, ClientError> {
+        match self.settle(&Request::Checkpoint { session })? {
+            Response::Checkpointed(blob) => Ok(blob),
+            _ => Err(ClientError::UnexpectedResponse("Checkpointed")),
+        }
+    }
+
+    /// Forces the session out of residency into checkpoint form.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn evict(&mut self, session: SessionId) -> Result<(), ClientError> {
+        match self.settle(&Request::Evict { session })? {
+            Response::Evicted => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Evicted")),
+        }
+    }
+
+    /// Snapshots fleet + serving-layer metrics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.settle(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(*snapshot),
+            _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// `request` with `Error` responses lifted into
+    /// [`ClientError::Refused`], so the typed helpers only see success
+    /// variants.
+    fn settle(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ClientError::Refused { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Reads one frame and returns its CRC-verified payload.
+    fn read_payload(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut header = [0u8; 12];
+        self.stream.read_exact(&mut header)?;
+        if &header[..8] != WIRE_MAGIC {
+            return Err(WireError::BadMagic.into());
+        }
+        let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        if len > self.max_payload {
+            return Err(WireError::Oversized {
+                len: len as u64,
+                max: self.max_payload as u64,
+            }
+            .into());
+        }
+        let mut body = vec![0u8; len + 4];
+        self.stream.read_exact(&mut body)?;
+        let footer = u32::from_le_bytes(body[len..].try_into().expect("4 bytes"));
+        body.truncate(len);
+        let found = crc32(&body);
+        if found != footer {
+            return Err(WireError::BadChecksum {
+                found,
+                expected: footer,
+            }
+            .into());
+        }
+        Ok(body)
+    }
+}

@@ -1,0 +1,184 @@
+//! Serving-layer metrics: per-server counters and a log₂ latency
+//! histogram, kept as atomics on the hot path and snapshotted into plain
+//! structs for the wire and for reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is a catch-all.
+pub const LATENCY_BUCKETS: usize = 20;
+
+/// A power-of-two-microsecond latency histogram (bucket 0 is `< 2 µs`,
+/// the last bucket absorbs everything from `2^19 µs` ≈ 0.5 s up).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Counts per bucket.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation, in nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        let micros = nanos / 1_000;
+        let index = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[index] += 1;
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.record_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`), or 0 when empty. Bucket resolution, not exact.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+/// Plain-struct snapshot of a server's counters, shipped inside
+/// [`crate::wire::StatsSnapshot`] and printed by the CLI.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Connections the acceptor admitted.
+    pub connections_accepted: u64,
+    /// Connections fully closed (handled to completion, reaped idle, or
+    /// turned away by the saturated acceptor).
+    pub connections_closed: u64,
+    /// CRC-valid frames read.
+    pub frames_in: u64,
+    /// Frames written.
+    pub frames_out: u64,
+    /// Bytes read off sockets (payloads plus framing overhead).
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Frames or payloads rejected by the decoder (bad magic, bad CRC,
+    /// oversized prefix, malformed body).
+    pub decode_rejects: u64,
+    /// `RetryAfter` replies sent (fleet backpressure surfaced to clients,
+    /// plus turn-aways from a saturated acceptor).
+    pub backpressure_replies: u64,
+    /// Requests answered with a success response.
+    pub requests_ok: u64,
+    /// Requests answered with a typed error.
+    pub requests_failed: u64,
+    /// End-to-end request latency (decode → response written).
+    pub latency: LatencyHistogram,
+}
+
+/// Shared, thread-safe counter block the acceptor, connection workers, and
+/// engine thread all update.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    pub connections_accepted: AtomicU64,
+    pub connections_closed: AtomicU64,
+    pub frames_in: AtomicU64,
+    pub frames_out: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub decode_rejects: AtomicU64,
+    pub backpressure_replies: AtomicU64,
+    pub requests_ok: AtomicU64,
+    pub requests_failed: AtomicU64,
+    pub latency: Mutex<LatencyHistogram>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, elapsed: Duration) {
+        if let Ok(mut histogram) = self.latency.lock() {
+            histogram.record(elapsed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeCounters {
+        ServeCounters {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            decode_rejects: self.decode_rejects.load(Ordering::Relaxed),
+            backpressure_replies: self.backpressure_replies.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            latency: self.latency.lock().map(|h| h.clone()).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let mut h = LatencyHistogram::default();
+        h.record_nanos(500); // <1 µs → bucket 0
+        h.record_nanos(1_000); // 1 µs → bucket 1
+        h.record_nanos(3_000); // 3 µs → bucket 2
+        h.record_nanos(1_000_000); // 1 ms → bucket 10
+        h.record_nanos(u64::MAX); // clamped to the catch-all
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_us(0.5), 0);
+        for _ in 0..98 {
+            h.record_nanos(2_000); // bucket 2 (2 µs)
+        }
+        h.record_nanos(40_000_000); // 40 ms
+        h.record_nanos(40_000_000);
+        assert_eq!(h.quantile_upper_us(0.5), 4);
+        assert!(h.quantile_upper_us(0.999) >= 32_768);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record_nanos(1_000);
+        b.record_nanos(1_000);
+        b.record_nanos(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+}

@@ -1,0 +1,725 @@
+//! The CHAMWIRE TCP server: an acceptor thread, a bounded pool of
+//! connection workers, and one engine thread that owns the
+//! [`FleetEngine`].
+//!
+//! Threading model:
+//!
+//! * the **engine thread** is the only holder of the `FleetEngine`. It
+//!   receives decoded requests over an mpsc channel, submits them with a
+//!   monotonically increasing correlation id, and matches the fleet's
+//!   acknowledgement events back to the waiting connection worker.
+//!   Fleet backpressure ([`chameleon_fleet::FleetError::Rejected`]) is
+//!   answered with a wire-level [`Response::RetryAfter`] instead of
+//!   blocking, so one saturated shard never stalls the serving layer;
+//! * **connection workers** pull accepted sockets from a shared queue and
+//!   speak CHAMWIRE: split frames, verify CRCs, decode requests, forward
+//!   to the engine, write the reply. Read timeouts double as the idle
+//!   clock — a connection silent past `idle_timeout` is reaped;
+//! * the **acceptor** admits sockets into the bounded worker queue; when
+//!   the queue is full it turns the connection away with a `RetryAfter`
+//!   frame rather than letting it queue unbounded.
+//!
+//! Shutdown is graceful and ordered: the stop flag is raised, the
+//! acceptor is woken (a loopback self-connect) and joined, workers finish
+//! their in-flight requests and exit when the connection queue closes,
+//! and finally the engine drains every outstanding fleet acknowledgement
+//! before dropping the engine (which joins the shard threads).
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use chameleon_fleet::{FleetConfig, FleetEngine, FleetError, SessionCommand, SessionEventKind};
+use chameleon_replay::crc32;
+use chameleon_stream::{ConfigError, DomainIlScenario};
+
+use crate::metrics::{ServeCounters, ServeMetrics};
+use crate::wire::{
+    correlation_of, encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot,
+    WireError, FRAME_OVERHEAD, MAX_PAYLOAD_BYTES, WIRE_MAGIC,
+};
+
+/// Tunables of the serving layer (the fleet itself is shaped separately
+/// by [`FleetConfig`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free port;
+    /// read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-worker pool size — the number of sockets served
+    /// concurrently. The acceptor's hand-off queue has the same bound.
+    pub workers: usize,
+    /// Socket read timeout. This is also the granularity at which a
+    /// worker notices the stop flag and advances the idle clock.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a peer that stops reading is disconnected.
+    pub write_timeout: Duration,
+    /// A connection silent for this long is reaped.
+    pub idle_timeout: Duration,
+    /// Backoff hint carried by [`Response::RetryAfter`] replies.
+    pub retry_after: Duration,
+    /// Per-frame payload cap enforced by this server (≤
+    /// [`MAX_PAYLOAD_BYTES`]).
+    pub max_payload: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            retry_after: Duration::from_millis(2),
+            max_payload: MAX_PAYLOAD_BYTES,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated requirement.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError {
+                field: "worker count",
+                requirement: "must be positive",
+            });
+        }
+        if self.read_timeout.is_zero() {
+            return Err(ConfigError {
+                field: "read timeout",
+                requirement: "must be positive",
+            });
+        }
+        if self.max_payload == 0 || self.max_payload > MAX_PAYLOAD_BYTES {
+            return Err(ConfigError {
+                field: "payload cap",
+                requirement: "must be within (0, MAX_PAYLOAD_BYTES]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One decoded request on its way to the engine thread, with the channel
+/// the connection worker is blocked on.
+struct EngineOp {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Everything a connection worker needs, cloned once per worker thread.
+#[derive(Clone)]
+struct WorkerCtx {
+    ops: mpsc::Sender<EngineOp>,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+    max_payload: usize,
+}
+
+/// A running CHAMWIRE server in front of a [`FleetEngine`].
+///
+/// Dropping the server shuts it down gracefully (see module docs);
+/// [`Server::shutdown`] does the same explicitly and is idempotent.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the engine + worker + acceptor threads, and begins
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if either config fails validation
+    /// (`InvalidInput`) or the listener cannot bind.
+    pub fn start(
+        scenario: Arc<DomainIlScenario>,
+        fleet_config: FleetConfig,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let invalid = |e: ConfigError| std::io::Error::new(ErrorKind::InvalidInput, e.to_string());
+        config.validate().map_err(invalid)?;
+        fleet_config.validate().map_err(invalid)?;
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let fleet = FleetEngine::new(scenario, fleet_config);
+        let (op_tx, op_rx) = mpsc::channel::<EngineOp>();
+        let engine_metrics = Arc::clone(&metrics);
+        let retry_after = config.retry_after;
+        let engine = std::thread::Builder::new()
+            .name("serve-engine".to_string())
+            .spawn(move || engine_loop(fleet, &op_rx, &engine_metrics, retry_after))
+            .expect("spawn engine thread");
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.workers);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let ctx = WorkerCtx {
+            ops: op_tx,
+            metrics: Arc::clone(&metrics),
+            stop: Arc::clone(&stop),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            idle_timeout: config.idle_timeout,
+            max_payload: config.max_payload,
+        };
+        let workers = (0..config.workers)
+            .map(|index| {
+                let ctx = ctx.clone();
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{index}"))
+                    .spawn(move || worker_loop(&ctx, &conn_rx))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+        // `ctx` (holding the original `op_tx`) drops at the end of this
+        // scope: only worker threads keep engine senders alive, so the
+        // engine exits exactly when the last worker does.
+
+        let acceptor_metrics = Arc::clone(&metrics);
+        let acceptor_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-acceptor".to_string())
+            .spawn(move || {
+                acceptor_loop(
+                    &listener,
+                    &conn_tx,
+                    &acceptor_stop,
+                    &acceptor_metrics,
+                    retry_after,
+                );
+            })
+            .expect("spawn acceptor thread");
+
+        Ok(Self {
+            local_addr,
+            stop,
+            metrics,
+            acceptor: Some(acceptor),
+            workers,
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the serving-layer counters.
+    pub fn metrics(&self) -> ServeCounters {
+        self.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let workers finish their
+    /// in-flight requests, drain the fleet, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(join) = self.acceptor.take() {
+            let _ = join.join();
+        }
+        for join in self.workers.drain(..) {
+            let _ = join.join();
+        }
+        if let Some(join) = self.engine.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine thread
+// ---------------------------------------------------------------------------
+
+fn engine_loop(
+    mut fleet: FleetEngine,
+    ops: &Receiver<EngineOp>,
+    metrics: &ServeMetrics,
+    retry_after: Duration,
+) {
+    let retry_millis = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
+    let mut next_correlation: u64 = 1;
+    let mut pending: HashMap<u64, mpsc::Sender<Response>> = HashMap::new();
+    loop {
+        match ops.recv_timeout(Duration::from_millis(1)) {
+            Ok(op) => handle_op(
+                &mut fleet,
+                op,
+                &mut pending,
+                &mut next_correlation,
+                metrics,
+                retry_millis,
+            ),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        flush_events(&mut fleet, &mut pending);
+    }
+    // Every accepted fleet request is acknowledged by exactly one event;
+    // resolve them all before dropping the engine (which joins shards).
+    for event in fleet.drain_pending() {
+        if let Some(reply) = pending.remove(&event.correlation) {
+            let _ = reply.send(event_response(event.kind));
+        }
+    }
+    for (_, reply) in pending.drain() {
+        let _ = reply.send(Response::Error {
+            code: ErrorCode::EngineDown,
+            message: "server shut down before the request resolved".to_string(),
+        });
+    }
+}
+
+fn flush_events(fleet: &mut FleetEngine, pending: &mut HashMap<u64, mpsc::Sender<Response>>) {
+    for event in fleet.drain() {
+        if let Some(reply) = pending.remove(&event.correlation) {
+            let _ = reply.send(event_response(event.kind));
+        }
+    }
+}
+
+fn handle_op(
+    fleet: &mut FleetEngine,
+    op: EngineOp,
+    pending: &mut HashMap<u64, mpsc::Sender<Response>>,
+    next_correlation: &mut u64,
+    metrics: &ServeMetrics,
+    retry_millis: u32,
+) {
+    let correlation = *next_correlation;
+    let submitted = match op.request {
+        Request::Ping => {
+            let _ = op.reply.send(Response::Pong);
+            return;
+        }
+        Request::Stats => {
+            let fm = fleet.metrics();
+            let snapshot = StatsSnapshot {
+                sessions_resident: fm.sessions_resident() as u64,
+                sessions_cold: fm.sessions_cold() as u64,
+                sessions_created: fm.sessions_created(),
+                batches: fm.batches(),
+                evictions: fm.evictions(),
+                restores: fm.restores(),
+                trace: fm.merged_trace(),
+                serve: metrics.snapshot(),
+            };
+            let _ = op.reply.send(Response::Stats(Box::new(snapshot)));
+            return;
+        }
+        Request::CreateSession { session, spec } => {
+            fleet.create_correlated(session, spec, correlation)
+        }
+        Request::Step { session, batches } => fleet.command_correlated(
+            session,
+            SessionCommand::Step {
+                batches: batches as usize,
+            },
+            correlation,
+        ),
+        Request::Predict { session } => {
+            fleet.command_correlated(session, SessionCommand::Evaluate, correlation)
+        }
+        Request::Checkpoint { session } => {
+            fleet.command_correlated(session, SessionCommand::Checkpoint, correlation)
+        }
+        Request::Evict { session } => {
+            fleet.command_correlated(session, SessionCommand::Evict, correlation)
+        }
+    };
+    match submitted {
+        Ok(()) => {
+            *next_correlation += 1;
+            pending.insert(correlation, op.reply);
+        }
+        Err(error) => {
+            let _ = op.reply.send(fleet_error_response(&error, retry_millis));
+        }
+    }
+}
+
+fn fleet_error_response(error: &FleetError, retry_millis: u32) -> Response {
+    match error {
+        FleetError::Rejected(_) => Response::RetryAfter {
+            millis: retry_millis,
+        },
+        FleetError::UnknownSession => Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "session was never created on this server".to_string(),
+        },
+        FleetError::DuplicateSession => Response::Error {
+            code: ErrorCode::DuplicateSession,
+            message: "session already exists".to_string(),
+        },
+        FleetError::ShardDown(shard) => Response::Error {
+            code: ErrorCode::ShardDown,
+            message: format!("shard {shard} worker is down"),
+        },
+    }
+}
+
+fn event_response(kind: SessionEventKind) -> Response {
+    match kind {
+        SessionEventKind::Created => Response::Created,
+        SessionEventKind::Stepped { delivered, done } => Response::Stepped {
+            delivered: delivered as u32,
+            done,
+        },
+        SessionEventKind::Evaluated(report) => Response::Predicted(PredictSummary {
+            acc_all: report.acc_all,
+            per_domain: report.per_domain,
+            per_class: report.per_class,
+            memory_overhead_mb: report.memory_overhead_mb,
+        }),
+        SessionEventKind::Checkpointed(blob) => Response::Checkpointed(blob),
+        SessionEventKind::Evicted => Response::Evicted,
+        SessionEventKind::Failed(reason) => Response::Error {
+            code: ErrorCode::SessionFailed,
+            message: reason,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    metrics: &ServeMetrics,
+    retry_after: Duration,
+) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        ServeMetrics::add(&metrics.connections_accepted, 1);
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => turn_away(stream, retry_after, metrics),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Every worker is busy and the hand-off queue is full: answer with a
+/// `RetryAfter` frame (correlation 0 — no request was read) and close.
+fn turn_away(mut stream: TcpStream, retry_after: Duration, metrics: &ServeMetrics) {
+    let millis = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
+    let frame = encode_frame(&Response::RetryAfter { millis }.encode_payload(0));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    if stream.write_all(&frame).is_ok() {
+        ServeMetrics::add(&metrics.frames_out, 1);
+        ServeMetrics::add(&metrics.bytes_out, frame.len() as u64);
+    }
+    ServeMetrics::add(&metrics.backpressure_replies, 1);
+    ServeMetrics::add(&metrics.connections_closed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Connection workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(ctx: &WorkerCtx, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let Ok(guard) = conn_rx.lock() else { return };
+            match guard.recv() {
+                Ok(stream) => stream,
+                Err(_) => return, // acceptor gone: no more connections
+            }
+        };
+        handle_connection(ctx, stream);
+        ServeMetrics::add(&ctx.metrics.connections_closed, 1);
+    }
+}
+
+/// How the front of the receive buffer splits.
+enum FrameSplit {
+    /// No complete frame yet; read more bytes.
+    NeedMore,
+    /// One CRC-valid frame of `used` bytes.
+    Frame { payload: Vec<u8>, used: usize },
+    /// A reject. `used == 0` means the stream cannot be resynchronized
+    /// (bad magic, hostile length) and the connection must close; a
+    /// nonzero `used` means the frame boundary is known, so the frame is
+    /// skipped and the connection survives.
+    Corrupt {
+        used: usize,
+        correlation: u64,
+        error: WireError,
+    },
+}
+
+fn split_frame(buf: &[u8], max_payload: usize) -> FrameSplit {
+    let head = buf.len().min(WIRE_MAGIC.len());
+    if buf[..head] != WIRE_MAGIC[..head] {
+        return FrameSplit::Corrupt {
+            used: 0,
+            correlation: 0,
+            error: WireError::BadMagic,
+        };
+    }
+    if buf.len() < WIRE_MAGIC.len() + 4 {
+        return FrameSplit::NeedMore;
+    }
+    let len = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return FrameSplit::Corrupt {
+            used: 0,
+            correlation: 0,
+            error: WireError::Oversized {
+                len: len as u64,
+                max: max_payload as u64,
+            },
+        };
+    }
+    let total = FRAME_OVERHEAD + len;
+    if buf.len() < total {
+        return FrameSplit::NeedMore;
+    }
+    let payload = &buf[12..12 + len];
+    let footer = u32::from_le_bytes(buf[12 + len..total].try_into().expect("4 bytes"));
+    let found = crc32(payload);
+    if found != footer {
+        return FrameSplit::Corrupt {
+            used: total,
+            correlation: correlation_of(payload),
+            error: WireError::BadChecksum {
+                found,
+                expected: footer,
+            },
+        };
+    }
+    FrameSplit::Frame {
+        payload: payload.to_vec(),
+        used: total,
+    }
+}
+
+fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    let mut idle = Duration::ZERO;
+    loop {
+        // Serve every complete frame already buffered before reading more.
+        loop {
+            match split_frame(&buf, ctx.max_payload) {
+                FrameSplit::NeedMore => break,
+                FrameSplit::Frame { payload, used } => {
+                    buf.drain(..used);
+                    if !serve_one(ctx, &mut stream, &payload) {
+                        return;
+                    }
+                }
+                FrameSplit::Corrupt {
+                    used,
+                    correlation,
+                    error,
+                } => {
+                    ServeMetrics::add(&ctx.metrics.decode_rejects, 1);
+                    ServeMetrics::add(&ctx.metrics.requests_failed, 1);
+                    let reply = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: error.to_string(),
+                    };
+                    let wrote = write_response(ctx, &mut stream, correlation, &reply);
+                    if used == 0 || !wrote {
+                        return; // desynchronized: nothing after this parses
+                    }
+                    buf.drain(..used);
+                }
+            }
+        }
+        if ctx.stop.load(Ordering::Relaxed) {
+            return; // in-flight frames above were finished first
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => {
+                idle = Duration::ZERO;
+                ServeMetrics::add(&ctx.metrics.bytes_in, n as u64);
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle += ctx.read_timeout;
+                if idle >= ctx.idle_timeout {
+                    return; // reaped
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one CRC-valid frame; returns `false` when the connection should
+/// close (write failure).
+fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
+    let started = Instant::now();
+    ServeMetrics::add(&ctx.metrics.frames_in, 1);
+    let (correlation, request) = match Request::decode_payload(payload) {
+        Ok(decoded) => decoded,
+        Err(error) => {
+            ServeMetrics::add(&ctx.metrics.decode_rejects, 1);
+            ServeMetrics::add(&ctx.metrics.requests_failed, 1);
+            let reply = Response::Error {
+                code: ErrorCode::BadRequest,
+                message: error.to_string(),
+            };
+            return write_response(ctx, stream, correlation_of(payload), &reply);
+        }
+    };
+    let response = match request {
+        // Liveness must stay observable even when the engine is saturated.
+        Request::Ping => Response::Pong,
+        request => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let engine_down = || Response::Error {
+                code: ErrorCode::EngineDown,
+                message: "engine thread is gone".to_string(),
+            };
+            if ctx
+                .ops
+                .send(EngineOp {
+                    request,
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                engine_down()
+            } else {
+                reply_rx.recv().unwrap_or_else(|_| engine_down())
+            }
+        }
+    };
+    match &response {
+        Response::RetryAfter { .. } => ServeMetrics::add(&ctx.metrics.backpressure_replies, 1),
+        Response::Error { .. } => ServeMetrics::add(&ctx.metrics.requests_failed, 1),
+        _ => ServeMetrics::add(&ctx.metrics.requests_ok, 1),
+    }
+    let wrote = write_response(ctx, stream, correlation, &response);
+    ctx.metrics.record_latency(started.elapsed());
+    wrote
+}
+
+fn write_response(
+    ctx: &WorkerCtx,
+    stream: &mut TcpStream,
+    correlation: u64,
+    response: &Response,
+) -> bool {
+    let frame = encode_frame(&response.encode_payload(correlation));
+    if stream.write_all(&frame).is_err() {
+        return false;
+    }
+    ServeMetrics::add(&ctx.metrics.frames_out, 1);
+    ServeMetrics::add(&ctx.metrics.bytes_out, frame.len() as u64);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_frame_recognizes_partial_and_whole_frames() {
+        let frame = encode_frame(&Request::Ping.encode_payload(9));
+        for cut in 0..frame.len() {
+            assert!(matches!(
+                split_frame(&frame[..cut], MAX_PAYLOAD_BYTES),
+                FrameSplit::NeedMore
+            ));
+        }
+        match split_frame(&frame, MAX_PAYLOAD_BYTES) {
+            FrameSplit::Frame { used, .. } => assert_eq!(used, frame.len()),
+            _ => panic!("whole frame did not split"),
+        }
+    }
+
+    #[test]
+    fn split_frame_rejects_bad_magic_early() {
+        // The very first wrong byte is enough — no need to buffer a
+        // whole header before rejecting a desynchronized stream.
+        assert!(matches!(
+            split_frame(b"X", MAX_PAYLOAD_BYTES),
+            FrameSplit::Corrupt {
+                used: 0,
+                error: WireError::BadMagic,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn split_frame_survivable_corruption_reports_boundary() {
+        let mut frame = encode_frame(&Request::Stats.encode_payload(77));
+        let i = frame.len() - 5; // the opcode byte — past the correlation
+        frame[i] ^= 0x40;
+        match split_frame(&frame, MAX_PAYLOAD_BYTES) {
+            FrameSplit::Corrupt {
+                used,
+                correlation,
+                error: WireError::BadChecksum { .. },
+            } => {
+                assert_eq!(used, frame.len());
+                assert_eq!(correlation, 77);
+            }
+            _ => panic!("checksum corruption not detected"),
+        }
+    }
+
+    #[test]
+    fn split_frame_caps_length_before_buffering() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(WIRE_MAGIC);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            split_frame(&frame, MAX_PAYLOAD_BYTES),
+            FrameSplit::Corrupt {
+                used: 0,
+                error: WireError::Oversized { .. },
+                ..
+            }
+        ));
+    }
+}

@@ -17,8 +17,10 @@
 
 pub use chameleon_core as core;
 pub use chameleon_faults as faults;
+pub use chameleon_fleet as fleet;
 pub use chameleon_hw as hw;
 pub use chameleon_nn as nn;
 pub use chameleon_replay as replay;
+pub use chameleon_serve as serve;
 pub use chameleon_stream as stream;
 pub use chameleon_tensor as tensor;

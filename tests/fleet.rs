@@ -269,6 +269,42 @@ fn backpressure_rejects_then_recovers() {
 }
 
 #[test]
+fn dropping_an_engine_with_pending_work_joins_all_workers() {
+    // Callers that forget `shutdown()` must still get a clean teardown:
+    // `Drop` sends Shutdown to every shard and joins the threads. Shard
+    // workers (and the sessions they host) hold `Arc` clones of the
+    // scenario, so the strong count returning to 1 proves every worker
+    // thread actually exited and released its state — not merely detached.
+    let scenario = scenario();
+    assert_eq!(Arc::strong_count(&scenario), 1);
+    {
+        let mut fleet = FleetEngine::new(
+            Arc::clone(&scenario),
+            FleetConfig {
+                num_shards: 3,
+                ..FleetConfig::default()
+            },
+        );
+        for user in 0..6u64 {
+            fleet
+                .create_blocking(user, user_spec(user))
+                .expect("create");
+            fleet
+                .command_blocking(user, SessionCommand::Step { batches: 8 })
+                .expect("step");
+        }
+        // Deliberately no `drain_pending()` and no `shutdown()`: the
+        // engine is dropped with requests still in flight.
+        assert!(fleet.pending() > 0, "work should still be pending");
+    }
+    assert_eq!(
+        Arc::strong_count(&scenario),
+        1,
+        "a shard worker outlived the engine drop"
+    );
+}
+
+#[test]
 fn assignment_spreads_sessions_and_ignores_arrival_order() {
     let scenario = scenario();
     let fleet = FleetEngine::new(

@@ -1,0 +1,323 @@
+//! Serving-layer contract: a session driven over loopback CHAMWIRE is
+//! bit-identical to the same session run in process (including under a
+//! nonzero fault plan), backpressure surfaces as `RetryAfter` without
+//! dropping connections, corrupt frames are counted and survivable, and
+//! shutdown joins every thread.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use chameleon_core::{ChameleonConfig, EvalReport};
+use chameleon_faults::FaultPlan;
+use chameleon_fleet::{
+    FleetConfig, SessionCheckpoint, SessionId, SessionSpec, UserSession, FLEET_MAGIC,
+};
+use chameleon_serve::wire::{
+    decode_frame, encode_frame, ErrorCode, Request, Response, MAX_PAYLOAD_BYTES,
+};
+use chameleon_serve::{Connection, ServeConfig, Server};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
+
+fn scenario() -> Arc<DomainIlScenario> {
+    Arc::new(DomainIlScenario::generate(
+        &DatasetSpec::core50_tiny(),
+        0xF1EE7,
+    ))
+}
+
+/// Same per-user spec construction as `tests/fleet.rs`, so wire-driven
+/// sessions are comparable against the fleet determinism suite.
+fn user_spec(user: SessionId) -> SessionSpec {
+    let classes = DatasetSpec::core50_tiny().num_classes;
+    let base = (user as usize * 3) % classes;
+    SessionSpec {
+        learner: ChameleonConfig {
+            long_term_capacity: 30,
+            ..ChameleonConfig::default()
+        },
+        stream: StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![base, (base + 1) % classes, (base + 2) % classes],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        },
+        learner_seed: user.wrapping_mul(31) ^ 5,
+        stream_seed: user.wrapping_add(100),
+    }
+}
+
+fn run_solo(
+    scenario: Arc<DomainIlScenario>,
+    user: SessionId,
+    faults: Option<&FaultPlan>,
+) -> (EvalReport, Vec<u8>) {
+    let mut session = UserSession::new(user, user_spec(user), scenario, faults);
+    while session.step_batch() {}
+    let report = session.evaluate();
+    let blob = SessionCheckpoint::capture(&session).to_bytes();
+    (report, blob)
+}
+
+/// Drives `users` over one wire connection with interleaved step slices,
+/// then compares every observable against the solo (in-process) run.
+fn assert_wire_matches_solo(faults: Option<FaultPlan>) {
+    let scenario = scenario();
+    let users: [SessionId; 3] = [2, 11, 29];
+    let mut server = Server::start(
+        Arc::clone(&scenario),
+        FleetConfig {
+            num_shards: 2,
+            faults,
+            ..FleetConfig::default()
+        },
+        ServeConfig::default(),
+    )
+    .expect("start server");
+
+    let mut conn = Connection::connect(server.local_addr()).expect("connect");
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+    }
+    // Interleave small step slices across users — the wire contract says
+    // slicing and interleaving are invisible in the final state.
+    let mut live: Vec<SessionId> = users.to_vec();
+    while !live.is_empty() {
+        let mut still = Vec::new();
+        for &user in &live {
+            let (_, done) = conn.step(user, 5).expect("step");
+            if !done {
+                still.push(user);
+            }
+        }
+        live = still;
+    }
+    for &user in &users {
+        let summary = conn.predict(user).expect("predict");
+        let blob = conn.checkpoint(user).expect("checkpoint");
+        assert_eq!(&blob[..8], &FLEET_MAGIC[..], "user {user} magic");
+
+        let (solo_report, solo_blob) = run_solo(Arc::clone(&scenario), user, faults.as_ref());
+        assert_eq!(summary.acc_all, solo_report.acc_all, "user {user} acc");
+        assert_eq!(summary.per_domain, solo_report.per_domain, "user {user}");
+        assert_eq!(summary.per_class, solo_report.per_class, "user {user}");
+        assert_eq!(
+            summary.memory_overhead_mb, solo_report.memory_overhead_mb,
+            "user {user}"
+        );
+        assert_eq!(blob, solo_blob, "user {user} checkpoint diverged");
+    }
+
+    let stats = conn.stats().expect("stats");
+    assert_eq!(stats.sessions_created, users.len() as u64);
+    assert_eq!(stats.serve.decode_rejects, 0);
+    server.shutdown();
+}
+
+#[test]
+fn wire_driven_sessions_match_solo_bit_for_bit() {
+    assert_wire_matches_solo(None);
+}
+
+#[test]
+fn wire_determinism_holds_under_fault_plan() {
+    assert_wire_matches_solo(Some(FaultPlan::bit_flips(0xBAD, 1e-4)));
+}
+
+#[test]
+fn evict_over_the_wire_is_reproducible() {
+    // Eviction resets transient training state, so an interrupted run need
+    // not match an uninterrupted one (see `tests/fleet.rs`) — but the same
+    // wire command sequence must reproduce the same checkpoint bit for
+    // bit, and the evict/restore cycle must be visible in the stats.
+    let run = || {
+        let mut server = Server::start(scenario(), FleetConfig::default(), ServeConfig::default())
+            .expect("start server");
+        let user: SessionId = 7;
+        let mut conn = Connection::connect(server.local_addr()).expect("connect");
+        conn.create_session(user, user_spec(user)).expect("create");
+        conn.step(user, 10).expect("step");
+        conn.evict(user).expect("evict");
+        // Stepping an evicted session restores it from its checkpoint
+        // before delivering batches.
+        conn.run_to_completion(user, 7).expect("finish");
+        let blob = conn.checkpoint(user).expect("checkpoint");
+        let stats = conn.stats().expect("stats");
+        server.shutdown();
+        (blob, stats)
+    };
+
+    let (blob_a, stats) = run();
+    let (blob_b, _) = run();
+    assert_eq!(&blob_a[..8], &FLEET_MAGIC[..]);
+    assert_eq!(
+        blob_a, blob_b,
+        "evict/restore over the wire not reproducible"
+    );
+    assert!(stats.evictions >= 1, "eviction not recorded");
+    assert!(stats.restores >= 1, "restore not recorded");
+}
+
+#[test]
+fn backpressure_surfaces_as_retry_after_and_recovers() {
+    let scenario = scenario();
+    let mut server = Server::start(
+        scenario,
+        FleetConfig {
+            num_shards: 1,
+            queue_depth: 1,
+            ..FleetConfig::default()
+        },
+        ServeConfig {
+            workers: 6,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    let mut setup = Connection::connect(addr).expect("connect");
+    setup.create_session(0, user_spec(0)).expect("create");
+
+    // Four connections hammer the single-depth shard queue with raw
+    // `request_once` (no client-side retry), so refusals are observable.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).expect("connect");
+            let mut retries = 0u64;
+            loop {
+                match conn.request_once(&Request::Step {
+                    session: 0,
+                    batches: 8,
+                }) {
+                    Ok(Response::Stepped { done: true, .. }) => break,
+                    Ok(Response::Stepped { .. }) => {}
+                    Ok(Response::RetryAfter { millis }) => {
+                        retries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(u64::from(
+                            millis.max(1),
+                        )));
+                    }
+                    Ok(other) => panic!("unexpected response {other:?}"),
+                    Err(e) => panic!("request failed: {e}"),
+                }
+            }
+            // The connection that was refused is still serviceable.
+            conn.ping().expect("ping after backpressure");
+            retries
+        }));
+    }
+    let client_retries: u64 = handles.into_iter().map(|h| h.join().expect("join")).sum();
+
+    let counters = server.metrics();
+    assert_eq!(
+        counters.backpressure_replies, client_retries,
+        "every client-observed RetryAfter must be counted server-side"
+    );
+    assert!(
+        client_retries > 0,
+        "a depth-1 queue under 4 concurrent steppers must refuse at least once"
+    );
+    // The session is still usable after the storm.
+    let blob = setup.checkpoint(0).expect("checkpoint");
+    assert_eq!(&blob[..8], &FLEET_MAGIC[..]);
+    server.shutdown();
+}
+
+/// Reads one CHAMWIRE frame off a raw socket and returns its payload.
+fn read_raw_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut header = [0u8; 12];
+    stream.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let mut rest = vec![0u8; len + 4];
+    stream.read_exact(&mut rest).expect("frame body");
+    let mut frame = Vec::with_capacity(12 + rest.len());
+    frame.extend_from_slice(&header);
+    frame.extend_from_slice(&rest);
+    let (payload, used) = decode_frame(&frame, MAX_PAYLOAD_BYTES).expect("valid reply frame");
+    assert_eq!(used, frame.len());
+    payload
+}
+
+#[test]
+fn corrupt_frames_are_counted_and_survivable() {
+    let scenario = scenario();
+    let mut server = Server::start(scenario, FleetConfig::default(), ServeConfig::default())
+        .expect("start server");
+    let addr = server.local_addr();
+
+    // Garbage that can never resync (bad magic): the server replies with a
+    // typed error, then closes the connection.
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream.write_all(b"NOTAWIREFRAMEATALL").expect("write");
+    let payload = read_raw_frame(&mut stream);
+    let (_, response) = Response::decode_payload(&payload).expect("decode error reply");
+    match response {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty(), "connection must close after bad magic");
+
+    // A checksum failure has a known frame boundary: the server replies
+    // with an error, skips the frame, and the connection survives.
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    let mut frame = encode_frame(&Request::Ping.encode_payload(99));
+    let last = frame.len() - 5; // opcode byte; stale CRC now mismatches
+    frame[last] ^= 0x40;
+    stream.write_all(&frame).expect("write corrupt");
+    let payload = read_raw_frame(&mut stream);
+    let (correlation, response) = Response::decode_payload(&payload).expect("decode error reply");
+    assert_eq!(correlation, 99, "error reply must carry the correlation id");
+    assert!(matches!(response, Response::Error { .. }), "{response:?}");
+
+    // Same socket, now a healthy ping: the server must still answer.
+    let frame = encode_frame(&Request::Ping.encode_payload(100));
+    stream.write_all(&frame).expect("write ping");
+    let payload = read_raw_frame(&mut stream);
+    let (correlation, response) = Response::decode_payload(&payload).expect("decode pong");
+    assert_eq!(correlation, 100);
+    assert_eq!(response, Response::Pong);
+    drop(stream);
+
+    let counters = server.metrics();
+    assert_eq!(counters.decode_rejects, 2, "both corruptions counted");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_every_thread_and_releases_the_scenario() {
+    let scenario = scenario();
+    let mut server = Server::start(
+        Arc::clone(&scenario),
+        FleetConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("start server");
+
+    let mut conn = Connection::connect(server.local_addr()).expect("connect");
+    conn.create_session(1, user_spec(1)).expect("create");
+    conn.step(1, 3).expect("step");
+    conn.ping().expect("ping");
+
+    // Shutdown with a live connection and in-flight session state: the
+    // acceptor, every worker, and the engine thread must all join, which
+    // releases every clone of the scenario Arc.
+    server.shutdown();
+    drop(server);
+    drop(conn);
+    assert_eq!(
+        Arc::strong_count(&scenario),
+        1,
+        "a thread or session still holds the scenario after shutdown"
+    );
+
+    // Idempotence: double shutdown via Drop already happened above; a
+    // fresh server on the same scenario must start cleanly afterwards.
+    let server2 =
+        Server::start(scenario, FleetConfig::default(), ServeConfig::default()).expect("restart");
+    drop(server2);
+}
