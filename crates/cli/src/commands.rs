@@ -68,6 +68,14 @@ COMMANDS:
     --sessions <n>              sessions to create and run     [default: 4]
     [--slice <n>] [--dataset <name>] [--shards <n>] [--workers <n>]
     [--queue <n>] [--buffer <n>] [--seed <n>] [--json]
+  simtest                       deterministic simulation soak + golden corpus
+    --seeds <n>                 scheduler seeds to sweep       [default: 25]
+    --start-seed <n>            first seed of the sweep        [default: 0]
+    --budget-secs <s>           wall-clock budget for the sweep
+    --replay <seed>             re-check one seed and print its outcome
+    --check-golden              re-derive the golden corpus and fail on drift
+    --regen-golden              rewrite the golden corpus files
+    [--golden-dir <path>]       corpus location   [default: tests/golden]
   help                          show this message
 ";
 
@@ -88,6 +96,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("fleet") => fleet(&Options::parse(&argv[1..])?),
         Some("serve") => serve(&Options::parse(&argv[1..])?),
         Some("loadgen") => loadgen(&Options::parse(&argv[1..])?),
+        Some("simtest") => simtest(&Options::parse(&argv[1..])?),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -918,6 +927,134 @@ fn loadgen(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `chameleon simtest` — seeded simulation soak over the fleet engine
+/// plus the golden-corpus conformance gate.
+fn simtest(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "seeds",
+        "start-seed",
+        "budget-secs",
+        "replay",
+        "check-golden",
+        "regen-golden",
+        "golden-dir",
+    ])?;
+    let golden_dir = std::path::PathBuf::from(options.get_or("golden-dir", "tests/golden"));
+
+    if options.has_flag("regen-golden") {
+        std::fs::create_dir_all(&golden_dir)
+            .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
+        for file in chameleon_simtest::derive_corpus() {
+            let path = golden_dir.join(file.file);
+            std::fs::write(&path, chameleon_simtest::render(&file))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "simtest: wrote {} ({} entries, version {})",
+                path.display(),
+                file.entries.len(),
+                file.version
+            );
+        }
+        return Ok(());
+    }
+
+    if options.has_flag("check-golden") {
+        let mut findings = Vec::new();
+        for derived in chameleon_simtest::derive_corpus() {
+            let path = golden_dir.join(derived.file);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "cannot read {}: {e} — run `chameleon simtest --regen-golden` \
+                     and commit the corpus",
+                    path.display()
+                )
+            })?;
+            let committed = chameleon_simtest::parse(derived.file, &text)?;
+            findings.extend(chameleon_simtest::diff(&committed, &derived));
+        }
+        if findings.is_empty() {
+            println!("simtest: golden corpus conformant (3 files)");
+            return Ok(());
+        }
+        for finding in &findings {
+            eprintln!("simtest: {finding}");
+        }
+        return Err(format!(
+            "golden corpus drift: {} finding(s)",
+            findings.len()
+        ));
+    }
+
+    let scenario = chameleon_simtest::golden_scenario();
+    if let Some(raw) = options.get("replay") {
+        let seed: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --replay"))?;
+        let outcome = chameleon_simtest::check_seed(&scenario, seed)?;
+        println!(
+            "simtest: seed {seed} OK — {} ops, {} shards, faulted {}, {} events, \
+             event digest {:#010x}, checkpoint crc {:#010x}",
+            outcome.ops,
+            outcome.shards,
+            outcome.faulted,
+            outcome.events,
+            outcome.event_digest,
+            outcome.checkpoint_crc
+        );
+        return Ok(());
+    }
+
+    let seeds: u64 = options.get_parsed_or("seeds", 25)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    let start_seed: u64 = options.get_parsed_or("start-seed", 0)?;
+    let budget = match options.get("budget-secs") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --budget-secs"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err("--budget-secs must be a non-negative number".to_string());
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    let config = chameleon_simtest::SoakConfig {
+        start_seed,
+        seeds,
+        budget,
+    };
+    let report = chameleon_simtest::soak::run(&scenario, &config, |seed, outcome| {
+        if let Err(violation) = outcome {
+            eprintln!("simtest: seed {seed} FAILED: {violation}");
+        }
+    });
+    println!(
+        "simtest: {}/{} seeds passed ({} faulted, {} events){}",
+        report.passed,
+        report.checked,
+        report.faulted,
+        report.events,
+        if report.budget_exhausted {
+            " — budget exhausted"
+        } else {
+            ""
+        }
+    );
+    if report.all_passed() {
+        Ok(())
+    } else {
+        let (seed, _) = report.failures[0];
+        Err(format!(
+            "{} seed(s) violated simulation invariants; reproduce with \
+             `chameleon simtest --replay {seed}`",
+            report.failures.len()
+        ))
+    }
+}
+
 fn print_report(spec: &DatasetSpec, name: &str, report: &EvalReport) {
     println!(
         "{name} on {}: Acc_all {:.2} %, memory {:.1} MB",
@@ -1365,5 +1502,66 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp file left behind");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simtest_rejects_bad_options() {
+        assert!(dispatch(&toks(&["simtest", "--seeds", "0"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--seeds", "nope"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--budget-secs", "-1"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--replay", "many"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn simtest_soaks_and_replays_a_seed() {
+        assert!(dispatch(&toks(&["simtest", "--seeds", "2"])).is_ok());
+        assert!(dispatch(&toks(&["simtest", "--replay", "1"])).is_ok());
+    }
+
+    #[test]
+    fn simtest_golden_regen_then_check_roundtrips() {
+        let dir = std::env::temp_dir().join("chameleon-cli-golden-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir_str = dir.to_str().expect("utf8 path");
+        // Checking a corpus that was never generated points at --regen-golden.
+        let missing = dir.join("never-written");
+        let err = dispatch(&toks(&[
+            "simtest",
+            "--check-golden",
+            "--golden-dir",
+            missing.to_str().expect("utf8 path"),
+        ]))
+        .expect_err("missing corpus must fail the gate");
+        assert!(err.contains("regen-golden"), "{err}");
+        dispatch(&toks(&[
+            "simtest",
+            "--regen-golden",
+            "--golden-dir",
+            dir_str,
+        ]))
+        .expect("regeneration succeeds");
+        dispatch(&toks(&[
+            "simtest",
+            "--check-golden",
+            "--golden-dir",
+            dir_str,
+        ]))
+        .expect("freshly regenerated corpus is conformant");
+        // A flipped byte without a version bump must trip the gate.
+        let target = dir.join("wire_frames.golden");
+        let mut text = std::fs::read_to_string(&target).expect("read corpus");
+        let pos = text.rfind('0').expect("hex digit");
+        text.replace_range(pos..=pos, "1");
+        std::fs::write(&target, text).expect("write tampered corpus");
+        let err = dispatch(&toks(&[
+            "simtest",
+            "--check-golden",
+            "--golden-dir",
+            dir_str,
+        ]))
+        .expect_err("tampered corpus must fail the gate");
+        assert!(err.contains("drift"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

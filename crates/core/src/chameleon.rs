@@ -748,6 +748,47 @@ mod tests {
     }
 
     #[test]
+    fn long_term_updates_fire_exactly_at_the_h_sample_boundary() {
+        let (scenario, model) = setup();
+        // Batch sizes that divide `h` exactly, overshoot it mid-batch,
+        // and equal it: the long-term store must first be touched on
+        // precisely the batch where `samples_seen` crosses `h`.
+        for (batch_size, h) in [(4usize, 12usize), (5, 12), (10, 10)] {
+            let config = ChameleonConfig {
+                long_term_period: h,
+                ..ChameleonConfig::default()
+            };
+            let mut c = Chameleon::new(&model, config, 5);
+            let stream = StreamConfig {
+                batch_size,
+                ..StreamConfig::default()
+            };
+            let mut seen = 0u64;
+            let mut crossed = false;
+            for batch in scenario.domain_stream(0, &stream, 23) {
+                let before = seen / h as u64;
+                seen += batch.len() as u64;
+                let due = seen / h as u64 > before;
+                c.observe(&batch);
+                if due {
+                    assert!(
+                        c.long_term_len() > 0,
+                        "LT skipped at the boundary (h={h}, b={batch_size}, seen={seen})"
+                    );
+                    crossed = true;
+                    break;
+                }
+                assert_eq!(
+                    c.long_term_len(),
+                    0,
+                    "LT touched early (h={h}, b={batch_size}, seen={seen})"
+                );
+            }
+            assert!(crossed, "stream never reached the h-boundary");
+        }
+    }
+
+    #[test]
     fn learning_beats_chance() {
         let (scenario, model) = setup();
         let mut c = Chameleon::new(&model, ChameleonConfig::default(), 2);

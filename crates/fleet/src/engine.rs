@@ -8,11 +8,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use chameleon_faults::FaultPlan;
+use chameleon_runtime::{Runtime, WallClock};
 use chameleon_stream::{ConfigError, DomainIlScenario};
 
 use crate::metrics::FleetMetrics;
 use crate::session::{splitmix64, SessionId, SessionSpec};
 use crate::shard::{Request, SessionCommand, SessionEvent, ShardWorker};
+use crate::sim::SimExecutor;
 
 /// Shape of a fleet: shard count, queue bound, per-shard session-memory
 /// budget, and optional fleet-wide fault plan.
@@ -121,6 +123,14 @@ struct ShardHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// How this engine executes its shard workers.
+enum Backend {
+    /// One OS thread per shard behind a bounded `mpsc` queue.
+    Threads(Vec<ShardHandle>),
+    /// Single-threaded seeded cooperative execution (`chameleon-simtest`).
+    Sim(SimExecutor),
+}
+
 /// A sharded multi-session engine.
 ///
 /// Sessions are assigned to shards by seeded hash of their id, so an
@@ -129,7 +139,7 @@ struct ShardHandle {
 /// basis of the fleet's determinism contract (see `DESIGN.md`).
 pub struct FleetEngine {
     config: FleetConfig,
-    shards: Vec<ShardHandle>,
+    backend: Backend,
     events: Receiver<SessionEvent>,
     buffered: VecDeque<SessionEvent>,
     known: HashSet<SessionId>,
@@ -137,44 +147,88 @@ pub struct FleetEngine {
 }
 
 impl FleetEngine {
-    /// Spawns the shard workers.
+    /// Spawns the shard workers on real threads ([`Runtime::Threads`]).
     ///
     /// # Panics
     ///
     /// Panics if `config` fails [`FleetConfig::validate`].
     pub fn new(scenario: Arc<DomainIlScenario>, config: FleetConfig) -> Self {
+        Self::with_runtime(scenario, config, Runtime::Threads)
+    }
+
+    /// An engine under deterministic simulation: no threads, a seeded
+    /// scheduler picks which shard queue progresses, and all timing
+    /// reads a shared virtual clock. The same `(scenario, config, seed,
+    /// request sequence)` reproduces the same event log and checkpoint
+    /// bytes, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn new_sim(scenario: Arc<DomainIlScenario>, config: FleetConfig, seed: u64) -> Self {
+        Self::with_runtime(scenario, config, Runtime::sim(seed))
+    }
+
+    /// Builds an engine on an explicit [`Runtime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn with_runtime(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid fleet config: {e}");
         }
         let (event_tx, event_rx) = mpsc::channel();
-        let shards = (0..config.num_shards)
-            .map(|shard| {
-                let (tx, rx) = mpsc::sync_channel(config.queue_depth);
-                let worker = ShardWorker::new(
-                    shard,
-                    Arc::clone(&scenario),
-                    config.faults,
-                    config.budget_bytes,
-                    event_tx.clone(),
-                );
-                let join = std::thread::Builder::new()
-                    .name(format!("fleet-shard-{shard}"))
-                    .spawn(move || worker.run(rx))
-                    .expect("spawn shard worker");
-                ShardHandle {
-                    sender: tx,
-                    in_flight: Arc::new(AtomicUsize::new(0)),
-                    join: Some(join),
-                }
-            })
-            .collect();
+        let backend = match runtime {
+            Runtime::Threads => {
+                let clock = WallClock::shared();
+                let shards = (0..config.num_shards)
+                    .map(|shard| {
+                        let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+                        let worker = ShardWorker::new(
+                            shard,
+                            Arc::clone(&scenario),
+                            config.faults,
+                            config.budget_bytes,
+                            Arc::clone(&clock),
+                            event_tx.clone(),
+                        );
+                        let join = std::thread::Builder::new()
+                            .name(format!("fleet-shard-{shard}"))
+                            .spawn(move || worker.run(rx))
+                            .expect("spawn shard worker");
+                        ShardHandle {
+                            sender: tx,
+                            in_flight: Arc::new(AtomicUsize::new(0)),
+                            join: Some(join),
+                        }
+                    })
+                    .collect();
+                Backend::Threads(shards)
+            }
+            Runtime::Sim(scheduler) => {
+                Backend::Sim(SimExecutor::new(scenario, &config, scheduler, event_tx))
+            }
+        };
         Self {
             config,
-            shards,
+            backend,
             events: event_rx,
             buffered: VecDeque::new(),
             known: HashSet::new(),
             pending: 0,
+        }
+    }
+
+    /// The scheduler seed when running under simulation, else `None`.
+    pub fn sim_seed(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Threads(_) => None,
+            Backend::Sim(exec) => Some(exec.seed()),
         }
     }
 
@@ -192,6 +246,11 @@ impl FleetEngine {
     /// Requests (once acknowledged by an event) not yet drained.
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Whether `id` was ever successfully created on this engine.
+    pub fn known(&self, id: SessionId) -> bool {
+        self.known.contains(&id)
     }
 
     /// Submits session creation; acknowledged later by a `Created` event.
@@ -318,7 +377,14 @@ impl FleetEngine {
 
     /// Pulls every event currently available without blocking. Buffered
     /// events from `_blocking` submits come first, in arrival order.
+    ///
+    /// Under simulation nothing runs until the engine is asked to, so
+    /// "currently available" means *after executing all queued work* in
+    /// scheduler order.
     pub fn drain(&mut self) -> Vec<SessionEvent> {
+        if let Backend::Sim(exec) = &mut self.backend {
+            exec.run_until_idle();
+        }
         let mut out: Vec<SessionEvent> = self.buffered.drain(..).collect();
         while let Ok(event) = self.events.try_recv() {
             self.account(&event);
@@ -331,6 +397,11 @@ impl FleetEngine {
     /// returns all events (buffered first, then in arrival order).
     pub fn drain_pending(&mut self) -> Vec<SessionEvent> {
         let mut out = self.drain();
+        if matches!(self.backend, Backend::Sim(_)) {
+            // drain() already ran every queued request to completion and
+            // each accepted request produced exactly one event.
+            return out;
+        }
         while self.pending > 0 {
             match self.events.recv() {
                 Ok(event) => {
@@ -343,10 +414,19 @@ impl FleetEngine {
         out
     }
 
-    /// Snapshots every shard's metrics (blocking round-trip per shard).
+    /// Snapshots every shard's metrics (blocking round-trip per shard in
+    /// threaded mode; direct reads under simulation).
     pub fn metrics(&mut self) -> FleetMetrics {
-        let mut per_shard = Vec::with_capacity(self.shards.len());
-        for (index, shard) in self.shards.iter().enumerate() {
+        let shards = match &mut self.backend {
+            Backend::Sim(exec) => {
+                return FleetMetrics {
+                    per_shard: exec.metrics(),
+                }
+            }
+            Backend::Threads(shards) => shards,
+        };
+        let mut per_shard = Vec::with_capacity(shards.len());
+        for (index, shard) in shards.iter().enumerate() {
             let (reply_tx, reply_rx) = mpsc::channel();
             // A metrics request bypasses the bounded submit path: block
             // for space rather than reject, since it emits no event.
@@ -368,52 +448,75 @@ impl FleetEngine {
         FleetMetrics { per_shard }
     }
 
-    /// Stops all workers and joins their threads. Called by `Drop`;
-    /// explicit calls are idempotent.
+    /// Stops all workers and joins their threads (runs queued work to
+    /// completion under simulation). Called by `Drop`; explicit calls
+    /// are idempotent.
     pub fn shutdown(&mut self) {
-        for shard in &mut self.shards {
-            let _ = shard.sender.send(Request::Shutdown);
-        }
-        for shard in &mut self.shards {
-            if let Some(join) = shard.join.take() {
-                let _ = join.join();
+        match &mut self.backend {
+            Backend::Sim(exec) => {
+                exec.run_until_idle();
+            }
+            Backend::Threads(shards) => {
+                for shard in shards.iter_mut() {
+                    let _ = shard.sender.send(Request::Shutdown);
+                }
+                for shard in shards.iter_mut() {
+                    if let Some(join) = shard.join.take() {
+                        let _ = join.join();
+                    }
+                }
             }
         }
     }
 
     fn dispatch(&mut self, id: SessionId, request: Request) -> Result<(), FleetError> {
         let shard = self.shard_of(id);
-        let handle = &self.shards[shard];
-        match handle.sender.try_send(request) {
-            Ok(()) => {
-                handle.in_flight.fetch_add(1, Ordering::Relaxed);
+        match &mut self.backend {
+            Backend::Sim(exec) => {
+                exec.try_submit(shard, request)?;
                 self.pending += 1;
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => Err(FleetError::Rejected(Backpressure {
-                shard,
-                queue_depth: self.config.queue_depth,
-            })),
-            Err(TrySendError::Disconnected(_)) => Err(FleetError::ShardDown(shard)),
+            Backend::Threads(shards) => {
+                let handle = &shards[shard];
+                match handle.sender.try_send(request) {
+                    Ok(()) => {
+                        handle.in_flight.fetch_add(1, Ordering::Relaxed);
+                        self.pending += 1;
+                        Ok(())
+                    }
+                    Err(TrySendError::Full(_)) => Err(FleetError::Rejected(Backpressure {
+                        shard,
+                        queue_depth: self.config.queue_depth,
+                    })),
+                    Err(TrySendError::Disconnected(_)) => Err(FleetError::ShardDown(shard)),
+                }
+            }
         }
     }
 
     fn account(&mut self, event: &SessionEvent) {
         self.pending = self.pending.saturating_sub(1);
-        if let Some(shard) = self.shards.get(event.shard) {
-            shard
-                .in_flight
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                    Some(v.saturating_sub(1))
-                })
-                .ok();
+        if let Backend::Threads(shards) = &mut self.backend {
+            if let Some(shard) = shards.get(event.shard) {
+                shard
+                    .in_flight
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(1))
+                    })
+                    .ok();
+            }
         }
     }
 
-    /// Under backpressure: pull at least one event (blocking briefly if
-    /// none is ready) and buffer it so submit order is preserved for the
-    /// caller's next `drain`.
+    /// Under backpressure: make progress and buffer the resulting events
+    /// so submit order is preserved for the caller's next `drain`. The
+    /// threaded path waits for workers; the sim path *is* the worker, so
+    /// it executes exactly one scheduler step (freeing one queue slot).
     fn absorb_backpressure(&mut self) {
+        if let Backend::Sim(exec) = &mut self.backend {
+            exec.step();
+        }
         let mut drained = false;
         while let Ok(event) = self.events.try_recv() {
             self.account(&event);
@@ -421,7 +524,9 @@ impl FleetEngine {
             drained = true;
         }
         if !drained {
-            std::thread::sleep(std::time::Duration::from_micros(50));
+            if let Backend::Threads(_) = &self.backend {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
         }
     }
 }

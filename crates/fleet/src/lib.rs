@@ -74,6 +74,7 @@ mod engine;
 mod metrics;
 mod session;
 mod shard;
+mod sim;
 
 pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC};
 pub use engine::{Backpressure, FleetConfig, FleetEngine, FleetError};

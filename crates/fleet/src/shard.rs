@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
-use std::time::Instant;
 
 use chameleon_core::EvalReport;
 use chameleon_faults::FaultPlan;
+use chameleon_runtime::Clock;
 use chameleon_stream::DomainIlScenario;
 
 use crate::checkpoint::SessionCheckpoint;
@@ -107,7 +107,8 @@ struct Cold {
     checkpoint: SessionCheckpoint,
 }
 
-/// The state owned by one shard worker thread.
+/// The state owned by one shard worker — on its own thread in
+/// production, or driven request-by-request by the simulation executor.
 pub(crate) struct ShardWorker {
     shard: usize,
     scenario: Arc<DomainIlScenario>,
@@ -116,7 +117,8 @@ pub(crate) struct ShardWorker {
     resident: HashMap<SessionId, Resident>,
     cold: HashMap<SessionId, Cold>,
     resident_bytes: u64,
-    clock: u64,
+    lru_clock: u64,
+    time: Arc<dyn Clock>,
     events: Sender<SessionEvent>,
     metrics: ShardMetrics,
 }
@@ -127,6 +129,7 @@ impl ShardWorker {
         scenario: Arc<DomainIlScenario>,
         faults: Option<FaultPlan>,
         budget_bytes: u64,
+        time: Arc<dyn Clock>,
         events: Sender<SessionEvent>,
     ) -> Self {
         Self {
@@ -137,7 +140,8 @@ impl ShardWorker {
             resident: HashMap::new(),
             cold: HashMap::new(),
             resident_bytes: 0,
-            clock: 0,
+            lru_clock: 0,
+            time,
             events,
             metrics: ShardMetrics {
                 shard,
@@ -151,23 +155,33 @@ impl ShardWorker {
     /// engine handle hung up.
     pub(crate) fn run(mut self, requests: Receiver<Request>) {
         while let Ok(request) = requests.recv() {
-            match request {
-                Request::Create {
-                    id,
-                    spec,
-                    correlation,
-                } => self.handle_create(id, *spec, correlation),
-                Request::Command {
-                    id,
-                    command,
-                    correlation,
-                } => self.handle_command(id, command, correlation),
-                Request::Metrics { reply } => {
-                    let _ = reply.send(self.snapshot());
-                }
-                Request::Shutdown => break,
+            if !self.process(request) {
+                break;
             }
         }
+    }
+
+    /// Processes one request; returns `false` on `Shutdown`. This is the
+    /// single entry point both execution modes share: the thread loop
+    /// above and the simulation executor's seeded step function.
+    pub(crate) fn process(&mut self, request: Request) -> bool {
+        match request {
+            Request::Create {
+                id,
+                spec,
+                correlation,
+            } => self.handle_create(id, *spec, correlation),
+            Request::Command {
+                id,
+                command,
+                correlation,
+            } => self.handle_command(id, command, correlation),
+            Request::Metrics { reply } => {
+                let _ = reply.send(self.snapshot());
+            }
+            Request::Shutdown => return false,
+        }
+        true
     }
 
     fn emit(&self, session: SessionId, correlation: u64, kind: SessionEventKind) {
@@ -218,11 +232,11 @@ impl ShardWorker {
             SessionCommand::Step { batches } => match self.touch(id) {
                 Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
                 Ok(()) => {
-                    let start = Instant::now();
+                    let start = self.time.now_nanos();
                     let resident = self.resident.get_mut(&id).expect("touched");
                     let delivered = resident.session.step_batches(batches);
                     let done = resident.session.is_done();
-                    self.metrics.step_nanos += start.elapsed().as_nanos() as u64;
+                    self.metrics.step_nanos += self.time.now_nanos().saturating_sub(start);
                     self.metrics.step_commands += 1;
                     self.metrics.batches += delivered as u64;
                     self.emit(
@@ -235,9 +249,9 @@ impl ShardWorker {
             SessionCommand::Evaluate => match self.touch(id) {
                 Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
                 Ok(()) => {
-                    let start = Instant::now();
+                    let start = self.time.now_nanos();
                     let report = self.resident[&id].session.evaluate();
-                    self.metrics.eval_nanos += start.elapsed().as_nanos() as u64;
+                    self.metrics.eval_nanos += self.time.now_nanos().saturating_sub(start);
                     self.emit(
                         id,
                         correlation,
@@ -249,9 +263,9 @@ impl ShardWorker {
                 // Served from either residency state without changing it —
                 // a cold session's blob is re-serialized directly.
                 let blob = if let Some(resident) = self.resident.get(&id) {
-                    let start = Instant::now();
+                    let start = self.time.now_nanos();
                     let blob = SessionCheckpoint::capture(&resident.session).to_bytes();
-                    self.metrics.checkpoint_nanos += start.elapsed().as_nanos() as u64;
+                    self.metrics.checkpoint_nanos += self.time.now_nanos().saturating_sub(start);
                     Some(blob)
                 } else {
                     self.cold.get(&id).map(|cold| cold.checkpoint.to_bytes())
@@ -286,18 +300,18 @@ impl ShardWorker {
     /// stamp, and re-enforces the budget with `id` protected.
     fn touch(&mut self, id: SessionId) -> Result<(), String> {
         if let Some(resident) = self.resident.get_mut(&id) {
-            self.clock += 1;
-            resident.last_touch = self.clock;
+            self.lru_clock += 1;
+            resident.last_touch = self.lru_clock;
             return Ok(());
         }
         let Some(cold) = self.cold.remove(&id) else {
             return Err("session unknown to this shard".into());
         };
-        let start = Instant::now();
+        let start = self.time.now_nanos();
         let restored = cold
             .checkpoint
             .restore(Arc::clone(&self.scenario), self.faults.as_ref());
-        self.metrics.restore_nanos += start.elapsed().as_nanos() as u64;
+        self.metrics.restore_nanos += self.time.now_nanos().saturating_sub(start);
         match restored {
             Ok(session) => {
                 self.metrics.restores += 1;
@@ -314,14 +328,14 @@ impl ShardWorker {
     }
 
     fn admit(&mut self, id: SessionId, session: UserSession) {
-        self.clock += 1;
+        self.lru_clock += 1;
         let bytes = session.resident_bytes();
         self.resident_bytes += bytes;
         self.resident.insert(
             id,
             Resident {
                 session,
-                last_touch: self.clock,
+                last_touch: self.lru_clock,
                 bytes,
             },
         );
@@ -347,14 +361,14 @@ impl ShardWorker {
     fn evict(&mut self, id: SessionId) {
         let resident = self.resident.remove(&id).expect("evict target resident");
         self.resident_bytes -= resident.bytes;
-        let start = Instant::now();
+        let start = self.time.now_nanos();
         let checkpoint = SessionCheckpoint::capture(&resident.session);
-        self.metrics.checkpoint_nanos += start.elapsed().as_nanos() as u64;
+        self.metrics.checkpoint_nanos += self.time.now_nanos().saturating_sub(start);
         self.metrics.evictions += 1;
         self.cold.insert(id, Cold { checkpoint });
     }
 
-    fn snapshot(&self) -> ShardMetrics {
+    pub(crate) fn snapshot(&self) -> ShardMetrics {
         let mut m = self.metrics.clone();
         m.sessions_resident = self.resident.len();
         m.sessions_cold = self.cold.len();
@@ -383,7 +397,11 @@ mod tests {
             0xDA7A,
         ));
         let (tx, rx) = mpsc::channel();
-        (ShardWorker::new(0, scenario, None, budget_bytes, tx), rx)
+        let clock = chameleon_runtime::WallClock::shared();
+        (
+            ShardWorker::new(0, scenario, None, budget_bytes, clock, tx),
+            rx,
+        )
     }
 
     fn tiny_spec(stream_seed: u64) -> SessionSpec {

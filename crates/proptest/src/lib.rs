@@ -16,8 +16,22 @@
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
-/// Number of cases each `proptest!` test runs.
+/// Default number of cases each `proptest!` test runs (see [`cases`]).
 pub const CASES: u32 = 64;
+
+/// Number of cases each `proptest!` test runs: the value of the
+/// `CHAM_PROPTEST_CASES` environment variable, or [`CASES`] when it is
+/// unset or unparsable. Zero is clamped to one so every property is
+/// exercised at least once. Raise it for a deeper local/nightly sweep
+/// (`CHAM_PROPTEST_CASES=1000 cargo test`), lower it to smoke-test;
+/// generation stays deterministic either way — a larger count runs a
+/// superset of the smaller count's cases.
+pub fn cases() -> u32 {
+    std::env::var("CHAM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .map_or(CASES, |n: u32| n.max(1))
+}
 
 /// Deterministic per-test random source (SplitMix64).
 #[derive(Clone, Debug)]
@@ -262,7 +276,8 @@ pub mod prelude {
 }
 
 /// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
-/// expands to a `#[test]` running [`CASES`] deterministic cases; a failing
+/// expands to a `#[test]` running [`cases()`](cases) deterministic cases
+/// (default [`CASES`], overridable via `CHAM_PROPTEST_CASES`); a failing
 /// `prop_assert*` aborts the case with the generated inputs printed.
 #[macro_export]
 macro_rules! proptest {
@@ -273,7 +288,7 @@ macro_rules! proptest {
                 let mut rng = $crate::TestRng::from_name(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for case in 0..$crate::CASES {
+                for case in 0..$crate::cases() {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                     let case_inputs = {
                         let mut s = String::new();
@@ -372,6 +387,14 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn case_count_defaults_and_never_hits_zero() {
+        assert!(crate::cases() >= 1);
+        if std::env::var("CHAM_PROPTEST_CASES").is_err() {
+            assert_eq!(crate::cases(), crate::CASES);
+        }
+    }
 
     #[test]
     fn rng_is_deterministic_per_name() {

@@ -1,0 +1,129 @@
+//! Edge-case tests for the two replay containers at degenerate
+//! capacities (0 and 1) and under single-class eviction pressure —
+//! configurations a paper-default run never touches but a user-supplied
+//! `--buffer` value can.
+
+use chameleon_replay::{ClassBalancedBuffer, RingBuffer, StoredSample};
+use chameleon_tensor::Prng;
+
+fn sample(class: usize, v: f32) -> StoredSample {
+    StoredSample::latent(vec![v], class)
+}
+
+#[test]
+#[should_panic(expected = "capacity must be positive")]
+fn ring_buffer_rejects_capacity_zero() {
+    let _ = RingBuffer::new(0);
+}
+
+#[test]
+#[should_panic(expected = "capacity must be positive")]
+fn balanced_buffer_rejects_capacity_zero() {
+    let _ = ClassBalancedBuffer::new(0);
+}
+
+#[test]
+fn capacity_one_ring_holds_exactly_the_newest_sample() {
+    let mut rng = Prng::new(11);
+    let mut b = RingBuffer::new(1);
+    assert!(b.is_empty());
+    b.push(sample(0, 1.0));
+    assert_eq!(b.len(), 1);
+    // Every further FIFO push overwrites the single slot.
+    b.push(sample(1, 2.0));
+    assert_eq!(b.len(), 1);
+    assert_eq!(b.items()[0].features[0], 2.0);
+    // Random replacement has only one slot to choose.
+    let evicted = b.replace_random(sample(2, 3.0), &mut rng).expect("full");
+    assert_eq!(evicted.features[0], 2.0);
+    assert_eq!(b.len(), 1);
+    assert_eq!(b.items()[0].label, 2);
+    // Draining the slot resets to empty, and refilling works.
+    let taken = b.take(0);
+    assert_eq!(taken.label, 2);
+    assert!(b.is_empty());
+    b.push(sample(3, 4.0));
+    assert_eq!(b.read_all().len(), 1);
+}
+
+#[test]
+fn capacity_one_balanced_buffer_swaps_between_classes() {
+    let mut rng = Prng::new(12);
+    let mut b = ClassBalancedBuffer::new(1);
+    assert!(b.insert(sample(0, 1.0), &mut rng).is_none());
+    assert_eq!(b.len(), 1);
+    // A different class displaces the resident one: with a single slot
+    // the incoming class is always under-represented.
+    let evicted = b.insert(sample(1, 2.0), &mut rng).expect("full");
+    assert_eq!(evicted.label, 0);
+    assert_eq!(b.len(), 1);
+    assert_eq!(b.classes(), vec![1]);
+    // Same-class offers go through reservoir acceptance; whatever the
+    // draw, the buffer keeps exactly one class-1 sample.
+    for i in 0..50 {
+        if let Some(out) = b.insert(sample(1, 10.0 + i as f32), &mut rng) {
+            assert_eq!(out.label, 1);
+        }
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.classes(), vec![1]);
+    }
+}
+
+#[test]
+fn single_class_eviction_pressure_keeps_the_buffer_sound() {
+    // Every stored sample and every candidate shares one class: the
+    // "largest class" is also the incoming class, so eviction can only
+    // do same-class reservoir replacement and the count must stay
+    // pinned at capacity.
+    let mut rng = Prng::new(13);
+    let mut b = ClassBalancedBuffer::new(4);
+    let mut evictions = 0;
+    for i in 0..200 {
+        if let Some(out) = b.insert(sample(7, i as f32), &mut rng) {
+            assert_eq!(out.label, 7, "evicted a sample of a class never stored");
+            evictions += 1;
+        }
+        assert!(b.len() <= 4);
+    }
+    assert_eq!(b.len(), 4);
+    assert_eq!(b.classes(), vec![7]);
+    assert_eq!(b.class_count(7), 4);
+    assert!(evictions > 0, "200 single-class offers never replaced");
+    // Reservoir acceptance must also have declined some offers.
+    assert!(evictions < 196, "every offer accepted — reservoir inactive");
+}
+
+#[test]
+fn ring_purge_on_a_fully_corrupt_buffer_empties_it_cleanly() {
+    let mut rng = Prng::new(14);
+    let mut b = RingBuffer::new(1);
+    b.push(sample(0, 1.0));
+    for s in b.samples_mut() {
+        s.features[0] += 100.0; // break the seal
+    }
+    assert_eq!(b.purge_corrupt(), 1);
+    assert!(b.is_empty());
+    assert_eq!(b.stats().corrupt_evictions, 1);
+    // The emptied buffer accepts new samples again at FIFO position 0.
+    assert!(b.replace_random(sample(1, 2.0), &mut rng).is_none());
+    assert_eq!(b.len(), 1);
+}
+
+#[test]
+fn balanced_purge_on_a_fully_corrupt_single_class_buffer() {
+    let mut rng = Prng::new(15);
+    let mut b = ClassBalancedBuffer::new(3);
+    for i in 0..3 {
+        b.insert(sample(5, i as f32), &mut rng);
+    }
+    for s in b.samples_mut() {
+        s.features[0] += 100.0;
+    }
+    assert_eq!(b.purge_corrupt(), 3);
+    assert!(b.is_empty());
+    assert!(b.classes().is_empty());
+    assert_eq!(b.stats().corrupt_evictions, 3);
+    // Refilling after a total purge behaves like a fresh buffer.
+    assert!(b.insert(sample(6, 9.0), &mut rng).is_none());
+    assert_eq!(b.len(), 1);
+}

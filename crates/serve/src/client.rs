@@ -3,10 +3,12 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use chameleon_fleet::{SessionId, SessionSpec};
 use chameleon_replay::crc32;
+use chameleon_runtime::{Clock, WallClock};
 
 use crate::wire::{
     encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot, WireError,
@@ -87,6 +89,7 @@ pub struct Connection {
     next_correlation: u64,
     max_payload: usize,
     max_retries: u32,
+    clock: Arc<dyn Clock>,
 }
 
 impl Connection {
@@ -103,6 +106,7 @@ impl Connection {
             next_correlation: 1,
             max_payload: MAX_PAYLOAD_BYTES,
             max_retries: 10_000,
+            clock: WallClock::shared(),
         })
     }
 
@@ -110,6 +114,14 @@ impl Connection {
     /// out before giving up with [`ClientError::Saturated`].
     pub fn set_max_retries(&mut self, max_retries: u32) {
         self.max_retries = max_retries;
+    }
+
+    /// Injects the [`Clock`] backoff sleeps run on. Tests pass a
+    /// [`chameleon_runtime::VirtualClock`] so riding out `RetryAfter`
+    /// storms advances virtual time instead of stalling the test on
+    /// wall-clock sleeps.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// Sends one request and reads its response — no retry: a
@@ -151,7 +163,8 @@ impl Connection {
         for _ in 0..=self.max_retries {
             match self.request_once(request)? {
                 Response::RetryAfter { millis } => {
-                    std::thread::sleep(Duration::from_millis(u64::from(millis).max(1) + boost));
+                    self.clock
+                        .sleep(Duration::from_millis(u64::from(millis).max(1) + boost));
                     boost = (boost * 2).clamp(1, 64);
                 }
                 other => return Ok(other),

@@ -32,10 +32,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use chameleon_fleet::{FleetConfig, FleetEngine, FleetError, SessionCommand, SessionEventKind};
 use chameleon_replay::crc32;
+use chameleon_runtime::{Clock, WallClock};
 use chameleon_stream::{ConfigError, DomainIlScenario};
 
 use crate::metrics::{ServeCounters, ServeMetrics};
@@ -124,6 +125,7 @@ struct WorkerCtx {
     ops: mpsc::Sender<EngineOp>,
     metrics: Arc<ServeMetrics>,
     stop: Arc<AtomicBool>,
+    clock: Arc<dyn Clock>,
     read_timeout: Duration,
     write_timeout: Duration,
     idle_timeout: Duration,
@@ -156,6 +158,24 @@ impl Server {
         fleet_config: FleetConfig,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
+        Self::start_with_clock(scenario, fleet_config, config, WallClock::shared())
+    }
+
+    /// [`Self::start`] with an injected [`Clock`]. Production callers
+    /// pass a [`WallClock`]; simulation tests pass a
+    /// [`chameleon_runtime::VirtualClock`] so time-dependent behavior —
+    /// the idle reaper, request latency accounting — is driven by
+    /// explicit `advance` calls instead of wall-clock sleeps.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::start`].
+    pub fn start_with_clock(
+        scenario: Arc<DomainIlScenario>,
+        fleet_config: FleetConfig,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Self> {
         let invalid = |e: ConfigError| std::io::Error::new(ErrorKind::InvalidInput, e.to_string());
         config.validate().map_err(invalid)?;
         fleet_config.validate().map_err(invalid)?;
@@ -180,6 +200,7 @@ impl Server {
             ops: op_tx,
             metrics: Arc::clone(&metrics),
             stop: Arc::clone(&stop),
+            clock,
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             idle_timeout: config.idle_timeout,
@@ -540,7 +561,12 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(ctx.write_timeout));
     let mut buf: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 16 * 1024];
-    let mut idle = Duration::ZERO;
+    // Idle reaping reads the injected clock: each read timeout is a
+    // chance to notice that `idle_timeout` has elapsed since the last
+    // byte arrived. Under a virtual clock the connection only ages when
+    // the test advances time.
+    let mut last_activity = ctx.clock.now_nanos();
+    let idle_timeout_nanos = ctx.idle_timeout.as_nanos() as u64;
     loop {
         // Serve every complete frame already buffered before reading more.
         loop {
@@ -577,13 +603,12 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
         match stream.read(&mut scratch) {
             Ok(0) => return, // clean EOF
             Ok(n) => {
-                idle = Duration::ZERO;
+                last_activity = ctx.clock.now_nanos();
                 ServeMetrics::add(&ctx.metrics.bytes_in, n as u64);
                 buf.extend_from_slice(&scratch[..n]);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                idle += ctx.read_timeout;
-                if idle >= ctx.idle_timeout {
+                if ctx.clock.now_nanos().saturating_sub(last_activity) >= idle_timeout_nanos {
                     return; // reaped
                 }
             }
@@ -595,7 +620,7 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
 /// Serves one CRC-valid frame; returns `false` when the connection should
 /// close (write failure).
 fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
-    let started = Instant::now();
+    let started = ctx.clock.now_nanos();
     ServeMetrics::add(&ctx.metrics.frames_in, 1);
     let (correlation, request) = match Request::decode_payload(payload) {
         Ok(decoded) => decoded,
@@ -638,7 +663,8 @@ fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
         _ => ServeMetrics::add(&ctx.metrics.requests_ok, 1),
     }
     let wrote = write_response(ctx, stream, correlation, &response);
-    ctx.metrics.record_latency(started.elapsed());
+    let elapsed = ctx.clock.now_nanos().saturating_sub(started);
+    ctx.metrics.record_latency(Duration::from_nanos(elapsed));
     wrote
 }
 

@@ -1,0 +1,367 @@
+//! The state-machine lifecycle explorer.
+//!
+//! One seed pins one complete simulation case: a generated op script
+//! (`crate::script`), a fault plan, per-session specs, and the seeded
+//! schedulers of the engines under comparison. For every seed the
+//! explorer runs the same script against
+//!
+//! 1. a **1-shard** sim engine,
+//! 2. a **K-shard** sim engine (K ∈ 2..=4, seed-derived) under a
+//!    *different* scheduler seed and assignment seed, and
+//! 3. the K-shard engine again with identical seeds (replay),
+//!
+//! asserting after every script prefix that the touched session's
+//! observable history — every event, every probed `CHAMFLT1` checkpoint
+//! byte — is identical across shard counts (the fleet determinism
+//! contract), that quarantine/progress counters never regress, and that
+//! the replay run reproduces the exact event log and final checkpoint
+//! bytes of its twin.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chameleon_fleet::{
+    FleetConfig, FleetEngine, FleetError, SessionCheckpoint, SessionCommand, SessionEvent,
+    SessionEventKind, SessionId,
+};
+use chameleon_replay::crc32;
+use chameleon_runtime::splitmix64;
+use chameleon_stream::DomainIlScenario;
+
+use crate::digest::{digest_events, encode_event, ShardScope};
+use crate::script::{self, Op};
+
+/// What one passing seed looked like — enough to cross-check a replay
+/// of the same seed on another machine or commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedOutcome {
+    /// The seed that pins this case.
+    pub seed: u64,
+    /// Ops in the generated script.
+    pub ops: usize,
+    /// Shard count of the multi-shard engine (2..=4).
+    pub shards: usize,
+    /// Whether the case ran under an injected fault plan.
+    pub faulted: bool,
+    /// Events observed across all three runs.
+    pub events: u64,
+    /// CRC32 of the K-shard run's full event log (shard ids included).
+    pub event_digest: u32,
+    /// CRC32 over every session's final `CHAMFLT1` blob, in id order.
+    pub checkpoint_crc: u32,
+}
+
+/// One engine under test plus the per-session observable history the
+/// explorer compares across runs.
+struct SimRun {
+    engine: FleetEngine,
+    /// Shard-agnostic per-session encoding of everything observable:
+    /// events (probes included) and synchronously refused submissions.
+    logs: HashMap<SessionId, Vec<u8>>,
+    /// Every event in engine arrival order (shard-sensitive digests).
+    all_events: Vec<SessionEvent>,
+    /// Highest `trace.inputs` seen per session — progress counters must
+    /// never regress, not even across evict/restore cycles.
+    progress: HashMap<SessionId, u64>,
+}
+
+impl SimRun {
+    fn new(scenario: Arc<DomainIlScenario>, config: FleetConfig, scheduler_seed: u64) -> Self {
+        Self {
+            engine: FleetEngine::new_sim(scenario, config, scheduler_seed),
+            logs: HashMap::new(),
+            all_events: Vec::new(),
+            progress: HashMap::new(),
+        }
+    }
+
+    /// Applies one op (riding out backpressure), drains its events into
+    /// the per-session logs, then probes the touched session with a
+    /// `Checkpoint` command so the full `CHAMFLT1` bytes after this
+    /// prefix are part of the observable history.
+    fn apply(&mut self, seed: u64, op: &Op, probe: bool) -> Result<(), String> {
+        let session = op.session();
+        let submitted = match op {
+            Op::Create { session } => self
+                .engine
+                .create_blocking(*session, script::session_spec(seed, *session)),
+            Op::Step { session, batches } => self
+                .engine
+                .command_blocking(*session, SessionCommand::Step { batches: *batches }),
+            Op::Checkpoint { session } => self
+                .engine
+                .command_blocking(*session, SessionCommand::Checkpoint),
+            Op::Evict { session } => self
+                .engine
+                .command_blocking(*session, SessionCommand::Evict),
+            Op::Evaluate { session } => self
+                .engine
+                .command_blocking(*session, SessionCommand::Evaluate),
+        };
+        if let Err(error) = submitted {
+            // Synchronous refusals (unknown/duplicate ids) are part of
+            // the observable contract: both engines must refuse the
+            // same ops. `Rejected` cannot reach here (blocking submit).
+            self.log_refusal(session, &error);
+        }
+        self.collect()?;
+        if probe && self.engine.known(session) {
+            self.engine
+                .command_blocking(session, SessionCommand::Checkpoint)
+                .map_err(|e| format!("checkpoint probe refused: {e}"))?;
+            self.collect()?;
+        }
+        Ok(())
+    }
+
+    /// Drains pending events into the logs, checking per-event
+    /// invariants as they stream past.
+    fn collect(&mut self) -> Result<(), String> {
+        for event in self.engine.drain_pending() {
+            let log = self.logs.entry(event.session).or_default();
+            encode_event(log, &event, ShardScope::Exclude);
+            self.check_invariants(&event)?;
+            self.all_events.push(event);
+        }
+        Ok(())
+    }
+
+    fn log_refusal(&mut self, session: SessionId, error: &FleetError) {
+        let log = self.logs.entry(session).or_default();
+        log.push(0xFF);
+        log.extend_from_slice(error.to_string().as_bytes());
+    }
+
+    /// Invariants every event must satisfy regardless of interleaving:
+    /// checkpoint blobs parse and their quarantine/progress counters
+    /// never run backwards; evaluation accuracies stay in [0, 100].
+    fn check_invariants(&mut self, event: &SessionEvent) -> Result<(), String> {
+        match &event.kind {
+            SessionEventKind::Checkpointed(blob) => {
+                let ck = SessionCheckpoint::from_bytes(blob).map_err(|e| {
+                    format!("session {}: emitted blob unparsable: {e:?}", event.session)
+                })?;
+                if ck.session != event.session {
+                    return Err(format!(
+                        "blob names session {} but event names {}",
+                        ck.session, event.session
+                    ));
+                }
+                let inputs = ck.counters.trace.inputs;
+                let seen = self.progress.entry(event.session).or_insert(0);
+                if inputs < *seen {
+                    return Err(format!(
+                        "session {}: trace.inputs regressed {} -> {inputs}",
+                        event.session, *seen
+                    ));
+                }
+                *seen = inputs;
+                for (store, stats) in [
+                    ("short-term", &ck.counters.short_term_stats),
+                    ("long-term", &ck.counters.long_term_stats),
+                ] {
+                    if stats.corrupt_evictions > stats.sample_reads + stats.sample_writes {
+                        return Err(format!(
+                            "session {}: {store} quarantined more samples than it ever touched",
+                            event.session
+                        ));
+                    }
+                }
+            }
+            SessionEventKind::Evaluated(report) => {
+                let all = std::iter::once(report.acc_all)
+                    .chain(report.per_domain.iter().copied())
+                    .chain(report.per_class.iter().copied());
+                for acc in all {
+                    if !(0.0..=100.0).contains(&acc) {
+                        return Err(format!(
+                            "session {}: accuracy {acc} outside [0, 100]",
+                            event.session
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Final `CHAMFLT1` blob of every created session, in id order.
+    fn final_blobs(&mut self) -> Result<Vec<(SessionId, Vec<u8>)>, String> {
+        let mut ids: Vec<SessionId> = (0..script::SESSION_POOL)
+            .filter(|&id| self.engine.known(id))
+            .collect();
+        ids.sort_unstable();
+        let mut blobs = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.engine
+                .command_blocking(id, SessionCommand::Checkpoint)
+                .map_err(|e| format!("final checkpoint refused: {e}"))?;
+            let events = self.engine.drain_pending();
+            let blob = events
+                .into_iter()
+                .find_map(|e| match e.kind {
+                    SessionEventKind::Checkpointed(blob) => Some(blob),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("session {id}: final checkpoint produced no blob"))?;
+            blobs.push((id, blob));
+        }
+        Ok(blobs)
+    }
+
+    /// Residency conservation: every created session is accounted for as
+    /// either resident or cold, never lost, never duplicated.
+    fn check_session_conservation(&mut self) -> Result<(), String> {
+        let created = (0..script::SESSION_POOL)
+            .filter(|&id| self.engine.known(id))
+            .count();
+        let metrics = self.engine.metrics();
+        let held = metrics.sessions_resident() + metrics.sessions_cold();
+        if held != created {
+            return Err(format!(
+                "session conservation broken: {created} created but {held} held"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full shard-count-invariance + replay-determinism check for
+/// one seed.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant; the
+/// seed reproduces it bit-identically.
+pub fn check_seed(scenario: &Arc<DomainIlScenario>, seed: u64) -> Result<SeedOutcome, String> {
+    let ops = script::generate(seed);
+    let faults = script::fault_plan(seed);
+    let shards = 2 + (splitmix64(seed ^ 0x5A4D) % 3) as usize;
+    let config = |num_shards: usize| FleetConfig {
+        num_shards,
+        queue_depth: 4,
+        budget_bytes: u64::MAX,
+        assignment_seed: splitmix64(seed ^ 0xA551),
+        faults,
+    };
+    let mut solo = SimRun::new(Arc::clone(scenario), config(1), seed);
+    let mut multi = SimRun::new(
+        Arc::clone(scenario),
+        config(shards),
+        splitmix64(seed ^ 0xB0B),
+    );
+    let mut replay = SimRun::new(
+        Arc::clone(scenario),
+        config(shards),
+        splitmix64(seed ^ 0xB0B),
+    );
+
+    for (index, op) in ops.iter().enumerate() {
+        let fail = |run: &str, e: String| format!("seed {seed} op {index} ({op:?}) [{run}]: {e}");
+        solo.apply(seed, op, true).map_err(|e| fail("1-shard", e))?;
+        multi
+            .apply(seed, op, true)
+            .map_err(|e| fail(format!("{shards}-shard").as_str(), e))?;
+        replay
+            .apply(seed, op, true)
+            .map_err(|e| fail("replay", e))?;
+        // Shard-count invariance after this prefix: the touched
+        // session's entire observable history (events + probed
+        // checkpoint bytes) must be identical at 1 and K shards.
+        let session = op.session();
+        if solo.logs.get(&session) != multi.logs.get(&session) {
+            return Err(format!(
+                "seed {seed} op {index} ({op:?}): session {session} history diverges \
+                 between 1 and {shards} shards"
+            ));
+        }
+    }
+
+    // Whole-run cross-check: every session's history, not just touched
+    // prefixes, plus residency conservation per engine.
+    if solo.logs != multi.logs {
+        return Err(format!(
+            "seed {seed}: per-session histories diverge between 1 and {shards} shards"
+        ));
+    }
+    solo.check_session_conservation()
+        .map_err(|e| format!("seed {seed} [1-shard]: {e}"))?;
+    multi
+        .check_session_conservation()
+        .map_err(|e| format!("seed {seed} [{shards}-shard]: {e}"))?;
+
+    // Replay determinism: identical seeds ⇒ identical event logs (shard
+    // ids included) and identical final checkpoint bytes.
+    let event_digest = digest_events(&multi.all_events, ShardScope::Include);
+    let replay_digest = digest_events(&replay.all_events, ShardScope::Include);
+    if event_digest != replay_digest {
+        return Err(format!(
+            "seed {seed}: same-seed replay produced a different event log \
+             ({event_digest:#010x} vs {replay_digest:#010x})"
+        ));
+    }
+    let blobs = multi
+        .final_blobs()
+        .map_err(|e| format!("seed {seed}: {e}"))?;
+    let replay_blobs = replay
+        .final_blobs()
+        .map_err(|e| format!("seed {seed} [replay]: {e}"))?;
+    if blobs != replay_blobs {
+        return Err(format!(
+            "seed {seed}: same-seed replay produced different final checkpoint bytes"
+        ));
+    }
+
+    let mut concat = Vec::new();
+    for (id, blob) in &blobs {
+        concat.extend_from_slice(&id.to_le_bytes());
+        concat.extend_from_slice(blob);
+    }
+    let events = (solo.all_events.len() + multi.all_events.len() + replay.all_events.len()) as u64;
+    Ok(SeedOutcome {
+        seed,
+        ops: ops.len(),
+        shards,
+        faulted: faults.is_some(),
+        events,
+        event_digest,
+        checkpoint_crc: crc32(&concat),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_stream::DatasetSpec;
+
+    fn scenario() -> Arc<DomainIlScenario> {
+        Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0x51A7E57,
+        ))
+    }
+
+    #[test]
+    fn a_clean_and_a_faulted_seed_pass_and_replay_identically() {
+        let scenario = scenario();
+        for seed in [0u64, 1] {
+            let a = check_seed(&scenario, seed).expect("invariants hold");
+            let b = check_seed(&scenario, seed).expect("invariants hold");
+            assert_eq!(a, b, "outcome of seed {seed} not reproducible");
+            assert_eq!(a.faulted, seed % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_interleavings() {
+        let scenario = scenario();
+        let a = check_seed(&scenario, 2).expect("pass");
+        let b = check_seed(&scenario, 4).expect("pass");
+        assert_ne!(
+            (a.event_digest, a.checkpoint_crc),
+            (b.event_digest, b.checkpoint_crc),
+            "two distinct seeds produced identical observables — scheduler not seeded?"
+        );
+    }
+}

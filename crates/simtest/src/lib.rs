@@ -1,0 +1,44 @@
+//! `chameleon-simtest` — deterministic simulation testing for the
+//! fleet/serve stack, in the FoundationDB style.
+//!
+//! A single `u64` seed pins a complete test case end to end: the op
+//! script a fleet engine executes ([`script`]), the fault plan it runs
+//! under, the shard count, and — through the engine's own seeded
+//! [`chameleon_runtime::SimScheduler`] — every queue-drain interleaving
+//! and virtual-clock reading inside it. Re-running a seed reproduces a
+//! failure bit for bit; sweeping seeds explores interleavings that a
+//! wall-clock threaded run would only hit by luck.
+//!
+//! The crate has four layers:
+//!
+//! - [`script`] — seeded generation of session-lifecycle op scripts and
+//!   the fault plans / session specs that ride along;
+//! - [`digest`] — stable byte encodings and CRC32 digests of every
+//!   observable (events, checkpoint blobs, evaluation reports);
+//! - [`explorer`] — the invariant checker: one seed ⇒ the same script
+//!   on a 1-shard engine, a K-shard engine, and a same-seed replay,
+//!   asserting shard-count invariance after every prefix and replay
+//!   determinism at the end;
+//! - [`soak`] — the budgeted seed sweep, and [`golden`] — the committed
+//!   conformance corpus that pins wire frames, checkpoint bytes, and
+//!   metric digests against silent format drift.
+//!
+//! The `chameleon simtest` CLI subcommand fronts the soak runner and
+//! the golden corpus gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod explorer;
+pub mod golden;
+pub mod script;
+pub mod soak;
+
+pub use digest::{digest_events, encode_event, ShardScope};
+pub use explorer::{check_seed, SeedOutcome};
+pub use golden::{
+    derive_corpus, diff, golden_scenario, parse, render, GoldenFile, GOLDEN_FILE_NAMES,
+};
+pub use script::{generate, Op};
+pub use soak::{SoakConfig, SoakReport};

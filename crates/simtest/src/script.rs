@@ -1,0 +1,204 @@
+//! Seeded generation of session-lifecycle op scripts.
+//!
+//! A script is the *workload* half of a simulation case: the sequence of
+//! engine-level operations (`create`, `step`, `checkpoint`, `evict`,
+//! `evaluate`, plus deliberate misuse of unknown/duplicate ids) that the
+//! explorer applies identically to every engine under comparison. The
+//! *scheduling* half — which shard queue progresses when — comes from
+//! the engine's own seeded scheduler, so one `(script seed, scheduler
+//! seed)` pair pins a complete run.
+
+use chameleon_core::ChameleonConfig;
+use chameleon_faults::FaultPlan;
+use chameleon_fleet::{SessionId, SessionSpec};
+use chameleon_runtime::{splitmix64, SimRng};
+use chameleon_stream::{DatasetSpec, PreferenceProfile, StreamConfig};
+
+/// One engine-level operation in a generated lifecycle script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Create `session` (may deliberately duplicate an earlier create).
+    Create {
+        /// Target session id.
+        session: SessionId,
+    },
+    /// Deliver up to `batches` stream batches (restores a cold session).
+    Step {
+        /// Target session id.
+        session: SessionId,
+        /// Batches to request.
+        batches: usize,
+    },
+    /// Serialize the session to its `CHAMFLT1` blob.
+    Checkpoint {
+        /// Target session id.
+        session: SessionId,
+    },
+    /// Force the session out of residency.
+    Evict {
+        /// Target session id.
+        session: SessionId,
+    },
+    /// Evaluate on the scenario test set.
+    Evaluate {
+        /// Target session id.
+        session: SessionId,
+    },
+}
+
+impl Op {
+    /// The session this op addresses.
+    pub fn session(&self) -> SessionId {
+        match *self {
+            Op::Create { session }
+            | Op::Step { session, .. }
+            | Op::Checkpoint { session }
+            | Op::Evict { session }
+            | Op::Evaluate { session } => session,
+        }
+    }
+}
+
+/// Sessions a script draws its targets from. Small on purpose: lifecycle
+/// bugs live in sessions *interacting* (shared shards, LRU order,
+/// duplicate ids), not in session count.
+pub const SESSION_POOL: u64 = 5;
+
+/// Generates the op script for `seed`: ~12–30 ops over a small session
+/// pool, weighted toward steps, with occasional checkpoint/evict churn,
+/// rare evaluations, and deliberate invalid targets (never-created ids,
+/// duplicate creates) so failure paths are exercised too.
+pub fn generate(seed: u64) -> Vec<Op> {
+    let mut rng = SimRng::new(splitmix64(seed ^ 0x5C41_9701));
+    let len = 12 + (rng.below(19) as usize);
+    let mut created: Vec<SessionId> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let target_known = !created.is_empty() && rng.chance(9, 10);
+        let session = if target_known {
+            created[rng.below(created.len() as u64) as usize]
+        } else {
+            rng.below(SESSION_POOL)
+        };
+        let op = if created.is_empty() || (!created.contains(&session) && rng.chance(3, 4)) {
+            Op::Create { session }
+        } else {
+            match rng.below(16) {
+                // A duplicate create: the engine must refuse it
+                // identically at every shard count.
+                0 => Op::Create { session },
+                1..=9 => Op::Step {
+                    session,
+                    batches: 1 + rng.below(7) as usize,
+                },
+                10..=11 => Op::Checkpoint { session },
+                12..=13 => Op::Evict { session },
+                _ => Op::Evaluate { session },
+            }
+        };
+        if let Op::Create { session } = op {
+            if !created.contains(&session) {
+                created.push(session);
+            }
+        }
+        ops.push(op);
+    }
+    ops
+}
+
+/// The fault plan a script seed runs under: every other seed injects
+/// memory bit flips at the paper's harsh-DRAM rate, so roughly half the
+/// soak explores the fault-quarantine machinery and half pins the clean
+/// path.
+pub fn fault_plan(seed: u64) -> Option<FaultPlan> {
+    if seed % 2 == 1 {
+        Some(FaultPlan::bit_flips(splitmix64(seed ^ 0xFA17), 1e-4))
+    } else {
+        None
+    }
+}
+
+/// The per-session spec every run of `seed` uses — same construction as
+/// the CLI's per-user specs (rotating 3-class skew, derived seeds), so
+/// simulation findings transfer to the served fleet.
+pub fn session_spec(seed: u64, session: SessionId) -> SessionSpec {
+    let classes = DatasetSpec::core50_tiny().num_classes;
+    let base = (session as usize * 3) % classes;
+    SessionSpec {
+        learner: ChameleonConfig {
+            long_term_capacity: 30,
+            ..ChameleonConfig::default()
+        },
+        stream: StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![base, (base + 1) % classes, (base + 2) % classes],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        },
+        learner_seed: splitmix64(seed) ^ session,
+        stream_seed: splitmix64(seed ^ 0x57AE).wrapping_add(session * 0x517C),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_replay_from_their_seed() {
+        for seed in 0..50 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn scripts_start_with_a_create_and_stay_in_pool_bounds() {
+        for seed in 0..200 {
+            let ops = generate(seed);
+            assert!((12..=30).contains(&ops.len()));
+            assert!(matches!(ops[0], Op::Create { .. }), "seed {seed}");
+            for op in &ops {
+                assert!(op.session() < SESSION_POOL);
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_cover_every_op_kind_across_seeds() {
+        let mut saw = [false; 5];
+        for seed in 0..100 {
+            for op in generate(seed) {
+                match op {
+                    Op::Create { .. } => saw[0] = true,
+                    Op::Step { .. } => saw[1] = true,
+                    Op::Checkpoint { .. } => saw[2] = true,
+                    Op::Evict { .. } => saw[3] = true,
+                    Op::Evaluate { .. } => saw[4] = true,
+                }
+            }
+        }
+        assert_eq!(saw, [true; 5], "op mix degenerate");
+    }
+
+    #[test]
+    fn fault_plans_alternate_and_replay() {
+        assert!(fault_plan(0).is_none());
+        assert!(fault_plan(1).is_some());
+        assert_eq!(fault_plan(3), fault_plan(3));
+        assert_ne!(
+            fault_plan(1).expect("odd").seed,
+            fault_plan(3).expect("odd").seed
+        );
+    }
+
+    #[test]
+    fn session_specs_differ_per_session_but_replay() {
+        assert_eq!(session_spec(9, 1), session_spec(9, 1));
+        assert_ne!(
+            session_spec(9, 1).stream_seed,
+            session_spec(9, 2).stream_seed
+        );
+    }
+}

@@ -21,6 +21,8 @@ pub use chameleon_fleet as fleet;
 pub use chameleon_hw as hw;
 pub use chameleon_nn as nn;
 pub use chameleon_replay as replay;
+pub use chameleon_runtime as runtime;
 pub use chameleon_serve as serve;
+pub use chameleon_simtest as simtest;
 pub use chameleon_stream as stream;
 pub use chameleon_tensor as tensor;

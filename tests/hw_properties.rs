@@ -1,11 +1,168 @@
 //! Property-based tests over the hardware models: the cycle simulator's
-//! scheduling invariants and the BFP datatype's quantization bounds.
+//! scheduling invariants, the BFP datatype's quantization bounds, and the
+//! Table-II device cost models' monotonicity/positivity.
 
 use proptest::prelude::*;
 
 use chameleon_repro::hw::sim::{Gemm, SystolicSim, SystolicSimConfig};
-use chameleon_repro::hw::BfpFormat;
+use chameleon_repro::hw::{
+    BfpFormat, CostReport, Device, JetsonNano, SystolicAccelerator, Workload, Zcu102,
+};
 use chameleon_repro::tensor::Prng;
+
+/// The three Table-II cost models under test.
+fn devices() -> [Box<dyn Device>; 3] {
+    [
+        Box::new(JetsonNano::new()),
+        Box::new(Zcu102::new()),
+        Box::new(SystolicAccelerator::new()),
+    ]
+}
+
+/// A per-image workload that scales linearly with the replay batch size
+/// (`rows` replayed samples trained alongside each incoming image), the
+/// way every strategy's `Workload::from_trace` output does.
+fn batch_workload(rows: f64, latent_fraction: f64) -> Workload {
+    let offchip = rows * (1.0 - latent_fraction);
+    Workload {
+        trunk_macs: 41e6 * (1.0 + 0.1 * offchip),
+        head_macs: 1.3e5 * (rows + 1.0),
+        special_macs: 0.0,
+        onchip_bytes: 512.0 * rows * latent_fraction,
+        offchip_replay_bytes: 2048.0 * offchip,
+        offchip_replay_elements: offchip,
+        onchip_replay_elements: rows * latent_fraction,
+        trained_rows: rows + 1.0,
+    }
+}
+
+fn finite_and_non_negative(report: &CostReport) -> Result<(), String> {
+    for (name, value) in [
+        ("latency_ms", report.latency_ms),
+        ("energy_j", report.energy_j),
+        ("compute_ms", report.compute_ms),
+        ("weight_stream_ms", report.weight_stream_ms),
+        ("replay_traffic_ms", report.replay_traffic_ms),
+    ] {
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("{name} = {value}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn cost_models_price_any_workload_finite_and_non_negative(
+        trunk in 0.0f64..1e9,
+        head in 0.0f64..1e8,
+        special in 0.0f64..1e10,
+        onchip in 0.0f64..1e6,
+        offchip_bytes in 0.0f64..1e7,
+        offchip_elems in 0.0f64..1e3,
+        onchip_elems in 0.0f64..1e3,
+        rows in 0.0f64..1e3,
+    ) {
+        let workload = Workload {
+            trunk_macs: trunk,
+            head_macs: head,
+            special_macs: special,
+            onchip_bytes: onchip,
+            offchip_replay_bytes: offchip_bytes,
+            offchip_replay_elements: offchip_elems,
+            onchip_replay_elements: onchip_elems,
+            trained_rows: rows,
+        };
+        for device in devices() {
+            let report = device.cost(&workload);
+            if let Err(what) = finite_and_non_negative(&report) {
+                prop_assert!(false, "{}: {}", device.name(), what);
+            }
+            prop_assert!(
+                report.compute_ms <= report.latency_ms + 1e-9,
+                "{}: compute share exceeds total latency",
+                device.name()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_and_energy_are_monotone_in_replay_batch_size(
+        rows in 0.0f64..200.0,
+        extra in 0.1f64..50.0,
+        latent_pct in 0u8..=100,
+    ) {
+        let latent = f64::from(latent_pct) / 100.0;
+        let small = batch_workload(rows, latent);
+        let large = batch_workload(rows + extra, latent);
+        for device in devices() {
+            let a = device.cost(&small);
+            let b = device.cost(&large);
+            prop_assert!(
+                b.latency_ms >= a.latency_ms - 1e-9,
+                "{}: latency fell from {} to {} when the replay batch grew",
+                device.name(), a.latency_ms, b.latency_ms
+            );
+            prop_assert!(
+                b.energy_j >= a.energy_j - 1e-12,
+                "{}: energy fell from {} to {} when the replay batch grew",
+                device.name(), a.energy_j, b.energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_every_workload_field(
+        rows in 0.0f64..100.0,
+        bump in 0.01f64..2.0,
+        field in 0usize..8,
+    ) {
+        let base = batch_workload(rows, 0.5);
+        let mut bumped = base;
+        // Scale one field up by a positive factor; cost must not drop.
+        let target = match field {
+            0 => &mut bumped.trunk_macs,
+            1 => &mut bumped.head_macs,
+            2 => &mut bumped.special_macs,
+            3 => &mut bumped.onchip_bytes,
+            4 => &mut bumped.offchip_replay_bytes,
+            5 => &mut bumped.offchip_replay_elements,
+            6 => &mut bumped.onchip_replay_elements,
+            _ => &mut bumped.trained_rows,
+        };
+        *target += bump * (*target + 1.0);
+        for device in devices() {
+            let a = device.cost(&base);
+            let b = device.cost(&bumped);
+            prop_assert!(
+                b.latency_ms >= a.latency_ms - 1e-9 && b.energy_j >= a.energy_j - 1e-12,
+                "{}: growing field {} cut cost ({} ms, {} J) -> ({} ms, {} J)",
+                device.name(), field, a.latency_ms, a.energy_j, b.latency_ms, b.energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_the_cheapest(
+        rows in 0.0f64..500.0,
+        latent_pct in 0u8..=100,
+    ) {
+        // Devices may charge a fixed per-image overhead (framework /
+        // reconfiguration), so an empty workload is not free — but no
+        // real workload may ever price below it.
+        let workload = batch_workload(rows, f64::from(latent_pct) / 100.0);
+        for device in devices() {
+            let floor = device.cost(&Workload::default());
+            let real = device.cost(&workload);
+            prop_assert!(
+                real.latency_ms >= floor.latency_ms - 1e-9
+                    && real.energy_j >= floor.energy_j - 1e-12,
+                "{}: workload priced below the empty-workload floor",
+                device.name()
+            );
+        }
+    }
+}
 
 proptest! {
     #[test]

@@ -13,6 +13,7 @@ use chameleon_faults::FaultPlan;
 use chameleon_fleet::{
     FleetConfig, SessionCheckpoint, SessionId, SessionSpec, UserSession, FLEET_MAGIC,
 };
+use chameleon_runtime::{Clock, VirtualClock};
 use chameleon_serve::wire::{
     decode_frame, encode_frame, ErrorCode, Request, Response, MAX_PAYLOAD_BYTES,
 };
@@ -77,6 +78,8 @@ fn assert_wire_matches_solo(faults: Option<FaultPlan>) {
     .expect("start server");
 
     let mut conn = Connection::connect(server.local_addr()).expect("connect");
+    // Any RetryAfter backoff ages on virtual time, not wall time.
+    conn.set_clock(VirtualClock::shared(0));
     for &user in &users {
         conn.create_session(user, user_spec(user)).expect("create");
     }
@@ -136,6 +139,7 @@ fn evict_over_the_wire_is_reproducible() {
             .expect("start server");
         let user: SessionId = 7;
         let mut conn = Connection::connect(server.local_addr()).expect("connect");
+        conn.set_clock(VirtualClock::shared(0));
         conn.create_session(user, user_spec(user)).expect("create");
         conn.step(user, 10).expect("step");
         conn.evict(user).expect("evict");
@@ -182,8 +186,13 @@ fn backpressure_surfaces_as_retry_after_and_recovers() {
 
     // Four connections hammer the single-depth shard queue with raw
     // `request_once` (no client-side retry), so refusals are observable.
+    // Retry backoff runs on a shared virtual clock: the advisory
+    // `RetryAfter` delay ages virtually instead of stalling the test on
+    // wall-clock sleeps.
+    let clock = VirtualClock::shared(0);
     let mut handles = Vec::new();
     for _ in 0..4 {
+        let clock = Arc::clone(&clock);
         handles.push(std::thread::spawn(move || {
             let mut conn = Connection::connect(addr).expect("connect");
             let mut retries = 0u64;
@@ -196,9 +205,7 @@ fn backpressure_surfaces_as_retry_after_and_recovers() {
                     Ok(Response::Stepped { .. }) => {}
                     Ok(Response::RetryAfter { millis }) => {
                         retries += 1;
-                        std::thread::sleep(std::time::Duration::from_millis(u64::from(
-                            millis.max(1),
-                        )));
+                        clock.sleep(std::time::Duration::from_millis(u64::from(millis.max(1))));
                     }
                     Ok(other) => panic!("unexpected response {other:?}"),
                     Err(e) => panic!("request failed: {e}"),
@@ -223,6 +230,49 @@ fn backpressure_surfaces_as_retry_after_and_recovers() {
     // The session is still usable after the storm.
     let blob = setup.checkpoint(0).expect("checkpoint");
     assert_eq!(&blob[..8], &FLEET_MAGIC[..]);
+    server.shutdown();
+}
+
+#[test]
+fn idle_reaper_runs_on_virtual_time_not_wall_time() {
+    let scenario = scenario();
+    let clock = VirtualClock::shared(0);
+    let mut server = Server::start_with_clock(
+        scenario,
+        FleetConfig::default(),
+        ServeConfig::default(), // 30 s idle timeout — virtual, not wall
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    )
+    .expect("start server");
+
+    let mut conn = Connection::connect(server.local_addr()).expect("connect");
+    conn.ping().expect("fresh connection serves");
+    // Virtual time hasn't moved, so no wall-clock dawdling of the test
+    // harness can get this connection reaped.
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    conn.ping()
+        .expect("connection must survive while virtual time stands still");
+
+    // Age the connection 31 virtual seconds. The worker notices on one
+    // of its ~25 ms read-timeout ticks and closes the socket; keep
+    // advancing until the closure is observable client-side.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let reaped = loop {
+        clock.advance(std::time::Duration::from_secs(31));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        if conn.ping().is_err() {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+    };
+    assert!(reaped, "idle connection never reaped under virtual time");
+    let counters = server.metrics();
+    assert!(
+        counters.connections_closed >= 1,
+        "reaped connection not counted: {counters:?}"
+    );
     server.shutdown();
 }
 
