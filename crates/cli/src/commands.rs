@@ -68,6 +68,13 @@ COMMANDS:
     --sessions <n>              sessions to create and run     [default: 4]
     [--slice <n>] [--dataset <name>] [--shards <n>] [--workers <n>]
     [--queue <n>] [--buffer <n>] [--seed <n>] [--json]
+  stats                         observability snapshot of a running server
+    --addr <host:port>          target CHAMWIRE server (required)
+    --watch                     poll repeatedly instead of once
+    --interval <ms>             delay between watch polls      [default: 1000]
+    --count <n>                 stop after n polls (watch mode; 0 = forever)
+    [--json]                    one JSON document per poll
+    [--expo]                    Prometheus text exposition per poll
   simtest                       deterministic simulation soak + golden corpus
     --seeds <n>                 scheduler seeds to sweep       [default: 25]
     --start-seed <n>            first seed of the sweep        [default: 0]
@@ -96,6 +103,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("fleet") => fleet(&Options::parse(&argv[1..])?),
         Some("serve") => serve(&Options::parse(&argv[1..])?),
         Some("loadgen") => loadgen(&Options::parse(&argv[1..])?),
+        Some("stats") => stats(&Options::parse(&argv[1..])?),
         Some("simtest") => simtest(&Options::parse(&argv[1..])?),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
@@ -927,6 +935,122 @@ fn loadgen(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// JSON document for one `Observation` — one object per span stage on
+/// its own line so CI can grep `"stage": "step", "count": <nonzero>`.
+fn observation_json(o: &chameleon_obs::Observation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"spans\": [");
+    for (i, (stage, stats)) in o.spans.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"stage\": \"{stage}\", \"count\": {}, \"total_nanos\": {}, \
+             \"max_nanos\": {}, \"mean_nanos\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}",
+            stats.count,
+            stats.total_nanos,
+            stats.max_nanos,
+            stats.mean_nanos(),
+            stats.histogram.quantile_upper_us(0.5),
+            stats.histogram.quantile_upper_us(0.99),
+            if i + 1 < o.spans.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"events\": {{\"logged\": {}, \"dropped\": {}, \"retained\": {}}},",
+        o.events.next_seq,
+        o.events.dropped,
+        o.events.recent.len()
+    );
+    let _ = writeln!(out, "  \"counters\": {{");
+    for (i, (name, value)) in o.counters.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{name}\": {value}{}",
+            if i + 1 < o.counters.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = write!(out, "}}");
+    out
+}
+
+fn print_observation(o: &chameleon_obs::Observation) {
+    println!("spans:");
+    for (stage, stats) in &o.spans {
+        println!(
+            "  {stage:<10} count {:>8}  total {:>12} ns  max {:>10} ns  p99 ≤ {} µs",
+            stats.count,
+            stats.total_nanos,
+            stats.max_nanos,
+            stats.histogram.quantile_upper_us(0.99)
+        );
+    }
+    println!(
+        "events: {} logged, {} dropped, {} retained",
+        o.events.next_seq,
+        o.events.dropped,
+        o.events.recent.len()
+    );
+    for record in o.events.recent.iter().rev().take(5) {
+        println!(
+            "  [{}] t={} ns  {}",
+            record.seq, record.nanos, record.message
+        );
+    }
+    println!("counters:");
+    for (name, value) in &o.counters {
+        println!("  {name:<28} {value}");
+    }
+}
+
+/// `chameleon stats` — snapshot (or `--watch`: poll) a running server's
+/// unified observability view over one `Observe` round-trip per poll.
+fn stats(options: &Options) -> Result<(), String> {
+    options.expect_only(&["addr", "watch", "interval", "count", "json", "expo"])?;
+    let addr = options
+        .get("addr")
+        .ok_or("stats requires --addr <host:port>")?;
+    let json = options.has_flag("json");
+    let expo = options.has_flag("expo");
+    if json && expo {
+        return Err("--json and --expo are mutually exclusive".to_string());
+    }
+    let watch = options.has_flag("watch");
+    let interval_ms: u64 = options.get_parsed_or("interval", 1_000)?;
+    let count: u64 = options.get_parsed_or("count", 0)?;
+    let polls = if watch {
+        if count == 0 {
+            u64::MAX
+        } else {
+            count
+        }
+    } else {
+        1
+    };
+
+    let mut conn = Connection::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    for poll in 0..polls {
+        let observation = conn.observe().map_err(|e| format!("observe: {e}"))?;
+        if json {
+            println!("{}", observation_json(&observation));
+        } else if expo {
+            print!("{}", chameleon_obs::expose(&observation));
+        } else {
+            if watch {
+                println!("--- poll {} ---", poll + 1);
+            }
+            print_observation(&observation);
+        }
+        if poll + 1 < polls {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+        }
+    }
+    Ok(())
+}
+
 /// `chameleon simtest` — seeded simulation soak over the fleet engine
 /// plus the golden-corpus conformance gate.
 fn simtest(options: &Options) -> Result<(), String> {
@@ -1474,6 +1598,68 @@ mod tests {
         assert!(dispatch(&toks(&["loadgen", "--connections", "0"])).is_err());
         assert!(dispatch(&toks(&["loadgen", "--sessions", "0"])).is_err());
         assert!(dispatch(&toks(&["loadgen", "--slice", "0"])).is_err());
+    }
+
+    #[test]
+    fn stats_command_polls_a_live_server() {
+        // Boot an in-process server, generate some traffic, then drive
+        // the `stats` dispatch path in every output format.
+        let scenario = std::sync::Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0xDA7A,
+        ));
+        let mut server = Server::start(scenario, FleetConfig::default(), ServeConfig::default())
+            .expect("start server");
+        let addr = server.local_addr().to_string();
+        let mut conn = Connection::connect(&addr).expect("connect");
+        let learner = chameleon_config(20).expect("config");
+        conn.create_session(
+            1,
+            per_user_spec(1, DatasetSpec::core50_tiny().num_classes, &learner, 1),
+        )
+        .expect("create");
+        conn.run_to_completion(1, 8).expect("run");
+        drop(conn);
+
+        for format in [&["--json"][..], &["--expo"][..], &[][..]] {
+            let mut argv = toks(&["stats", "--addr", &addr]);
+            argv.extend(format.iter().map(ToString::to_string));
+            dispatch(&argv).expect("stats poll");
+        }
+        // Watch mode with a bounded poll count terminates.
+        dispatch(&toks(&[
+            "stats",
+            "--addr",
+            &addr,
+            "--watch",
+            "--count",
+            "2",
+            "--interval",
+            "1",
+            "--json",
+        ]))
+        .expect("bounded watch");
+
+        // The JSON document itself: step spans populated, shape greppable.
+        let mut conn = Connection::connect(&addr).expect("reconnect");
+        let observation = conn.observe().expect("observe");
+        let json = observation_json(&observation);
+        assert!(json.contains("\"stage\": \"step\""), "{json}");
+        assert!(json.contains("\"fleet.batches\""), "{json}");
+        let step_line = json
+            .lines()
+            .find(|l| l.contains("\"stage\": \"step\""))
+            .expect("step span line");
+        assert!(
+            !step_line.contains("\"count\": 0"),
+            "no step spans: {step_line}"
+        );
+        server.shutdown();
+
+        // Option validation.
+        assert!(dispatch(&toks(&["stats"])).is_err());
+        assert!(dispatch(&toks(&["stats", "--addr", &addr, "--json", "--expo"])).is_err());
+        assert!(dispatch(&toks(&["stats", "--addr", "not-an-address"])).is_err());
     }
 
     #[test]

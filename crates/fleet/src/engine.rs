@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use chameleon_faults::FaultPlan;
+use chameleon_obs::Observer;
 use chameleon_runtime::{Runtime, WallClock};
 use chameleon_stream::{ConfigError, DomainIlScenario};
 
@@ -144,6 +145,7 @@ pub struct FleetEngine {
     buffered: VecDeque<SessionEvent>,
     known: HashSet<SessionId>,
     pending: usize,
+    observer: Arc<Observer>,
 }
 
 impl FleetEngine {
@@ -179,6 +181,32 @@ impl FleetEngine {
         config: FleetConfig,
         runtime: Runtime,
     ) -> Self {
+        // A default observer on the runtime-matching clock: wall time for
+        // threads, the scheduler's shared virtual clock for simulation.
+        let observer = match &runtime {
+            Runtime::Threads => Arc::new(Observer::new(WallClock::shared())),
+            Runtime::Sim(scheduler) => Arc::new(Observer::new(scheduler.clock())),
+        };
+        Self::with_observer(scenario, config, runtime, observer)
+    }
+
+    /// Builds an engine on an explicit [`Runtime`] with a caller-supplied
+    /// span/event [`Observer`] — the serving layer passes its own so the
+    /// fleet's per-stage spans land beside its encode/decode spans.
+    ///
+    /// The observer's clock should match the runtime's (wall vs virtual);
+    /// the shard workers feed it the *same* elapsed nanos that accumulate
+    /// in [`crate::ShardMetrics`], so span totals reconcile exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn with_observer(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        observer: Arc<Observer>,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid fleet config: {e}");
         }
@@ -196,6 +224,7 @@ impl FleetEngine {
                             config.budget_bytes,
                             Arc::clone(&clock),
                             event_tx.clone(),
+                            Arc::clone(&observer),
                         );
                         let join = std::thread::Builder::new()
                             .name(format!("fleet-shard-{shard}"))
@@ -210,9 +239,13 @@ impl FleetEngine {
                     .collect();
                 Backend::Threads(shards)
             }
-            Runtime::Sim(scheduler) => {
-                Backend::Sim(SimExecutor::new(scenario, &config, scheduler, event_tx))
-            }
+            Runtime::Sim(scheduler) => Backend::Sim(SimExecutor::new(
+                scenario,
+                &config,
+                scheduler,
+                event_tx,
+                Arc::clone(&observer),
+            )),
         };
         Self {
             config,
@@ -221,7 +254,13 @@ impl FleetEngine {
             buffered: VecDeque::new(),
             known: HashSet::new(),
             pending: 0,
+            observer,
         }
+    }
+
+    /// The span recorder + event log this engine's shard workers feed.
+    pub fn observer(&self) -> Arc<Observer> {
+        Arc::clone(&self.observer)
     }
 
     /// The scheduler seed when running under simulation, else `None`.

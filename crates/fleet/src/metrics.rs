@@ -101,6 +101,28 @@ impl FleetMetrics {
         self.per_shard.iter().map(|s| s.queue_depth).sum()
     }
 
+    /// Nanoseconds spent stepping learners, summed across shards. By
+    /// construction this equals the fleet observer's `step` span total:
+    /// the shard workers feed both from one measurement.
+    pub fn step_nanos(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.step_nanos).sum()
+    }
+
+    /// Nanoseconds spent serializing checkpoints, summed across shards.
+    pub fn checkpoint_nanos(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.checkpoint_nanos).sum()
+    }
+
+    /// Nanoseconds spent restoring evicted sessions, summed across shards.
+    pub fn restore_nanos(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.restore_nanos).sum()
+    }
+
+    /// Nanoseconds spent in test-set evaluation, summed across shards.
+    pub fn eval_nanos(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.eval_nanos).sum()
+    }
+
     /// Every session's operation trace merged into one, ready for
     /// `chameleon-hw` pricing.
     pub fn merged_trace(&self) -> StepTrace {

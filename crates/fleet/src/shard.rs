@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use chameleon_core::EvalReport;
 use chameleon_faults::FaultPlan;
+use chameleon_obs::{Observer, Stage};
 use chameleon_runtime::Clock;
 use chameleon_stream::DomainIlScenario;
 
@@ -121,6 +122,11 @@ pub(crate) struct ShardWorker {
     time: Arc<dyn Clock>,
     events: Sender<SessionEvent>,
     metrics: ShardMetrics,
+    /// Fleet-wide span recorder + event log. Spans are fed the *same*
+    /// elapsed nanos the `metrics.*_nanos` counters accumulate (no extra
+    /// clock reads on the hot path), so per-stage span totals reconcile
+    /// exactly with [`ShardMetrics`] and simulation digests stay put.
+    obs: Arc<Observer>,
 }
 
 impl ShardWorker {
@@ -131,6 +137,7 @@ impl ShardWorker {
         budget_bytes: u64,
         time: Arc<dyn Clock>,
         events: Sender<SessionEvent>,
+        obs: Arc<Observer>,
     ) -> Self {
         Self {
             shard,
@@ -148,6 +155,7 @@ impl ShardWorker {
                 budget_bytes,
                 ..ShardMetrics::default()
             },
+            obs,
         }
     }
 
@@ -236,7 +244,9 @@ impl ShardWorker {
                     let resident = self.resident.get_mut(&id).expect("touched");
                     let delivered = resident.session.step_batches(batches);
                     let done = resident.session.is_done();
-                    self.metrics.step_nanos += self.time.now_nanos().saturating_sub(start);
+                    let elapsed = self.time.now_nanos().saturating_sub(start);
+                    self.metrics.step_nanos += elapsed;
+                    self.obs.record(Stage::Step, elapsed);
                     self.metrics.step_commands += 1;
                     self.metrics.batches += delivered as u64;
                     self.emit(
@@ -251,7 +261,9 @@ impl ShardWorker {
                 Ok(()) => {
                     let start = self.time.now_nanos();
                     let report = self.resident[&id].session.evaluate();
-                    self.metrics.eval_nanos += self.time.now_nanos().saturating_sub(start);
+                    let elapsed = self.time.now_nanos().saturating_sub(start);
+                    self.metrics.eval_nanos += elapsed;
+                    self.obs.record(Stage::Eval, elapsed);
                     self.emit(
                         id,
                         correlation,
@@ -265,7 +277,9 @@ impl ShardWorker {
                 let blob = if let Some(resident) = self.resident.get(&id) {
                     let start = self.time.now_nanos();
                     let blob = SessionCheckpoint::capture(&resident.session).to_bytes();
-                    self.metrics.checkpoint_nanos += self.time.now_nanos().saturating_sub(start);
+                    let elapsed = self.time.now_nanos().saturating_sub(start);
+                    self.metrics.checkpoint_nanos += elapsed;
+                    self.obs.record(Stage::Checkpoint, elapsed);
                     Some(blob)
                 } else {
                     self.cold.get(&id).map(|cold| cold.checkpoint.to_bytes())
@@ -311,10 +325,14 @@ impl ShardWorker {
         let restored = cold
             .checkpoint
             .restore(Arc::clone(&self.scenario), self.faults.as_ref());
-        self.metrics.restore_nanos += self.time.now_nanos().saturating_sub(start);
+        let elapsed = self.time.now_nanos().saturating_sub(start);
+        self.metrics.restore_nanos += elapsed;
+        self.obs.record(Stage::Restore, elapsed);
         match restored {
             Ok(session) => {
                 self.metrics.restores += 1;
+                self.obs
+                    .event(format!("shard {}: session {id} restored", self.shard));
                 self.admit(id, session);
                 self.enforce_budget(id);
                 Ok(())
@@ -322,6 +340,10 @@ impl ShardWorker {
             Err(e) => {
                 // Put the blob back so the session is not silently lost.
                 self.cold.insert(id, cold);
+                self.obs.event(format!(
+                    "shard {}: session {id} restore failed: {e:?}",
+                    self.shard
+                ));
                 Err(format!("restore failed: {e:?}"))
             }
         }
@@ -363,8 +385,12 @@ impl ShardWorker {
         self.resident_bytes -= resident.bytes;
         let start = self.time.now_nanos();
         let checkpoint = SessionCheckpoint::capture(&resident.session);
-        self.metrics.checkpoint_nanos += self.time.now_nanos().saturating_sub(start);
+        let elapsed = self.time.now_nanos().saturating_sub(start);
+        self.metrics.checkpoint_nanos += elapsed;
+        self.obs.record(Stage::Checkpoint, elapsed);
         self.metrics.evictions += 1;
+        self.obs
+            .event(format!("shard {}: session {id} evicted", self.shard));
         self.cold.insert(id, Cold { checkpoint });
     }
 
@@ -398,8 +424,9 @@ mod tests {
         ));
         let (tx, rx) = mpsc::channel();
         let clock = chameleon_runtime::WallClock::shared();
+        let obs = Arc::new(Observer::new(Arc::clone(&clock)));
         (
-            ShardWorker::new(0, scenario, None, budget_bytes, clock, tx),
+            ShardWorker::new(0, scenario, None, budget_bytes, clock, tx, obs),
             rx,
         )
     }

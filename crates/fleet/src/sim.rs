@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
+use chameleon_obs::Observer;
 use chameleon_runtime::{Clock, SimScheduler};
 use chameleon_stream::DomainIlScenario;
 
@@ -37,6 +38,7 @@ impl SimExecutor {
         config: &FleetConfig,
         scheduler: SimScheduler,
         events: Sender<SessionEvent>,
+        observer: Arc<Observer>,
     ) -> Self {
         let clock: Arc<dyn Clock> = scheduler.clock();
         let workers = (0..config.num_shards)
@@ -48,6 +50,7 @@ impl SimExecutor {
                     config.budget_bytes,
                     Arc::clone(&clock),
                     events.clone(),
+                    Arc::clone(&observer),
                 )
             })
             .collect();

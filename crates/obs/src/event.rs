@@ -1,0 +1,138 @@
+//! The bounded ring-buffer event log.
+//!
+//! Events are cheap, append-only annotations ("session 7 evicted",
+//! "restore failed: …") stamped with the observer's clock. The log is a
+//! fixed-capacity ring: every event gets a monotonically increasing
+//! sequence number, and once the ring is full the oldest record is
+//! dropped and counted — so a snapshot always tells you both what it
+//! holds *and* how much history it lost (`next_seq`, `dropped`).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity an [`crate::Observer`] is built with.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One logged event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Clock reading when the event was logged.
+    pub nanos: u64,
+    /// Human-readable annotation.
+    pub message: String,
+}
+
+/// Point-in-time view of the log: the retained tail plus the loss
+/// accounting that makes gaps explicit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventLogStats {
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Next sequence number to be assigned — i.e. total events ever
+    /// logged.
+    pub next_seq: u64,
+    /// Events dropped off the front of the ring.
+    pub dropped: u64,
+    /// Retained records, oldest first.
+    pub recent: Vec<EventRecord>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ring: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe ring of [`EventRecord`]s.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EventLog {
+    /// Creates an empty log holding at most `capacity` records. A
+    /// capacity of 0 drops (and counts) every event.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Appends one event at clock reading `nanos`, evicting (and
+    /// counting) the oldest record if the ring is full.
+    pub fn push(&self, nanos: u64, message: String) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push_back(EventRecord {
+            seq,
+            nanos,
+            message,
+        });
+        while inner.ring.len() > self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+    }
+
+    /// Snapshots the retained tail and loss counters.
+    pub fn snapshot(&self) -> EventLogStats {
+        let Ok(inner) = self.inner.lock() else {
+            return EventLogStats::default();
+        };
+        EventLogStats {
+            capacity: self.capacity as u64,
+            next_seq: inner.next_seq,
+            dropped: inner.dropped,
+            recent: inner.ring.iter().cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_gapless() {
+        let log = EventLog::new(8);
+        for i in 0..5 {
+            log.push(i * 10, format!("event {i}"));
+        }
+        let stats = log.snapshot();
+        assert_eq!(stats.next_seq, 5);
+        assert_eq!(stats.dropped, 0);
+        let seqs: Vec<u64> = stats.recent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let log = EventLog::new(3);
+        for i in 0..10u64 {
+            log.push(i, format!("e{i}"));
+        }
+        let stats = log.snapshot();
+        assert_eq!(stats.next_seq, 10);
+        assert_eq!(stats.dropped, 7);
+        let seqs: Vec<u64> = stats.recent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9], "ring keeps the newest tail");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_but_still_counts() {
+        let log = EventLog::new(0);
+        log.push(1, "lost".to_string());
+        let stats = log.snapshot();
+        assert_eq!(stats.next_seq, 1);
+        assert_eq!(stats.dropped, 1);
+        assert!(stats.recent.is_empty());
+    }
+}

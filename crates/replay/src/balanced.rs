@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use chameleon_stream::ConfigError;
 use chameleon_tensor::Prng;
 
 use crate::{AccessStats, StoredSample};
@@ -40,16 +41,33 @@ impl ClassBalancedBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0`; use [`ClassBalancedBuffer::try_new`]
+    /// for a `Result`-based validator.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
-        Self {
+        Self::try_new(capacity).expect("buffer capacity must be positive")
+    }
+
+    /// Creates an empty buffer, rejecting `capacity == 0` with a
+    /// [`ConfigError`] in the same shape as the stream/dataset
+    /// validators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `capacity == 0`.
+    pub fn try_new(capacity: usize) -> Result<Self, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError {
+                field: "capacity",
+                requirement: "must be positive",
+            });
+        }
+        Ok(Self {
             by_class: BTreeMap::new(),
             offers: BTreeMap::new(),
             capacity,
             len: 0,
             stats: AccessStats::new(),
-        }
+        })
     }
 
     /// Offers a sample under the class-balancing policy, returning the
@@ -82,8 +100,10 @@ impl ClassBalancedBuffer {
         } else if class_count > 0 {
             // Same-class replacement with reservoir acceptance: keep each
             // class's slots a uniform sample of its offer history.
+            // `offers` is a lifetime counter: draw in the u64 domain so
+            // 32-bit targets do not truncate past 2³² offers.
             let offers = self.offers[&class];
-            let accept = rng.below(offers as usize) < class_count;
+            let accept = rng.below_u64(offers) < class_count as u64;
             if !accept {
                 return None;
             }
@@ -353,6 +373,19 @@ mod tests {
         assert_eq!(b.classes(), vec![0, 2]);
         assert_eq!(b.stats().corrupt_evictions, 2);
         assert_eq!(b.integrity_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ClassBalancedBuffer::new(0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity_with_config_error() {
+        let err = ClassBalancedBuffer::try_new(0).unwrap_err();
+        assert_eq!(err.field, "capacity");
+        assert!(ClassBalancedBuffer::try_new(1).is_ok());
     }
 
     #[test]

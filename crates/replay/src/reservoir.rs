@@ -1,5 +1,6 @@
 //! Uniform reservoir-sampling buffer.
 
+use chameleon_stream::ConfigError;
 use chameleon_tensor::Prng;
 
 use crate::{AccessStats, StoredSample};
@@ -25,15 +26,32 @@ impl ReservoirBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0`; use [`ReservoirBuffer::try_new`] for a
+    /// `Result`-based validator.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
-        Self {
+        Self::try_new(capacity).expect("buffer capacity must be positive")
+    }
+
+    /// Creates an empty buffer, rejecting `capacity == 0` with a
+    /// [`ConfigError`] in the same shape as the stream/dataset
+    /// validators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `capacity == 0`.
+    pub fn try_new(capacity: usize) -> Result<Self, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError {
+                field: "capacity",
+                requirement: "must be positive",
+            });
+        }
+        Ok(Self {
             items: Vec::with_capacity(capacity),
             capacity,
             seen: 0,
             stats: AccessStats::new(),
-        }
+        })
     }
 
     /// Offers a sample to the reservoir. Returns `true` if it was stored
@@ -46,9 +64,12 @@ impl ReservoirBuffer {
             self.stats.sample_writes += 1;
             return true;
         }
-        let j = rng.below(self.seen as usize);
-        if j < self.capacity {
-            self.items[j] = sample;
+        // Draw in the u64 domain: `seen` is a lifetime counter, and
+        // `below(seen as usize)` silently truncates past 2³² offers on
+        // 32-bit targets, skewing acceptance odds.
+        let j = rng.below_u64(self.seen);
+        if j < self.capacity as u64 {
+            self.items[j as usize] = sample;
             self.stats.sample_writes += 1;
             true
         } else {
@@ -207,5 +228,12 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = ReservoirBuffer::new(0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity_with_config_error() {
+        let err = ReservoirBuffer::try_new(0).unwrap_err();
+        assert_eq!(err.field, "capacity");
+        assert!(ReservoirBuffer::try_new(1).is_ok());
     }
 }

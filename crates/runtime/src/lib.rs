@@ -43,6 +43,16 @@ pub trait Clock: Send + Sync {
     fn sleep(&self, duration: Duration);
 }
 
+/// Runs `f` between two paired monotonic readings of `clock`, returning
+/// its result and the elapsed nanoseconds — the primitive span recorders
+/// and metric blocks build on, so both worlds (wall and virtual) time a
+/// region the same way.
+pub fn timed<R>(clock: &dyn Clock, f: impl FnOnce() -> R) -> (R, u64) {
+    let started = clock.now_nanos();
+    let result = f();
+    (result, clock.now_nanos().saturating_sub(started))
+}
+
 /// Production clock: [`Instant`]-based monotonic time and real
 /// [`std::thread::sleep`].
 #[derive(Debug)]
@@ -324,5 +334,15 @@ mod tests {
         let s = SimScheduler::new(9);
         assert_eq!(s.derive(1), SimScheduler::new(9).derive(1));
         assert_ne!(s.derive(1), s.derive(2));
+    }
+
+    #[test]
+    fn timed_measures_exactly_one_tick_on_a_virtual_clock() {
+        let clock = VirtualClock::shared(250);
+        let (value, elapsed) = timed(clock.as_ref(), || 42);
+        assert_eq!(value, 42);
+        // Two paired reads of a 250 ns auto-tick clock: exactly one
+        // tick elapses between them.
+        assert_eq!(elapsed, 250);
     }
 }

@@ -10,6 +10,8 @@ use chameleon_fleet::{SessionId, SessionSpec};
 use chameleon_replay::crc32;
 use chameleon_runtime::{Clock, WallClock};
 
+use chameleon_obs::Observation;
+
 use crate::wire::{
     encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot, WireError,
     MAX_PAYLOAD_BYTES, WIRE_MAGIC,
@@ -41,6 +43,14 @@ pub enum ClientError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// [`Connection::run_to_completion`] saw its zero-progress budget of
+    /// consecutive `delivered == 0, done == false` rounds with no batch
+    /// delivered — the session is live but not advancing (wedged stream,
+    /// misbehaving server), and looping further would spin forever.
+    Stalled {
+        /// Consecutive zero-progress rounds observed before giving up.
+        rounds: u32,
+    },
     /// The server answered with a response type the request cannot
     /// produce (protocol violation).
     UnexpectedResponse(&'static str),
@@ -57,6 +67,12 @@ impl std::fmt::Display for ClientError {
             Self::Refused { code, message } => write!(f, "refused ({code}): {message}"),
             Self::Saturated { attempts } => {
                 write!(f, "server still backpressured after {attempts} attempts")
+            }
+            Self::Stalled { rounds } => {
+                write!(
+                    f,
+                    "session made no progress for {rounds} consecutive step rounds"
+                )
             }
             Self::UnexpectedResponse(want) => {
                 write!(f, "unexpected response (wanted {want})")
@@ -89,8 +105,14 @@ pub struct Connection {
     next_correlation: u64,
     max_payload: usize,
     max_retries: u32,
+    stall_budget: u32,
     clock: Arc<dyn Clock>,
 }
+
+/// Default bound on consecutive zero-progress step rounds
+/// [`Connection::run_to_completion`] tolerates before returning
+/// [`ClientError::Stalled`].
+pub const DEFAULT_STALL_BUDGET: u32 = 32;
 
 impl Connection {
     /// Connects and enables `TCP_NODELAY`.
@@ -106,6 +128,7 @@ impl Connection {
             next_correlation: 1,
             max_payload: MAX_PAYLOAD_BYTES,
             max_retries: 10_000,
+            stall_budget: DEFAULT_STALL_BUDGET,
             clock: WallClock::shared(),
         })
     }
@@ -114,6 +137,13 @@ impl Connection {
     /// out before giving up with [`ClientError::Saturated`].
     pub fn set_max_retries(&mut self, max_retries: u32) {
         self.max_retries = max_retries;
+    }
+
+    /// Caps how many *consecutive* zero-progress step rounds
+    /// [`Connection::run_to_completion`] tolerates before returning
+    /// [`ClientError::Stalled`] (default [`DEFAULT_STALL_BUDGET`]).
+    pub fn set_stall_budget(&mut self, stall_budget: u32) {
+        self.stall_budget = stall_budget.max(1);
     }
 
     /// Injects the [`Clock`] backoff sleeps run on. Tests pass a
@@ -219,20 +249,40 @@ impl Connection {
     /// Steps the session in `slice`-batch increments until its stream is
     /// exhausted; returns total batches delivered.
     ///
+    /// A healthy server eventually answers every step with progress
+    /// (`delivered > 0`) or completion (`done`). One that keeps
+    /// answering `delivered == 0, done == false` would previously spin
+    /// this loop forever; it is now bounded by the connection's stall
+    /// budget ([`Connection::set_stall_budget`]), and the counter resets
+    /// whenever a round delivers batches.
+    ///
     /// # Errors
     ///
-    /// See [`Connection::request`].
+    /// See [`Connection::request`]; additionally
+    /// [`ClientError::Stalled`] after `stall_budget` consecutive
+    /// zero-progress rounds.
     pub fn run_to_completion(
         &mut self,
         session: SessionId,
         slice: u32,
     ) -> Result<u64, ClientError> {
         let mut total = 0u64;
+        let mut zero_rounds = 0u32;
         loop {
             let (delivered, done) = self.step(session, slice.max(1))?;
             total += u64::from(delivered);
             if done {
                 return Ok(total);
+            }
+            if delivered == 0 {
+                zero_rounds += 1;
+                if zero_rounds >= self.stall_budget {
+                    return Err(ClientError::Stalled {
+                        rounds: zero_rounds,
+                    });
+                }
+            } else {
+                zero_rounds = 0;
             }
         }
     }
@@ -282,6 +332,20 @@ impl Connection {
         match self.settle(&Request::Stats)? {
             Response::Stats(snapshot) => Ok(*snapshot),
             _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// Snapshots the unified observability view: per-stage span
+    /// aggregates, the event-log tail, and flattened fleet/trace/serve
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn observe(&mut self) -> Result<Observation, ClientError> {
+        match self.settle(&Request::Observe)? {
+            Response::Observed(observation) => Ok(*observation),
+            _ => Err(ClientError::UnexpectedResponse("Observed")),
         }
     }
 

@@ -1,66 +1,16 @@
 //! Serving-layer metrics: per-server counters and a log₂ latency
 //! histogram, kept as atomics on the hot path and snapshotted into plain
 //! structs for the wire and for reports.
+//!
+//! The histogram itself lives in `chameleon-obs` (one bucketing rule for
+//! request latencies and span aggregates alike) and is re-exported here
+//! for wire and client code.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Number of histogram buckets: bucket `i` counts latencies in
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is a catch-all.
-pub const LATENCY_BUCKETS: usize = 20;
-
-/// A power-of-two-microsecond latency histogram (bucket 0 is `< 2 µs`,
-/// the last bucket absorbs everything from `2^19 µs` ≈ 0.5 s up).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Counts per bucket.
-    pub buckets: [u64; LATENCY_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Records one observation, in nanoseconds.
-    pub fn record_nanos(&mut self, nanos: u64) {
-        let micros = nanos / 1_000;
-        let index = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[index] += 1;
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, elapsed: Duration) {
-        self.record_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Adds another histogram's counts into this one.
-    pub fn merge(&mut self, other: &Self) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile
-    /// (`0.0 ..= 1.0`), or 0 when empty. Bucket resolution, not exact.
-    pub fn quantile_upper_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &count) in self.buckets.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (LATENCY_BUCKETS - 1)
-    }
-}
+pub use chameleon_obs::{LatencyHistogram, LATENCY_BUCKETS};
 
 /// Plain-struct snapshot of a server's counters, shipped inside
 /// [`crate::wire::StatsSnapshot`] and printed by the CLI.
@@ -142,43 +92,19 @@ impl ServeMetrics {
 mod tests {
     use super::*;
 
+    // The histogram's own boundary/quantile/merge tests live with its
+    // implementation in `chameleon-obs`; here we only pin that the
+    // serving layer records end-to-end latencies through the shared
+    // (fixed) bucketing rule.
     #[test]
-    fn histogram_buckets_by_log2_micros() {
-        let mut h = LatencyHistogram::default();
-        h.record_nanos(500); // <1 µs → bucket 0
-        h.record_nanos(1_000); // 1 µs → bucket 1
-        h.record_nanos(3_000); // 3 µs → bucket 2
-        h.record_nanos(1_000_000); // 1 ms → bucket 10
-        h.record_nanos(u64::MAX); // clamped to the catch-all
-        assert_eq!(h.buckets[0], 1);
-        assert_eq!(h.buckets[1], 1);
-        assert_eq!(h.buckets[2], 1);
-        assert_eq!(h.buckets[10], 1);
-        assert_eq!(h.buckets[LATENCY_BUCKETS - 1], 1);
-        assert_eq!(h.count(), 5);
-    }
-
-    #[test]
-    fn quantiles_walk_the_buckets() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile_upper_us(0.5), 0);
-        for _ in 0..98 {
-            h.record_nanos(2_000); // bucket 2 (2 µs)
-        }
-        h.record_nanos(40_000_000); // 40 ms
-        h.record_nanos(40_000_000);
-        assert_eq!(h.quantile_upper_us(0.5), 4);
-        assert!(h.quantile_upper_us(0.999) >= 32_768);
-    }
-
-    #[test]
-    fn merge_adds_counts() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        a.record_nanos(1_000);
-        b.record_nanos(1_000);
-        b.record_nanos(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
+    fn record_latency_uses_the_shared_log2_mapping() {
+        let metrics = ServeMetrics::default();
+        metrics.record_latency(Duration::from_micros(1)); // bucket 0: < 2 µs
+        metrics.record_latency(Duration::from_micros(2)); // bucket 1: [2, 4) µs
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.latency.buckets[0], 1);
+        assert_eq!(snapshot.latency.buckets[1], 1);
+        assert_eq!(snapshot.latency.count(), 2);
+        const { assert!(LATENCY_BUCKETS >= 2) };
     }
 }

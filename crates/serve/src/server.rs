@@ -35,8 +35,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chameleon_fleet::{FleetConfig, FleetEngine, FleetError, SessionCommand, SessionEventKind};
+use chameleon_obs::{Observation, Observer, Stage};
 use chameleon_replay::crc32;
-use chameleon_runtime::{Clock, WallClock};
+use chameleon_runtime::{timed, Clock, Runtime, WallClock};
 use chameleon_stream::{ConfigError, DomainIlScenario};
 
 use crate::metrics::{ServeCounters, ServeMetrics};
@@ -125,6 +126,7 @@ struct WorkerCtx {
     ops: mpsc::Sender<EngineOp>,
     metrics: Arc<ServeMetrics>,
     stop: Arc<AtomicBool>,
+    obs: Arc<Observer>,
     clock: Arc<dyn Clock>,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -140,6 +142,7 @@ pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    observer: Arc<Observer>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     engine: Option<JoinHandle<()>>,
@@ -185,7 +188,17 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
 
-        let fleet = FleetEngine::new(scenario, fleet_config);
+        // One observer for the whole server, on the injected clock: the
+        // fleet's shard workers record step/eval/checkpoint/restore spans
+        // into it, the connection workers add encode/decode spans, and
+        // `Request::Observe` snapshots it all in one round-trip.
+        let observer = Arc::new(Observer::new(Arc::clone(&clock)));
+        let fleet = FleetEngine::with_observer(
+            scenario,
+            fleet_config,
+            Runtime::Threads,
+            Arc::clone(&observer),
+        );
         let (op_tx, op_rx) = mpsc::channel::<EngineOp>();
         let engine_metrics = Arc::clone(&metrics);
         let retry_after = config.retry_after;
@@ -200,6 +213,7 @@ impl Server {
             ops: op_tx,
             metrics: Arc::clone(&metrics),
             stop: Arc::clone(&stop),
+            obs: Arc::clone(&observer),
             clock,
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
@@ -239,6 +253,7 @@ impl Server {
             local_addr,
             stop,
             metrics,
+            observer,
             acceptor: Some(acceptor),
             workers,
             engine: Some(engine),
@@ -253,6 +268,12 @@ impl Server {
     /// Snapshot of the serving-layer counters.
     pub fn metrics(&self) -> ServeCounters {
         self.metrics.snapshot()
+    }
+
+    /// The server-wide span recorder + event log (the same one
+    /// `Request::Observe` snapshots).
+    pub fn observer(&self) -> Arc<Observer> {
+        Arc::clone(&self.observer)
     }
 
     /// Graceful shutdown: stop accepting, let workers finish their
@@ -359,6 +380,12 @@ fn handle_op(
             let _ = op.reply.send(Response::Stats(Box::new(snapshot)));
             return;
         }
+        Request::Observe => {
+            let _ = op.reply.send(Response::Observed(Box::new(build_observation(
+                fleet, metrics,
+            ))));
+            return;
+        }
         Request::CreateSession { session, spec } => {
             fleet.create_correlated(session, spec, correlation)
         }
@@ -388,6 +415,52 @@ fn handle_op(
             let _ = op.reply.send(fleet_error_response(&error, retry_millis));
         }
     }
+}
+
+/// Snapshots the unified observability view: the server observer's span
+/// aggregates and event tail, plus every fleet / trace / serve counter
+/// flattened under a dotted name. The `fleet.*_nanos` counters and the
+/// corresponding span totals come from the *same* shard measurements, so
+/// they reconcile exactly.
+fn build_observation(fleet: &mut FleetEngine, metrics: &ServeMetrics) -> Observation {
+    let mut o = fleet.observer().observe();
+    let fm = fleet.metrics();
+    o.push_counter("fleet.sessions_resident", fm.sessions_resident() as u64);
+    o.push_counter("fleet.sessions_cold", fm.sessions_cold() as u64);
+    o.push_counter("fleet.sessions_created", fm.sessions_created());
+    o.push_counter("fleet.batches", fm.batches());
+    o.push_counter("fleet.evictions", fm.evictions());
+    o.push_counter("fleet.restores", fm.restores());
+    o.push_counter("fleet.step_nanos", fm.step_nanos());
+    o.push_counter("fleet.checkpoint_nanos", fm.checkpoint_nanos());
+    o.push_counter("fleet.restore_nanos", fm.restore_nanos());
+    o.push_counter("fleet.eval_nanos", fm.eval_nanos());
+    let t = fm.merged_trace();
+    o.push_counter("trace.inputs", t.inputs);
+    o.push_counter("trace.trunk_passes", t.trunk_passes);
+    o.push_counter("trace.head_fwd_passes", t.head_fwd_passes);
+    o.push_counter("trace.head_bwd_passes", t.head_bwd_passes);
+    o.push_counter("trace.onchip_sample_reads", t.onchip_sample_reads);
+    o.push_counter("trace.onchip_sample_writes", t.onchip_sample_writes);
+    o.push_counter("trace.offchip_latent_reads", t.offchip_latent_reads);
+    o.push_counter("trace.offchip_latent_writes", t.offchip_latent_writes);
+    o.push_counter("trace.offchip_raw_reads", t.offchip_raw_reads);
+    o.push_counter("trace.offchip_raw_writes", t.offchip_raw_writes);
+    o.push_counter("trace.covariance_updates", t.covariance_updates);
+    o.push_counter("trace.matrix_inversions", t.matrix_inversions);
+    o.push_counter("trace.inversion_dim", t.inversion_dim as u64);
+    let c = metrics.snapshot();
+    o.push_counter("serve.connections_accepted", c.connections_accepted);
+    o.push_counter("serve.connections_closed", c.connections_closed);
+    o.push_counter("serve.frames_in", c.frames_in);
+    o.push_counter("serve.frames_out", c.frames_out);
+    o.push_counter("serve.bytes_in", c.bytes_in);
+    o.push_counter("serve.bytes_out", c.bytes_out);
+    o.push_counter("serve.decode_rejects", c.decode_rejects);
+    o.push_counter("serve.backpressure_replies", c.backpressure_replies);
+    o.push_counter("serve.requests_ok", c.requests_ok);
+    o.push_counter("serve.requests_failed", c.requests_failed);
+    o
 }
 
 fn fleet_error_response(error: &FleetError, retry_millis: u32) -> Response {
@@ -622,7 +695,9 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
 fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
     let started = ctx.clock.now_nanos();
     ServeMetrics::add(&ctx.metrics.frames_in, 1);
-    let (correlation, request) = match Request::decode_payload(payload) {
+    let (decoded, decode_nanos) = timed(ctx.clock.as_ref(), || Request::decode_payload(payload));
+    ctx.obs.record(Stage::Decode, decode_nanos);
+    let (correlation, request) = match decoded {
         Ok(decoded) => decoded,
         Err(error) => {
             ServeMetrics::add(&ctx.metrics.decode_rejects, 1);
@@ -662,7 +737,10 @@ fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
         Response::Error { .. } => ServeMetrics::add(&ctx.metrics.requests_failed, 1),
         _ => ServeMetrics::add(&ctx.metrics.requests_ok, 1),
     }
-    let wrote = write_response(ctx, stream, correlation, &response);
+    let (wrote, encode_nanos) = timed(ctx.clock.as_ref(), || {
+        write_response(ctx, stream, correlation, &response)
+    });
+    ctx.obs.record(Stage::Encode, encode_nanos);
     let elapsed = ctx.clock.now_nanos().saturating_sub(started);
     ctx.metrics.record_latency(Duration::from_nanos(elapsed));
     wrote

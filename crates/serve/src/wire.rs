@@ -20,6 +20,7 @@
 
 use chameleon_core::StepTrace;
 use chameleon_fleet::{SessionId, SessionSpec};
+use chameleon_obs::{EventRecord, Observation, Stage, StageStats};
 use chameleon_replay::crc32;
 
 use crate::metrics::{LatencyHistogram, ServeCounters, LATENCY_BUCKETS};
@@ -183,6 +184,10 @@ pub enum Request {
     },
     /// Snapshot fleet + serving-layer metrics.
     Stats,
+    /// Snapshot the unified observability view: per-stage span
+    /// aggregates, the event-log tail, and flattened counters
+    /// ([`chameleon_obs::Observation`]).
+    Observe,
 }
 
 const REQ_PING: u8 = 0x00;
@@ -192,6 +197,7 @@ const REQ_PREDICT: u8 = 0x03;
 const REQ_CHECKPOINT: u8 = 0x04;
 const REQ_EVICT: u8 = 0x05;
 const REQ_STATS: u8 = 0x06;
+const REQ_OBSERVE: u8 = 0x07;
 
 impl Request {
     /// Serializes `correlation | opcode | body` (the frame payload).
@@ -225,6 +231,7 @@ impl Request {
                 p.extend_from_slice(&session.to_le_bytes());
             }
             Self::Stats => p.push(REQ_STATS),
+            Self::Observe => p.push(REQ_OBSERVE),
         }
         p
     }
@@ -259,6 +266,7 @@ impl Request {
             REQ_CHECKPOINT => Self::Checkpoint { session: r.u64()? },
             REQ_EVICT => Self::Evict { session: r.u64()? },
             REQ_STATS => Self::Stats,
+            REQ_OBSERVE => Self::Observe,
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -391,6 +399,8 @@ pub enum Response {
     Evicted,
     /// Metrics snapshot.
     Stats(Box<StatsSnapshot>),
+    /// Unified observability snapshot (spans + events + counters).
+    Observed(Box<Observation>),
     /// The request failed; typed code plus human-readable detail.
     Error {
         /// Typed refusal reason.
@@ -417,6 +427,7 @@ const RSP_EVICTED: u8 = 0x85;
 const RSP_STATS: u8 = 0x86;
 const RSP_ERROR: u8 = 0x87;
 const RSP_RETRY_AFTER: u8 = 0x88;
+const RSP_OBSERVED: u8 = 0x89;
 
 impl Response {
     /// Serializes `correlation | opcode | body` (the frame payload).
@@ -447,6 +458,10 @@ impl Response {
             Self::Stats(stats) => {
                 p.push(RSP_STATS);
                 encode_stats(&mut p, stats);
+            }
+            Self::Observed(observation) => {
+                p.push(RSP_OBSERVED);
+                encode_observation(&mut p, observation);
             }
             Self::Error { code, message } => {
                 p.push(RSP_ERROR);
@@ -491,6 +506,7 @@ impl Response {
             }
             RSP_EVICTED => Self::Evicted,
             RSP_STATS => Self::Stats(Box::new(decode_stats(&mut r)?)),
+            RSP_OBSERVED => Self::Observed(Box::new(decode_observation(&mut r)?)),
             RSP_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
                 let len = r.u32()? as usize;
@@ -613,6 +629,81 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, WireError> {
     Ok(s)
 }
 
+fn put_str(p: &mut Vec<u8>, text: &str) {
+    let bytes = text.as_bytes();
+    p.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    p.extend_from_slice(bytes);
+}
+
+fn encode_observation(p: &mut Vec<u8>, o: &Observation) {
+    p.extend_from_slice(&(o.spans.len() as u32).to_le_bytes());
+    for (stage, stats) in &o.spans {
+        p.push(stage.id());
+        p.extend_from_slice(&stats.count.to_le_bytes());
+        p.extend_from_slice(&stats.total_nanos.to_le_bytes());
+        p.extend_from_slice(&stats.max_nanos.to_le_bytes());
+        p.extend_from_slice(&(LATENCY_BUCKETS as u32).to_le_bytes());
+        for bucket in stats.histogram.buckets {
+            p.extend_from_slice(&bucket.to_le_bytes());
+        }
+    }
+    p.extend_from_slice(&o.events.capacity.to_le_bytes());
+    p.extend_from_slice(&o.events.next_seq.to_le_bytes());
+    p.extend_from_slice(&o.events.dropped.to_le_bytes());
+    p.extend_from_slice(&(o.events.recent.len() as u32).to_le_bytes());
+    for record in &o.events.recent {
+        p.extend_from_slice(&record.seq.to_le_bytes());
+        p.extend_from_slice(&record.nanos.to_le_bytes());
+        put_str(p, &record.message);
+    }
+    p.extend_from_slice(&(o.counters.len() as u32).to_le_bytes());
+    for (name, value) in &o.counters {
+        put_str(p, name);
+        p.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn decode_observation(r: &mut Reader<'_>) -> Result<Observation, WireError> {
+    let mut o = Observation::default();
+    let spans = r.u32()? as usize;
+    for _ in 0..spans {
+        let stage = Stage::from_id(r.u8()?).ok_or(WireError::Malformed("span stage id"))?;
+        let mut stats = StageStats {
+            count: r.u64()?,
+            total_nanos: r.u64()?,
+            max_nanos: r.u64()?,
+            ..StageStats::default()
+        };
+        let buckets = r.u32()? as usize;
+        if buckets != LATENCY_BUCKETS {
+            return Err(WireError::Malformed("span bucket count"));
+        }
+        for bucket in &mut stats.histogram.buckets {
+            *bucket = r.u64()?;
+        }
+        o.spans.push((stage, stats));
+    }
+    o.events.capacity = r.u64()?;
+    o.events.next_seq = r.u64()?;
+    o.events.dropped = r.u64()?;
+    let records = r.u32()? as usize;
+    for _ in 0..records {
+        let seq = r.u64()?;
+        let nanos = r.u64()?;
+        o.events.recent.push(EventRecord {
+            seq,
+            nanos,
+            message: r.str("event message")?,
+        });
+    }
+    let counters = r.u32()? as usize;
+    for _ in 0..counters {
+        let name = r.str("counter name")?;
+        o.counters.push((name, r.u64()?));
+    }
+    Ok(o)
+}
+
 /// Best-effort extraction of the correlation id from a payload that failed
 /// full decoding, so error replies can still be matched by the client.
 pub fn correlation_of(payload: &[u8]) -> u64 {
@@ -660,6 +751,14 @@ impl Reader<'_> {
         Ok(f64::from_le_bytes(
             self.bytes(8)?.try_into().expect("8 bytes"),
         ))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| WireError::Malformed(what))
     }
 
     fn f32_list(&mut self) -> Result<Vec<f32>, WireError> {
@@ -721,6 +820,7 @@ mod tests {
             Request::Checkpoint { session: 7 },
             Request::Evict { session: 7 },
             Request::Stats,
+            Request::Observe,
         ];
         for (i, request) in requests.iter().enumerate() {
             let corr = 1000 + i as u64;
@@ -731,6 +831,55 @@ mod tests {
             assert_eq!(back_corr, corr);
             assert_eq!(&back, request);
         }
+    }
+
+    fn observation() -> Observation {
+        let mut o = Observation::default();
+        let mut stats = StageStats {
+            count: 4,
+            total_nanos: 9_000,
+            max_nanos: 5_000,
+            ..StageStats::default()
+        };
+        stats.histogram.record_nanos(5_000);
+        stats.histogram.record_nanos(1_000);
+        o.spans = Stage::ALL
+            .iter()
+            .map(|&stage| {
+                (
+                    stage,
+                    if stage == Stage::Step {
+                        stats.clone()
+                    } else {
+                        StageStats::default()
+                    },
+                )
+            })
+            .collect();
+        o.events.capacity = 256;
+        o.events.next_seq = 3;
+        o.events.dropped = 1;
+        o.events.recent.push(EventRecord {
+            seq: 2,
+            nanos: 77_000,
+            message: "shard 0: session 7 evicted".to_string(),
+        });
+        o.push_counter("fleet.batches", 99);
+        o.push_counter("serve.frames_in", 120);
+        o
+    }
+
+    #[test]
+    fn malformed_observation_stage_id_is_rejected() {
+        let frame = encode_frame(&Response::Observed(Box::new(observation())).encode_payload(5));
+        let (mut payload, _) = decode_frame(&frame, MAX_PAYLOAD_BYTES).expect("frame");
+        // First span's stage id sits right after correlation (8) +
+        // opcode (1) + span count (4).
+        payload[13] = 0xEE;
+        assert_eq!(
+            Response::decode_payload(&payload),
+            Err(WireError::Malformed("span stage id"))
+        );
     }
 
     #[test]
@@ -764,6 +913,7 @@ mod tests {
                 message: "session 9 was never created".into(),
             },
             Response::RetryAfter { millis: 2 },
+            Response::Observed(Box::new(observation())),
         ];
         for (i, response) in responses.iter().enumerate() {
             let corr = 42 + i as u64;

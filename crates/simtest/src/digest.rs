@@ -7,6 +7,7 @@
 //! the result.
 
 use chameleon_fleet::{SessionEvent, SessionEventKind};
+use chameleon_obs::{Stage, StageStats};
 use chameleon_replay::crc32;
 
 /// Whether shard ids participate in an event digest.
@@ -72,6 +73,24 @@ pub fn digest_events<'a>(
     let mut buf = Vec::new();
     for event in events {
         encode_event(&mut buf, event, scope);
+    }
+    crc32(&buf)
+}
+
+/// CRC32 digest of per-stage span aggregates (an
+/// [`chameleon_obs::Observer`] snapshot): stage id, count, total, max,
+/// and every histogram bucket feed the digest, so the virtual-clock span
+/// timings of a simulation run are pinned alongside its event log.
+pub fn digest_spans(spans: &[(Stage, StageStats)]) -> u32 {
+    let mut buf = Vec::new();
+    for (stage, stats) in spans {
+        buf.push(stage.id());
+        buf.extend_from_slice(&stats.count.to_le_bytes());
+        buf.extend_from_slice(&stats.total_nanos.to_le_bytes());
+        buf.extend_from_slice(&stats.max_nanos.to_le_bytes());
+        for bucket in stats.histogram.buckets {
+            buf.extend_from_slice(&bucket.to_le_bytes());
+        }
     }
     crc32(&buf)
 }

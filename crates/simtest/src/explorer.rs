@@ -28,7 +28,7 @@ use chameleon_replay::crc32;
 use chameleon_runtime::splitmix64;
 use chameleon_stream::DomainIlScenario;
 
-use crate::digest::{digest_events, encode_event, ShardScope};
+use crate::digest::{digest_events, digest_spans, encode_event, ShardScope};
 use crate::script::{self, Op};
 
 /// What one passing seed looked like — enough to cross-check a replay
@@ -49,6 +49,9 @@ pub struct SeedOutcome {
     pub event_digest: u32,
     /// CRC32 over every session's final `CHAMFLT1` blob, in id order.
     pub checkpoint_crc: u32,
+    /// CRC32 of the K-shard run's per-stage span aggregates (virtual-clock
+    /// timings recorded by the fleet observer).
+    pub span_digest: u32,
 }
 
 /// One engine under test plus the per-session observable history the
@@ -313,6 +316,17 @@ pub fn check_seed(scenario: &Arc<DomainIlScenario>, seed: u64) -> Result<SeedOut
         ));
     }
 
+    // Span determinism: the virtual-clock span aggregates the fleet
+    // observer recorded must replay bit-identically too.
+    let span_digest = digest_spans(&multi.engine.observer().snapshot_spans());
+    let replay_spans = digest_spans(&replay.engine.observer().snapshot_spans());
+    if span_digest != replay_spans {
+        return Err(format!(
+            "seed {seed}: same-seed replay produced different span aggregates \
+             ({span_digest:#010x} vs {replay_spans:#010x})"
+        ));
+    }
+
     let mut concat = Vec::new();
     for (id, blob) in &blobs {
         concat.extend_from_slice(&id.to_le_bytes());
@@ -327,6 +341,7 @@ pub fn check_seed(scenario: &Arc<DomainIlScenario>, seed: u64) -> Result<SeedOut
         events,
         event_digest,
         checkpoint_crc: crc32(&concat),
+        span_digest,
     })
 }
 

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use chameleon_core::StepTrace;
 use chameleon_faults::FaultPlan;
 use chameleon_fleet::{SessionCheckpoint, SessionEvent, SessionEventKind, UserSession};
+use chameleon_obs::{EventLogStats, EventRecord, Observation, Stage, StageStats};
 use chameleon_replay::crc32;
 use chameleon_serve::wire::{
     encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot, WIRE_MAGIC,
@@ -33,7 +34,7 @@ pub const GOLDEN_SPEC_SEED: u64 = 0x60_1D;
 pub const GOLDEN_SIM_SEEDS: [u64; 4] = [0, 1, 2, 3];
 /// Version line of the metric-digest family (bump on digest semantics
 /// changes).
-pub const METRIC_DIGEST_VERSION: &str = "SIMDIG01";
+pub const METRIC_DIGEST_VERSION: &str = "SIMDIG02";
 
 /// One corpus file: a family of named golden values plus the version
 /// line that makes format changes deliberate.
@@ -198,6 +199,11 @@ fn derive_wire_frames() -> GoldenFile {
             "rsp_retry_after",
             Response::RetryAfter { millis: 2 }.encode_payload(0),
         ),
+        ("req_observe", Request::Observe.encode_payload(8)),
+        (
+            "rsp_observed",
+            Response::Observed(Box::new(golden_observation())).encode_payload(9),
+        ),
     ];
     GoldenFile {
         file: GOLDEN_FILE_NAMES[0],
@@ -207,6 +213,42 @@ fn derive_wire_frames() -> GoldenFile {
             .map(|(name, payload)| (name.to_string(), hex(&encode_frame(&payload))))
             .collect(),
     }
+}
+
+/// A fully hand-pinned [`Observation`] (no clock involved), so the
+/// `rsp_observed` golden frame exercises every field of the codec.
+fn golden_observation() -> Observation {
+    let mut o = Observation {
+        spans: Stage::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &stage)| {
+                let mut stats = StageStats {
+                    count: 3 + i as u64,
+                    total_nanos: 9_000 * (i as u64 + 1),
+                    max_nanos: 5_000 * (i as u64 + 1),
+                    ..StageStats::default()
+                };
+                stats.histogram.record_nanos(1_000);
+                stats.histogram.record_nanos(5_000 * (i as u64 + 1));
+                (stage, stats)
+            })
+            .collect(),
+        events: EventLogStats {
+            capacity: 256,
+            next_seq: 4,
+            dropped: 1,
+            recent: vec![EventRecord {
+                seq: 3,
+                nanos: 123_000,
+                message: "shard 0: session 7 evicted".to_string(),
+            }],
+        },
+        counters: Vec::new(),
+    };
+    o.push_counter("fleet.batches", 120);
+    o.push_counter("serve.frames_in", 140);
+    o
 }
 
 /// Derives the checkpoint family: full `CHAMFLT1` session blobs (clean
@@ -285,9 +327,10 @@ fn derive_metric_digests() -> GoldenFile {
         entries.push((
             format!("sim_seed_{seed}"),
             format!(
-                "events:{:08x} checkpoints:{:08x} ops:{} shards:{} faulted:{}",
+                "events:{:08x} checkpoints:{:08x} spans:{:08x} ops:{} shards:{} faulted:{}",
                 outcome.event_digest,
                 outcome.checkpoint_crc,
+                outcome.span_digest,
                 outcome.ops,
                 outcome.shards,
                 outcome.faulted,

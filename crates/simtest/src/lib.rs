@@ -35,7 +35,7 @@ pub mod golden;
 pub mod script;
 pub mod soak;
 
-pub use digest::{digest_events, encode_event, ShardScope};
+pub use digest::{digest_events, digest_spans, encode_event, ShardScope};
 pub use explorer::{check_seed, SeedOutcome};
 pub use golden::{
     derive_corpus, diff, golden_scenario, parse, render, GoldenFile, GOLDEN_FILE_NAMES,

@@ -91,14 +91,28 @@ impl Prng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below(0) is meaningless");
-        let bound = bound as u64;
+        self.below_u64(bound as u64) as usize
+    }
+
+    /// Uniform integer in `[0, bound)` over the full `u64` domain.
+    ///
+    /// Callers whose bound is a lifetime counter (e.g. reservoir `seen`)
+    /// must use this instead of `below(bound as usize)`: on 32-bit
+    /// targets the `usize` cast silently truncates past 2³² and skews
+    /// the draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below_u64(0) is meaningless");
         // Simple unbiased rejection sampling on the multiply-shift scheme.
         loop {
             let x = self.next_u64();
             let m = (x as u128).wrapping_mul(bound as u128);
             let low = m as u64;
             if low >= bound || low >= low.wrapping_neg() % bound {
-                return (m >> 64) as usize;
+                return (m >> 64) as u64;
             }
         }
     }
@@ -231,6 +245,36 @@ mod tests {
             seen[v] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_u64_matches_below_draw_for_draw() {
+        // `below` delegates to `below_u64`, so the streams must be
+        // identical — this is what keeps every seeded replay/reservoir
+        // sequence stable across the u64-domain fix.
+        let mut a = Prng::new(13);
+        let mut b = Prng::new(13);
+        for bound in [1usize, 2, 7, 1000, u32::MAX as usize] {
+            assert_eq!(a.below(bound) as u64, b.below_u64(bound as u64));
+        }
+    }
+
+    #[test]
+    fn below_u64_reaches_beyond_the_u32_domain() {
+        // Regression for the reservoir truncation bug: with a bound past
+        // 2³², draws must cover the upper half of the range instead of
+        // being folded into the low 32 bits.
+        let mut rng = Prng::new(14);
+        let bound = 1u64 << 40;
+        let mut above_u32 = 0;
+        for _ in 0..64 {
+            let v = rng.below_u64(bound);
+            assert!(v < bound);
+            if v > u64::from(u32::MAX) {
+                above_u32 += 1;
+            }
+        }
+        assert!(above_u32 > 0, "no draw ever exceeded u32::MAX");
     }
 
     #[test]

@@ -337,3 +337,81 @@ fn assignment_spreads_sessions_and_ignores_arrival_order() {
         assert_eq!(fleet.shard_of(id), again.shard_of(id));
     }
 }
+
+/// The observability contract: per-stage span totals reconcile *exactly*
+/// with `ShardMetrics.*_nanos`, because the shard workers feed both from
+/// one elapsed measurement. Run under simulation so the numbers are also
+/// deterministic across runs.
+#[test]
+fn observer_span_totals_reconcile_with_shard_metrics() {
+    use chameleon_obs::Stage;
+
+    let run = |seed: u64| {
+        let mut fleet = FleetEngine::new_sim(
+            scenario(),
+            FleetConfig {
+                num_shards: 3,
+                budget_bytes: 200_000, // tight enough to force evictions
+                ..FleetConfig::default()
+            },
+            seed,
+        );
+        for user in 0..6u64 {
+            fleet
+                .create_blocking(user, user_spec(user))
+                .expect("create");
+        }
+        for round in 0..4 {
+            for user in 0..6u64 {
+                fleet
+                    .command_blocking(user, SessionCommand::Step { batches: 2 })
+                    .expect("step");
+            }
+            if round == 2 {
+                for user in 0..6u64 {
+                    fleet
+                        .command_blocking(user, SessionCommand::Evaluate)
+                        .expect("evaluate");
+                    fleet
+                        .command_blocking(user, SessionCommand::Checkpoint)
+                        .expect("checkpoint");
+                }
+            }
+        }
+        fleet.drain_pending();
+        let metrics = fleet.metrics();
+        let observer = fleet.observer();
+        (metrics, observer)
+    };
+
+    let (metrics, observer) = run(0xC0FFEE);
+    for (stage, expected) in [
+        (Stage::Step, metrics.step_nanos()),
+        (Stage::Eval, metrics.eval_nanos()),
+        (Stage::Checkpoint, metrics.checkpoint_nanos()),
+        (Stage::Restore, metrics.restore_nanos()),
+    ] {
+        let stats = observer.stage_stats(stage);
+        assert_eq!(
+            stats.total_nanos, expected,
+            "{stage} span total must reconcile with ShardMetrics"
+        );
+        assert!(
+            stats.count > 0 || expected == 0,
+            "{stage} count/total mismatch"
+        );
+        assert!(stats.max_nanos <= stats.total_nanos);
+    }
+    assert!(
+        observer.stage_stats(Stage::Step).count > 0,
+        "no step spans recorded"
+    );
+    assert!(
+        observer.stage_stats(Stage::Checkpoint).count > 0,
+        "evictions/checkpoints recorded no spans"
+    );
+
+    // Deterministic: the same seed reproduces every aggregate bit for bit.
+    let (_, again) = run(0xC0FFEE);
+    assert_eq!(observer.snapshot_spans(), again.snapshot_spans());
+}

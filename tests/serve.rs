@@ -371,3 +371,134 @@ fn shutdown_joins_every_thread_and_releases_the_scenario() {
         Server::start(scenario, FleetConfig::default(), ServeConfig::default()).expect("restart");
     drop(server2);
 }
+
+/// Regression for the `run_to_completion` livelock: a server that keeps
+/// answering `delivered == 0, done == false` used to spin the client
+/// forever. The zero-progress budget now bounds the loop with a typed
+/// `ClientError::Stalled`. (Pre-fix code hangs this test.)
+#[test]
+fn run_to_completion_stalls_out_instead_of_spinning_forever() {
+    use std::net::TcpListener;
+
+    // A minimal CHAMWIRE impostor: answer every request with a
+    // zero-progress `Stepped`, echoing the request's correlation id.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let rounds_served = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let served = Arc::clone(&rounds_served);
+    let stall_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        loop {
+            let mut header = [0u8; 12];
+            if stream.read_exact(&mut header).is_err() {
+                return; // client gave up and closed — success
+            }
+            let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+            let mut rest = vec![0u8; len + 4];
+            stream.read_exact(&mut rest).expect("frame body");
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&header);
+            frame.extend_from_slice(&rest);
+            let (payload, _) = decode_frame(&frame, MAX_PAYLOAD_BYTES).expect("request frame");
+            let (correlation, _) = Request::decode_payload(&payload).expect("request");
+            let reply = Response::Stepped {
+                delivered: 0,
+                done: false,
+            };
+            let out = encode_frame(&reply.encode_payload(correlation));
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+
+    let mut client = Connection::connect(addr).expect("connect");
+    client.set_stall_budget(5);
+    match client.run_to_completion(7, 4) {
+        Err(chameleon_serve::ClientError::Stalled { rounds }) => assert_eq!(rounds, 5),
+        other => panic!("expected Stalled after 5 zero-progress rounds, got {other:?}"),
+    }
+    drop(client);
+    stall_server.join().expect("stall server");
+    assert_eq!(
+        rounds_served.load(std::sync::atomic::Ordering::Relaxed),
+        5,
+        "client must stop exactly at its stall budget"
+    );
+}
+
+/// The `Observe` round-trip: span aggregates over the wire reconcile with
+/// `Stats` nanos counters, encode/decode spans are counted, and the event
+/// log narrates evictions.
+#[test]
+fn observe_round_trip_reconciles_spans_with_stats() {
+    use chameleon_obs::Stage;
+
+    let scenario = scenario();
+    let mut server = Server::start(
+        scenario,
+        FleetConfig {
+            num_shards: 2,
+            ..FleetConfig::default()
+        },
+        ServeConfig::default(),
+    )
+    .expect("start server");
+    let mut client = Connection::connect(server.local_addr()).expect("connect");
+
+    client.create_session(1, user_spec(1)).expect("create");
+    let delivered = client.run_to_completion(1, 8).expect("run");
+    assert!(delivered > 0);
+    client.predict(1).expect("predict");
+    client.checkpoint(1).expect("checkpoint");
+    client.evict(1).expect("evict");
+
+    let observation = client.observe().expect("observe");
+
+    // Per-stage span totals reconcile exactly with the fleet's nanos
+    // counters: both sides of each pair come from one measurement.
+    for (stage, counter) in [
+        (Stage::Step, "fleet.step_nanos"),
+        (Stage::Eval, "fleet.eval_nanos"),
+        (Stage::Checkpoint, "fleet.checkpoint_nanos"),
+        (Stage::Restore, "fleet.restore_nanos"),
+    ] {
+        let stats = observation.stage(stage).expect("stage present");
+        assert_eq!(
+            Some(stats.total_nanos),
+            observation.counter(counter),
+            "{stage} span total must equal {counter}"
+        );
+    }
+    let step = observation.stage(Stage::Step).expect("step stage");
+    assert!(step.count > 0 && step.total_nanos > 0, "no step spans");
+    assert_eq!(step.histogram.count(), step.count);
+
+    // The connection workers decoded and encoded every frame of this
+    // conversation.
+    assert!(observation.stage(Stage::Decode).expect("decode").count > 0);
+    assert!(observation.stage(Stage::Encode).expect("encode").count > 0);
+
+    // Flattened counters agree with the Stats snapshot's fleet view.
+    let stats = client.stats().expect("stats");
+    assert_eq!(observation.counter("fleet.batches"), Some(stats.batches));
+    assert_eq!(observation.counter("serve.decode_rejects"), Some(0));
+
+    // The explicit evict above must be narrated in the event log.
+    assert!(
+        observation
+            .events
+            .recent
+            .iter()
+            .any(|r| r.message.contains("evicted")),
+        "event log missing the eviction: {:?}",
+        observation.events.recent
+    );
+    assert_eq!(
+        observation.events.next_seq as usize,
+        observation.events.recent.len()
+    );
+
+    server.shutdown();
+}
