@@ -53,6 +53,8 @@ COMMANDS:
     --sessions <n>              concurrent user sessions   [default: 8]
     --shards <n>                worker shards (threads)    [default: 2]
     --budget-mb <n>             per-shard resident session-memory budget
+    --store-dir <path>          durable session store: spill evictions to
+                                disk and recover sealed sessions on start
     [--dataset <name>] [--buffer <n>] [--seed <n>] [--queue <n>]
     [--step-batches <n>] [--rate <r>] [--fault-seed <n>] [--json]
   serve                         serve a fleet engine over TCP (CHAMWIRE)
@@ -60,7 +62,8 @@ COMMANDS:
     --duration <secs>           run this long, then drain and exit;
                                 omitted: run until stdin reaches EOF
     [--dataset <name>] [--shards <n>] [--workers <n>] [--queue <n>]
-    [--budget-mb <n>] [--seed <n>] [--rate <r>] [--fault-seed <n>] [--json]
+    [--budget-mb <n>] [--seed <n>] [--rate <r>] [--fault-seed <n>]
+    [--store-dir <path>] [--json]
   loadgen                       drive a CHAMWIRE server with client traffic
     --addr <host:port>          target server; omitted: a server is started
                                 in-process (loopback self-serve)
@@ -82,6 +85,11 @@ COMMANDS:
     --replay <seed>             re-check one seed and print its outcome
     --check-golden              re-derive the golden corpus and fail on drift
     --regen-golden              rewrite the golden corpus files
+    --crash-seeds <n>           crash-schedule sweep: kill a store-attached
+                                engine at every eviction boundary per seed,
+                                recover, assert bit-identical outcomes
+    --crash-replay <seed>       re-run one crash-schedule seed
+    [--crash-start-seed <n>]    first crash seed          [default: 0]
     [--golden-dir <path>]       corpus location   [default: tests/golden]
   help                          show this message
 ";
@@ -273,17 +281,7 @@ fn train(options: &Options) -> Result<(), String> {
 /// old checkpoint or none, never a half-written blob at `path`.
 fn save_checkpoint_atomically(learner: &Chameleon, path: &str) -> Result<(), String> {
     let target = std::path::Path::new(path);
-    let dir = target.parent().filter(|d| !d.as_os_str().is_empty());
-    let tmp = match dir {
-        Some(d) => d.join(format!(
-            ".{}.tmp",
-            target
-                .file_name()
-                .and_then(|n| n.to_str())
-                .unwrap_or("checkpoint")
-        )),
-        None => std::path::PathBuf::from(format!(".{path}.tmp")),
-    };
+    let tmp = temp_sibling_path(target);
     let file = File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
     let mut writer = BufWriter::new(file);
     learner
@@ -299,6 +297,21 @@ fn save_checkpoint_atomically(learner: &Chameleon, path: &str) -> Result<(), Str
         std::fs::remove_file(&tmp).ok();
         format!("cannot move checkpoint into place: {e}")
     })
+}
+
+/// Temp-file path for an atomic write to `target`: a dotted sibling in
+/// the *destination's* directory, never the process CWD — `rename` is
+/// only atomic within one filesystem, so the temp file must live next to
+/// where it will land.
+fn temp_sibling_path(target: &std::path::Path) -> std::path::PathBuf {
+    let name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint");
+    match target.parent().filter(|d| !d.as_os_str().is_empty()) {
+        Some(dir) => dir.join(format!(".{name}.tmp")),
+        None => std::path::PathBuf::from(format!(".{name}.tmp")),
+    }
 }
 
 fn faults(options: &Options) -> Result<(), String> {
@@ -373,6 +386,7 @@ fn fleet(options: &Options) -> Result<(), String> {
         "step-batches",
         "rate",
         "fault-seed",
+        "store-dir",
         "json",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
@@ -419,9 +433,35 @@ fn fleet(options: &Options) -> Result<(), String> {
         .map_err(|e| format!("invalid fleet config: {e}"))?;
 
     let scenario = std::sync::Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
-    let mut engine = FleetEngine::new(std::sync::Arc::clone(&scenario), config);
+    let (mut engine, recovery) = match options.get("store-dir") {
+        Some(dir) => {
+            let store = chameleon_store::SharedStore::open(chameleon_store::StoreConfig::new(dir))
+                .map_err(|e| format!("open session store `{dir}`: {e}"))?;
+            let (engine, report) = FleetEngine::recover(
+                std::sync::Arc::clone(&scenario),
+                config,
+                chameleon_runtime::Runtime::Threads,
+                store,
+            )
+            .map_err(|e| format!("recover session store `{dir}`: {e}"))?;
+            (engine, Some(report))
+        }
+        None => (
+            FleetEngine::new(std::sync::Arc::clone(&scenario), config),
+            None,
+        ),
+    };
+    if let Some(report) = &recovery {
+        eprintln!(
+            "store: recovered {} session(s), {} decode reject(s)",
+            report.sessions_recovered, report.decode_rejects
+        );
+    }
 
     for user in 0..sessions {
+        if engine.known(user) {
+            continue; // recovered from the store; resumes on first step
+        }
         engine
             .create_blocking(user, per_user_spec(user, spec.num_classes, &learner, seed))
             .map_err(|e| format!("create session {user}: {e}"))?;
@@ -486,7 +526,8 @@ fn fleet(options: &Options) -> Result<(), String> {
                 mean,
                 &reports,
                 &engine,
-                &metrics
+                &metrics,
+                recovery.as_ref(),
             )
         );
         return Ok(());
@@ -570,6 +611,7 @@ fn per_user_spec(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fleet_json(
     dataset: &str,
     sessions: u64,
@@ -578,6 +620,7 @@ fn fleet_json(
     reports: &[(u64, EvalReport)],
     engine: &FleetEngine,
     metrics: &chameleon_fleet::FleetMetrics,
+    recovery: Option<&chameleon_fleet::RecoveryReport>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -590,6 +633,37 @@ fn fleet_json(
     let _ = writeln!(out, "  \"batches\": {},", metrics.batches());
     let _ = writeln!(out, "  \"evictions\": {},", metrics.evictions());
     let _ = writeln!(out, "  \"restores\": {},", metrics.restores());
+    if let Some(report) = recovery {
+        let _ = writeln!(
+            out,
+            "  \"sessions_recovered\": {},",
+            report.sessions_recovered
+        );
+        let _ = writeln!(
+            out,
+            "  \"store_decode_rejects\": {},",
+            report.decode_rejects
+        );
+    }
+    if let Some(s) = engine.store_counters() {
+        let _ = writeln!(
+            out,
+            "  \"store\": {{\"appends\": {}, \"append_bytes\": {}, \"fsyncs\": {}, \
+             \"rotations\": {}, \"compactions\": {}, \"torn_truncations\": {}, \
+             \"decode_rejects\": {}, \"short_reads\": {}, \"segments\": {}, \
+             \"live_records\": {}}},",
+            s.appends,
+            s.append_bytes,
+            s.fsyncs,
+            s.rotations,
+            s.compactions,
+            s.torn_truncations,
+            s.decode_rejects,
+            s.short_reads,
+            s.segments,
+            s.live_records
+        );
+    }
     let _ = writeln!(out, "  \"users\": [");
     for (i, (user, report)) in reports.iter().enumerate() {
         let _ = writeln!(
@@ -723,6 +797,7 @@ fn serve_configs(options: &Options) -> Result<(DatasetSpec, FleetConfig, ServeCo
     let serve_config = ServeConfig {
         addr: options.get_or("addr", "127.0.0.1:0").to_string(),
         workers,
+        store_dir: options.get("store-dir").map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     serve_config
@@ -745,6 +820,7 @@ fn serve(options: &Options) -> Result<(), String> {
         "seed",
         "rate",
         "fault-seed",
+        "store-dir",
         "json",
     ])?;
     let (spec, fleet_config, serve_config) = serve_configs(options)?;
@@ -1062,6 +1138,9 @@ fn simtest(options: &Options) -> Result<(), String> {
         "check-golden",
         "regen-golden",
         "golden-dir",
+        "crash-seeds",
+        "crash-start-seed",
+        "crash-replay",
     ])?;
     let golden_dir = std::path::PathBuf::from(options.get_or("golden-dir", "tests/golden"));
 
@@ -1097,7 +1176,10 @@ fn simtest(options: &Options) -> Result<(), String> {
             findings.extend(chameleon_simtest::diff(&committed, &derived));
         }
         if findings.is_empty() {
-            println!("simtest: golden corpus conformant (3 files)");
+            println!(
+                "simtest: golden corpus conformant ({} files)",
+                chameleon_simtest::GOLDEN_FILE_NAMES.len()
+            );
             return Ok(());
         }
         for finding in &findings {
@@ -1110,6 +1192,58 @@ fn simtest(options: &Options) -> Result<(), String> {
     }
 
     let scenario = chameleon_simtest::golden_scenario();
+
+    let print_crash = |outcome: &chameleon_simtest::CrashOutcome| {
+        println!(
+            "simtest: crash seed {} OK — {} ops, {} eviction boundaries, \
+             {} session recoveries, {} record(s) lost to the hostile disk{}",
+            outcome.seed,
+            outcome.ops,
+            outcome.boundaries,
+            outcome.sessions_recovered,
+            outcome.records_lost,
+            if outcome.file_faulted {
+                " (file faults on)"
+            } else {
+                ""
+            }
+        );
+    };
+    if let Some(raw) = options.get("crash-replay") {
+        let seed: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --crash-replay"))?;
+        let scratch = chameleon_simtest::crash::default_scratch();
+        let outcome = chameleon_simtest::check_crash_seed(&scenario, seed, &scratch)?;
+        std::fs::remove_dir_all(&scratch).ok();
+        print_crash(&outcome);
+        return Ok(());
+    }
+    if let Some(raw) = options.get("crash-seeds") {
+        let seeds: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --crash-seeds"))?;
+        if seeds == 0 {
+            return Err("--crash-seeds must be at least 1".to_string());
+        }
+        let start: u64 = options.get_parsed_or("crash-start-seed", 0)?;
+        let scratch = chameleon_simtest::crash::default_scratch();
+        let (mut boundaries, mut recoveries, mut lost) = (0u64, 0u64, 0u64);
+        for seed in start..start.saturating_add(seeds) {
+            let outcome = chameleon_simtest::check_crash_seed(&scenario, seed, &scratch)?;
+            boundaries += outcome.boundaries as u64;
+            recoveries += outcome.sessions_recovered;
+            lost += outcome.records_lost;
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+        println!(
+            "simtest: {seeds}/{seeds} crash seeds passed — {boundaries} eviction \
+             boundaries killed and recovered, {recoveries} session recoveries, \
+             {lost} unsynced record(s) lost to hostile disks"
+        );
+        return Ok(());
+    }
+
     if let Some(raw) = options.get("replay") {
         let seed: u64 = raw
             .parse()
@@ -1697,6 +1831,21 @@ mod tests {
         assert!(dispatch(&toks(&["simtest", "--budget-secs", "-1"])).is_err());
         assert!(dispatch(&toks(&["simtest", "--replay", "many"])).is_err());
         assert!(dispatch(&toks(&["simtest", "--bogus", "1"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--crash-seeds", "0"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--crash-seeds", "x"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--crash-replay", "x"])).is_err());
+    }
+
+    #[test]
+    fn simtest_runs_a_crash_schedule_seed() {
+        assert!(dispatch(&toks(&[
+            "simtest",
+            "--crash-seeds",
+            "1",
+            "--crash-start-seed",
+            "4",
+        ]))
+        .is_ok());
     }
 
     #[test]
@@ -1748,6 +1897,80 @@ mod tests {
         ]))
         .expect_err("tampered corpus must fail the gate");
         assert!(err.contains("drift"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temp_sibling_path_stays_in_the_destination_directory() {
+        use std::path::{Path, PathBuf};
+        // An absolute nested target: the temp file must be its sibling,
+        // never a CWD-relative orphan.
+        assert_eq!(
+            temp_sibling_path(Path::new("/a/b/ckpt.bin")),
+            PathBuf::from("/a/b/.ckpt.bin.tmp")
+        );
+        assert_eq!(
+            temp_sibling_path(Path::new("nested/dir/ckpt.bin")),
+            PathBuf::from("nested/dir/.ckpt.bin.tmp")
+        );
+        // A bare filename has no parent; CWD-relative is then correct.
+        assert_eq!(
+            temp_sibling_path(Path::new("ckpt.bin")),
+            PathBuf::from(".ckpt.bin.tmp")
+        );
+    }
+
+    #[test]
+    fn save_checkpoint_lands_in_a_nested_target_directory() {
+        let root = std::env::temp_dir().join(format!("chameleon-cli-save-{}", std::process::id()));
+        let dir = root.join("deep").join("nested");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let target = dir.join("ckpt.bin");
+        dispatch(&toks(&[
+            "train",
+            "--dataset",
+            "core50-tiny",
+            "--seed",
+            "3",
+            "--save",
+            target.to_str().expect("utf8 path"),
+        ]))
+        .expect("train --save with a nested target");
+        assert!(target.is_file(), "checkpoint missing at the nested target");
+        // Renamed into place: no temp sibling left behind, and nothing
+        // dropped into the process CWD.
+        assert!(!dir.join(".ckpt.bin.tmp").exists());
+        assert!(!std::path::Path::new(".ckpt.bin.tmp").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fleet_store_dir_spills_and_recovers_across_runs() {
+        let dir = std::env::temp_dir().join(format!("chameleon-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().expect("utf8 path").to_string();
+        let base = [
+            "fleet",
+            "--dataset",
+            "core50-tiny",
+            "--sessions",
+            "2",
+            "--shards",
+            "1",
+            "--budget-mb",
+            "0.02",
+            "--store-dir",
+            &dir_str,
+        ];
+        dispatch(&toks(&base)).expect("first durable fleet run");
+        assert!(
+            dir.join("MANIFEST").is_file(),
+            "store directory missing its manifest"
+        );
+        // Second run recovers the sealed sessions and keeps serving.
+        let mut with_json: Vec<&str> = base.to_vec();
+        with_json.push("--json");
+        dispatch(&toks(&with_json)).expect("recovered durable fleet run");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

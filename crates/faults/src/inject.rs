@@ -25,6 +25,15 @@ pub struct FaultStats {
     pub checkpoints_corrupted: u64,
     /// Total checkpoint bytes damaged by corruption events.
     pub checkpoint_bytes_damaged: u64,
+    /// Fsyncs that acknowledged durability for only part of the pending
+    /// bytes (lying write cache).
+    pub fsyncs_partial: u64,
+    /// Reads that returned fewer bytes than requested.
+    pub short_reads: u64,
+    /// Crash events that tore the non-durable file tail.
+    pub writes_torn: u64,
+    /// Bits flipped in surviving non-durable file tails at crash time.
+    pub file_bits_flipped: u64,
 }
 
 impl FaultStats {
@@ -50,6 +59,22 @@ impl CheckpointDamage {
     }
 }
 
+/// What [`FaultInjector::crash_damage`] did to one file tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashDamage {
+    /// Bytes of the non-durable tail discarded by tearing.
+    pub torn_bytes: usize,
+    /// Offset within the surviving tail whose byte had a bit flipped.
+    pub flipped_at: Option<usize>,
+}
+
+impl CrashDamage {
+    /// Whether the tail was modified at all.
+    pub fn any(&self) -> bool {
+        self.torn_bytes > 0 || self.flipped_at.is_some()
+    }
+}
+
 /// Stateful fault injector.
 ///
 /// Each fault category draws from its own RNG stream forked from the plan
@@ -66,6 +91,7 @@ pub struct FaultInjector {
     memory_rng: Prng,
     checkpoint_rng: Prng,
     stream_rng: Prng,
+    file_rng: Prng,
     stats: FaultStats,
 }
 
@@ -78,6 +104,7 @@ impl FaultInjector {
             memory_rng: root.fork(1),
             checkpoint_rng: root.fork(2),
             stream_rng: root.fork(3),
+            file_rng: root.fork(4),
             stats: FaultStats::default(),
         }
     }
@@ -197,12 +224,73 @@ impl FaultInjector {
         }
         vec![batch]
     }
+
+    /// Decides whether an fsync covering `pending` un-durable bytes lies:
+    /// returns `Some(durable_prefix)` (strictly less than `pending`) when
+    /// the hardware acknowledges durability for only a prefix, `None` when
+    /// the fsync is honest. The lost suffix only matters at the next crash.
+    pub fn partial_fsync(&mut self, pending: usize) -> Option<usize> {
+        let model = self.plan.file;
+        if model.partial_fsync_prob <= 0.0 || pending == 0 {
+            return None;
+        }
+        if !self.file_rng.coin(model.partial_fsync_prob as f32) {
+            return None;
+        }
+        self.stats.fsyncs_partial += 1;
+        Some(self.file_rng.below(pending))
+    }
+
+    /// Decides whether a read of `requested` bytes comes up short: returns
+    /// `Some(delivered)` (strictly less than `requested`) for a transient
+    /// short read the caller should detect and retry, `None` for a full
+    /// read.
+    pub fn short_read(&mut self, requested: usize) -> Option<usize> {
+        let model = self.plan.file;
+        if model.short_read_prob <= 0.0 || requested == 0 {
+            return None;
+        }
+        if !self.file_rng.coin(model.short_read_prob as f32) {
+            return None;
+        }
+        self.stats.short_reads += 1;
+        Some(self.file_rng.below(requested))
+    }
+
+    /// Damages the non-durable tail of a file at simulated power loss:
+    /// possibly tears it (keeping only a prefix), then possibly flips one
+    /// bit at a chosen offset in whatever survives. Durable (fsynced) bytes
+    /// are never touched — that is the whole point of the fsync contract.
+    pub fn crash_damage(&mut self, tail: &mut Vec<u8>) -> CrashDamage {
+        let model = self.plan.file;
+        let mut damage = CrashDamage::default();
+        if (model.torn_write_prob <= 0.0 && model.bit_flip_prob <= 0.0) || tail.is_empty() {
+            return damage;
+        }
+        if model.torn_write_prob > 0.0 && self.file_rng.coin(model.torn_write_prob as f32) {
+            let keep = self.file_rng.below(tail.len());
+            damage.torn_bytes = tail.len() - keep;
+            tail.truncate(keep);
+            self.stats.writes_torn += 1;
+        }
+        if model.bit_flip_prob > 0.0
+            && !tail.is_empty()
+            && self.file_rng.coin(model.bit_flip_prob as f32)
+        {
+            let i = self.file_rng.below(tail.len());
+            let bit = self.file_rng.below(8) as u8;
+            tail[i] ^= 1 << bit;
+            damage.flipped_at = Some(i);
+            self.stats.file_bits_flipped += 1;
+        }
+        damage
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{CheckpointFaultModel, FaultPlan, StreamFaultModel};
+    use crate::plan::{CheckpointFaultModel, FaultPlan, FileFaultModel, StreamFaultModel};
     use chameleon_tensor::Matrix;
 
     fn batch(labels: Vec<usize>) -> Batch {
@@ -229,12 +317,21 @@ mod tests {
         let out = injector.mangle_batch(batch(vec![0, 1]));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].labels, vec![0, 1]);
+        assert!(injector.partial_fsync(4096).is_none());
+        assert!(injector.short_read(4096).is_none());
+        let mut tail = vec![9u8; 32];
+        assert!(!injector.crash_damage(&mut tail).any());
+        assert_eq!(tail, vec![9u8; 32]);
         assert!(!injector.stats().any());
         // No randomness consumed: internal streams still match a fresh one.
         let fresh = FaultInjector::new(FaultPlan::disabled(3));
         assert_eq!(
             format!("{:?}", injector.memory_rng),
             format!("{:?}", fresh.memory_rng)
+        );
+        assert_eq!(
+            format!("{:?}", injector.file_rng),
+            format!("{:?}", fresh.file_rng)
         );
     }
 
@@ -339,15 +436,72 @@ mod tests {
     }
 
     #[test]
+    fn file_faults_fire_and_replay_from_their_seed() {
+        let model = FileFaultModel {
+            torn_write_prob: 0.6,
+            partial_fsync_prob: 0.4,
+            short_read_prob: 0.5,
+            bit_flip_prob: 0.5,
+        };
+        let run = || {
+            let mut injector = FaultInjector::new(FaultPlan::file_faults(77, model));
+            let mut outcomes = Vec::new();
+            for round in 0..60usize {
+                outcomes.push(injector.partial_fsync(100 + round));
+                outcomes.push(injector.short_read(64));
+                let mut tail: Vec<u8> = (0..40).map(|i| i as u8).collect();
+                let damage = injector.crash_damage(&mut tail);
+                outcomes.push(Some(damage.torn_bytes));
+                outcomes.push(damage.flipped_at);
+                outcomes.push(Some(tail.iter().map(|&b| b as usize).sum()));
+            }
+            (outcomes, injector.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "same seed must replay identical file faults");
+        assert_eq!(sa, sb);
+        assert!(sa.fsyncs_partial > 0, "{sa:?}");
+        assert!(sa.short_reads > 0, "{sa:?}");
+        assert!(sa.writes_torn > 0, "{sa:?}");
+        assert!(sa.file_bits_flipped > 0, "{sa:?}");
+    }
+
+    #[test]
+    fn partial_outcomes_are_strictly_smaller_than_requested() {
+        let model = FileFaultModel {
+            torn_write_prob: 0.0,
+            partial_fsync_prob: 1.0,
+            short_read_prob: 1.0,
+            bit_flip_prob: 0.0,
+        };
+        let mut injector = FaultInjector::new(FaultPlan::file_faults(5, model));
+        for _ in 0..200 {
+            let durable = injector.partial_fsync(37).expect("prob 1.0");
+            assert!(durable < 37);
+            let delivered = injector.short_read(12).expect("prob 1.0");
+            assert!(delivered < 12);
+        }
+        assert!(injector.partial_fsync(0).is_none());
+        assert!(injector.short_read(0).is_none());
+    }
+
+    #[test]
     fn category_streams_are_independent() {
-        // Interleaving checkpoint corruption between memory injections must
-        // not change which memory bits flip.
+        // Interleaving checkpoint corruption and file faults between memory
+        // injections must not change which memory bits flip.
         let plan = {
             let mut p = FaultPlan::bit_flips(13, 1e-4);
             p.checkpoint = CheckpointFaultModel {
                 truncate_prob: 0.5,
                 corrupt_prob: 0.5,
                 max_corrupt_bytes: 4,
+            };
+            p.file = FileFaultModel {
+                torn_write_prob: 0.5,
+                partial_fsync_prob: 0.5,
+                short_read_prob: 0.5,
+                bit_flip_prob: 0.5,
             };
             p
         };
@@ -359,6 +513,10 @@ mod tests {
                 if interleave {
                     let mut blob = vec![0u8; 64];
                     injector.corrupt_checkpoint(&mut blob);
+                    injector.partial_fsync(128);
+                    injector.short_read(128);
+                    let mut tail = vec![0u8; 32];
+                    injector.crash_damage(&mut tail);
                 }
             }
             // Compare bit patterns: flips can produce NaN, and NaN != NaN.

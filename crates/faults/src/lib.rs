@@ -15,6 +15,10 @@
 //!   checkpoint blobs, exercising loader robustness and recovery.
 //! * **Stream faults** — dropped batches, duplicated batches, and label
 //!   noise between the scenario and the strategy.
+//! * **File faults** — durable-storage failure modes around power loss
+//!   (torn writes, lying partial fsyncs, short reads, tail bit flips),
+//!   consumed by the `chameleon-store` segment log's I/O seam so crash
+//!   schedules are seeded and replayable.
 //!
 //! Everything is driven by a single [`FaultPlan`] seed through
 //! independently forked RNG streams per fault category, so the same plan
@@ -42,9 +46,10 @@
 mod inject;
 mod plan;
 
-pub use inject::{CheckpointDamage, FaultInjector, FaultStats};
+pub use inject::{CheckpointDamage, CrashDamage, FaultInjector, FaultStats};
 pub use plan::{
-    CheckpointFaultModel, FaultPlan, MemoryFaultModel, StreamFaultModel, DRAM_TO_SRAM_RATIO,
+    CheckpointFaultModel, FaultPlan, FileFaultModel, MemoryFaultModel, StreamFaultModel,
+    DRAM_TO_SRAM_RATIO,
 };
 
 pub use chameleon_replay::StorePlacement;

@@ -119,6 +119,52 @@ impl StreamFaultModel {
     }
 }
 
+/// Damage model for durable file I/O (the `chameleon-store` segment log).
+///
+/// These faults model what storage hardware does around a power cut, not
+/// steady-state corruption: sealed-and-fsynced bytes are assumed stable,
+/// while bytes still in the write path can be lost, partially persisted,
+/// or garbled. The store's I/O seam consults the injector at three
+/// points — fsync acknowledgement ([`crate::FaultInjector::partial_fsync`]),
+/// reads ([`crate::FaultInjector::short_read`]), and simulated power loss
+/// ([`crate::FaultInjector::crash_damage`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FileFaultModel {
+    /// Probability a crash tears the un-fsynced tail of the active
+    /// segment: only a prefix of the not-yet-durable suffix survives.
+    pub torn_write_prob: f64,
+    /// Probability an fsync "succeeds" while actually persisting only a
+    /// prefix of the pending bytes (write-cache hardware lying about
+    /// durability). The lost suffix disappears at the next crash.
+    pub partial_fsync_prob: f64,
+    /// Probability a read returns fewer bytes than requested (transient
+    /// short read; the store detects and retries).
+    pub short_read_prob: f64,
+    /// Probability a crash flips one bit at an injector-chosen offset
+    /// inside the surviving non-durable tail region.
+    pub bit_flip_prob: f64,
+}
+
+impl FileFaultModel {
+    /// No file faults.
+    pub fn disabled() -> Self {
+        Self {
+            torn_write_prob: 0.0,
+            partial_fsync_prob: 0.0,
+            short_read_prob: 0.0,
+            bit_flip_prob: 0.0,
+        }
+    }
+
+    /// Whether every file-fault probability is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.torn_write_prob == 0.0
+            && self.partial_fsync_prob == 0.0
+            && self.short_read_prob == 0.0
+            && self.bit_flip_prob == 0.0
+    }
+}
+
 /// A complete, seeded fault-injection campaign description.
 ///
 /// The same plan always produces the same faults over the same run: the
@@ -134,6 +180,8 @@ pub struct FaultPlan {
     pub checkpoint: CheckpointFaultModel,
     /// Stream perturbation model.
     pub stream: StreamFaultModel,
+    /// Durable file I/O damage model (session-store crash schedules).
+    pub file: FileFaultModel,
 }
 
 impl FaultPlan {
@@ -145,6 +193,7 @@ impl FaultPlan {
             memory: MemoryFaultModel::disabled(),
             checkpoint: CheckpointFaultModel::disabled(),
             stream: StreamFaultModel::disabled(),
+            file: FileFaultModel::disabled(),
         }
     }
 
@@ -156,12 +205,29 @@ impl FaultPlan {
             memory: MemoryFaultModel::from_dram_rate(dram_flips_per_bit_per_tick),
             checkpoint: CheckpointFaultModel::disabled(),
             stream: StreamFaultModel::disabled(),
+            file: FileFaultModel::disabled(),
+        }
+    }
+
+    /// A file-faults-only plan: crash-time tearing, lying fsyncs, short
+    /// reads, and tail bit flips at the given probabilities — the model
+    /// the session store's crash schedules run under.
+    pub fn file_faults(seed: u64, file: FileFaultModel) -> Self {
+        Self {
+            seed,
+            memory: MemoryFaultModel::disabled(),
+            checkpoint: CheckpointFaultModel::disabled(),
+            stream: StreamFaultModel::disabled(),
+            file,
         }
     }
 
     /// Whether every fault category is disabled.
     pub fn is_noop(&self) -> bool {
-        self.memory.is_zero() && self.checkpoint.is_zero() && self.stream.is_zero()
+        self.memory.is_zero()
+            && self.checkpoint.is_zero()
+            && self.stream.is_zero()
+            && self.file.is_zero()
     }
 }
 

@@ -10,11 +10,13 @@ use std::thread::JoinHandle;
 use chameleon_faults::FaultPlan;
 use chameleon_obs::Observer;
 use chameleon_runtime::{Runtime, WallClock};
+use chameleon_store::{SharedStore, StoreCounters, StoreError};
 use chameleon_stream::{ConfigError, DomainIlScenario};
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::metrics::FleetMetrics;
 use crate::session::{splitmix64, SessionId, SessionSpec};
-use crate::shard::{Request, SessionCommand, SessionEvent, ShardWorker};
+use crate::shard::{RecoveredSession, Request, SessionCommand, SessionEvent, ShardWorker};
 use crate::sim::SimExecutor;
 
 /// Shape of a fleet: shard count, queue bound, per-shard session-memory
@@ -132,6 +134,17 @@ enum Backend {
     Sim(SimExecutor),
 }
 
+/// What [`FleetEngine::recover`] rebuilt from the durable session store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions whose last sealed checkpoint was validated and re-seeded
+    /// as cold state on their home shard.
+    pub sessions_recovered: usize,
+    /// Sealed records that failed validation (corrupt payload, session
+    /// mismatch) and were skipped.
+    pub decode_rejects: usize,
+}
+
 /// A sharded multi-session engine.
 ///
 /// Sessions are assigned to shards by seeded hash of their id, so an
@@ -146,6 +159,7 @@ pub struct FleetEngine {
     known: HashSet<SessionId>,
     pending: usize,
     observer: Arc<Observer>,
+    store: Option<SharedStore>,
 }
 
 impl FleetEngine {
@@ -207,9 +221,148 @@ impl FleetEngine {
         runtime: Runtime,
         observer: Arc<Observer>,
     ) -> Self {
+        Self::build(scenario, config, runtime, observer, None, Vec::new())
+    }
+
+    /// Builds an engine with the durable session store attached: LRU
+    /// evictions write through it (checkpoint sealed + fsynced before the
+    /// RAM copy is dropped) and cold restores read through it. Starts from
+    /// whatever the store already holds *without* recovering it — use
+    /// [`Self::recover`] to also re-seed sessions from disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn with_store(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        store: SharedStore,
+    ) -> Self {
+        let observer = Self::default_observer(&runtime);
+        Self::build(scenario, config, runtime, observer, Some(store), Vec::new())
+    }
+
+    /// [`Self::with_store`] with a caller-supplied [`Observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn with_observer_and_store(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        observer: Arc<Observer>,
+        store: SharedStore,
+    ) -> Self {
+        Self::build(scenario, config, runtime, observer, Some(store), Vec::new())
+    }
+
+    /// Rebuilds a fleet from the durable session store after a crash:
+    /// every session with a sealed record is validated against its
+    /// `CHAMFLT1` envelope and re-seeded cold on its home shard, to be
+    /// restored (to exactly its last sealed checkpoint) on first touch.
+    /// Records that fail validation are counted and skipped, never
+    /// panicked on.
+    ///
+    /// # Errors
+    ///
+    /// I/O or manifest failures reading the store. Per-record corruption
+    /// is *not* an error — it lands in [`RecoveryReport::decode_rejects`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn recover(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        store: SharedStore,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let observer = Self::default_observer(&runtime);
+        Self::recover_with_observer(scenario, config, runtime, observer, store)
+    }
+
+    /// [`Self::recover`] with a caller-supplied [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FleetConfig::validate`].
+    pub fn recover_with_observer(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        observer: Arc<Observer>,
+        store: SharedStore,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         if let Err(e) = config.validate() {
             panic!("invalid fleet config: {e}");
         }
+        let mut per_shard: Vec<Vec<RecoveredSession>> = vec![Vec::new(); config.num_shards];
+        let mut rejects = 0usize;
+        for id in store.sessions() {
+            match store.get(id) {
+                Ok(Some(blob)) => match SessionCheckpoint::from_bytes(&blob) {
+                    Ok(checkpoint) if checkpoint.session == id => {
+                        let seq = store.latest_seq(id).unwrap_or(0);
+                        let shard = (splitmix64(id ^ config.assignment_seed)
+                            % config.num_shards as u64)
+                            as usize;
+                        per_shard[shard].push((id, seq, checkpoint.counters));
+                    }
+                    _ => rejects += 1,
+                },
+                Ok(None) => {}
+                Err(error @ (StoreError::Io { .. } | StoreError::Manifest { .. })) => {
+                    return Err(error)
+                }
+                Err(StoreError::Crashed) => return Err(StoreError::Crashed),
+                // Corrupt / IndexMismatch: that session's record is bad;
+                // skip it and keep recovering the rest.
+                Err(_) => rejects += 1,
+            }
+        }
+        let sessions_recovered = per_shard.iter().map(Vec::len).sum();
+        let engine = Self::build(scenario, config, runtime, observer, Some(store), per_shard);
+        engine.observer.event(format!(
+            "store: recovered {sessions_recovered} sessions ({rejects} rejects)"
+        ));
+        Ok((
+            engine,
+            RecoveryReport {
+                sessions_recovered,
+                decode_rejects: rejects,
+            },
+        ))
+    }
+
+    /// A default observer on the runtime-matching clock.
+    fn default_observer(runtime: &Runtime) -> Arc<Observer> {
+        match runtime {
+            Runtime::Threads => Arc::new(Observer::new(WallClock::shared())),
+            Runtime::Sim(scheduler) => Arc::new(Observer::new(scheduler.clock())),
+        }
+    }
+
+    fn build(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        runtime: Runtime,
+        observer: Arc<Observer>,
+        store: Option<SharedStore>,
+        mut recovered: Vec<Vec<RecoveredSession>>,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid fleet config: {e}");
+        }
+        let known: HashSet<SessionId> = recovered
+            .iter()
+            .flat_map(|seeds| seeds.iter().map(|(id, _, _)| *id))
+            .collect();
         let (event_tx, event_rx) = mpsc::channel();
         let backend = match runtime {
             Runtime::Threads => {
@@ -217,7 +370,7 @@ impl FleetEngine {
                 let shards = (0..config.num_shards)
                     .map(|shard| {
                         let (tx, rx) = mpsc::sync_channel(config.queue_depth);
-                        let worker = ShardWorker::new(
+                        let mut worker = ShardWorker::new(
                             shard,
                             Arc::clone(&scenario),
                             config.faults,
@@ -226,6 +379,10 @@ impl FleetEngine {
                             event_tx.clone(),
                             Arc::clone(&observer),
                         );
+                        if let Some(store) = &store {
+                            let seeds = recovered.get_mut(shard).map(std::mem::take);
+                            worker.attach_store(store.clone(), seeds.unwrap_or_default());
+                        }
                         let join = std::thread::Builder::new()
                             .name(format!("fleet-shard-{shard}"))
                             .spawn(move || worker.run(rx))
@@ -245,6 +402,8 @@ impl FleetEngine {
                 scheduler,
                 event_tx,
                 Arc::clone(&observer),
+                store.clone(),
+                recovered,
             )),
         };
         Self {
@@ -252,15 +411,22 @@ impl FleetEngine {
             backend,
             events: event_rx,
             buffered: VecDeque::new(),
-            known: HashSet::new(),
+            known,
             pending: 0,
             observer,
+            store,
         }
     }
 
     /// The span recorder + event log this engine's shard workers feed.
     pub fn observer(&self) -> Arc<Observer> {
         Arc::clone(&self.observer)
+    }
+
+    /// Counters of the attached durable session store, `None` when the
+    /// engine runs RAM-only.
+    pub fn store_counters(&self) -> Option<StoreCounters> {
+        self.store.as_ref().map(SharedStore::counters)
     }
 
     /// The scheduler seed when running under simulation, else `None`.

@@ -77,7 +77,7 @@ mod shard;
 mod sim;
 
 pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC};
-pub use engine::{Backpressure, FleetConfig, FleetEngine, FleetError};
+pub use engine::{Backpressure, FleetConfig, FleetEngine, FleetError, RecoveryReport};
 pub use metrics::{FleetMetrics, ShardMetrics};
 pub use session::{session_fault_plan, SessionId, SessionSpec, UserSession};
 pub use shard::{SessionCommand, SessionEvent, SessionEventKind};

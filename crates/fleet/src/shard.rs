@@ -104,9 +104,24 @@ struct Resident {
     bytes: u64,
 }
 
-struct Cold {
-    checkpoint: SessionCheckpoint,
+/// A non-resident session: either its checkpoint held in RAM (no durable
+/// store attached, or the store write failed) or a marker for a blob whose
+/// latest sealed record lives in the session store — the genuine spill
+/// path, where eviction actually frees the checkpoint's memory.
+enum Cold {
+    Ram(Box<SessionCheckpoint>),
+    Disk {
+        /// Sequence number the store acknowledged for the latest record.
+        #[allow(dead_code)] // diagnostic; the store's index is authoritative
+        seq: u64,
+        /// Counters kept aside so metrics snapshots and trace merges do not
+        /// need a disk read.
+        counters: chameleon_core::LearnerCounters,
+    },
 }
+
+/// A session pre-seeded into a shard's cold map by engine recovery.
+pub(crate) type RecoveredSession = (SessionId, u64, chameleon_core::LearnerCounters);
 
 /// The state owned by one shard worker — on its own thread in
 /// production, or driven request-by-request by the simulation executor.
@@ -127,6 +142,9 @@ pub(crate) struct ShardWorker {
     /// clock reads on the hot path), so per-stage span totals reconcile
     /// exactly with [`ShardMetrics`] and simulation digests stay put.
     obs: Arc<Observer>,
+    /// Durable session store; when attached, evictions write through it
+    /// and restores read through it.
+    store: Option<chameleon_store::SharedStore>,
 }
 
 impl ShardWorker {
@@ -156,6 +174,34 @@ impl ShardWorker {
                 ..ShardMetrics::default()
             },
             obs,
+            store: None,
+        }
+    }
+
+    /// Attaches the durable store and pre-seeds recovered sessions as
+    /// disk-cold. Called by the engine between worker construction and
+    /// first request; recovered sessions restore lazily on first touch.
+    pub(crate) fn attach_store(
+        &mut self,
+        store: chameleon_store::SharedStore,
+        recovered: Vec<RecoveredSession>,
+    ) {
+        for (id, seq, counters) in recovered {
+            self.cold.insert(id, Cold::Disk { seq, counters });
+        }
+        self.store = Some(store);
+    }
+
+    /// Reads a cold session's blob back from the attached store.
+    fn fetch_cold_blob(&mut self, id: SessionId) -> Result<Vec<u8>, String> {
+        let store = self
+            .store
+            .as_ref()
+            .expect("disk-cold session without a store");
+        match store.get(id) {
+            Ok(Some(blob)) => Ok(blob),
+            Ok(None) => Err(format!("store lost session {id}: no sealed record")),
+            Err(e) => Err(format!("store read failed: {e}")),
         }
     }
 
@@ -280,17 +326,26 @@ impl ShardWorker {
                     let elapsed = self.time.now_nanos().saturating_sub(start);
                     self.metrics.checkpoint_nanos += elapsed;
                     self.obs.record(Stage::Checkpoint, elapsed);
-                    Some(blob)
+                    Ok(Some(blob))
                 } else {
-                    self.cold.get(&id).map(|cold| cold.checkpoint.to_bytes())
+                    match self.cold.get(&id) {
+                        Some(Cold::Ram(checkpoint)) => Ok(Some(checkpoint.to_bytes())),
+                        // A disk-cold blob is served verbatim: the stored
+                        // record *is* the CHAMFLT1 envelope.
+                        Some(Cold::Disk { .. }) => self.fetch_cold_blob(id).map(Some),
+                        None => Ok(None),
+                    }
                 };
                 match blob {
-                    Some(blob) => self.emit(id, correlation, SessionEventKind::Checkpointed(blob)),
-                    None => self.emit(
+                    Ok(Some(blob)) => {
+                        self.emit(id, correlation, SessionEventKind::Checkpointed(blob));
+                    }
+                    Ok(None) => self.emit(
                         id,
                         correlation,
                         SessionEventKind::Failed("session unknown to this shard".into()),
                     ),
+                    Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
                 }
             }
             SessionCommand::Evict => {
@@ -321,10 +376,31 @@ impl ShardWorker {
         let Some(cold) = self.cold.remove(&id) else {
             return Err("session unknown to this shard".into());
         };
+        // Resolve the checkpoint; a disk-cold session reads through the
+        // store first. On any failure the cold entry is put back so the
+        // session is not silently lost.
+        let checkpoint = match cold {
+            Cold::Ram(checkpoint) => checkpoint,
+            Cold::Disk { seq, counters } => {
+                let loaded = self.fetch_cold_blob(id).and_then(|blob| {
+                    SessionCheckpoint::from_bytes(&blob)
+                        .map_err(|e| format!("stored checkpoint rejected: {e:?}"))
+                });
+                match loaded {
+                    Ok(checkpoint) => Box::new(checkpoint),
+                    Err(reason) => {
+                        self.cold.insert(id, Cold::Disk { seq, counters });
+                        self.obs.event(format!(
+                            "shard {}: session {id} restore failed: {reason}",
+                            self.shard
+                        ));
+                        return Err(format!("restore failed: {reason}"));
+                    }
+                }
+            }
+        };
         let start = self.time.now_nanos();
-        let restored = cold
-            .checkpoint
-            .restore(Arc::clone(&self.scenario), self.faults.as_ref());
+        let restored = checkpoint.restore(Arc::clone(&self.scenario), self.faults.as_ref());
         let elapsed = self.time.now_nanos().saturating_sub(start);
         self.metrics.restore_nanos += elapsed;
         self.obs.record(Stage::Restore, elapsed);
@@ -339,7 +415,7 @@ impl ShardWorker {
             }
             Err(e) => {
                 // Put the blob back so the session is not silently lost.
-                self.cold.insert(id, cold);
+                self.cold.insert(id, Cold::Ram(checkpoint));
                 self.obs.event(format!(
                     "shard {}: session {id} restore failed: {e:?}",
                     self.shard
@@ -391,7 +467,27 @@ impl ShardWorker {
         self.metrics.evictions += 1;
         self.obs
             .event(format!("shard {}: session {id} evicted", self.shard));
-        self.cold.insert(id, Cold { checkpoint });
+        let cold = match &self.store {
+            Some(store) => {
+                // Write-ahead discipline: append seals + fsyncs before it
+                // returns; only an acknowledged write lets the RAM copy go.
+                match store.append(id, &checkpoint.to_bytes()) {
+                    Ok(seq) => Cold::Disk {
+                        seq,
+                        counters: checkpoint.counters,
+                    },
+                    Err(e) => {
+                        self.obs.event(format!(
+                            "shard {}: session {id} spill failed, kept in RAM: {e}",
+                            self.shard
+                        ));
+                        Cold::Ram(Box::new(checkpoint))
+                    }
+                }
+            }
+            None => Cold::Ram(Box::new(checkpoint)),
+        };
+        self.cold.insert(id, cold);
     }
 
     pub(crate) fn snapshot(&self) -> ShardMetrics {
@@ -404,7 +500,10 @@ impl ShardWorker {
             m.trace.merge(&resident.session.trace());
         }
         for cold in self.cold.values() {
-            m.trace.merge(&cold.checkpoint.counters.trace);
+            match cold {
+                Cold::Ram(checkpoint) => m.trace.merge(&checkpoint.counters.trace),
+                Cold::Disk { counters, .. } => m.trace.merge(&counters.trace),
+            }
         }
         m
     }

@@ -21,7 +21,7 @@ use chameleon_stream::DomainIlScenario;
 
 use crate::engine::{Backpressure, FleetConfig, FleetError};
 use crate::metrics::ShardMetrics;
-use crate::shard::{Request, SessionEvent, ShardWorker};
+use crate::shard::{RecoveredSession, Request, SessionEvent, ShardWorker};
 
 /// All shard workers of one fleet, executed cooperatively under a
 /// seeded scheduler on a shared virtual clock.
@@ -39,11 +39,13 @@ impl SimExecutor {
         scheduler: SimScheduler,
         events: Sender<SessionEvent>,
         observer: Arc<Observer>,
+        store: Option<chameleon_store::SharedStore>,
+        mut recovered: Vec<Vec<RecoveredSession>>,
     ) -> Self {
         let clock: Arc<dyn Clock> = scheduler.clock();
         let workers = (0..config.num_shards)
             .map(|shard| {
-                ShardWorker::new(
+                let mut worker = ShardWorker::new(
                     shard,
                     Arc::clone(&scenario),
                     config.faults,
@@ -51,7 +53,12 @@ impl SimExecutor {
                     Arc::clone(&clock),
                     events.clone(),
                     Arc::clone(&observer),
-                )
+                );
+                if let Some(store) = &store {
+                    let seeds = recovered.get_mut(shard).map(std::mem::take);
+                    worker.attach_store(store.clone(), seeds.unwrap_or_default());
+                }
+                worker
             })
             .collect();
         Self {

@@ -68,6 +68,10 @@ pub struct ServeConfig {
     /// Per-frame payload cap enforced by this server (≤
     /// [`MAX_PAYLOAD_BYTES`]).
     pub max_payload: usize,
+    /// When set, evicted sessions are spilled to a durable
+    /// [`chameleon_store::SessionStore`] in this directory, and startup
+    /// recovers every session sealed there back to its last checkpoint.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             retry_after: Duration::from_millis(2),
             max_payload: MAX_PAYLOAD_BYTES,
+            store_dir: None,
         }
     }
 }
@@ -193,12 +198,33 @@ impl Server {
         // into it, the connection workers add encode/decode spans, and
         // `Request::Observe` snapshots it all in one round-trip.
         let observer = Arc::new(Observer::new(Arc::clone(&clock)));
-        let fleet = FleetEngine::with_observer(
-            scenario,
-            fleet_config,
-            Runtime::Threads,
-            Arc::clone(&observer),
-        );
+        let fleet = match &config.store_dir {
+            Some(dir) => {
+                // Durable mode: open (or create) the session store, then
+                // recover — every sealed session comes back cold on its
+                // home shard before the first request is accepted.
+                let store_err =
+                    |e: chameleon_store::StoreError| std::io::Error::other(e.to_string());
+                let store =
+                    chameleon_store::SharedStore::open(chameleon_store::StoreConfig::new(dir))
+                        .map_err(store_err)?;
+                let (fleet, _report) = FleetEngine::recover_with_observer(
+                    scenario,
+                    fleet_config,
+                    Runtime::Threads,
+                    Arc::clone(&observer),
+                    store,
+                )
+                .map_err(store_err)?;
+                fleet
+            }
+            None => FleetEngine::with_observer(
+                scenario,
+                fleet_config,
+                Runtime::Threads,
+                Arc::clone(&observer),
+            ),
+        };
         let (op_tx, op_rx) = mpsc::channel::<EngineOp>();
         let engine_metrics = Arc::clone(&metrics);
         let retry_after = config.retry_after;
@@ -460,6 +486,21 @@ fn build_observation(fleet: &mut FleetEngine, metrics: &ServeMetrics) -> Observa
     o.push_counter("serve.backpressure_replies", c.backpressure_replies);
     o.push_counter("serve.requests_ok", c.requests_ok);
     o.push_counter("serve.requests_failed", c.requests_failed);
+    if let Some(s) = fleet.store_counters() {
+        o.push_counter("store.appends", s.appends);
+        o.push_counter("store.append_bytes", s.append_bytes);
+        o.push_counter("store.fsyncs", s.fsyncs);
+        o.push_counter("store.rotations", s.rotations);
+        o.push_counter("store.compactions", s.compactions);
+        o.push_counter("store.torn_truncations", s.torn_truncations);
+        o.push_counter("store.truncated_bytes", s.truncated_bytes);
+        o.push_counter("store.decode_rejects", s.decode_rejects);
+        o.push_counter("store.short_reads", s.short_reads);
+        o.push_counter("store.sessions_recovered", s.sessions_recovered);
+        o.push_counter("store.segments", s.segments);
+        o.push_counter("store.live_records", s.live_records);
+        o.push_counter("store.dead_bytes", s.dead_bytes);
+    }
     o
 }
 

@@ -253,13 +253,15 @@ fn golden_observation() -> Observation {
 
 /// Derives the checkpoint family: full `CHAMFLT1` session blobs (clean
 /// and faulted) and the embedded `CHAMLN02` learner blob, from a fixed
-/// 12-batch solo session.
+/// 12-batch solo session — plus the `CHAMSEG1` durable-store framing
+/// those blobs are sealed into on eviction.
 fn derive_checkpoints() -> GoldenFile {
     let scenario = golden_scenario();
     let version = format!(
-        "{}+{}",
+        "{}+{}+{}",
         String::from_utf8_lossy(chameleon_fleet::FLEET_MAGIC),
         String::from_utf8_lossy(chameleon_core::checkpoint::MAGIC),
+        String::from_utf8_lossy(chameleon_store::SEGMENT_MAGIC),
     );
     let blob_after = |faults: Option<FaultPlan>| {
         let mut session = UserSession::new(
@@ -282,6 +284,18 @@ fn derive_checkpoints() -> GoldenFile {
             ("chamflt1_clean".to_string(), hex(&clean.to_bytes())),
             ("chamln02_clean".to_string(), hex(&clean.learner_blob)),
             ("chamflt1_faulted".to_string(), hex(&faulted.to_bytes())),
+            (
+                "chamseg1_header".to_string(),
+                hex(chameleon_store::SEGMENT_MAGIC),
+            ),
+            (
+                "chamseg1_record_clean".to_string(),
+                hex(&chameleon_store::encode_record(1, 0, &clean.to_bytes())),
+            ),
+            (
+                "chamseg1_record_empty".to_string(),
+                hex(&chameleon_store::encode_record(7, 3, &[])),
+            ),
         ],
     }
 }

@@ -21,7 +21,11 @@
 //!   determinism at the end;
 //! - [`soak`] — the budgeted seed sweep, and [`golden`] — the committed
 //!   conformance corpus that pins wire frames, checkpoint bytes, and
-//!   metric digests against silent format drift.
+//!   metric digests against silent format drift;
+//! - [`crash`] — the durable-store crash schedule: kill a store-attached
+//!   engine at every eviction boundary (optionally on a hostile disk),
+//!   recover, and assert every session comes back to exactly its last
+//!   sealed checkpoint with bit-identical subsequent training.
 //!
 //! The `chameleon simtest` CLI subcommand fronts the soak runner and
 //! the golden corpus gate.
@@ -29,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod digest;
 pub mod explorer;
 pub mod golden;
 pub mod script;
 pub mod soak;
 
+pub use crash::{check_crash_seed, CrashOutcome};
 pub use digest::{digest_events, digest_spans, encode_event, ShardScope};
 pub use explorer::{check_seed, SeedOutcome};
 pub use golden::{

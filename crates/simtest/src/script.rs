@@ -118,6 +118,27 @@ pub fn fault_plan(seed: u64) -> Option<FaultPlan> {
     }
 }
 
+/// The *file* fault plan a crash-schedule seed runs its session store
+/// under: every other seed simulates a hostile disk (torn tails at power
+/// loss, lying write caches, transient short reads, a stray media bit
+/// flip in the unsynced tail), the rest pin the clean-disk path. Same
+/// even/odd split as [`fault_plan`] so half the sweep is adversarial.
+pub fn file_fault_plan(seed: u64) -> Option<FaultPlan> {
+    if seed % 2 == 1 {
+        Some(FaultPlan::file_faults(
+            splitmix64(seed ^ 0xF11E),
+            chameleon_faults::FileFaultModel {
+                torn_write_prob: 0.6,
+                partial_fsync_prob: 0.3,
+                short_read_prob: 0.3,
+                bit_flip_prob: 0.4,
+            },
+        ))
+    } else {
+        None
+    }
+}
+
 /// The per-session spec every run of `seed` uses — same construction as
 /// the CLI's per-user specs (rotating 3-class skew, derived seeds), so
 /// simulation findings transfer to the served fleet.
@@ -190,6 +211,19 @@ mod tests {
         assert_ne!(
             fault_plan(1).expect("odd").seed,
             fault_plan(3).expect("odd").seed
+        );
+    }
+
+    #[test]
+    fn file_fault_plans_alternate_and_replay() {
+        assert!(file_fault_plan(0).is_none());
+        let plan = file_fault_plan(1).expect("odd seeds get a hostile disk");
+        assert!(!plan.file.is_zero());
+        assert!(plan.memory.is_zero(), "file plans must not flip memory");
+        assert_eq!(file_fault_plan(5), file_fault_plan(5));
+        assert_ne!(
+            file_fault_plan(1).expect("odd").seed,
+            file_fault_plan(3).expect("odd").seed
         );
     }
 

@@ -1,0 +1,260 @@
+//! The pure `CHAMSEG1` segment codec: byte layout only, no I/O.
+//!
+//! A segment file is the 8-byte magic `"CHAMSEG1"` followed by zero or
+//! more records. Each record is:
+//!
+//! ```text
+//! len:u32 LE | body | crc32(body):u32 LE
+//! body = session:u64 LE | seq:u64 LE | payload
+//! ```
+//!
+//! `len` counts the body bytes only, so a record occupies
+//! `len + RECORD_FRAME_BYTES` bytes on disk. The CRC seals the body; a
+//! record whose checksum verifies is *sealed* and is the unit of
+//! durability the store's fsync contract speaks about. Decoding is
+//! defensive: hostile length prefixes are rejected before any allocation,
+//! every truncation point is a typed [`RecordError`], and no input can
+//! panic the decoder (see `tests/store_fuzz.rs`).
+
+use chameleon_replay::crc32;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"CHAMSEG1";
+
+/// Bytes a record adds around its body: length prefix + CRC trailer.
+pub const RECORD_FRAME_BYTES: usize = 4 + 4;
+
+/// Body bytes before the payload: session id + sequence number.
+pub const RECORD_HEADER_BYTES: usize = 8 + 8;
+
+/// Upper bound on one record body (header + payload). Checkpoints are a
+/// few hundred KiB; 64 MiB leaves two orders of magnitude headroom while
+/// keeping a corrupt length prefix from driving a giant allocation.
+pub const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// One decoded segment record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Session the checkpoint belongs to.
+    pub session: u64,
+    /// Monotone per-session sequence number (0 for the first append).
+    pub seq: u64,
+    /// The sealed payload (a `CHAMFLT1` checkpoint blob in production).
+    pub payload: Vec<u8>,
+}
+
+/// Typed decode failures for segment headers and records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes than the structure requires (torn tail, short read).
+    Truncated,
+    /// Segment does not open with [`SEGMENT_MAGIC`].
+    BadMagic,
+    /// Length prefix exceeds [`MAX_RECORD_BYTES`] — rejected before any
+    /// allocation is sized by it.
+    Oversized {
+        /// The hostile length prefix.
+        len: u64,
+        /// The cap it violated.
+        max: u64,
+    },
+    /// Length prefix smaller than the fixed body header — cannot be a
+    /// well-formed record.
+    BadLength {
+        /// The impossible length prefix.
+        len: u64,
+    },
+    /// Body bytes do not match the CRC trailer.
+    BadChecksum {
+        /// CRC computed over the body as read.
+        found: u32,
+        /// CRC recorded in the trailer.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "segment record truncated"),
+            RecordError::BadMagic => write!(f, "segment magic mismatch"),
+            RecordError::Oversized { len, max } => {
+                write!(f, "record length {len} exceeds cap {max}")
+            }
+            RecordError::BadLength { len } => {
+                write!(f, "record length {len} below fixed header size")
+            }
+            RecordError::BadChecksum { found, expected } => {
+                write!(
+                    f,
+                    "record checksum {found:#010x} != sealed {expected:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Encodes one record: length-prefixed body sealed with a CRC32 trailer.
+///
+/// # Panics
+/// Panics if `payload` would push the body over [`MAX_RECORD_BYTES`];
+/// callers control payload sizes and never approach the cap.
+pub fn encode_record(session: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let body_len = RECORD_HEADER_BYTES + payload.len();
+    assert!(body_len <= MAX_RECORD_BYTES, "record payload over cap");
+    let mut out = Vec::with_capacity(RECORD_FRAME_BYTES + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&session.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the record starting at the front of `bytes`, returning it with
+/// the number of bytes consumed.
+///
+/// # Errors
+/// [`RecordError::Truncated`] when `bytes` ends mid-record,
+/// [`RecordError::Oversized`]/[`RecordError::BadLength`] for impossible
+/// length prefixes (checked before any slicing or allocation), and
+/// [`RecordError::BadChecksum`] when the sealed CRC does not match.
+pub fn decode_record(bytes: &[u8]) -> Result<(Record, usize), RecordError> {
+    if bytes.len() < 4 {
+        return Err(RecordError::Truncated);
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(RecordError::Oversized {
+            len: len as u64,
+            max: MAX_RECORD_BYTES as u64,
+        });
+    }
+    if len < RECORD_HEADER_BYTES {
+        return Err(RecordError::BadLength { len: len as u64 });
+    }
+    let total = RECORD_FRAME_BYTES + len;
+    if bytes.len() < total {
+        return Err(RecordError::Truncated);
+    }
+    let body = &bytes[4..4 + len];
+    let expected = u32::from_le_bytes([
+        bytes[4 + len],
+        bytes[5 + len],
+        bytes[6 + len],
+        bytes[7 + len],
+    ]);
+    let found = crc32(body);
+    if found != expected {
+        return Err(RecordError::BadChecksum { found, expected });
+    }
+    let mut session_bytes = [0u8; 8];
+    session_bytes.copy_from_slice(&body[0..8]);
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&body[8..16]);
+    Ok((
+        Record {
+            session: u64::from_le_bytes(session_bytes),
+            seq: u64::from_le_bytes(seq_bytes),
+            payload: body[RECORD_HEADER_BYTES..].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Checks that `bytes` opens with the segment magic.
+///
+/// # Errors
+/// [`RecordError::Truncated`] if fewer than 8 bytes are present,
+/// [`RecordError::BadMagic`] if they are not `"CHAMSEG1"`.
+pub fn check_segment_header(bytes: &[u8]) -> Result<(), RecordError> {
+    if bytes.len() < SEGMENT_MAGIC.len() {
+        return Err(RecordError::Truncated);
+    }
+    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let payload = vec![7u8, 0, 255, 42];
+        let encoded = encode_record(9, 3, &payload);
+        let (record, used) = decode_record(&encoded).expect("roundtrip");
+        assert_eq!(used, encoded.len());
+        assert_eq!(record.session, 9);
+        assert_eq!(record.seq, 3);
+        assert_eq!(record.payload, payload);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let encoded = encode_record(0, 0, &[]);
+        let (record, used) = decode_record(&encoded).expect("empty payload");
+        assert_eq!(used, RECORD_FRAME_BYTES + RECORD_HEADER_BYTES);
+        assert!(record.payload.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_truncated() {
+        let encoded = encode_record(1, 2, b"abcdef");
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                decode_record(&encoded[..cut]).unwrap_err(),
+                RecordError::Truncated,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_body() {
+        let mut bytes = ((MAX_RECORD_BYTES as u32) + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_record(&bytes).unwrap_err(),
+            RecordError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn undersized_prefix_is_bad_length() {
+        let mut bytes = 3u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode_record(&bytes).unwrap_err(),
+            RecordError::BadLength { len: 3 }
+        );
+    }
+
+    #[test]
+    fn flipped_body_bit_is_a_checksum_error() {
+        let mut encoded = encode_record(4, 5, b"payload");
+        let i = encoded.len() / 2;
+        encoded[i] ^= 0x10;
+        assert!(matches!(
+            decode_record(&encoded).unwrap_err(),
+            RecordError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn header_check_accepts_magic_and_rejects_noise() {
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_record(1, 0, b"x"));
+        assert!(check_segment_header(&bytes).is_ok());
+        assert_eq!(check_segment_header(b"CHAM"), Err(RecordError::Truncated));
+        assert_eq!(
+            check_segment_header(b"CHAMWIRE"),
+            Err(RecordError::BadMagic)
+        );
+    }
+}

@@ -502,3 +502,83 @@ fn observe_round_trip_reconciles_spans_with_stats() {
 
     server.shutdown();
 }
+
+/// Durable serving: with `store_dir` set, evictions spill through the
+/// session store, `Observe` exposes reconciling `store.*` counters, and
+/// a *new* server started on the same directory recovers the sessions —
+/// a wire client can checkpoint and keep stepping them without
+/// re-creating anything.
+#[test]
+fn store_backed_server_survives_restart_with_sessions_intact() {
+    let dir = std::env::temp_dir().join(format!("chameleon-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenario = scenario();
+    let users: [SessionId; 2] = [3, 7];
+    let config = FleetConfig {
+        num_shards: 2,
+        ..FleetConfig::default()
+    };
+    let serve_config = ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let mut before_blobs = Vec::new();
+    {
+        let mut server = Server::start(Arc::clone(&scenario), config.clone(), serve_config.clone())
+            .expect("start durable server");
+        let mut client = Connection::connect(server.local_addr()).expect("connect");
+        for &user in &users {
+            client
+                .create_session(user, user_spec(user))
+                .expect("create");
+            client.step(user, 6).expect("step");
+            client.evict(user).expect("evict");
+            before_blobs.push(client.checkpoint(user).expect("checkpoint"));
+        }
+
+        let observation = client.observe().expect("observe");
+        assert_eq!(
+            observation.counter("store.appends"),
+            observation.counter("fleet.evictions"),
+            "store appends must reconcile with fleet evictions"
+        );
+        assert_eq!(
+            observation.counter("store.appends"),
+            Some(users.len() as u64)
+        );
+        assert_eq!(observation.counter("store.decode_rejects"), Some(0));
+        // The Prometheus exposition carries the same family.
+        let text = chameleon_obs::expose(&observation);
+        assert!(
+            text.contains("chameleon_counter{name=\"store_appends\"}")
+                || text.contains("store_appends"),
+            "expose() missing store counters:\n{text}"
+        );
+        server.shutdown();
+    }
+
+    // "Crash": the first server is gone; only the segment files remain.
+    let mut server =
+        Server::start(Arc::clone(&scenario), config, serve_config).expect("restart durable server");
+    let mut client = Connection::connect(server.local_addr()).expect("reconnect");
+    let observation = client.observe().expect("observe after recovery");
+    assert_eq!(
+        observation.counter("store.sessions_recovered"),
+        Some(users.len() as u64),
+        "restart must recover every sealed session"
+    );
+    for (i, &user) in users.iter().enumerate() {
+        // Recovered sessions serve their last sealed checkpoint verbatim
+        // and accept further work without re-creation.
+        let blob = client.checkpoint(user).expect("checkpoint after recovery");
+        assert_eq!(
+            blob, before_blobs[i],
+            "user {user}: recovered checkpoint differs from pre-crash seal"
+        );
+        let (delivered, _done) = client.step(user, 2).expect("step after recovery");
+        assert!(delivered > 0, "user {user} made no progress after recovery");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

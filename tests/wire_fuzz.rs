@@ -9,7 +9,8 @@
 //! faults.
 
 use chameleon_faults::{
-    CheckpointFaultModel, FaultInjector, FaultPlan, MemoryFaultModel, StreamFaultModel,
+    CheckpointFaultModel, FaultInjector, FaultPlan, FileFaultModel, MemoryFaultModel,
+    StreamFaultModel,
 };
 use chameleon_serve::wire::{
     decode_frame, encode_frame, ErrorCode, Request, Response, WireError, FRAME_OVERHEAD,
@@ -28,6 +29,7 @@ fn frame_damage_plan(seed: u64) -> FaultPlan {
             max_corrupt_bytes: 16,
         },
         stream: StreamFaultModel::disabled(),
+        file: FileFaultModel::disabled(),
     }
 }
 
