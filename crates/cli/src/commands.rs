@@ -13,6 +13,7 @@ use chameleon_fleet::{
     FleetConfig, FleetEngine, SessionCommand, SessionEventKind, SessionSpec as FleetSessionSpec,
 };
 use chameleon_hw::{Device, JetsonNano, NominalModel, SystolicAccelerator, Workload, Zcu102};
+use chameleon_route::{Router, RouterConfig};
 use chameleon_serve::wire::StatsSnapshot;
 use chameleon_serve::{Connection, ServeConfig, ServeCounters, Server};
 use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
@@ -64,8 +65,18 @@ COMMANDS:
     [--dataset <name>] [--shards <n>] [--workers <n>] [--queue <n>]
     [--budget-mb <n>] [--seed <n>] [--rate <r>] [--fault-seed <n>]
     [--store-dir <path>] [--json]
+  route                         front CHAMWIRE backends with a routing proxy:
+                                rendezvous session placement, health probes,
+                                live handoff on drain, shadow failover on death
+    --backends <a:p,a:p,...>    backend server addresses (required)
+    --addr <host:port>          bind address               [default: 127.0.0.1:0]
+    --duration <secs>           run this long, then exit;
+                                omitted: run until stdin reaches EOF
+    [--workers <n>] [--probe-interval-ms <n>] [--degraded-after <n>]
+    [--dead-after <n>] [--salt <n>] [--json]
   loadgen                       drive a CHAMWIRE server with client traffic
-    --addr <host:port>          target server; omitted: a server is started
+    --addr <a:p[,a:p,...]>      target server(s); connections round-robin
+                                over the list; omitted: a server is started
                                 in-process (loopback self-serve)
     --connections <n>           concurrent client connections  [default: 2]
     --sessions <n>              sessions to create and run     [default: 4]
@@ -90,6 +101,11 @@ COMMANDS:
                                 recover, assert bit-identical outcomes
     --crash-replay <seed>       re-run one crash-schedule seed
     [--crash-start-seed <n>]    first crash seed          [default: 0]
+    --route-seeds <n>           multi-node route sweep: seeded handoff/kill
+                                schedules over a simulated cluster, assert
+                                replay determinism and placement invisibility
+    --route-replay <seed>       re-run one route seed and print its outcome
+    [--route-start-seed <n>]    first route seed          [default: 0]
     [--golden-dir <path>]       corpus location   [default: tests/golden]
   help                          show this message
 ";
@@ -110,6 +126,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("faults") => faults(&Options::parse(&argv[1..])?),
         Some("fleet") => fleet(&Options::parse(&argv[1..])?),
         Some("serve") => serve(&Options::parse(&argv[1..])?),
+        Some("route") => route(&Options::parse(&argv[1..])?),
         Some("loadgen") => loadgen(&Options::parse(&argv[1..])?),
         Some("stats") => stats(&Options::parse(&argv[1..])?),
         Some("simtest") => simtest(&Options::parse(&argv[1..])?),
@@ -861,6 +878,156 @@ fn serve(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// JSON object body (no braces) of the routing-tier counters, so CI can
+/// grep `"route.sessions_handed_off"` and `"route.decode_rejects"`.
+fn route_counters_json(c: &chameleon_route::RouteCounters, indent: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{indent}\"route.requests_in\": {},", c.requests_in);
+    let _ = writeln!(
+        out,
+        "{indent}\"route.requests_forwarded\": {},",
+        c.requests_forwarded
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"route.forward_failures\": {},",
+        c.forward_failures
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"route.sessions_handed_off\": {},",
+        c.sessions_handed_off
+    );
+    let _ = writeln!(out, "{indent}\"route.failovers\": {},", c.failovers);
+    let _ = writeln!(
+        out,
+        "{indent}\"route.decode_rejects\": {},",
+        c.decode_rejects
+    );
+    let _ = writeln!(out, "{indent}\"route.probes_ok\": {},", c.probes_ok);
+    let _ = writeln!(out, "{indent}\"route.probes_failed\": {},", c.probes_failed);
+    let _ = writeln!(
+        out,
+        "{indent}\"route.shadow_refreshes\": {},",
+        c.shadow_refreshes
+    );
+    let _ = write!(
+        out,
+        "{indent}\"route.shadow_refresh_failures\": {}",
+        c.shadow_refresh_failures
+    );
+    out
+}
+
+/// Fronts N CHAMWIRE backends with a routing proxy until `--duration`
+/// elapses (or stdin reaches EOF), then reports the routing counters
+/// and final backend states.
+fn route(options: &Options) -> Result<(), String> {
+    options.expect_only(&[
+        "addr",
+        "backends",
+        "workers",
+        "duration",
+        "probe-interval-ms",
+        "degraded-after",
+        "dead-after",
+        "salt",
+        "json",
+    ])?;
+    let backends: Vec<String> = options
+        .get("backends")
+        .ok_or("route requires --backends <host:port,host:port,...>")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err("--backends must list at least one address".to_string());
+    }
+    let duration = match options.get("duration") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|_| format!("invalid --duration `{v}`"))?;
+            if !(secs >= 0.0 && secs.is_finite()) {
+                return Err("--duration must be a finite non-negative number".to_string());
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        addr: options.get_or("addr", "127.0.0.1:0").to_string(),
+        backends,
+        workers: options.get_parsed_or("workers", defaults.workers)?,
+        salt: options.get_parsed_or("salt", defaults.salt)?,
+        probe_interval: std::time::Duration::from_millis(options.get_parsed_or(
+            "probe-interval-ms",
+            defaults.probe_interval.as_millis() as u64,
+        )?),
+        degraded_after: options.get_parsed_or("degraded-after", defaults.degraded_after)?,
+        dead_after: options.get_parsed_or("dead-after", defaults.dead_after)?,
+        ..defaults
+    };
+
+    let mut router = Router::start(config).map_err(|e| format!("cannot start router: {e}"))?;
+    eprintln!(
+        "routing on {} over {} backend(s); CHAMWIRE protocol",
+        router.local_addr(),
+        router.backend_states().len()
+    );
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => {
+            eprintln!("running until stdin reaches EOF (Ctrl-D to stop)");
+            let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+        }
+    }
+    let states = router.backend_states();
+    let counters = router.metrics();
+    router.shutdown();
+
+    if options.has_flag("json") {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"backends\": [");
+        for (i, (addr, state)) in states.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"addr\": \"{addr}\", \"state\": \"{state:?}\"}}{}",
+                if i + 1 < states.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "{}", route_counters_json(&counters, "  "));
+        let _ = write!(out, "}}");
+        println!("{out}");
+    } else {
+        println!(
+            "route: {} requests in, {} forwarded, {} forward failures, {} decode rejects",
+            counters.requests_in,
+            counters.requests_forwarded,
+            counters.forward_failures,
+            counters.decode_rejects
+        );
+        println!(
+            "  {} sessions handed off ({} shadow failovers), {} / {} probes ok, \
+             {} shadow refreshes ({} failed)",
+            counters.sessions_handed_off,
+            counters.failovers,
+            counters.probes_ok,
+            counters.probes_ok + counters.probes_failed,
+            counters.shadow_refreshes,
+            counters.shadow_refresh_failures
+        );
+        for (addr, state) in &states {
+            println!("  backend {addr}: {state:?}");
+        }
+    }
+    Ok(())
+}
+
 /// Drives a CHAMWIRE server with concurrent client connections, each
 /// running its share of sessions to completion (create → step* →
 /// predict → checkpoint), then reports throughput and server counters.
@@ -901,7 +1068,9 @@ fn loadgen(options: &Options) -> Result<(), String> {
     let learner = chameleon_config(buffer)?;
 
     // No --addr: self-serve a loopback server so one process exercises
-    // the full wire path (the CI smoke mode).
+    // the full wire path (the CI smoke mode). A comma-separated --addr
+    // list fans connections out round-robin over several targets (the
+    // servers behind a router, or independent shards of a fleet).
     let server = match options.get("addr") {
         Some(_) => None,
         None => {
@@ -912,16 +1081,28 @@ fn loadgen(options: &Options) -> Result<(), String> {
             )
         }
     };
-    let addr = match &server {
-        Some(server) => server.local_addr().to_string(),
-        None => options.get("addr").expect("checked above").to_string(),
+    let targets: Vec<String> = match &server {
+        Some(server) => vec![server.local_addr().to_string()],
+        None => options
+            .get("addr")
+            .expect("checked above")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
     };
+    if targets.is_empty() {
+        return Err("--addr must list at least one target".to_string());
+    }
 
     let start = std::time::Instant::now();
     let num_classes = spec.num_classes;
     let handles: Vec<_> = (0..connections)
         .map(|c| {
-            let addr = addr.clone();
+            // Connections round-robin over the target list; sessions
+            // stripe over connections, so each session stays on the one
+            // target its connection talks to.
+            let addr = targets[c % targets.len()].clone();
             let learner = learner.clone();
             // Sessions are striped across connections: c, c+N, c+2N, …
             let users: Vec<u64> = (0..sessions)
@@ -962,20 +1143,31 @@ fn loadgen(options: &Options) -> Result<(), String> {
         })
         .collect();
     let mut requests = 0u64;
-    for handle in handles {
-        requests += handle
+    let mut target_requests = vec![0u64; targets.len()];
+    for (c, handle) in handles.into_iter().enumerate() {
+        let n = handle
             .join()
             .map_err(|_| "a loadgen connection panicked".to_string())??;
+        requests += n;
+        target_requests[c % targets.len()] += n;
     }
     let wall = start.elapsed().as_secs_f64();
 
-    let mut stats_conn =
-        Connection::connect(&addr).map_err(|e| format!("connect for stats: {e}"))?;
-    let stats: StatsSnapshot = stats_conn.stats().map_err(|e| format!("stats: {e}"))?;
-    drop(stats_conn);
+    let mut target_stats: Vec<StatsSnapshot> = Vec::with_capacity(targets.len());
+    for addr in &targets {
+        let mut stats_conn =
+            Connection::connect(addr).map_err(|e| format!("connect {addr} for stats: {e}"))?;
+        target_stats.push(
+            stats_conn
+                .stats()
+                .map_err(|e| format!("stats {addr}: {e}"))?,
+        );
+    }
     if let Some(mut server) = server {
         server.shutdown();
     }
+    let batches: u64 = target_stats.iter().map(|s| s.batches).sum();
+    let evictions: u64 = target_stats.iter().map(|s| s.evictions).sum();
 
     if options.has_flag("json") {
         use std::fmt::Write as _;
@@ -990,23 +1182,47 @@ fn loadgen(options: &Options) -> Result<(), String> {
             "  \"requests_per_sec\": {:.2},",
             requests as f64 / wall.max(1e-9)
         );
-        let _ = writeln!(out, "  \"batches\": {},", stats.batches);
-        let _ = writeln!(out, "  \"evictions\": {},", stats.evictions);
-        let _ = writeln!(
-            out,
-            "  \"serve\": {{\n{}\n  }}",
-            counters_json(&stats.serve, "    ")
-        );
+        let _ = writeln!(out, "  \"batches\": {batches},");
+        let _ = writeln!(out, "  \"evictions\": {evictions},");
+        let _ = writeln!(out, "  \"targets\": [");
+        for (i, ((addr, stats), reqs)) in targets
+            .iter()
+            .zip(&target_stats)
+            .zip(&target_requests)
+            .enumerate()
+        {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"addr\": \"{addr}\",");
+            let _ = writeln!(out, "      \"requests\": {reqs},");
+            let _ = writeln!(out, "      \"batches\": {},", stats.batches);
+            let _ = writeln!(
+                out,
+                "      \"serve\": {{\n{}\n      }}",
+                counters_json(&stats.serve, "        ")
+            );
+            let _ = writeln!(
+                out,
+                "    }}{}",
+                if i + 1 < targets.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
         let _ = write!(out, "}}");
         println!("{out}");
     } else {
         println!(
-            "loadgen: {requests} requests over {connections} connection(s) in {wall:.2} s \
-             ({:.0} req/s), {} batches trained",
+            "loadgen: {requests} requests over {connections} connection(s) to {} target(s) \
+             in {wall:.2} s ({:.0} req/s), {batches} batches trained",
+            targets.len(),
             requests as f64 / wall.max(1e-9),
-            stats.batches
         );
-        print_serve_counters(&stats.serve);
+        for ((addr, stats), reqs) in targets.iter().zip(&target_stats).zip(&target_requests) {
+            println!(
+                "  target {addr}: {reqs} requests, {} batches",
+                stats.batches
+            );
+            print_serve_counters(&stats.serve);
+        }
     }
     Ok(())
 }
@@ -1141,6 +1357,9 @@ fn simtest(options: &Options) -> Result<(), String> {
         "crash-seeds",
         "crash-start-seed",
         "crash-replay",
+        "route-seeds",
+        "route-start-seed",
+        "route-replay",
     ])?;
     let golden_dir = std::path::PathBuf::from(options.get_or("golden-dir", "tests/golden"));
 
@@ -1240,6 +1459,56 @@ fn simtest(options: &Options) -> Result<(), String> {
             "simtest: {seeds}/{seeds} crash seeds passed — {boundaries} eviction \
              boundaries killed and recovered, {recoveries} session recoveries, \
              {lost} unsynced record(s) lost to hostile disks"
+        );
+        return Ok(());
+    }
+
+    let print_route = |outcome: &chameleon_simtest::RouteSeedOutcome| {
+        println!(
+            "simtest: route seed {} OK — {} ops on {} nodes, {} handoff(s), \
+             {} kill(s) re-homing {} session(s){}, log digest {:#010x}, \
+             checkpoint crc {:#010x}",
+            outcome.seed,
+            outcome.ops,
+            outcome.nodes,
+            outcome.handoffs,
+            outcome.kills,
+            outcome.recovered,
+            if outcome.faulted { " (faulted)" } else { "" },
+            outcome.log_digest,
+            outcome.checkpoint_crc
+        );
+    };
+    if let Some(raw) = options.get("route-replay") {
+        let seed: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --route-replay"))?;
+        let outcome = chameleon_simtest::check_route_seed(&scenario, seed)?;
+        print_route(&outcome);
+        return Ok(());
+    }
+    if let Some(raw) = options.get("route-seeds") {
+        let seeds: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --route-seeds"))?;
+        if seeds == 0 {
+            return Err("--route-seeds must be at least 1".to_string());
+        }
+        let start: u64 = options.get_parsed_or("route-start-seed", 0)?;
+        let (mut handoffs, mut kills, mut recovered, mut faulted) = (0u64, 0u64, 0u64, 0u64);
+        for seed in start..start.saturating_add(seeds) {
+            let outcome = chameleon_simtest::check_route_seed(&scenario, seed).map_err(|e| {
+                format!("{e}; reproduce with `chameleon simtest --route-replay {seed}`")
+            })?;
+            handoffs += outcome.handoffs;
+            kills += outcome.kills;
+            recovered += outcome.recovered;
+            faulted += u64::from(outcome.faulted);
+        }
+        println!(
+            "simtest: {seeds}/{seeds} route seeds passed — {handoffs} session(s) handed \
+             off, {kills} node kill(s) re-homing {recovered} session(s) from shadows, \
+             {faulted} faulted case(s); every schedule matched its single-node reference"
         );
         return Ok(());
     }

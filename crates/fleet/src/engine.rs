@@ -16,7 +16,9 @@ use chameleon_stream::{ConfigError, DomainIlScenario};
 use crate::checkpoint::SessionCheckpoint;
 use crate::metrics::FleetMetrics;
 use crate::session::{splitmix64, SessionId, SessionSpec};
-use crate::shard::{RecoveredSession, Request, SessionCommand, SessionEvent, ShardWorker};
+use crate::shard::{
+    RecoveredSession, Request, SessionCommand, SessionEvent, SessionEventKind, ShardWorker,
+};
 use crate::sim::SimExecutor;
 
 /// Shape of a fleet: shard count, queue bound, per-shard session-memory
@@ -534,6 +536,55 @@ impl FleetEngine {
         )
     }
 
+    /// Imports a handed-off session from its `CHAMFLT1` blob, with a
+    /// caller-chosen correlation id; acknowledged later by an `Imported`
+    /// event (or `Failed` when the blob is corrupt or misaddressed). The
+    /// inverse of [`SessionCommand::Export`]: the blob is admitted cold
+    /// and restored on first touch, so subsequent training is
+    /// bit-identical to the exporting node continuing uninterrupted.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateSession`] for a known id,
+    /// [`FleetError::Rejected`] under backpressure,
+    /// [`FleetError::ShardDown`] if the worker died.
+    pub fn import_correlated(
+        &mut self,
+        id: SessionId,
+        blob: Vec<u8>,
+        correlation: u64,
+    ) -> Result<(), FleetError> {
+        if self.known.contains(&id) {
+            return Err(FleetError::DuplicateSession);
+        }
+        self.dispatch(
+            id,
+            Request::Import {
+                id,
+                blob,
+                correlation,
+            },
+        )?;
+        self.known.insert(id);
+        Ok(())
+    }
+
+    /// [`Self::import_correlated`] that rides out backpressure by
+    /// draining events (buffering them for the next [`Self::drain`]) and
+    /// retrying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure except `Rejected`.
+    pub fn import_blocking(&mut self, id: SessionId, blob: Vec<u8>) -> Result<(), FleetError> {
+        loop {
+            match self.import_correlated(id, blob.clone(), 0) {
+                Err(FleetError::Rejected(_)) => self.absorb_backpressure(),
+                other => return other,
+            }
+        }
+    }
+
     /// [`Self::create`] that rides out backpressure by draining events
     /// (buffering them for the next [`Self::drain`]) and retrying.
     ///
@@ -702,6 +753,12 @@ impl FleetEngine {
 
     fn account(&mut self, event: &SessionEvent) {
         self.pending = self.pending.saturating_sub(1);
+        // A successful export removes the session from this engine: the
+        // blob carried on the event is now the only copy, and the id may
+        // be re-imported (or re-created) later.
+        if matches!(event.kind, SessionEventKind::Exported(_)) {
+            self.known.remove(&event.session);
+        }
         if let Backend::Threads(shards) = &mut self.backend {
             if let Some(shard) = shards.get(event.shard) {
                 shard

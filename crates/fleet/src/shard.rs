@@ -38,6 +38,10 @@ pub enum SessionCommand {
     Checkpoint,
     /// Force the session out of residency into checkpoint form.
     Evict,
+    /// Serialize the session to its checkpoint blob and *forget* it —
+    /// the handoff export: after this the session no longer lives on
+    /// this engine, and exactly one node owns it at a time.
+    Export,
 }
 
 /// What a shard did in response to one request. Every accepted `Create` or
@@ -60,6 +64,11 @@ pub enum SessionEventKind {
     /// An explicit `Evict` command completed (idempotent when the session
     /// was already cold).
     Evicted,
+    /// An `Export` command ran: the serialized `CHAMFLT1` blob, with the
+    /// session removed from this engine.
+    Exported(Vec<u8>),
+    /// A handed-off session was imported from its checkpoint blob.
+    Imported,
     /// The request could not be honored; human-readable reason.
     Failed(String),
 }
@@ -90,6 +99,11 @@ pub(crate) enum Request {
     Command {
         id: SessionId,
         command: SessionCommand,
+        correlation: u64,
+    },
+    Import {
+        id: SessionId,
+        blob: Vec<u8>,
         correlation: u64,
     },
     Metrics {
@@ -230,6 +244,11 @@ impl ShardWorker {
                 command,
                 correlation,
             } => self.handle_command(id, command, correlation),
+            Request::Import {
+                id,
+                blob,
+                correlation,
+            } => self.handle_import(id, &blob, correlation),
             Request::Metrics { reply } => {
                 let _ = reply.send(self.snapshot());
             }
@@ -362,7 +381,87 @@ impl ShardWorker {
                     );
                 }
             }
+            SessionCommand::Export => {
+                // Capture from whichever residency state the session is
+                // in, then forget it entirely: after a successful export
+                // the blob is the only copy, so exactly one node can own
+                // the session. A stale record may remain in the durable
+                // store; re-import (or router ownership) supersedes it.
+                let blob = if let Some(resident) = self.resident.get(&id) {
+                    let start = self.time.now_nanos();
+                    let blob = SessionCheckpoint::capture(&resident.session).to_bytes();
+                    let elapsed = self.time.now_nanos().saturating_sub(start);
+                    self.metrics.checkpoint_nanos += elapsed;
+                    self.obs.record(Stage::Checkpoint, elapsed);
+                    Ok(Some(blob))
+                } else {
+                    match self.cold.get(&id) {
+                        Some(Cold::Ram(checkpoint)) => Ok(Some(checkpoint.to_bytes())),
+                        Some(Cold::Disk { .. }) => self.fetch_cold_blob(id).map(Some),
+                        None => Ok(None),
+                    }
+                };
+                match blob {
+                    Ok(Some(blob)) => {
+                        if let Some(resident) = self.resident.remove(&id) {
+                            self.resident_bytes -= resident.bytes;
+                        }
+                        self.cold.remove(&id);
+                        self.obs
+                            .event(format!("shard {}: session {id} exported", self.shard));
+                        self.emit(id, correlation, SessionEventKind::Exported(blob));
+                    }
+                    Ok(None) => self.emit(
+                        id,
+                        correlation,
+                        SessionEventKind::Failed("session unknown to this shard".into()),
+                    ),
+                    Err(reason) => self.emit(id, correlation, SessionEventKind::Failed(reason)),
+                }
+            }
         }
+    }
+
+    /// Imports a handed-off session from its `CHAMFLT1` blob: the inverse
+    /// of `Export`. The checkpoint is parsed and admitted cold (RAM), so
+    /// the learner rebuild cost lands on first touch, exactly like an
+    /// eviction restore — bit-identical learning outcomes included.
+    fn handle_import(&mut self, id: SessionId, blob: &[u8], correlation: u64) {
+        if self.resident.contains_key(&id) || self.cold.contains_key(&id) {
+            self.emit(
+                id,
+                correlation,
+                SessionEventKind::Failed("session already exists".into()),
+            );
+            return;
+        }
+        let checkpoint = match SessionCheckpoint::from_bytes(blob) {
+            Ok(checkpoint) => checkpoint,
+            Err(e) => {
+                self.emit(
+                    id,
+                    correlation,
+                    SessionEventKind::Failed(format!("handoff blob rejected: {e:?}")),
+                );
+                return;
+            }
+        };
+        if checkpoint.session != id {
+            self.emit(
+                id,
+                correlation,
+                SessionEventKind::Failed(format!(
+                    "handoff blob names session {}, not {id}",
+                    checkpoint.session
+                )),
+            );
+            return;
+        }
+        self.cold.insert(id, Cold::Ram(Box::new(checkpoint)));
+        self.metrics.sessions_created += 1;
+        self.obs
+            .event(format!("shard {}: session {id} imported", self.shard));
+        self.emit(id, correlation, SessionEventKind::Imported);
     }
 
     /// Makes `id` resident (restoring from cold if needed), bumps its LRU
@@ -624,6 +723,74 @@ mod tests {
         let ck = SessionCheckpoint::from_bytes(&blob).expect("valid blob");
         assert_eq!(ck.session, 5);
         assert_eq!(ck.batches_into_domain, 6);
+    }
+
+    #[test]
+    fn export_forgets_the_session_and_import_restores_it_bit_identically() {
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        worker.handle_create(4, tiny_spec(4), 0);
+        worker.handle_command(4, SessionCommand::Step { batches: 9 }, 0);
+        worker.handle_command(4, SessionCommand::Export, 0);
+        assert!(worker.resident.is_empty());
+        assert!(worker.cold.is_empty());
+        let blob = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Exported(blob) => blob,
+            other => panic!("expected export, got {other:?}"),
+        };
+        // Stepping the exported session now fails: nobody owns it here.
+        worker.handle_command(4, SessionCommand::Step { batches: 1 }, 0);
+        assert!(matches!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Failed(_)
+        ));
+        // Import on the same worker (stands in for the new owner).
+        worker.handle_import(4, &blob, 0);
+        assert_eq!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Imported
+        );
+        worker.handle_command(4, SessionCommand::Checkpoint, 0);
+        let back = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Checkpointed(blob) => blob,
+            other => panic!("expected checkpoint, got {other:?}"),
+        };
+        assert_eq!(back, blob, "import must preserve the exact bytes");
+    }
+
+    #[test]
+    fn import_rejects_duplicates_and_corrupt_or_mismatched_blobs() {
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        worker.handle_create(6, tiny_spec(6), 0);
+        worker.handle_command(6, SessionCommand::Export, 0);
+        let blob = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Exported(blob) => blob,
+            other => panic!("expected export, got {other:?}"),
+        };
+        // Blob id and target id must agree.
+        worker.handle_import(7, &blob, 0);
+        assert!(matches!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Failed(_)
+        ));
+        // Corruption is rejected.
+        let mut bad = blob.clone();
+        bad[10] ^= 0x40;
+        worker.handle_import(6, &bad, 0);
+        assert!(matches!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Failed(_)
+        ));
+        // Clean import succeeds once, then duplicates are refused.
+        worker.handle_import(6, &blob, 0);
+        assert_eq!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Imported
+        );
+        worker.handle_import(6, &blob, 0);
+        assert!(matches!(
+            rx.try_iter().last().expect("events").kind,
+            SessionEventKind::Failed(_)
+        ));
     }
 
     #[test]

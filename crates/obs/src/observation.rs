@@ -45,6 +45,46 @@ impl Observation {
     pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
         self.counters.push((name.into(), value));
     }
+
+    /// Folds another node's observation into this one, producing a
+    /// fleet-wide view: per-stage span counts, totals, and histogram
+    /// buckets are summed (max-of-max for the worst single span), named
+    /// counters are summed by name (counters only `other` has are
+    /// appended), and the event tails are concatenated with their drop
+    /// accounting added. The routing tier uses this to answer one
+    /// `Observe` with the aggregate of every live backend.
+    pub fn merge(&mut self, other: &Observation) {
+        for (stage, theirs) in &other.spans {
+            match self.spans.iter_mut().find(|(s, _)| s == stage) {
+                Some((_, ours)) => {
+                    ours.count += theirs.count;
+                    ours.total_nanos += theirs.total_nanos;
+                    ours.max_nanos = ours.max_nanos.max(theirs.max_nanos);
+                    for (mine, their) in ours
+                        .histogram
+                        .buckets
+                        .iter_mut()
+                        .zip(theirs.histogram.buckets.iter())
+                    {
+                        *mine += their;
+                    }
+                }
+                None => self.spans.push((*stage, theirs.clone())),
+            }
+        }
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        self.events.capacity = self.events.capacity.max(other.events.capacity);
+        self.events.next_seq += other.events.next_seq;
+        self.events.dropped += other.events.dropped;
+        self.events
+            .recent
+            .extend(other.events.recent.iter().cloned());
+    }
 }
 
 fn sanitize(name: &str) -> String {
@@ -152,6 +192,31 @@ mod tests {
         assert_eq!(o.stage(Stage::Eval).map(|s| s.count), Some(0));
         assert_eq!(o.counter("fleet.batches"), Some(7));
         assert_eq!(o.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_sums_spans_counters_and_event_accounting() {
+        let mut a = observation();
+        let b = observation();
+        a.merge(&b);
+        assert_eq!(a.stage(Stage::Step).map(|s| s.count), Some(4));
+        assert_eq!(
+            a.stage(Stage::Step).map(|s| s.total_nanos),
+            Some(2 * b.stage(Stage::Step).unwrap().total_nanos)
+        );
+        // max-of-max, not a sum.
+        assert_eq!(
+            a.stage(Stage::Step).map(|s| s.max_nanos),
+            b.stage(Stage::Step).map(|s| s.max_nanos)
+        );
+        assert_eq!(a.counter("fleet.batches"), Some(14));
+        assert_eq!(a.events.next_seq, 2);
+        assert_eq!(a.events.recent.len(), 2);
+        // A counter only one side has is carried over, not lost.
+        let mut c = Observation::default();
+        c.push_counter("route.failovers", 3);
+        a.merge(&c);
+        assert_eq!(a.counter("route.failovers"), Some(3));
     }
 
     #[test]

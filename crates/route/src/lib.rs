@@ -1,0 +1,43 @@
+//! `chameleon-route`: the multi-node routing tier.
+//!
+//! A [`Router`] is a CHAMWIRE proxy in front of N `chameleon-serve`
+//! backends. Clients speak the exact same protocol to the router as to a
+//! single server; the router assigns each session to a backend by
+//! rendezvous hashing, forwards its operations there, and keeps a
+//! *shadow checkpoint* (the session's latest `CHAMFLT1` blob) refreshed
+//! after every mutating operation.
+//!
+//! Backends move through lifecycle states
+//! ([`BackendState::Healthy`] → `Degraded` → `Dead`, plus administrative
+//! `Draining`) driven by periodic CHAMWIRE `Probe` frames. When a
+//! backend drains, its sessions are handed off live: `HandoffExport` on
+//! the old owner captures-and-forgets the session, `Handoff` delivers
+//! the blob to the rendezvous successor. When a backend dies without
+//! warning, the router re-homes its sessions from the shadow
+//! checkpoints instead — recovering each session to its last
+//! acknowledged state, so re-sending the in-flight operation reproduces
+//! exactly the single-node outcome. Because import admits the blob
+//! through the same restore path as eviction recovery, handoff inherits
+//! the repo-wide bit-identity guarantee: the final checkpoint of a
+//! session is byte-for-byte independent of how often (or when) it moved.
+//!
+//! ```no_run
+//! use chameleon_route::{Router, RouterConfig};
+//!
+//! let router = Router::start(RouterConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     backends: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+//!     ..RouterConfig::default()
+//! })?;
+//! println!("routing on {}", router.local_addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod router;
+
+pub use registry::{Backend, BackendState, Registry};
+pub use router::{RouteCounters, Router, RouterConfig};

@@ -1,0 +1,1023 @@
+//! The routing proxy: CHAMWIRE in front, N CHAMWIRE backends behind.
+//!
+//! Threading model (mirrors `chameleon-serve`): an acceptor admits client
+//! sockets into a bounded worker queue; each worker speaks CHAMWIRE to
+//! its clients and keeps a lazy pool of backend connections; a probe
+//! thread walks the backend set on the injected clock and advances
+//! lifecycle states. There is no engine thread — the router holds no
+//! sessions, only the registry, the pin table, and shadow checkpoints.
+//!
+//! **Shadow checkpoints** are the failover mechanism: after every
+//! mutating operation (create, step) the router pulls a `CHAMFLT1`
+//! checkpoint from the session's owner and caches it. When a backend
+//! dies — probe streak past the threshold, or a forward that fails even
+//! on a fresh connection — each of its sessions is re-homed by handing
+//! the shadow blob to the rendezvous successor. Because the shadow is
+//! refreshed *after* the reply, a failure observed mid-operation always
+//! recovers to the pre-operation state, and re-sending the operation
+//! yields exactly the outcome a single healthy node would have produced.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chameleon_fleet::SessionId;
+use chameleon_obs::{Observation, Observer, Stage};
+use chameleon_runtime::{timed, Clock, WallClock};
+use chameleon_serve::wire::{
+    correlation_of, decode_frame, encode_frame, ErrorCode, ProbeSummary, Request, Response,
+    StatsSnapshot, WireError, MAX_PAYLOAD_BYTES,
+};
+use chameleon_serve::Connection;
+use chameleon_stream::ConfigError;
+
+use crate::registry::{BackendState, Registry};
+
+/// Tunables of the routing tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"`.
+    pub addr: String,
+    /// Backend addresses (`host:port`), registration order = index.
+    pub backends: Vec<String>,
+    /// Client-facing connection-worker pool size.
+    pub workers: usize,
+    /// Salt for the rendezvous hash (same salt ⇒ same placement).
+    pub salt: u64,
+    /// Interval between probe sweeps over the backend set.
+    pub probe_interval: Duration,
+    /// Consecutive probe failures before a backend turns
+    /// [`BackendState::Degraded`].
+    pub degraded_after: u32,
+    /// Consecutive probe failures before a backend is declared
+    /// [`BackendState::Dead`] and its sessions re-homed.
+    pub dead_after: u32,
+    /// Client-socket read timeout (also the stop-flag poll granularity).
+    pub read_timeout: Duration,
+    /// Client-socket write timeout.
+    pub write_timeout: Duration,
+    /// A client connection silent for this long is reaped.
+    pub idle_timeout: Duration,
+    /// Per-frame payload cap enforced on the client side.
+    pub max_payload: usize,
+    /// Retry budget for backend-side requests (how many `RetryAfter`
+    /// rounds a forward rides out before counting as a failure).
+    pub backend_retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            workers: 4,
+            salt: 0xC4A7,
+            probe_interval: Duration::from_millis(50),
+            degraded_after: 2,
+            dead_after: 5,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            max_payload: MAX_PAYLOAD_BYTES,
+            backend_retries: 10_000,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated requirement.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.backends.is_empty() {
+            return Err(ConfigError {
+                field: "backend list",
+                requirement: "must name at least one backend",
+            });
+        }
+        if self.workers == 0 {
+            return Err(ConfigError {
+                field: "worker count",
+                requirement: "must be positive",
+            });
+        }
+        if self.read_timeout.is_zero() {
+            return Err(ConfigError {
+                field: "read timeout",
+                requirement: "must be positive",
+            });
+        }
+        if self.max_payload == 0 || self.max_payload > MAX_PAYLOAD_BYTES {
+            return Err(ConfigError {
+                field: "payload cap",
+                requirement: "must be within (0, MAX_PAYLOAD_BYTES]",
+            });
+        }
+        if self.dead_after < self.degraded_after {
+            return Err(ConfigError {
+                field: "dead threshold",
+                requirement: "must be >= the degraded threshold",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Plain-struct snapshot of the router's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteCounters {
+    /// Requests read from clients (excluding locally answered pings).
+    pub requests_in: u64,
+    /// Requests forwarded to a backend (including failover re-sends).
+    pub requests_forwarded: u64,
+    /// Forwards that failed even on a fresh backend connection.
+    pub forward_failures: u64,
+    /// Sessions moved between backends (drain handoffs + failovers).
+    pub sessions_handed_off: u64,
+    /// Sessions re-homed from a shadow checkpoint after a backend died.
+    pub failovers: u64,
+    /// Client frames or payloads rejected by the decoder.
+    pub decode_rejects: u64,
+    /// Successful health probes.
+    pub probes_ok: u64,
+    /// Failed health probes.
+    pub probes_failed: u64,
+    /// Shadow checkpoints refreshed after mutating operations.
+    pub shadow_refreshes: u64,
+    /// Shadow refresh attempts that failed (the previous shadow stays).
+    pub shadow_refresh_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct RouteMetrics {
+    requests_in: AtomicU64,
+    requests_forwarded: AtomicU64,
+    forward_failures: AtomicU64,
+    sessions_handed_off: AtomicU64,
+    failovers: AtomicU64,
+    decode_rejects: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    shadow_refreshes: AtomicU64,
+    shadow_refresh_failures: AtomicU64,
+}
+
+impl RouteMetrics {
+    fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> RouteCounters {
+        RouteCounters {
+            requests_in: self.requests_in.load(Ordering::Relaxed),
+            requests_forwarded: self.requests_forwarded.load(Ordering::Relaxed),
+            forward_failures: self.forward_failures.load(Ordering::Relaxed),
+            sessions_handed_off: self.sessions_handed_off.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            decode_rejects: self.decode_rejects.load(Ordering::Relaxed),
+            probes_ok: self.probes_ok.load(Ordering::Relaxed),
+            probes_failed: self.probes_failed.load(Ordering::Relaxed),
+            shadow_refreshes: self.shadow_refreshes.load(Ordering::Relaxed),
+            shadow_refresh_failures: self.shadow_refresh_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by workers, the probe thread, and the admin API.
+struct Shared {
+    registry: Mutex<Registry>,
+    shadows: Mutex<HashMap<SessionId, Vec<u8>>>,
+    /// Serializes session moves (drain, failover) so two threads never
+    /// re-home the same session to different backends concurrently.
+    handoff: Mutex<()>,
+    metrics: RouteMetrics,
+    stop: AtomicBool,
+    backend_retries: u32,
+}
+
+impl Shared {
+    fn addr_of(&self, index: usize) -> String {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .backend(index)
+            .addr
+            .clone()
+    }
+}
+
+/// Lazy per-thread pool of backend connections, keyed by backend index.
+type Pool = HashMap<usize, Connection>;
+
+/// Sends one request to a backend, transparently replacing a stale pooled
+/// connection: a failure on a pooled socket (idle-reaped by the backend,
+/// half-closed, …) triggers exactly one fresh-connection retry, so only
+/// a backend that fails a *fresh* connect/request counts as failed.
+fn send_to_backend(
+    shared: &Shared,
+    pool: &mut Pool,
+    index: usize,
+    request: &Request,
+) -> Result<Response, String> {
+    RouteMetrics::add(&shared.metrics.requests_forwarded, 1);
+    if let Some(conn) = pool.get_mut(&index) {
+        match conn.request(request) {
+            Ok(response) => return Ok(response),
+            Err(_) => {
+                pool.remove(&index);
+            }
+        }
+    }
+    let addr = shared.addr_of(index);
+    let fresh = (|| -> Result<(Connection, Response), chameleon_serve::ClientError> {
+        let mut conn = Connection::connect(&addr)?;
+        conn.set_max_retries(shared.backend_retries);
+        let response = conn.request(request)?;
+        Ok((conn, response))
+    })();
+    match fresh {
+        Ok((conn, response)) => {
+            pool.insert(index, conn);
+            Ok(response)
+        }
+        Err(e) => {
+            RouteMetrics::add(&shared.metrics.forward_failures, 1);
+            Err(format!("backend {index} ({addr}): {e}"))
+        }
+    }
+}
+
+/// Pulls a fresh checkpoint of `session` from `owner` into the shadow
+/// cache. Failure is tolerated (the previous shadow stays, and recovery
+/// falls back to the pre-operation state); only counted.
+fn refresh_shadow(shared: &Shared, pool: &mut Pool, session: SessionId, owner: usize) {
+    match send_to_backend(shared, pool, owner, &Request::Checkpoint { session }) {
+        Ok(Response::Checkpointed(blob)) => {
+            shared
+                .shadows
+                .lock()
+                .expect("shadow lock")
+                .insert(session, blob);
+            RouteMetrics::add(&shared.metrics.shadow_refreshes, 1);
+        }
+        _ => RouteMetrics::add(&shared.metrics.shadow_refresh_failures, 1),
+    }
+}
+
+/// Re-homes one session off a failed backend using its shadow
+/// checkpoint. Returns the new owner, or `None` when recovery is
+/// impossible (no shadow, or no eligible backend).
+fn fail_over_session(
+    shared: &Shared,
+    pool: &mut Pool,
+    obs: &Observer,
+    session: SessionId,
+    dead: usize,
+) -> Option<usize> {
+    let _guard = shared.handoff.lock().expect("handoff lock");
+    {
+        // Another thread may have re-homed it while we waited.
+        let registry = shared.registry.lock().expect("registry lock");
+        match registry.pinned(session) {
+            Some(owner) if owner != dead => return Some(owner),
+            _ => {}
+        }
+    }
+    let blob = shared
+        .shadows
+        .lock()
+        .expect("shadow lock")
+        .get(&session)
+        .cloned()?;
+    let new = shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .rendezvous(session, Some(dead))?;
+    match send_to_backend(shared, pool, new, &Request::Handoff { session, blob }) {
+        // DuplicateSession means an earlier, ambiguously failed import
+        // actually landed — the session is already there, adopt it.
+        Ok(Response::HandoffAck)
+        | Ok(Response::Error {
+            code: ErrorCode::DuplicateSession,
+            ..
+        }) => {
+            shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .pin(session, new);
+            RouteMetrics::add(&shared.metrics.failovers, 1);
+            RouteMetrics::add(&shared.metrics.sessions_handed_off, 1);
+            obs.event(format!(
+                "route: session {session} failed over from backend {dead} to {new}"
+            ));
+            Some(new)
+        }
+        _ => None,
+    }
+}
+
+/// Declares a backend dead and re-homes every session pinned to it from
+/// the shadow cache. Returns how many sessions moved.
+fn bury_backend(shared: &Shared, pool: &mut Pool, obs: &Observer, index: usize) -> usize {
+    let sessions = {
+        let mut registry = shared.registry.lock().expect("registry lock");
+        registry.set_state(index, BackendState::Dead);
+        registry.sessions_on(index)
+    };
+    obs.event(format!(
+        "route: backend {index} declared dead, re-homing {} sessions",
+        sessions.len()
+    ));
+    sessions
+        .into_iter()
+        .filter(|&s| fail_over_session(shared, pool, obs, s, index).is_some())
+        .count()
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    obs: Arc<Observer>,
+    clock: Arc<dyn Clock>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+    max_payload: usize,
+}
+
+fn no_backend() -> Response {
+    Response::Error {
+        code: ErrorCode::EngineDown,
+        message: "no eligible backend".to_string(),
+    }
+}
+
+/// Routes one session-scoped request to its owner, failing over (and
+/// re-sending) when the owner proves unreachable. Mutating successes
+/// refresh the session's shadow checkpoint afterwards.
+fn route_session_op(ctx: &Ctx, pool: &mut Pool, session: SessionId, request: &Request) -> Response {
+    let shared = &ctx.shared;
+    let is_create = matches!(request, Request::CreateSession { .. });
+    let attempts = shared.registry.lock().expect("registry lock").len() + 1;
+    let mut exclude = None;
+    for _ in 0..attempts {
+        let owner = {
+            let registry = shared.registry.lock().expect("registry lock");
+            match registry.pinned(session) {
+                Some(owner) => Some(owner),
+                None if is_create => registry.rendezvous(session, exclude),
+                None => {
+                    return Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        message: "session was never created through this router".to_string(),
+                    }
+                }
+            }
+        };
+        let Some(owner) = owner else {
+            return no_backend();
+        };
+        match send_to_backend(shared, pool, owner, request) {
+            Ok(response) => {
+                match &response {
+                    Response::Created => {
+                        shared
+                            .registry
+                            .lock()
+                            .expect("registry lock")
+                            .pin(session, owner);
+                        refresh_shadow(shared, pool, session, owner);
+                    }
+                    Response::Stepped { .. } => refresh_shadow(shared, pool, session, owner),
+                    Response::Checkpointed(blob) => {
+                        shared
+                            .shadows
+                            .lock()
+                            .expect("shadow lock")
+                            .insert(session, blob.clone());
+                    }
+                    _ => {}
+                }
+                return response;
+            }
+            Err(reason) => {
+                ctx.obs.event(format!("route: forward failed: {reason}"));
+                if is_create
+                    && shared
+                        .registry
+                        .lock()
+                        .expect("registry lock")
+                        .pinned(session)
+                        .is_none()
+                {
+                    // The session exists nowhere yet: no shadow to carry,
+                    // just place it on the next-best backend.
+                    shared
+                        .registry
+                        .lock()
+                        .expect("registry lock")
+                        .set_state(owner, BackendState::Dead);
+                    exclude = Some(owner);
+                    continue;
+                }
+                if bury_backend(shared, pool, &ctx.obs, owner) == 0
+                    && fail_over_session(shared, pool, &ctx.obs, session, owner).is_none()
+                {
+                    return no_backend();
+                }
+            }
+        }
+    }
+    no_backend()
+}
+
+fn aggregate_probe(ctx: &Ctx, pool: &mut Pool) -> Response {
+    let indices = live_backends(&ctx.shared);
+    let mut total = ProbeSummary::default();
+    let mut reached = 0usize;
+    for index in indices {
+        if let Ok(Response::ProbeAck(summary)) =
+            send_to_backend(&ctx.shared, pool, index, &Request::Probe)
+        {
+            total.sessions_resident += summary.sessions_resident;
+            total.sessions_cold += summary.sessions_cold;
+            total.in_flight += summary.in_flight;
+            reached += 1;
+        }
+    }
+    if reached == 0 {
+        return no_backend();
+    }
+    Response::ProbeAck(total)
+}
+
+fn aggregate_stats(ctx: &Ctx, pool: &mut Pool) -> Response {
+    let indices = live_backends(&ctx.shared);
+    let mut total = StatsSnapshot::default();
+    let mut reached = 0usize;
+    for index in indices {
+        if let Ok(Response::Stats(snapshot)) =
+            send_to_backend(&ctx.shared, pool, index, &Request::Stats)
+        {
+            total.sessions_resident += snapshot.sessions_resident;
+            total.sessions_cold += snapshot.sessions_cold;
+            total.sessions_created += snapshot.sessions_created;
+            total.batches += snapshot.batches;
+            total.evictions += snapshot.evictions;
+            total.restores += snapshot.restores;
+            total.trace.merge(&snapshot.trace);
+            let s = &snapshot.serve;
+            total.serve.connections_accepted += s.connections_accepted;
+            total.serve.connections_closed += s.connections_closed;
+            total.serve.frames_in += s.frames_in;
+            total.serve.frames_out += s.frames_out;
+            total.serve.bytes_in += s.bytes_in;
+            total.serve.bytes_out += s.bytes_out;
+            total.serve.decode_rejects += s.decode_rejects;
+            total.serve.backpressure_replies += s.backpressure_replies;
+            total.serve.requests_ok += s.requests_ok;
+            total.serve.requests_failed += s.requests_failed;
+            total.serve.latency.merge(&s.latency);
+            reached += 1;
+        }
+    }
+    if reached == 0 {
+        return no_backend();
+    }
+    Response::Stats(Box::new(total))
+}
+
+fn aggregate_observation(ctx: &Ctx, pool: &mut Pool) -> Response {
+    let mut merged = build_route_observation(&ctx.shared, &ctx.obs);
+    for index in live_backends(&ctx.shared) {
+        if let Ok(Response::Observed(observation)) =
+            send_to_backend(&ctx.shared, pool, index, &Request::Observe)
+        {
+            merged.merge(&observation);
+        }
+    }
+    Response::Observed(Box::new(merged))
+}
+
+/// The router's own observation: its observer's spans/events plus every
+/// `route.*` counter and per-state backend gauges.
+fn build_route_observation(shared: &Shared, obs: &Observer) -> Observation {
+    let mut o = obs.observe();
+    let c = shared.metrics.snapshot();
+    o.push_counter("route.requests_in", c.requests_in);
+    o.push_counter("route.requests_forwarded", c.requests_forwarded);
+    o.push_counter("route.forward_failures", c.forward_failures);
+    o.push_counter("route.sessions_handed_off", c.sessions_handed_off);
+    o.push_counter("route.failovers", c.failovers);
+    o.push_counter("route.decode_rejects", c.decode_rejects);
+    o.push_counter("route.probes_ok", c.probes_ok);
+    o.push_counter("route.probes_failed", c.probes_failed);
+    o.push_counter("route.shadow_refreshes", c.shadow_refreshes);
+    o.push_counter("route.shadow_refresh_failures", c.shadow_refresh_failures);
+    let registry = shared.registry.lock().expect("registry lock");
+    o.push_counter(
+        "route.backends_healthy",
+        registry.count_in(BackendState::Healthy),
+    );
+    o.push_counter(
+        "route.backends_degraded",
+        registry.count_in(BackendState::Degraded),
+    );
+    o.push_counter(
+        "route.backends_draining",
+        registry.count_in(BackendState::Draining),
+    );
+    o.push_counter("route.backends_dead", registry.count_in(BackendState::Dead));
+    o
+}
+
+fn live_backends(shared: &Shared) -> Vec<usize> {
+    let registry = shared.registry.lock().expect("registry lock");
+    (0..registry.len())
+        .filter(|&i| registry.backend(i).state != BackendState::Dead)
+        .collect()
+}
+
+fn handle_request(ctx: &Ctx, pool: &mut Pool, request: &Request) -> Response {
+    RouteMetrics::add(&ctx.shared.metrics.requests_in, 1);
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Probe => aggregate_probe(ctx, pool),
+        Request::Stats => aggregate_stats(ctx, pool),
+        Request::Observe => aggregate_observation(ctx, pool),
+        Request::HandoffExport { .. } | Request::Handoff { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "handoff frames are router-internal; use the router admin API".to_string(),
+        },
+        Request::CreateSession { session, .. }
+        | Request::Step { session, .. }
+        | Request::Predict { session }
+        | Request::Checkpoint { session }
+        | Request::Evict { session } => route_session_op(ctx, pool, *session, request),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe loop
+// ---------------------------------------------------------------------------
+
+fn probe_loop(shared: &Arc<Shared>, obs: &Observer, clock: &dyn Clock, config: &RouterConfig) {
+    let mut pool: Pool = Pool::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let n = shared.registry.lock().expect("registry lock").len();
+        for index in 0..n {
+            let state = shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .backend(index)
+                .state;
+            if !state.eligible() {
+                continue;
+            }
+            let ok = probe_once(shared, &mut pool, index);
+            let mut registry = shared.registry.lock().expect("registry lock");
+            let streak = registry.record_probe(index, ok);
+            if ok {
+                RouteMetrics::add(&shared.metrics.probes_ok, 1);
+                if registry.backend(index).state == BackendState::Degraded {
+                    registry.set_state(index, BackendState::Healthy);
+                    obs.event(format!("route: backend {index} recovered"));
+                }
+            } else {
+                RouteMetrics::add(&shared.metrics.probes_failed, 1);
+                if streak >= config.dead_after {
+                    drop(registry);
+                    bury_backend(shared, &mut pool, obs, index);
+                } else if streak >= config.degraded_after
+                    && registry.backend(index).state == BackendState::Healthy
+                {
+                    registry.set_state(index, BackendState::Degraded);
+                    obs.event(format!(
+                        "route: backend {index} degraded after {streak} failed probes"
+                    ));
+                }
+            }
+        }
+        clock.sleep(config.probe_interval);
+    }
+}
+
+fn probe_once(shared: &Shared, pool: &mut Pool, index: usize) -> bool {
+    if let Some(conn) = pool.get_mut(&index) {
+        if conn.probe().is_ok() {
+            return true;
+        }
+        pool.remove(&index);
+    }
+    let addr = shared.addr_of(index);
+    let Ok(mut conn) = Connection::connect(&addr) else {
+        return false;
+    };
+    conn.set_max_retries(64);
+    if conn.probe().is_ok() {
+        pool.insert(index, conn);
+        true
+    } else {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing front (acceptor + workers)
+// ---------------------------------------------------------------------------
+
+/// A running routing proxy.
+///
+/// Dropping the router shuts it down gracefully; [`Router::shutdown`]
+/// does the same explicitly and is idempotent.
+pub struct Router {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    observer: Arc<Observer>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds and starts serving in front of `config.backends`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if the config fails validation
+    /// (`InvalidInput`) or the listener cannot bind.
+    pub fn start(config: RouterConfig) -> std::io::Result<Self> {
+        Self::start_with_clock(config, WallClock::shared())
+    }
+
+    /// [`Self::start`] with an injected [`Clock`] driving the probe
+    /// cadence and idle reaping (virtual in tests, wall in production).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::start`].
+    pub fn start_with_clock(config: RouterConfig, clock: Arc<dyn Clock>) -> std::io::Result<Self> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(Registry::new(config.backends.clone(), config.salt)),
+            shadows: Mutex::new(HashMap::new()),
+            handoff: Mutex::new(()),
+            metrics: RouteMetrics::default(),
+            stop: AtomicBool::new(false),
+            backend_retries: config.backend_retries,
+        });
+        let observer = Arc::new(Observer::new(Arc::clone(&clock)));
+
+        let ctx = Ctx {
+            shared: Arc::clone(&shared),
+            obs: Arc::clone(&observer),
+            clock: Arc::clone(&clock),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            idle_timeout: config.idle_timeout,
+            max_payload: config.max_payload,
+        };
+        let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.workers);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = (0..config.workers)
+            .map(|index| {
+                let ctx = ctx.clone();
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("route-worker-{index}"))
+                    .spawn(move || worker_loop(&ctx, &conn_rx))
+                    .expect("spawn route worker")
+            })
+            .collect();
+
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("route-acceptor".to_string())
+            .spawn(move || acceptor_loop(&listener, &conn_tx, &acceptor_shared))
+            .expect("spawn route acceptor");
+
+        let probe_shared = Arc::clone(&shared);
+        let probe_obs = Arc::clone(&observer);
+        let probe_config = config.clone();
+        let prober = std::thread::Builder::new()
+            .name("route-prober".to_string())
+            .spawn(move || probe_loop(&probe_shared, &probe_obs, clock.as_ref(), &probe_config))
+            .expect("spawn route prober");
+
+        Ok(Self {
+            local_addr,
+            shared,
+            observer,
+            acceptor: Some(acceptor),
+            workers,
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the router's counters.
+    pub fn metrics(&self) -> RouteCounters {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The router's span recorder + event log (merged into `Observe`
+    /// responses alongside the backends').
+    pub fn observer(&self) -> Arc<Observer> {
+        Arc::clone(&self.observer)
+    }
+
+    /// Each backend's address and current lifecycle state.
+    pub fn backend_states(&self) -> Vec<(String, BackendState)> {
+        let registry = self.shared.registry.lock().expect("registry lock");
+        registry
+            .backends()
+            .iter()
+            .map(|b| (b.addr.clone(), b.state))
+            .collect()
+    }
+
+    /// Where `session` is currently pinned, if anywhere.
+    pub fn owner_of(&self, session: SessionId) -> Option<usize> {
+        self.shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .pinned(session)
+    }
+
+    /// Administratively drains a backend: marks it
+    /// [`BackendState::Draining`] (no new sessions), then hands every
+    /// pinned session off — `HandoffExport` from the draining node,
+    /// `Handoff` of the blob to its rendezvous successor. A session
+    /// whose export fails (the node died mid-drain) is re-homed from its
+    /// shadow checkpoint instead. Returns how many sessions moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for an out-of-range index.
+    pub fn drain_backend(&self, index: usize) -> std::io::Result<usize> {
+        let shared = &self.shared;
+        let sessions = {
+            let mut registry = shared.registry.lock().expect("registry lock");
+            if index >= registry.len() {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("no backend {index}"),
+                ));
+            }
+            registry.set_state(index, BackendState::Draining);
+            registry.sessions_on(index)
+        };
+        let mut pool: Pool = Pool::new();
+        let mut moved = 0usize;
+        for session in sessions {
+            let _guard = shared.handoff.lock().expect("handoff lock");
+            let exported = match send_to_backend(
+                shared,
+                &mut pool,
+                index,
+                &Request::HandoffExport { session },
+            ) {
+                Ok(Response::HandoffExported(blob)) => Some(blob),
+                _ => None,
+            };
+            let Some(new) = shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .rendezvous(session, Some(index))
+            else {
+                continue;
+            };
+            let blob = match &exported {
+                Some(blob) => blob.clone(),
+                // Export failed (node died mid-drain): fall back to the
+                // shadow checkpoint, exactly like a kill failover.
+                None => {
+                    let Some(blob) = shared
+                        .shadows
+                        .lock()
+                        .expect("shadow lock")
+                        .get(&session)
+                        .cloned()
+                    else {
+                        continue;
+                    };
+                    RouteMetrics::add(&shared.metrics.failovers, 1);
+                    blob
+                }
+            };
+            match send_to_backend(
+                shared,
+                &mut pool,
+                new,
+                &Request::Handoff {
+                    session,
+                    blob: blob.clone(),
+                },
+            ) {
+                Ok(Response::HandoffAck)
+                | Ok(Response::Error {
+                    code: ErrorCode::DuplicateSession,
+                    ..
+                }) => {
+                    shared
+                        .registry
+                        .lock()
+                        .expect("registry lock")
+                        .pin(session, new);
+                    shared
+                        .shadows
+                        .lock()
+                        .expect("shadow lock")
+                        .insert(session, blob);
+                    RouteMetrics::add(&shared.metrics.sessions_handed_off, 1);
+                    self.observer.event(format!(
+                        "route: session {session} handed off from backend {index} to {new}"
+                    ));
+                    moved += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Administratively declares a backend dead and re-homes all its
+    /// sessions from shadow checkpoints. Returns how many sessions were
+    /// recovered.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for an out-of-range index.
+    pub fn mark_dead(&self, index: usize) -> std::io::Result<usize> {
+        if index >= self.shared.registry.lock().expect("registry lock").len() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                format!("no backend {index}"),
+            ));
+        }
+        let mut pool: Pool = Pool::new();
+        Ok(bury_backend(&self.shared, &mut pool, &self.observer, index))
+    }
+
+    /// Graceful shutdown: stop accepting, join workers and the prober.
+    /// Idempotent. Backends are left running — they are not the
+    /// router's to stop.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(join) = self.acceptor.take() {
+            let _ = join.join();
+        }
+        for join in self.workers.drain(..) {
+            let _ = join.join();
+        }
+        if let Some(join) = self.prober.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, shared: &Shared) {
+    for incoming in listener.incoming() {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Saturated: turn the connection away with a RetryAfter
+                // frame (correlation 0 — no request was read).
+                let frame = encode_frame(&Response::RetryAfter { millis: 2 }.encode_payload(0));
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = stream.write_all(&frame);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(ctx: &Ctx, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    let mut pool: Pool = Pool::new();
+    loop {
+        let stream = {
+            let Ok(guard) = conn_rx.lock() else { return };
+            match guard.recv() {
+                Ok(stream) => stream,
+                Err(_) => return,
+            }
+        };
+        handle_connection(ctx, &mut pool, stream);
+    }
+}
+
+fn handle_connection(ctx: &Ctx, pool: &mut Pool, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    let mut last_activity = ctx.clock.now_nanos();
+    let idle_timeout_nanos = ctx.idle_timeout.as_nanos() as u64;
+    loop {
+        loop {
+            match decode_frame(&buf, ctx.max_payload) {
+                Ok((payload, used)) => {
+                    buf.drain(..used);
+                    if !serve_one(ctx, pool, &mut stream, &payload) {
+                        return;
+                    }
+                }
+                Err(WireError::Truncated) => break,
+                Err(error) => {
+                    // Bad magic, hostile length, or CRC damage: the
+                    // stream cannot be resynchronized. Answer with a
+                    // typed error (correlation 0) and close.
+                    RouteMetrics::add(&ctx.shared.metrics.decode_rejects, 1);
+                    let reply = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: error.to_string(),
+                    };
+                    let _ = write_response(&mut stream, 0, &reply);
+                    return;
+                }
+            }
+        }
+        if ctx.shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => {
+                last_activity = ctx.clock.now_nanos();
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if ctx.clock.now_nanos().saturating_sub(last_activity) >= idle_timeout_nanos {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_one(ctx: &Ctx, pool: &mut Pool, stream: &mut TcpStream, payload: &[u8]) -> bool {
+    let (decoded, decode_nanos) = timed(ctx.clock.as_ref(), || Request::decode_payload(payload));
+    ctx.obs.record(Stage::Decode, decode_nanos);
+    let (correlation, request) = match decoded {
+        Ok(decoded) => decoded,
+        Err(error) => {
+            RouteMetrics::add(&ctx.shared.metrics.decode_rejects, 1);
+            let reply = Response::Error {
+                code: ErrorCode::BadRequest,
+                message: error.to_string(),
+            };
+            return write_response(stream, correlation_of(payload), &reply);
+        }
+    };
+    let response = handle_request(ctx, pool, &request);
+    let (wrote, encode_nanos) = timed(ctx.clock.as_ref(), || {
+        write_response(stream, correlation, &response)
+    });
+    ctx.obs.record(Stage::Encode, encode_nanos);
+    wrote
+}
+
+fn write_response(stream: &mut TcpStream, correlation: u64, response: &Response) -> bool {
+    let frame = encode_frame(&response.encode_payload(correlation));
+    stream.write_all(&frame).is_ok()
+}

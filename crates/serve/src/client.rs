@@ -8,13 +8,13 @@ use std::time::Duration;
 
 use chameleon_fleet::{SessionId, SessionSpec};
 use chameleon_replay::crc32;
-use chameleon_runtime::{Clock, WallClock};
+use chameleon_runtime::{splitmix64, Clock, SimRng, WallClock};
 
 use chameleon_obs::Observation;
 
 use crate::wire::{
-    encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot, WireError,
-    MAX_PAYLOAD_BYTES, WIRE_MAGIC,
+    encode_frame, ErrorCode, PredictSummary, ProbeSummary, Request, Response, StatsSnapshot,
+    WireError, MAX_PAYLOAD_BYTES, WIRE_MAGIC,
 };
 
 /// Why a client call failed.
@@ -107,6 +107,7 @@ pub struct Connection {
     max_retries: u32,
     stall_budget: u32,
     clock: Arc<dyn Clock>,
+    backoff: SimRng,
 }
 
 /// Default bound on consecutive zero-progress step rounds
@@ -123,6 +124,14 @@ impl Connection {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        // Each connection gets its own jitter stream, seeded from the
+        // ephemeral local port so two clients started at the same instant
+        // still back off on different schedules. Deterministic tests
+        // override it with `set_backoff_seed`.
+        let seed = stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(0);
         Ok(Self {
             stream,
             next_correlation: 1,
@@ -130,6 +139,7 @@ impl Connection {
             max_retries: 10_000,
             stall_budget: DEFAULT_STALL_BUDGET,
             clock: WallClock::shared(),
+            backoff: SimRng::new(splitmix64(seed ^ 0xB0FF)),
         })
     }
 
@@ -144,6 +154,13 @@ impl Connection {
     /// [`ClientError::Stalled`] (default [`DEFAULT_STALL_BUDGET`]).
     pub fn set_stall_budget(&mut self, stall_budget: u32) {
         self.stall_budget = stall_budget.max(1);
+    }
+
+    /// Reseeds the deterministic backoff-jitter stream. Under a
+    /// [`chameleon_runtime::VirtualClock`] this pins the whole retry
+    /// schedule: same seed, same `RetryAfter` answers, same sleeps.
+    pub fn set_backoff_seed(&mut self, seed: u64) {
+        self.backoff = SimRng::new(splitmix64(seed ^ 0xB0FF));
     }
 
     /// Injects the [`Clock`] backoff sleeps run on. Tests pass a
@@ -193,8 +210,8 @@ impl Connection {
         for _ in 0..=self.max_retries {
             match self.request_once(request)? {
                 Response::RetryAfter { millis } => {
-                    self.clock
-                        .sleep(Duration::from_millis(u64::from(millis).max(1) + boost));
+                    let sleep = jittered_backoff_millis(&mut self.backoff, millis, boost);
+                    self.clock.sleep(Duration::from_millis(sleep));
                     boost = (boost * 2).clamp(1, 64);
                 }
                 other => return Ok(other),
@@ -323,6 +340,48 @@ impl Connection {
         }
     }
 
+    /// Cheap health probe: residency counts and in-flight depth, without
+    /// the cost of a full stats snapshot. The routing tier's health
+    /// checks ride on this.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn probe(&mut self) -> Result<ProbeSummary, ClientError> {
+        match self.settle(&Request::Probe)? {
+            Response::ProbeAck(summary) => Ok(summary),
+            _ => Err(ClientError::UnexpectedResponse("ProbeAck")),
+        }
+    }
+
+    /// Exports the session for handoff: the server serializes it to its
+    /// `CHAMFLT1` blob and *forgets* it — afterwards the blob is the only
+    /// copy and the session can be imported elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn handoff_export(&mut self, session: SessionId) -> Result<Vec<u8>, ClientError> {
+        match self.settle(&Request::HandoffExport { session })? {
+            Response::HandoffExported(blob) => Ok(blob),
+            _ => Err(ClientError::UnexpectedResponse("HandoffExported")),
+        }
+    }
+
+    /// Imports a handed-off session from its `CHAMFLT1` blob; the server
+    /// admits it cold and restores it on first touch, exactly like an
+    /// eviction restore.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::request`].
+    pub fn handoff_import(&mut self, session: SessionId, blob: Vec<u8>) -> Result<(), ClientError> {
+        match self.settle(&Request::Handoff { session, blob })? {
+            Response::HandoffAck => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("HandoffAck")),
+        }
+    }
+
     /// Snapshots fleet + serving-layer metrics.
     ///
     /// # Errors
@@ -387,5 +446,51 @@ impl Connection {
             .into());
         }
         Ok(body)
+    }
+}
+
+/// One backoff sleep: the server's hint plus the escalation boost, plus
+/// seeded full jitter of up to the same magnitude. Synchronized clients
+/// hammered with identical `RetryAfter` hints thus spread over a 2×
+/// window instead of retrying in lockstep.
+fn jittered_backoff_millis(rng: &mut SimRng, millis: u32, boost: u64) -> u64 {
+    let base = u64::from(millis).max(1) + boost;
+    base + rng.below(base + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64) -> Vec<u64> {
+        let mut rng = SimRng::new(splitmix64(seed ^ 0xB0FF));
+        let mut boost = 0u64;
+        (0..32)
+            .map(|_| {
+                let sleep = jittered_backoff_millis(&mut rng, 2, boost);
+                boost = (boost * 2).clamp(1, 64);
+                sleep
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_jitter_is_seeded_and_deterministic() {
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8), "distinct seeds must desync");
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_by_twice_the_base() {
+        let mut rng = SimRng::new(1);
+        for boost in [0u64, 1, 8, 64] {
+            for millis in [0u32, 1, 2, 1000] {
+                let base = u64::from(millis).max(1) + boost;
+                for _ in 0..200 {
+                    let sleep = jittered_backoff_millis(&mut rng, millis, boost);
+                    assert!(sleep >= base && sleep <= 2 * base);
+                }
+            }
+        }
     }
 }

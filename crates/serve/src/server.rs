@@ -42,8 +42,8 @@ use chameleon_stream::{ConfigError, DomainIlScenario};
 
 use crate::metrics::{ServeCounters, ServeMetrics};
 use crate::wire::{
-    correlation_of, encode_frame, ErrorCode, PredictSummary, Request, Response, StatsSnapshot,
-    WireError, FRAME_OVERHEAD, MAX_PAYLOAD_BYTES, WIRE_MAGIC,
+    correlation_of, encode_frame, ErrorCode, PredictSummary, ProbeSummary, Request, Response,
+    StatsSnapshot, WireError, FRAME_OVERHEAD, MAX_PAYLOAD_BYTES, WIRE_MAGIC,
 };
 
 /// Tunables of the serving layer (the fleet itself is shaped separately
@@ -412,6 +412,19 @@ fn handle_op(
             ))));
             return;
         }
+        Request::Probe => {
+            // Answered engine-side so the summary reflects the fleet the
+            // router would actually route to, yet without the cost of a
+            // full stats snapshot.
+            let fm = fleet.metrics();
+            let summary = ProbeSummary {
+                sessions_resident: fm.sessions_resident() as u64,
+                sessions_cold: fm.sessions_cold() as u64,
+                in_flight: fleet.pending() as u64,
+            };
+            let _ = op.reply.send(Response::ProbeAck(summary));
+            return;
+        }
         Request::CreateSession { session, spec } => {
             fleet.create_correlated(session, spec, correlation)
         }
@@ -431,6 +444,10 @@ fn handle_op(
         Request::Evict { session } => {
             fleet.command_correlated(session, SessionCommand::Evict, correlation)
         }
+        Request::HandoffExport { session } => {
+            fleet.command_correlated(session, SessionCommand::Export, correlation)
+        }
+        Request::Handoff { session, blob } => fleet.import_correlated(session, blob, correlation),
     };
     match submitted {
         Ok(()) => {
@@ -538,6 +555,8 @@ fn event_response(kind: SessionEventKind) -> Response {
             memory_overhead_mb: report.memory_overhead_mb,
         }),
         SessionEventKind::Checkpointed(blob) => Response::Checkpointed(blob),
+        SessionEventKind::Exported(blob) => Response::HandoffExported(blob),
+        SessionEventKind::Imported => Response::HandoffAck,
         SessionEventKind::Evicted => Response::Evicted,
         SessionEventKind::Failed(reason) => Response::Error {
             code: ErrorCode::SessionFailed,

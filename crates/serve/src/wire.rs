@@ -188,6 +188,23 @@ pub enum Request {
     /// aggregates, the event-log tail, and flattened counters
     /// ([`chameleon_obs::Observation`]).
     Observe,
+    /// Router health probe; answered with [`Response::ProbeAck`] carrying
+    /// a cheap load summary so routers can rank backends.
+    Probe,
+    /// Export the session for handoff: serialize its `CHAMFLT1` blob and
+    /// forget it, so exactly one node owns the session at a time.
+    HandoffExport {
+        /// Session to export.
+        session: SessionId,
+    },
+    /// Import a handed-off session from its `CHAMFLT1` blob; acknowledged
+    /// with [`Response::HandoffAck`].
+    Handoff {
+        /// Session being handed off (must match the blob's own id).
+        session: SessionId,
+        /// The full `CHAMFLT1` checkpoint captured on the old owner.
+        blob: Vec<u8>,
+    },
 }
 
 const REQ_PING: u8 = 0x00;
@@ -198,6 +215,9 @@ const REQ_CHECKPOINT: u8 = 0x04;
 const REQ_EVICT: u8 = 0x05;
 const REQ_STATS: u8 = 0x06;
 const REQ_OBSERVE: u8 = 0x07;
+const REQ_PROBE: u8 = 0x08;
+const REQ_HANDOFF_EXPORT: u8 = 0x09;
+const REQ_HANDOFF: u8 = 0x0A;
 
 impl Request {
     /// Serializes `correlation | opcode | body` (the frame payload).
@@ -232,6 +252,17 @@ impl Request {
             }
             Self::Stats => p.push(REQ_STATS),
             Self::Observe => p.push(REQ_OBSERVE),
+            Self::Probe => p.push(REQ_PROBE),
+            Self::HandoffExport { session } => {
+                p.push(REQ_HANDOFF_EXPORT);
+                p.extend_from_slice(&session.to_le_bytes());
+            }
+            Self::Handoff { session, blob } => {
+                p.push(REQ_HANDOFF);
+                p.extend_from_slice(&session.to_le_bytes());
+                p.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                p.extend_from_slice(blob);
+            }
         }
         p
     }
@@ -267,6 +298,16 @@ impl Request {
             REQ_EVICT => Self::Evict { session: r.u64()? },
             REQ_STATS => Self::Stats,
             REQ_OBSERVE => Self::Observe,
+            REQ_PROBE => Self::Probe,
+            REQ_HANDOFF_EXPORT => Self::HandoffExport { session: r.u64()? },
+            REQ_HANDOFF => {
+                let session = r.u64()?;
+                let len = r.u32()? as usize;
+                Self::Handoff {
+                    session,
+                    blob: r.bytes(len)?.to_vec(),
+                }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -377,6 +418,18 @@ pub struct StatsSnapshot {
     pub serve: ServeCounters,
 }
 
+/// The load summary a [`Request::Probe`] returns: enough for a router to
+/// rank backends without the cost of a full [`StatsSnapshot`] pull.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeSummary {
+    /// Sessions resident across all shards.
+    pub sessions_resident: u64,
+    /// Sessions evicted to checkpoint form across all shards.
+    pub sessions_cold: u64,
+    /// Requests currently in flight inside the fleet engine.
+    pub in_flight: u64,
+}
+
 /// A server response; carries the request's correlation id on the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -416,6 +469,15 @@ pub enum Response {
         /// Suggested minimum backoff before retrying, in milliseconds.
         millis: u32,
     },
+    /// Answer to [`Request::Probe`]: a cheap load summary routers use to
+    /// rank backends and detect degradation without a full `Stats` pull.
+    ProbeAck(ProbeSummary),
+    /// Answer to [`Request::HandoffExport`]: the session's `CHAMFLT1`
+    /// blob; the exporting node no longer owns the session.
+    HandoffExported(Vec<u8>),
+    /// Answer to [`Request::Handoff`]: the importing node now owns the
+    /// session.
+    HandoffAck,
 }
 
 const RSP_PONG: u8 = 0x80;
@@ -428,6 +490,9 @@ const RSP_STATS: u8 = 0x86;
 const RSP_ERROR: u8 = 0x87;
 const RSP_RETRY_AFTER: u8 = 0x88;
 const RSP_OBSERVED: u8 = 0x89;
+const RSP_PROBE_ACK: u8 = 0x8A;
+const RSP_HANDOFF_EXPORTED: u8 = 0x8B;
+const RSP_HANDOFF_ACK: u8 = 0x8C;
 
 impl Response {
     /// Serializes `correlation | opcode | body` (the frame payload).
@@ -474,6 +539,18 @@ impl Response {
                 p.push(RSP_RETRY_AFTER);
                 p.extend_from_slice(&millis.to_le_bytes());
             }
+            Self::ProbeAck(summary) => {
+                p.push(RSP_PROBE_ACK);
+                p.extend_from_slice(&summary.sessions_resident.to_le_bytes());
+                p.extend_from_slice(&summary.sessions_cold.to_le_bytes());
+                p.extend_from_slice(&summary.in_flight.to_le_bytes());
+            }
+            Self::HandoffExported(blob) => {
+                p.push(RSP_HANDOFF_EXPORTED);
+                p.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                p.extend_from_slice(blob);
+            }
+            Self::HandoffAck => p.push(RSP_HANDOFF_ACK),
         }
         p
     }
@@ -517,6 +594,16 @@ impl Response {
                 Self::Error { code, message }
             }
             RSP_RETRY_AFTER => Self::RetryAfter { millis: r.u32()? },
+            RSP_PROBE_ACK => Self::ProbeAck(ProbeSummary {
+                sessions_resident: r.u64()?,
+                sessions_cold: r.u64()?,
+                in_flight: r.u64()?,
+            }),
+            RSP_HANDOFF_EXPORTED => {
+                let len = r.u32()? as usize;
+                Self::HandoffExported(r.bytes(len)?.to_vec())
+            }
+            RSP_HANDOFF_ACK => Self::HandoffAck,
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -821,6 +908,12 @@ mod tests {
             Request::Evict { session: 7 },
             Request::Stats,
             Request::Observe,
+            Request::Probe,
+            Request::HandoffExport { session: 7 },
+            Request::Handoff {
+                session: 7,
+                blob: vec![0xCA, 0xFE, 0x00, 0x42],
+            },
         ];
         for (i, request) in requests.iter().enumerate() {
             let corr = 1000 + i as u64;
@@ -914,6 +1007,13 @@ mod tests {
             },
             Response::RetryAfter { millis: 2 },
             Response::Observed(Box::new(observation())),
+            Response::ProbeAck(ProbeSummary {
+                sessions_resident: 4,
+                sessions_cold: 2,
+                in_flight: 1,
+            }),
+            Response::HandoffExported(vec![9, 8, 7]),
+            Response::HandoffAck,
         ];
         for (i, response) in responses.iter().enumerate() {
             let corr = 42 + i as u64;

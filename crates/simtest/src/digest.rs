@@ -62,6 +62,12 @@ pub fn encode_event(buf: &mut Vec<u8>, event: &SessionEvent, scope: ShardScope) 
             buf.extend_from_slice(&(reason.len() as u64).to_le_bytes());
             buf.extend_from_slice(reason.as_bytes());
         }
+        SessionEventKind::Exported(blob) => {
+            buf.push(6);
+            buf.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            buf.extend_from_slice(blob);
+        }
+        SessionEventKind::Imported => buf.push(7),
     }
 }
 

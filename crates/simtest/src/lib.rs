@@ -37,6 +37,7 @@ pub mod crash;
 pub mod digest;
 pub mod explorer;
 pub mod golden;
+pub mod multinode;
 pub mod script;
 pub mod soak;
 
@@ -46,5 +47,6 @@ pub use explorer::{check_seed, SeedOutcome};
 pub use golden::{
     derive_corpus, diff, golden_scenario, parse, render, GoldenFile, GOLDEN_FILE_NAMES,
 };
+pub use multinode::{check_route_seed, disruption_plan, Disruption, RouteSeedOutcome};
 pub use script::{generate, Op};
 pub use soak::{SoakConfig, SoakReport};

@@ -1,0 +1,583 @@
+//! The multi-node routing explorer: handoff/kill schedules on a
+//! simulated cluster, cross-checked against a single node.
+//!
+//! One seed pins a cluster of K simulated nodes (each its own
+//! [`FleetEngine`] with its own seeded scheduler), an op script, a fault
+//! plan, and a *disruption plan* interleaved with the ops:
+//!
+//! - **Handoff**: an `Export` on the session's current node carries its
+//!   `CHAMFLT1` blob to a rendezvous-chosen survivor (the routing tier's
+//!   administrative drain).
+//! - **Kill**: a node dies without warning; every session placed on it
+//!   is re-homed from its *shadow checkpoint* — the blob probed after
+//!   the session's last completed op, exactly what `chameleon-route`
+//!   caches (a network-partition window looks identical from the
+//!   session's perspective: ops stop reaching the node, and recovery
+//!   re-homes from the last acknowledged state).
+//!
+//! The invariant proved per seed is **placement invisibility**:
+//! checkpoint restore resets transient training state *by design* (see
+//! `chameleon-core`), so a moved session is not byte-identical to a
+//! never-moved one — but it must be byte-identical to the same command
+//! sequence on a **single node with a local evict/restore at the same
+//! boundaries**. The explorer replays the multi-node run's interruption
+//! trace as plain `Evict` commands on one engine and asserts every
+//! per-session observable — each post-op probed `CHAMFLT1` blob, each
+//! evaluation, each refusal — and every final checkpoint byte is
+//! identical, no matter which nodes the session visited or how many
+//! times it moved. A same-seed replay of the whole cluster must also
+//! reproduce itself bit for bit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chameleon_fleet::{FleetConfig, FleetEngine, SessionCommand, SessionEventKind, SessionId};
+use chameleon_replay::crc32;
+use chameleon_runtime::{splitmix64, SimRng};
+use chameleon_stream::DomainIlScenario;
+
+use crate::digest::{encode_event, ShardScope};
+use crate::script::{self, Op};
+
+/// One scheduled disruption, applied before the op at its index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disruption {
+    /// Drain one session off its current node (export + import).
+    Handoff {
+        /// Session to move.
+        session: SessionId,
+    },
+    /// Kill a node outright; its sessions re-home from shadows.
+    Kill {
+        /// Node to kill.
+        node: usize,
+    },
+}
+
+/// Seed-derived disruption plan: `(op_index, disruption)` pairs, applied
+/// before the op at `op_index`. Guaranteed non-empty (a plan with no
+/// disruptions would not test routing at all) and to never kill the last
+/// surviving node.
+pub fn disruption_plan(seed: u64, ops: usize, nodes: usize) -> Vec<(usize, Disruption)> {
+    let mut rng = SimRng::new(splitmix64(seed ^ 0xD157));
+    let mut plan = Vec::new();
+    let mut alive = nodes;
+    for index in 1..ops {
+        if !rng.chance(1, 6) {
+            continue;
+        }
+        if alive > 1 && rng.chance(1, 3) {
+            // The specific victim is resolved at apply time (first node
+            // still alive counting from the drawn index), so the plan
+            // stays valid however earlier kills landed.
+            plan.push((
+                index,
+                Disruption::Kill {
+                    node: rng.below(nodes as u64) as usize,
+                },
+            ));
+            alive -= 1;
+        } else {
+            plan.push((
+                index,
+                Disruption::Handoff {
+                    session: rng.below(script::SESSION_POOL),
+                },
+            ));
+        }
+    }
+    if plan.is_empty() {
+        plan.push((
+            ops / 2,
+            Disruption::Handoff {
+                session: rng.below(script::SESSION_POOL),
+            },
+        ));
+    }
+    plan
+}
+
+/// What one passing routed seed looked like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteSeedOutcome {
+    /// The seed that pins this case.
+    pub seed: u64,
+    /// Ops in the generated script.
+    pub ops: usize,
+    /// Simulated nodes in the cluster.
+    pub nodes: usize,
+    /// Sessions actually moved by handoffs.
+    pub handoffs: u64,
+    /// Nodes killed (sessions re-homed from shadows).
+    pub kills: u64,
+    /// Sessions re-homed out of killed nodes.
+    pub recovered: u64,
+    /// Whether the case ran under an injected fault plan.
+    pub faulted: bool,
+    /// CRC32 over every per-session observable log, in id order.
+    pub log_digest: u32,
+    /// CRC32 over every session's final `CHAMFLT1` blob, in id order.
+    pub checkpoint_crc: u32,
+}
+
+/// The interruption trace a multi-node run actually performed:
+/// `(op_index, session)` per moved session, in apply order. The
+/// single-node reference replays this as `Evict` commands.
+type Trace = Vec<(usize, SessionId)>;
+
+/// A simulated cluster: K engines, a placement map, and the shadow
+/// checkpoint cache (the routing tier's state, in miniature).
+struct Cluster {
+    engines: Vec<FleetEngine>,
+    alive: Vec<bool>,
+    placement: HashMap<SessionId, usize>,
+    shadows: HashMap<SessionId, Vec<u8>>,
+    logs: HashMap<SessionId, Vec<u8>>,
+    seed: u64,
+    trace: Trace,
+    handoffs: u64,
+    kills: u64,
+    recovered: u64,
+}
+
+impl Cluster {
+    fn new(scenario: &Arc<DomainIlScenario>, seed: u64, nodes: usize) -> Self {
+        let faults = script::fault_plan(seed);
+        let engines = (0..nodes)
+            .map(|node| {
+                FleetEngine::new_sim(
+                    Arc::clone(scenario),
+                    FleetConfig {
+                        num_shards: 1 + (splitmix64(seed ^ (node as u64 + 1)) % 2) as usize,
+                        queue_depth: 4,
+                        budget_bytes: u64::MAX,
+                        assignment_seed: splitmix64(seed ^ 0xA551 ^ node as u64),
+                        faults,
+                    },
+                    splitmix64(seed ^ 0xB0B ^ (node as u64) << 8),
+                )
+            })
+            .collect();
+        Self {
+            engines,
+            alive: vec![true; nodes],
+            placement: HashMap::new(),
+            shadows: HashMap::new(),
+            logs: HashMap::new(),
+            seed,
+            trace: Trace::new(),
+            handoffs: 0,
+            kills: 0,
+            recovered: 0,
+        }
+    }
+
+    /// Rendezvous choice among live nodes, optionally excluding one —
+    /// the same highest-random-weight scheme `chameleon-route` uses.
+    fn rendezvous(&self, session: SessionId, exclude: Option<usize>) -> Option<usize> {
+        let key = splitmix64(session ^ self.seed);
+        (0..self.engines.len())
+            .filter(|&n| self.alive[n] && Some(n) != exclude)
+            .max_by_key(|&n| splitmix64(key ^ (n as u64 + 1)))
+    }
+
+    fn owner_of(&self, session: SessionId) -> Option<usize> {
+        self.placement
+            .get(&session)
+            .copied()
+            .or_else(|| self.rendezvous(session, None))
+    }
+
+    /// Drains a node's pending events into the session logs (handoff
+    /// machinery calls `drain_to_bin` instead, keeping export/import
+    /// noise out of the compared history).
+    fn drain_to_logs(&mut self, node: usize) {
+        for event in self.engines[node].drain_pending() {
+            if let SessionEventKind::Checkpointed(blob) = &event.kind {
+                self.shadows.insert(event.session, blob.clone());
+            }
+            let log = self.logs.entry(event.session).or_default();
+            encode_event(log, &event, ShardScope::Exclude);
+        }
+    }
+
+    fn drain_to_bin(&mut self, node: usize) -> Vec<chameleon_fleet::SessionEvent> {
+        self.engines[node].drain_pending()
+    }
+
+    /// Applies one script op on the session's current node, then probes
+    /// the touched session with a `Checkpoint` so its post-op state is
+    /// both observable history and the shadow for later failovers.
+    fn apply(&mut self, op: &Op) -> Result<(), String> {
+        let session = op.session();
+        let Some(node) = self.owner_of(session) else {
+            return Err("no live node left to route to".to_string());
+        };
+        let submitted = match op {
+            Op::Create { session } => self.engines[node]
+                .create_blocking(*session, script::session_spec(self.seed, *session)),
+            Op::Step { session, batches } => self.engines[node]
+                .command_blocking(*session, SessionCommand::Step { batches: *batches }),
+            Op::Checkpoint { session } => {
+                self.engines[node].command_blocking(*session, SessionCommand::Checkpoint)
+            }
+            Op::Evict { session } => {
+                self.engines[node].command_blocking(*session, SessionCommand::Evict)
+            }
+            Op::Evaluate { session } => {
+                self.engines[node].command_blocking(*session, SessionCommand::Evaluate)
+            }
+        };
+        if let Err(error) = submitted {
+            let log = self.logs.entry(session).or_default();
+            log.push(0xFF);
+            log.extend_from_slice(error.to_string().as_bytes());
+        }
+        self.drain_to_logs(node);
+        if self.engines[node].known(session) {
+            self.placement.entry(session).or_insert(node);
+            self.engines[node]
+                .command_blocking(session, SessionCommand::Checkpoint)
+                .map_err(|e| format!("checkpoint probe refused: {e}"))?;
+            self.drain_to_logs(node);
+        }
+        Ok(())
+    }
+
+    /// Administrative drain of one session: export on the old node
+    /// (capture + forget), import on the rendezvous survivor.
+    fn handoff(&mut self, op_index: usize, session: SessionId) -> Result<(), String> {
+        let Some(old) = self.placement.get(&session).copied() else {
+            return Ok(()); // never created (yet) — nothing to move
+        };
+        let Some(new) = self.rendezvous(session, Some(old)) else {
+            return Ok(()); // nowhere to move it
+        };
+        if self.engines[old]
+            .command_blocking(session, SessionCommand::Export)
+            .is_err()
+        {
+            return Ok(());
+        }
+        let blob = self
+            .drain_to_bin(old)
+            .into_iter()
+            .find_map(|e| match e.kind {
+                SessionEventKind::Exported(blob) => Some(blob),
+                _ => None,
+            })
+            .ok_or_else(|| format!("session {session}: export produced no blob"))?;
+        self.engines[new]
+            .import_blocking(session, blob.clone())
+            .map_err(|e| format!("session {session}: import refused: {e}"))?;
+        self.drain_to_bin(new);
+        self.placement.insert(session, new);
+        self.shadows.insert(session, blob);
+        self.trace.push((op_index, session));
+        self.handoffs += 1;
+        Ok(())
+    }
+
+    /// Kills a node outright: no export, every session placed on it is
+    /// re-homed from its shadow checkpoint (its state after its last
+    /// completed op).
+    fn kill(&mut self, op_index: usize, node_hint: usize) -> Result<(), String> {
+        let nodes = self.engines.len();
+        let Some(victim) = (0..nodes)
+            .map(|i| (node_hint + i) % nodes)
+            .find(|&n| self.alive[n])
+            .filter(|_| self.alive.iter().filter(|&&a| a).count() > 1)
+        else {
+            return Ok(()); // refuse to kill the last survivor
+        };
+        self.alive[victim] = false;
+        self.kills += 1;
+        let mut stranded: Vec<SessionId> = self
+            .placement
+            .iter()
+            .filter(|(_, &n)| n == victim)
+            .map(|(&s, _)| s)
+            .collect();
+        stranded.sort_unstable();
+        for session in stranded {
+            let Some(blob) = self.shadows.get(&session).cloned() else {
+                continue;
+            };
+            let Some(new) = self.rendezvous(session, None) else {
+                continue;
+            };
+            self.engines[new]
+                .import_blocking(session, blob)
+                .map_err(|e| format!("session {session}: failover import refused: {e}"))?;
+            self.drain_to_bin(new);
+            self.placement.insert(session, new);
+            self.trace.push((op_index, session));
+            self.recovered += 1;
+        }
+        Ok(())
+    }
+
+    /// Final `CHAMFLT1` blob of every session, probed on its current
+    /// node, in id order.
+    fn final_blobs(&mut self) -> Result<Vec<(SessionId, Vec<u8>)>, String> {
+        let mut ids: Vec<SessionId> = self.placement.keys().copied().collect();
+        ids.sort_unstable();
+        let mut blobs = Vec::with_capacity(ids.len());
+        for id in ids {
+            let node = self.placement[&id];
+            self.engines[node]
+                .command_blocking(id, SessionCommand::Checkpoint)
+                .map_err(|e| format!("final checkpoint refused: {e}"))?;
+            let blob = self
+                .drain_to_bin(node)
+                .into_iter()
+                .find_map(|e| match e.kind {
+                    SessionEventKind::Checkpointed(blob) => Some(blob),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("session {id}: final checkpoint produced no blob"))?;
+            blobs.push((id, blob));
+        }
+        Ok(blobs)
+    }
+}
+
+/// Runs the multi-node schedule for one seed; returns the per-session
+/// logs, the interruption trace, and the final blobs.
+#[allow(clippy::type_complexity)]
+fn run_cluster(
+    scenario: &Arc<DomainIlScenario>,
+    seed: u64,
+    nodes: usize,
+    ops: &[Op],
+    plan: &[(usize, Disruption)],
+) -> Result<(Cluster, Vec<(SessionId, Vec<u8>)>), String> {
+    let mut cluster = Cluster::new(scenario, seed, nodes);
+    for (index, op) in ops.iter().enumerate() {
+        for (at, disruption) in plan.iter().filter(|(at, _)| *at == index) {
+            match disruption {
+                Disruption::Handoff { session } => cluster.handoff(*at, *session)?,
+                Disruption::Kill { node } => cluster.kill(*at, *node)?,
+            }
+        }
+        cluster
+            .apply(op)
+            .map_err(|e| format!("op {index} ({op:?}): {e}"))?;
+    }
+    let blobs = cluster.final_blobs()?;
+    Ok((cluster, blobs))
+}
+
+/// The single-node reference: the same script on one engine, with the
+/// multi-node run's interruption trace replayed as local `Evict`
+/// commands at the same boundaries (evict is idempotent when the
+/// session is already cold, so traces through cold sessions are safe).
+#[allow(clippy::type_complexity)]
+fn run_reference(
+    scenario: &Arc<DomainIlScenario>,
+    seed: u64,
+    ops: &[Op],
+    trace: &Trace,
+) -> Result<(HashMap<SessionId, Vec<u8>>, Vec<(SessionId, Vec<u8>)>), String> {
+    let faults = script::fault_plan(seed);
+    let mut engine = FleetEngine::new_sim(
+        Arc::clone(scenario),
+        FleetConfig {
+            num_shards: 1,
+            queue_depth: 4,
+            budget_bytes: u64::MAX,
+            assignment_seed: splitmix64(seed ^ 0xA551),
+            faults,
+        },
+        seed,
+    );
+    let mut logs: HashMap<SessionId, Vec<u8>> = HashMap::new();
+    let drain =
+        |engine: &mut FleetEngine, logs: &mut HashMap<SessionId, Vec<u8>>, to_logs: bool| {
+            for event in engine.drain_pending() {
+                if to_logs {
+                    let log = logs.entry(event.session).or_default();
+                    encode_event(log, &event, ShardScope::Exclude);
+                }
+            }
+        };
+    for (index, op) in ops.iter().enumerate() {
+        for (_, session) in trace.iter().filter(|(at, _)| *at == index) {
+            // The stand-in for a handoff/failover: a local interruption
+            // at the same boundary. Machinery events stay out of the
+            // compared history on both sides.
+            let _ = engine.command_blocking(*session, SessionCommand::Evict);
+            drain(&mut engine, &mut logs, false);
+        }
+        let session = op.session();
+        let submitted = match op {
+            Op::Create { session } => {
+                engine.create_blocking(*session, script::session_spec(seed, *session))
+            }
+            Op::Step { session, batches } => {
+                engine.command_blocking(*session, SessionCommand::Step { batches: *batches })
+            }
+            Op::Checkpoint { session } => {
+                engine.command_blocking(*session, SessionCommand::Checkpoint)
+            }
+            Op::Evict { session } => engine.command_blocking(*session, SessionCommand::Evict),
+            Op::Evaluate { session } => engine.command_blocking(*session, SessionCommand::Evaluate),
+        };
+        if let Err(error) = submitted {
+            let log = logs.entry(session).or_default();
+            log.push(0xFF);
+            log.extend_from_slice(error.to_string().as_bytes());
+        }
+        drain(&mut engine, &mut logs, true);
+        if engine.known(session) {
+            engine
+                .command_blocking(session, SessionCommand::Checkpoint)
+                .map_err(|e| format!("reference probe refused: {e}"))?;
+            drain(&mut engine, &mut logs, true);
+        }
+    }
+    let mut ids: Vec<SessionId> = (0..script::SESSION_POOL)
+        .filter(|&id| engine.known(id))
+        .collect();
+    ids.sort_unstable();
+    let mut blobs = Vec::with_capacity(ids.len());
+    for id in ids {
+        engine
+            .command_blocking(id, SessionCommand::Checkpoint)
+            .map_err(|e| format!("reference final checkpoint refused: {e}"))?;
+        let blob = engine
+            .drain_pending()
+            .into_iter()
+            .find_map(|e| match e.kind {
+                SessionEventKind::Checkpointed(blob) => Some(blob),
+                _ => None,
+            })
+            .ok_or_else(|| format!("session {id}: reference produced no final blob"))?;
+        blobs.push((id, blob));
+    }
+    Ok((logs, blobs))
+}
+
+/// Runs the full multi-node placement-invisibility + replay-determinism
+/// check for one seed.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant; the
+/// seed reproduces it bit-identically.
+pub fn check_route_seed(
+    scenario: &Arc<DomainIlScenario>,
+    seed: u64,
+) -> Result<RouteSeedOutcome, String> {
+    let ops = script::generate(seed);
+    let nodes = 2 + (splitmix64(seed ^ 0x0DE5) % 2) as usize;
+    let plan = disruption_plan(seed, ops.len(), nodes);
+
+    let (cluster, blobs) = run_cluster(scenario, seed, nodes, &ops, &plan)
+        .map_err(|e| format!("route seed {seed}: {e}"))?;
+    let (replay, replay_blobs) = run_cluster(scenario, seed, nodes, &ops, &plan)
+        .map_err(|e| format!("route seed {seed} [replay]: {e}"))?;
+
+    // Replay determinism: the same seed must reproduce the same
+    // interruption trace, the same per-session histories, and the same
+    // final checkpoint bytes.
+    if cluster.trace != replay.trace {
+        return Err(format!(
+            "route seed {seed}: replay performed a different interruption trace"
+        ));
+    }
+    if cluster.logs != replay.logs || blobs != replay_blobs {
+        return Err(format!(
+            "route seed {seed}: same-seed cluster replay diverged"
+        ));
+    }
+
+    // Placement invisibility: the single-node reference with the same
+    // interruption boundaries must match every observable byte.
+    let (ref_logs, ref_blobs) = run_reference(scenario, seed, &ops, &cluster.trace)
+        .map_err(|e| format!("route seed {seed} [reference]: {e}"))?;
+    for id in 0..script::SESSION_POOL {
+        if cluster.logs.get(&id) != ref_logs.get(&id) {
+            return Err(format!(
+                "route seed {seed}: session {id} history diverges between the \
+                 {nodes}-node cluster and the single-node reference"
+            ));
+        }
+    }
+    if blobs != ref_blobs {
+        return Err(format!(
+            "route seed {seed}: final checkpoint bytes diverge between the \
+             {nodes}-node cluster and the single-node reference"
+        ));
+    }
+
+    let mut log_concat = Vec::new();
+    for id in 0..script::SESSION_POOL {
+        if let Some(log) = cluster.logs.get(&id) {
+            log_concat.extend_from_slice(&id.to_le_bytes());
+            log_concat.extend_from_slice(log);
+        }
+    }
+    let mut blob_concat = Vec::new();
+    for (id, blob) in &blobs {
+        blob_concat.extend_from_slice(&id.to_le_bytes());
+        blob_concat.extend_from_slice(blob);
+    }
+    Ok(RouteSeedOutcome {
+        seed,
+        ops: ops.len(),
+        nodes,
+        handoffs: cluster.handoffs,
+        kills: cluster.kills,
+        recovered: cluster.recovered,
+        faulted: script::fault_plan(seed).is_some(),
+        log_digest: crc32(&log_concat),
+        checkpoint_crc: crc32(&blob_concat),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_stream::DatasetSpec;
+
+    fn scenario() -> Arc<DomainIlScenario> {
+        Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0x51A7E57,
+        ))
+    }
+
+    #[test]
+    fn disruption_plans_are_seeded_and_nonempty() {
+        for seed in 0..32u64 {
+            let a = disruption_plan(seed, 20, 3);
+            let b = disruption_plan(seed, 20, 3);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
+        assert_ne!(disruption_plan(1, 20, 3), disruption_plan(2, 20, 3));
+    }
+
+    #[test]
+    fn a_clean_and_a_faulted_route_seed_pass_and_reproduce() {
+        let scenario = scenario();
+        for seed in [0u64, 1] {
+            let a = check_route_seed(&scenario, seed).expect("invariants hold");
+            let b = check_route_seed(&scenario, seed).expect("invariants hold");
+            assert_eq!(a, b, "outcome of route seed {seed} not reproducible");
+            assert_eq!(a.faulted, seed % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn schedules_actually_disrupt() {
+        let scenario = scenario();
+        let mut moved = 0u64;
+        for seed in 0..4u64 {
+            let outcome = check_route_seed(&scenario, seed).expect("pass");
+            moved += outcome.handoffs + outcome.recovered;
+        }
+        assert!(moved > 0, "no seed in 0..4 ever moved a session");
+    }
+}

@@ -1,0 +1,302 @@
+//! Routing-tier contract: a session driven through a `chameleon-route`
+//! proxy behaves exactly like the same command sequence on a single
+//! node. A handoff (administrative drain) or shadow failover (backend
+//! declared dead) is observably identical to a local evict/restore at
+//! the same command boundary — checkpoint restore resets transient
+//! training state by design (see `chameleon-core`'s checkpoint docs), so
+//! the reference for bit-identity is the single-node run with `Evict`
+//! inserted at the same points, and the claim proved here is that
+//! *placement is invisible*: which node a session lives on, and how many
+//! times it moved, never changes a single byte of its outcome.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chameleon_core::ChameleonConfig;
+use chameleon_faults::FaultPlan;
+use chameleon_fleet::{FleetConfig, SessionId, SessionSpec, FLEET_MAGIC};
+use chameleon_route::{BackendState, Router, RouterConfig};
+use chameleon_runtime::VirtualClock;
+use chameleon_serve::wire::PredictSummary;
+use chameleon_serve::{ClientError, Connection, ServeConfig, Server};
+use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
+
+fn scenario() -> Arc<DomainIlScenario> {
+    Arc::new(DomainIlScenario::generate(
+        &DatasetSpec::core50_tiny(),
+        0xF1EE7,
+    ))
+}
+
+/// Same per-user spec construction as `tests/serve.rs`, so routed
+/// sessions are comparable against the single-node suites.
+fn user_spec(user: SessionId) -> SessionSpec {
+    let classes = DatasetSpec::core50_tiny().num_classes;
+    let base = (user as usize * 3) % classes;
+    SessionSpec {
+        learner: ChameleonConfig {
+            long_term_capacity: 30,
+            ..ChameleonConfig::default()
+        },
+        stream: StreamConfig {
+            preference: PreferenceProfile::Skewed {
+                preferred: vec![base, (base + 1) % classes, (base + 2) % classes],
+                boost: 8.0,
+            },
+            ..StreamConfig::default()
+        },
+        learner_seed: user.wrapping_mul(31) ^ 5,
+        stream_seed: user.wrapping_add(100),
+    }
+}
+
+struct Cluster {
+    backends: Vec<Server>,
+    router: Router,
+}
+
+fn start_cluster(n: usize, faults: Option<FaultPlan>) -> Cluster {
+    let scenario = scenario();
+    let backends: Vec<Server> = (0..n)
+        .map(|_| {
+            Server::start(
+                Arc::clone(&scenario),
+                FleetConfig {
+                    num_shards: 2,
+                    faults,
+                    ..FleetConfig::default()
+                },
+                ServeConfig::default(),
+            )
+            .expect("start backend")
+        })
+        .collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        backends: backends
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect(),
+        probe_interval: Duration::from_millis(20),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    Cluster { backends, router }
+}
+
+fn connect_to(addr: std::net::SocketAddr) -> Connection {
+    let mut conn = Connection::connect(addr).expect("connect");
+    conn.set_clock(VirtualClock::shared(0));
+    conn
+}
+
+type Outcome = (PredictSummary, Vec<u8>);
+
+/// The reference: the same per-session command sequence on ONE server,
+/// with an `Evict` standing in for the interruption at the same boundary
+/// for exactly the sessions the routed run moved.
+fn run_single_node_reference(
+    users: &[SessionId],
+    pre_batches: u32,
+    interrupted: &BTreeSet<SessionId>,
+    faults: Option<FaultPlan>,
+) -> Vec<Outcome> {
+    let mut server = Server::start(
+        scenario(),
+        FleetConfig {
+            num_shards: 2,
+            faults,
+            ..FleetConfig::default()
+        },
+        ServeConfig::default(),
+    )
+    .expect("start reference server");
+    let mut conn = connect_to(server.local_addr());
+    for &user in users {
+        conn.create_session(user, user_spec(user)).expect("create");
+        let _ = conn.step(user, pre_batches).expect("step");
+        if interrupted.contains(&user) {
+            conn.evict(user).expect("evict");
+        }
+    }
+    let outcomes = users
+        .iter()
+        .map(|&user| {
+            conn.run_to_completion(user, 7).expect("finish");
+            let summary = conn.predict(user).expect("predict");
+            let blob = conn.checkpoint(user).expect("checkpoint");
+            (summary, blob)
+        })
+        .collect();
+    server.shutdown();
+    outcomes
+}
+
+fn assert_outcomes_match(routed: &[Outcome], reference: &[Outcome], users: &[SessionId]) {
+    for ((got, want), user) in routed.iter().zip(reference).zip(users) {
+        assert_eq!(&got.1[..8], &FLEET_MAGIC[..], "user {user} magic");
+        assert_eq!(got.0.acc_all, want.0.acc_all, "user {user} acc");
+        assert_eq!(got.0.per_domain, want.0.per_domain, "user {user} domains");
+        assert_eq!(got.1, want.1, "user {user} checkpoint diverged");
+    }
+}
+
+/// Drives 3 users through the router with a mid-stream administrative
+/// drain of whichever backend owns the first user, then checks every
+/// observable against the single-node reference with the same
+/// interruption schedule.
+fn assert_drain_handoff_matches_single_node(faults: Option<FaultPlan>) {
+    let users: [SessionId; 3] = [2, 11, 29];
+    let mut cluster = start_cluster(2, faults);
+    let mut conn = connect_to(cluster.router.local_addr());
+
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+        let _ = conn.step(user, 10).expect("step before drain");
+    }
+
+    let victim = cluster.router.owner_of(users[0]).expect("owner pinned");
+    let moved: BTreeSet<SessionId> = users
+        .iter()
+        .copied()
+        .filter(|&u| cluster.router.owner_of(u) == Some(victim))
+        .collect();
+    let handed_off = cluster.router.drain_backend(victim).expect("drain");
+    assert_eq!(handed_off, moved.len(), "drain must move exactly its pins");
+    assert_eq!(
+        cluster.router.backend_states()[victim].1,
+        BackendState::Draining
+    );
+    assert_ne!(
+        cluster.router.owner_of(users[0]),
+        Some(victim),
+        "drained session must have a new owner"
+    );
+
+    let routed: Vec<Outcome> = users
+        .iter()
+        .map(|&user| {
+            conn.run_to_completion(user, 7).expect("finish");
+            let summary = conn.predict(user).expect("predict");
+            let blob = conn.checkpoint(user).expect("checkpoint");
+            (summary, blob)
+        })
+        .collect();
+
+    let reference = run_single_node_reference(&users, 10, &moved, faults);
+    assert_outcomes_match(&routed, &reference, &users);
+
+    let metrics = cluster.router.metrics();
+    assert_eq!(metrics.decode_rejects, 0);
+    assert_eq!(metrics.sessions_handed_off, moved.len() as u64);
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn drain_handoff_mid_stream_matches_single_node_evict_restore() {
+    assert_drain_handoff_matches_single_node(None);
+}
+
+#[test]
+fn drain_handoff_stays_bit_identical_under_fault_plan() {
+    assert_drain_handoff_matches_single_node(Some(FaultPlan::bit_flips(0xBAD, 1e-4)));
+}
+
+#[test]
+fn dead_backend_failover_recovers_sessions_from_shadow_checkpoints() {
+    let users: [SessionId; 3] = [2, 11, 29];
+    let mut cluster = start_cluster(2, None);
+    let mut conn = connect_to(cluster.router.local_addr());
+
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+        let _ = conn.step(user, 13).expect("step before kill");
+    }
+
+    // Declare a backend dead without warning it (no export happens; the
+    // router must fall back to the shadow checkpoints it refreshed after
+    // the last acknowledged step).
+    let victim = cluster.router.owner_of(users[0]).expect("owner pinned");
+    let moved: BTreeSet<SessionId> = users
+        .iter()
+        .copied()
+        .filter(|&u| cluster.router.owner_of(u) == Some(victim))
+        .collect();
+    let recovered = cluster.router.mark_dead(victim).expect("mark dead");
+    assert_eq!(recovered, moved.len(), "every pinned session must re-home");
+    assert_eq!(
+        cluster.router.backend_states()[victim].1,
+        BackendState::Dead
+    );
+
+    let routed: Vec<Outcome> = users
+        .iter()
+        .map(|&user| {
+            conn.run_to_completion(user, 7)
+                .expect("finish after failover");
+            let summary = conn.predict(user).expect("predict");
+            let blob = conn.checkpoint(user).expect("checkpoint");
+            (summary, blob)
+        })
+        .collect();
+
+    let reference = run_single_node_reference(&users, 13, &moved, None);
+    assert_outcomes_match(&routed, &reference, &users);
+
+    let metrics = cluster.router.metrics();
+    assert_eq!(metrics.failovers, moved.len() as u64);
+    assert_eq!(metrics.sessions_handed_off, moved.len() as u64);
+    assert_eq!(metrics.decode_rejects, 0);
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn external_handoff_frames_are_refused_and_stats_aggregate() {
+    let users: [SessionId; 2] = [3, 4];
+    let mut cluster = start_cluster(2, None);
+    let mut conn = connect_to(cluster.router.local_addr());
+    conn.ping().expect("ping answered by the router itself");
+
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+        let _ = conn.step(user, 5).expect("step");
+    }
+
+    // Handoff opcodes are router-internal: a client must not be able to
+    // teleport sessions (or forge imports) through the proxy.
+    let err = conn.handoff_export(users[0]).expect_err("must refuse");
+    assert!(matches!(err, ClientError::Refused { .. }), "{err:?}");
+    let err = conn
+        .handoff_import(99, vec![1, 2, 3])
+        .expect_err("must refuse");
+    assert!(matches!(err, ClientError::Refused { .. }), "{err:?}");
+
+    // A session never created through the router has no pin.
+    let err = conn.step(777, 1).expect_err("unknown session");
+    assert!(matches!(err, ClientError::Refused { .. }), "{err:?}");
+
+    // Stats and probe answers are fleet-wide sums over the backends.
+    let stats = conn.stats().expect("stats");
+    assert_eq!(stats.sessions_created, users.len() as u64);
+    let summary = conn.probe().expect("probe");
+    assert_eq!(
+        summary.sessions_resident + summary.sessions_cold,
+        users.len() as u64
+    );
+
+    // The unified observation merges router counters with backend views.
+    let observation = conn.observe().expect("observe");
+    assert!(observation.counter("route.requests_in").unwrap_or(0) > 0);
+    assert_eq!(observation.counter("route.decode_rejects"), Some(0));
+    assert_eq!(observation.counter("route.backends_healthy"), Some(2));
+    assert!(observation.counter("fleet.batches").unwrap_or(0) > 0);
+
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+}

@@ -10,7 +10,7 @@
 
 use chameleon_faults::{
     CheckpointFaultModel, FaultInjector, FaultPlan, FileFaultModel, MemoryFaultModel,
-    StreamFaultModel,
+    NetFaultModel, StreamFaultModel,
 };
 use chameleon_serve::wire::{
     decode_frame, encode_frame, ErrorCode, Request, Response, WireError, FRAME_OVERHEAD,
@@ -30,6 +30,7 @@ fn frame_damage_plan(seed: u64) -> FaultPlan {
         },
         stream: StreamFaultModel::disabled(),
         file: FileFaultModel::disabled(),
+        net: NetFaultModel::disabled(),
     }
 }
 
@@ -152,13 +153,17 @@ proptest! {
         correlation in 0u64..u64::MAX,
         session in 0u64..u64::MAX,
         batches in 0u32..u32::MAX,
-        which in 0u8..5,
+        blob in prop::collection::vec(0u8..=255, 0..64),
+        which in 0u8..8,
     ) {
         let request = match which {
             0 => Request::Ping,
             1 => Request::Step { session, batches },
             2 => Request::Predict { session },
             3 => Request::Checkpoint { session },
+            4 => Request::Probe,
+            5 => Request::HandoffExport { session },
+            6 => Request::Handoff { session, blob: blob.clone() },
             _ => Request::Evict { session },
         };
         let payload = request.encode_payload(correlation);
@@ -175,7 +180,7 @@ proptest! {
         blob in prop::collection::vec(0u8..=255, 0..64),
         acc in 0.0f32..100.0,
         per_domain in prop::collection::vec(0.0f32..100.0, 0..8),
-        which in 0u8..6,
+        which in 0u8..9,
     ) {
         let response = match which {
             0 => Response::Pong,
@@ -186,6 +191,13 @@ proptest! {
                 code: ErrorCode::BadRequest,
                 message: format!("detail {delivered}"),
             },
+            5 => Response::ProbeAck(chameleon_serve::wire::ProbeSummary {
+                sessions_resident: u64::from(delivered),
+                sessions_cold: u64::from(millis),
+                in_flight: correlation % 97,
+            }),
+            6 => Response::HandoffExported(blob.clone()),
+            7 => Response::HandoffAck,
             _ => Response::Predicted(chameleon_serve::wire::PredictSummary {
                 acc_all: acc,
                 per_domain: per_domain.clone(),
