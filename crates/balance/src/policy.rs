@@ -1,0 +1,291 @@
+//! Per-shard load signals and the pluggable rebalance policies that turn
+//! them into migration plans.
+
+use chameleon_fleet::SessionId;
+
+/// One shard's load signals at a balancer tick, sourced from the fleet's
+/// own [`chameleon_fleet::ShardMetrics`] counters. Cumulative counters
+/// (batches, evictions) arrive here as *deltas since the previous tick*,
+/// so a policy sees recent load, not lifetime totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests sitting in the shard's bounded queue right now.
+    pub queue_depth: usize,
+    /// Sessions currently placed on this shard (resident or cold).
+    pub sessions: usize,
+    /// Resident session footprint in bytes.
+    pub resident_bytes: u64,
+    /// Per-shard session-memory budget in bytes.
+    pub budget_bytes: u64,
+    /// Stream batches delivered since the previous tick.
+    pub steps_delta: u64,
+    /// Budget evictions since the previous tick.
+    pub evictions_delta: u64,
+}
+
+impl ShardLoad {
+    /// Composite load score: work done recently (`steps_delta`), work
+    /// waiting (`queue_depth`, weighted ×8 — backlog is the strongest
+    /// hot-shard signal), and churn (`evictions_delta`, ×4 — eviction
+    /// thrash is the dominant cost in `results/fleet_throughput.json`).
+    #[must_use]
+    pub fn score(&self) -> u64 {
+        self.steps_delta
+            .saturating_add((self.queue_depth as u64).saturating_mul(8))
+            .saturating_add(self.evictions_delta.saturating_mul(4))
+    }
+}
+
+/// One planned session move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// Session to move.
+    pub session: SessionId,
+    /// Shard it currently lives on.
+    pub from: usize,
+    /// Shard it should live on.
+    pub to: usize,
+}
+
+/// A rebalance policy: reads per-shard load and the current placement,
+/// returns the migrations to perform this tick (possibly none).
+///
+/// Policies must be deterministic functions of their inputs and their own
+/// state — the simtest migration explorer replays schedules bit for bit.
+pub trait BalancePolicy {
+    /// Human-readable policy name (surfaced in logs and JSON output).
+    fn name(&self) -> &'static str;
+
+    /// Plans this tick's migrations. `loads[s]` and `placed[s]` describe
+    /// shard `s`; `placed` lists session ids in ascending order.
+    fn plan(&mut self, loads: &[ShardLoad], placed: &[Vec<SessionId>]) -> Vec<Migration>;
+}
+
+/// Index of the highest-score shard (ties broken toward the lower index).
+fn hottest(loads: &[ShardLoad]) -> usize {
+    let mut best = 0;
+    for (i, load) in loads.iter().enumerate().skip(1) {
+        if load.score() > loads[best].score() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the lowest-score shard (ties broken toward the lower index).
+fn coldest(loads: &[ShardLoad]) -> usize {
+    let mut best = 0;
+    for (i, load) in loads.iter().enumerate().skip(1) {
+        if load.score() < loads[best].score() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Moves up to `max_moves` sessions from `from` to `to`, lowest ids
+/// first, always leaving at least one session behind (an empty source
+/// shard would just invert the imbalance next tick).
+fn drain_moves(
+    placed: &[Vec<SessionId>],
+    from: usize,
+    to: usize,
+    max_moves: usize,
+) -> Vec<Migration> {
+    let candidates = &placed[from];
+    let movable = candidates.len().saturating_sub(1).min(max_moves);
+    candidates
+        .iter()
+        .take(movable)
+        .map(|&session| Migration { session, from, to })
+        .collect()
+}
+
+/// Periodic rebalance toward the least-loaded shard: every `every` ticks,
+/// if the hottest shard's score exceeds twice the coldest's (plus a small
+/// absolute gap, so idle fleets never flap), move up to `max_moves` of
+/// its sessions to the coldest shard.
+#[derive(Clone, Debug)]
+pub struct PeriodicLeastLoaded {
+    /// Rebalance every this many ticks.
+    pub every: u64,
+    /// Upper bound on migrations per rebalance.
+    pub max_moves: usize,
+    /// Absolute score gap below which imbalance is ignored.
+    pub min_gap: u64,
+    ticks: u64,
+}
+
+impl PeriodicLeastLoaded {
+    /// A policy rebalancing every `every` ticks, `max_moves` moves each.
+    #[must_use]
+    pub fn new(every: u64, max_moves: usize) -> Self {
+        Self {
+            every: every.max(1),
+            max_moves,
+            min_gap: 4,
+            ticks: 0,
+        }
+    }
+}
+
+impl BalancePolicy for PeriodicLeastLoaded {
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+
+    fn plan(&mut self, loads: &[ShardLoad], placed: &[Vec<SessionId>]) -> Vec<Migration> {
+        self.ticks += 1;
+        if !self.ticks.is_multiple_of(self.every) || loads.len() < 2 {
+            return Vec::new();
+        }
+        let hot = hottest(loads);
+        let cold = coldest(loads);
+        let hot_score = loads[hot].score();
+        let cold_score = loads[cold].score();
+        if hot == cold || hot_score < cold_score.saturating_mul(2).saturating_add(self.min_gap) {
+            return Vec::new();
+        }
+        drain_moves(placed, hot, cold, self.max_moves)
+    }
+}
+
+/// Threshold-triggered work stealing for single-user floods: fires on any
+/// tick where one shard has a queue backlog of at least `queue_threshold`
+/// — or did essentially all of the recent work while another shard sat
+/// idle — and moves up to `max_moves` co-located sessions to the coldest
+/// shard, so innocent sessions stop queueing behind the flood.
+#[derive(Clone, Debug)]
+pub struct ThresholdWorkStealing {
+    /// Queue backlog that triggers a steal.
+    pub queue_threshold: usize,
+    /// Upper bound on migrations per steal.
+    pub max_moves: usize,
+    /// Absolute steps-delta below which concentration is ignored.
+    pub min_gap: u64,
+}
+
+impl ThresholdWorkStealing {
+    /// A policy stealing when a queue reaches `queue_threshold` entries.
+    #[must_use]
+    pub fn new(queue_threshold: usize, max_moves: usize) -> Self {
+        Self {
+            queue_threshold: queue_threshold.max(1),
+            max_moves,
+            min_gap: 8,
+        }
+    }
+}
+
+impl BalancePolicy for ThresholdWorkStealing {
+    fn name(&self) -> &'static str {
+        "steal"
+    }
+
+    fn plan(&mut self, loads: &[ShardLoad], placed: &[Vec<SessionId>]) -> Vec<Migration> {
+        if loads.len() < 2 {
+            return Vec::new();
+        }
+        let hot = hottest(loads);
+        let cold = coldest(loads);
+        if hot == cold {
+            return Vec::new();
+        }
+        let backlogged = loads[hot].queue_depth >= self.queue_threshold;
+        // Flood detection without a backlog snapshot: the hot shard did
+        // at least `min_gap` steps this interval and four times the
+        // coldest shard's work.
+        let concentrated = loads[hot].steps_delta >= self.min_gap
+            && loads[hot].steps_delta >= loads[cold].steps_delta.saturating_mul(4);
+        if !backlogged && !concentrated {
+            return Vec::new();
+        }
+        drain_moves(placed, hot, cold, self.max_moves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(scores: &[(u64, usize)]) -> Vec<ShardLoad> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(shard, &(steps_delta, queue_depth))| ShardLoad {
+                shard,
+                steps_delta,
+                queue_depth,
+                ..ShardLoad::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn periodic_moves_from_hottest_to_coldest_and_respects_cadence() {
+        let mut policy = PeriodicLeastLoaded::new(2, 2);
+        let loads = loads(&[(100, 0), (2, 0), (30, 0)]);
+        let placed = vec![vec![3, 7, 11], vec![1], vec![2, 5]];
+        // Tick 1 of 2: cadence says wait.
+        assert!(policy.plan(&loads, &placed).is_empty());
+        let plan = policy.plan(&loads, &placed);
+        assert_eq!(
+            plan,
+            vec![
+                Migration {
+                    session: 3,
+                    from: 0,
+                    to: 1
+                },
+                Migration {
+                    session: 7,
+                    from: 0,
+                    to: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn periodic_tolerates_balanced_and_idle_fleets() {
+        let mut policy = PeriodicLeastLoaded::new(1, 4);
+        let placed = vec![vec![0, 2], vec![1, 3]];
+        // Balanced: 60 vs 40 is inside the 2x band.
+        assert!(policy.plan(&loads(&[(60, 0), (40, 0)]), &placed).is_empty());
+        // Idle: zero scores never trip the absolute gap.
+        assert!(policy.plan(&loads(&[(0, 0), (0, 0)]), &placed).is_empty());
+    }
+
+    #[test]
+    fn policies_never_empty_the_source_shard() {
+        let mut policy = PeriodicLeastLoaded::new(1, 8);
+        let plan = policy.plan(&loads(&[(100, 0), (0, 0)]), &[vec![4, 9], vec![]]);
+        assert_eq!(plan.len(), 1, "one of two sessions may move, not both");
+        let mut steal = ThresholdWorkStealing::new(1, 8);
+        let plan = steal.plan(&loads(&[(0, 5), (0, 0)]), &[vec![4], vec![]]);
+        assert!(plan.is_empty(), "a lone session is never stolen away");
+    }
+
+    #[test]
+    fn stealing_fires_on_backlog_or_concentration_only() {
+        let mut policy = ThresholdWorkStealing::new(4, 1);
+        let placed = vec![vec![0, 2, 4], vec![1]];
+        // Backlog below threshold, work not concentrated: no steal.
+        assert!(policy.plan(&loads(&[(10, 3), (9, 0)]), &placed).is_empty());
+        // Backlog at threshold: steal one session.
+        let plan = policy.plan(&loads(&[(10, 4), (9, 0)]), &placed);
+        assert_eq!(
+            plan,
+            vec![Migration {
+                session: 0,
+                from: 0,
+                to: 1
+            }]
+        );
+        // No backlog, but one shard did all the work: steal.
+        let plan = policy.plan(&loads(&[(64, 0), (1, 0)]), &placed);
+        assert_eq!(plan.len(), 1);
+    }
+}

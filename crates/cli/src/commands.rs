@@ -3,6 +3,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
+use chameleon_balance::{BalanceConfig, TrafficShape};
 use chameleon_core::{
     Chameleon, ChameleonConfig, Der, DerConfig, Er, EvalReport, EwcConfig, EwcPlusPlus, Finetune,
     Gss, GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda,
@@ -56,6 +57,8 @@ COMMANDS:
     --budget-mb <n>             per-shard resident session-memory budget
     --store-dir <path>          durable session store: spill evictions to
                                 disk and recover sealed sessions on start
+    --balance <policy>          load-aware rebalancing via online session
+                                migration: periodic[:<every>] | steal[:<depth>]
     [--dataset <name>] [--buffer <n>] [--seed <n>] [--queue <n>]
     [--step-batches <n>] [--rate <r>] [--fault-seed <n>] [--json]
   serve                         serve a fleet engine over TCP (CHAMWIRE)
@@ -64,7 +67,7 @@ COMMANDS:
                                 omitted: run until stdin reaches EOF
     [--dataset <name>] [--shards <n>] [--workers <n>] [--queue <n>]
     [--budget-mb <n>] [--seed <n>] [--rate <r>] [--fault-seed <n>]
-    [--store-dir <path>] [--json]
+    [--store-dir <path>] [--balance <policy>] [--json]
   route                         front CHAMWIRE backends with a routing proxy:
                                 rendezvous session placement, health probes,
                                 live handoff on drain, shadow failover on death
@@ -80,6 +83,9 @@ COMMANDS:
                                 in-process (loopback self-serve)
     --connections <n>           concurrent client connections  [default: 2]
     --sessions <n>              sessions to create and run     [default: 4]
+    --shape <spec>              seeded skewed-traffic shape for step order:
+                                uniform | zipf:<s> | burst | diurnal | flood
+    [--balance <policy>]        rebalance the self-served fleet (see fleet)
     [--slice <n>] [--dataset <name>] [--shards <n>] [--workers <n>]
     [--queue <n>] [--buffer <n>] [--seed <n>] [--json]
   stats                         observability snapshot of a running server
@@ -106,6 +112,11 @@ COMMANDS:
                                 replay determinism and placement invisibility
     --route-replay <seed>       re-run one route seed and print its outcome
     [--route-start-seed <n>]    first route seed          [default: 0]
+    --balance-seeds <n>         migration-schedule sweep: inject online
+                                session migrations at seeded op boundaries,
+                                assert outcomes match an unmigrated run
+    --balance-replay <seed>     re-run one balance seed and print its outcome
+    [--balance-start-seed <n>]  first balance seed        [default: 0]
     [--golden-dir <path>]       corpus location   [default: tests/golden]
   help                          show this message
 ";
@@ -404,6 +415,7 @@ fn fleet(options: &Options) -> Result<(), String> {
         "rate",
         "fault-seed",
         "store-dir",
+        "balance",
         "json",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
@@ -436,6 +448,11 @@ fn fleet(options: &Options) -> Result<(), String> {
             (mb * 1024.0 * 1024.0) as u64
         }
     };
+
+    let balance = options
+        .get("balance")
+        .map(|spec| BalanceConfig::parse(spec).map_err(|e| format!("invalid --balance: {e}")))
+        .transpose()?;
 
     let learner = chameleon_config(buffer)?;
     let config = FleetConfig {
@@ -485,6 +502,7 @@ fn fleet(options: &Options) -> Result<(), String> {
     }
 
     let start = std::time::Instant::now();
+    let mut balancer = balance.as_ref().map(BalanceConfig::build);
     let mut live: Vec<u64> = (0..sessions).collect();
     while !live.is_empty() {
         for &user in &live {
@@ -496,6 +514,9 @@ fn fleet(options: &Options) -> Result<(), String> {
                     },
                 )
                 .map_err(|e| format!("step session {user}: {e}"))?;
+            if let Some(balancer) = balancer.as_mut() {
+                balancer.on_op(&mut engine);
+            }
         }
         for event in engine.drain_pending() {
             match event.kind {
@@ -545,6 +566,7 @@ fn fleet(options: &Options) -> Result<(), String> {
                 &engine,
                 &metrics,
                 recovery.as_ref(),
+                balancer.as_ref().map(|b| b.counters()),
             )
         );
         return Ok(());
@@ -571,6 +593,17 @@ fn fleet(options: &Options) -> Result<(), String> {
         metrics.evictions(),
         metrics.restores()
     );
+    if let Some(balancer) = &balancer {
+        let c = balancer.counters();
+        println!(
+            "balance ({}): {} migration(s) over {} tick(s), {} skipped, {} failure(s)",
+            balancer.policy_name(),
+            c.migrations_total,
+            c.rebalance_ticks,
+            c.migrations_skipped,
+            c.migration_failures
+        );
+    }
     for shard in &metrics.per_shard {
         println!(
             "  shard {}: {} resident / {} cold sessions, {} batches, {:.0} steps/s compute, {:.1} MB resident",
@@ -638,6 +671,7 @@ fn fleet_json(
     engine: &FleetEngine,
     metrics: &chameleon_fleet::FleetMetrics,
     recovery: Option<&chameleon_fleet::RecoveryReport>,
+    balance: Option<chameleon_balance::BalanceCounters>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -650,6 +684,11 @@ fn fleet_json(
     let _ = writeln!(out, "  \"batches\": {},", metrics.batches());
     let _ = writeln!(out, "  \"evictions\": {},", metrics.evictions());
     let _ = writeln!(out, "  \"restores\": {},", metrics.restores());
+    if let Some(c) = balance {
+        for (name, value) in c.named() {
+            let _ = writeln!(out, "  \"{name}\": {value},");
+        }
+    }
     if let Some(report) = recovery {
         let _ = writeln!(
             out,
@@ -811,10 +850,15 @@ fn serve_configs(options: &Options) -> Result<(DatasetSpec, FleetConfig, ServeCo
     fleet_config
         .validate()
         .map_err(|e| format!("invalid fleet config: {e}"))?;
+    let balance = options
+        .get("balance")
+        .map(|spec| BalanceConfig::parse(spec).map_err(|e| format!("invalid --balance: {e}")))
+        .transpose()?;
     let serve_config = ServeConfig {
         addr: options.get_or("addr", "127.0.0.1:0").to_string(),
         workers,
         store_dir: options.get("store-dir").map(std::path::PathBuf::from),
+        balance,
         ..ServeConfig::default()
     };
     serve_config
@@ -838,6 +882,7 @@ fn serve(options: &Options) -> Result<(), String> {
         "rate",
         "fault-seed",
         "store-dir",
+        "balance",
         "json",
     ])?;
     let (spec, fleet_config, serve_config) = serve_configs(options)?;
@@ -1046,6 +1091,8 @@ fn loadgen(options: &Options) -> Result<(), String> {
         "seed",
         "rate",
         "fault-seed",
+        "shape",
+        "balance",
         "json",
     ])?;
     let connections: usize = options.get_parsed_or("connections", 2)?;
@@ -1064,6 +1111,18 @@ fn loadgen(options: &Options) -> Result<(), String> {
         // below would spin on `Stepped { delivered: 0, done: false }`.
         return Err("--slice must be at least 1".to_string());
     }
+    // Validate the shape grammar before any thread spawns; each
+    // connection thread then builds its own seeded generator over its
+    // share of the sessions.
+    let shape_name = options
+        .get("shape")
+        .map(|spec| {
+            TrafficShape::parse(spec, 1, 0)
+                .map(|s| s.name())
+                .map_err(|e| format!("invalid --shape: {e}"))
+        })
+        .transpose()?;
+    let shape_spec = options.get("shape").map(String::from);
     let (spec, fleet_config, serve_config) = serve_configs(options)?;
     let learner = chameleon_config(buffer)?;
 
@@ -1104,11 +1163,12 @@ fn loadgen(options: &Options) -> Result<(), String> {
             // target its connection talks to.
             let addr = targets[c % targets.len()].clone();
             let learner = learner.clone();
+            let shape_spec = shape_spec.clone();
             // Sessions are striped across connections: c, c+N, c+2N, …
             let users: Vec<u64> = (0..sessions)
                 .filter(|u| (*u as usize) % connections == c)
                 .collect();
-            std::thread::spawn(move || -> Result<u64, String> {
+            std::thread::spawn(move || -> Result<(u64, u64, u64), String> {
                 fn err<E: std::fmt::Display>(
                     stage: &'static str,
                     user: u64,
@@ -1123,14 +1183,51 @@ fn loadgen(options: &Options) -> Result<(), String> {
                         .map_err(err("create", user))?;
                     requests += 1;
                 }
-                for &user in &users {
-                    loop {
-                        let (_, done) = conn.step(user, slice).map_err(err("step", user))?;
-                        requests += 1;
-                        if done {
-                            break;
+                let (mut draws, mut hot_draws) = (0u64, 0u64);
+                match &shape_spec {
+                    // Shaped traffic: the generator picks which of this
+                    // connection's sessions each step request hits, so
+                    // hot-session skew reaches the server's shards in
+                    // the same proportions the shape prescribes. A drawn
+                    // session that already finished falls forward to the
+                    // next unfinished one, keeping termination guaranteed.
+                    Some(spec) if !users.is_empty() => {
+                        let mut shape = TrafficShape::parse(spec, users.len(), seed ^ c as u64)
+                            .expect("grammar validated before spawning");
+                        let mut done = vec![false; users.len()];
+                        let mut remaining = users.len();
+                        while remaining > 0 {
+                            let drawn = shape.next_session();
+                            let idx = (0..users.len())
+                                .map(|k| (drawn + k) % users.len())
+                                .find(|&i| !done[i])
+                                .expect("remaining > 0 means an unfinished session exists");
+                            let user = users[idx];
+                            let (_, finished) =
+                                conn.step(user, slice).map_err(err("step", user))?;
+                            requests += 1;
+                            if finished {
+                                done[idx] = true;
+                                remaining -= 1;
+                            }
+                        }
+                        draws = shape.draws();
+                        hot_draws = shape.hot_draws();
+                    }
+                    _ => {
+                        for &user in &users {
+                            loop {
+                                let (_, done) =
+                                    conn.step(user, slice).map_err(err("step", user))?;
+                                requests += 1;
+                                if done {
+                                    break;
+                                }
+                            }
                         }
                     }
+                }
+                for &user in &users {
                     conn.predict(user).map_err(err("predict", user))?;
                     let blob = conn.checkpoint(user).map_err(err("checkpoint", user))?;
                     if blob.get(..8) != Some(&chameleon_fleet::FLEET_MAGIC[..]) {
@@ -1138,22 +1235,30 @@ fn loadgen(options: &Options) -> Result<(), String> {
                     }
                     requests += 2;
                 }
-                Ok(requests)
+                Ok((requests, draws, hot_draws))
             })
         })
         .collect();
     let mut requests = 0u64;
+    let (mut draws, mut hot_draws) = (0u64, 0u64);
     let mut target_requests = vec![0u64; targets.len()];
     for (c, handle) in handles.into_iter().enumerate() {
-        let n = handle
+        let (n, d, h) = handle
             .join()
             .map_err(|_| "a loadgen connection panicked".to_string())??;
         requests += n;
+        draws += d;
+        hot_draws += h;
         target_requests[c % targets.len()] += n;
     }
     let wall = start.elapsed().as_secs_f64();
 
     let mut target_stats: Vec<StatsSnapshot> = Vec::with_capacity(targets.len());
+    // One Observe round-trip per target: per-shard step distribution and
+    // the balance.* counters, so skew (and its correction) shows up in
+    // this command's own report.
+    let mut shard_batches: Vec<u64> = Vec::new();
+    let (mut migrations, mut rebalance_ticks) = (0u64, 0u64);
     for addr in &targets {
         let mut stats_conn =
             Connection::connect(addr).map_err(|e| format!("connect {addr} for stats: {e}"))?;
@@ -1162,12 +1267,32 @@ fn loadgen(options: &Options) -> Result<(), String> {
                 .stats()
                 .map_err(|e| format!("stats {addr}: {e}"))?,
         );
+        let observation = stats_conn
+            .observe()
+            .map_err(|e| format!("observe {addr}: {e}"))?;
+        for (name, value) in &observation.counters {
+            if name.starts_with("fleet.shard") && name.ends_with(".batches") {
+                shard_batches.push(*value);
+            } else if name == "balance.migrations_total" {
+                migrations += value;
+            } else if name == "balance.rebalance_ticks" {
+                rebalance_ticks += value;
+            }
+        }
     }
     if let Some(mut server) = server {
         server.shutdown();
     }
     let batches: u64 = target_stats.iter().map(|s| s.batches).sum();
     let evictions: u64 = target_stats.iter().map(|s| s.evictions).sum();
+    // Max/min ratio of per-shard delivered batches across every target's
+    // shards: 1.0 is perfectly level, large values mean one hot shard did
+    // the work. The CI hot-shard smoke greps this.
+    let shard_step_ratio = {
+        let max = shard_batches.iter().copied().max().unwrap_or(0);
+        let min = shard_batches.iter().copied().min().unwrap_or(0);
+        max as f64 / min.max(1) as f64
+    };
 
     if options.has_flag("json") {
         use std::fmt::Write as _;
@@ -1184,6 +1309,14 @@ fn loadgen(options: &Options) -> Result<(), String> {
         );
         let _ = writeln!(out, "  \"batches\": {batches},");
         let _ = writeln!(out, "  \"evictions\": {evictions},");
+        if let Some(name) = &shape_name {
+            let _ = writeln!(out, "  \"shape\": \"{name}\",");
+            let _ = writeln!(out, "  \"shape.draws\": {draws},");
+            let _ = writeln!(out, "  \"shape.hot_draws\": {hot_draws},");
+        }
+        let _ = writeln!(out, "  \"balance.migrations_total\": {migrations},");
+        let _ = writeln!(out, "  \"balance.rebalance_ticks\": {rebalance_ticks},");
+        let _ = writeln!(out, "  \"shard_step_ratio\": {shard_step_ratio:.2},");
         let _ = writeln!(out, "  \"targets\": [");
         for (i, ((addr, stats), reqs)) in targets
             .iter()
@@ -1215,6 +1348,13 @@ fn loadgen(options: &Options) -> Result<(), String> {
              in {wall:.2} s ({:.0} req/s), {batches} batches trained",
             targets.len(),
             requests as f64 / wall.max(1e-9),
+        );
+        if let Some(name) = &shape_name {
+            println!("  shape {name}: {draws} draws, {hot_draws} on the hot subset");
+        }
+        println!(
+            "  shard step ratio {shard_step_ratio:.2} (max/min batches across shards), \
+             {migrations} migration(s) over {rebalance_ticks} balance tick(s)"
         );
         for ((addr, stats), reqs) in targets.iter().zip(&target_stats).zip(&target_requests) {
             println!(
@@ -1360,6 +1500,9 @@ fn simtest(options: &Options) -> Result<(), String> {
         "route-seeds",
         "route-start-seed",
         "route-replay",
+        "balance-seeds",
+        "balance-start-seed",
+        "balance-replay",
     ])?;
     let golden_dir = std::path::PathBuf::from(options.get_or("golden-dir", "tests/golden"));
 
@@ -1509,6 +1652,53 @@ fn simtest(options: &Options) -> Result<(), String> {
             "simtest: {seeds}/{seeds} route seeds passed — {handoffs} session(s) handed \
              off, {kills} node kill(s) re-homing {recovered} session(s) from shadows, \
              {faulted} faulted case(s); every schedule matched its single-node reference"
+        );
+        return Ok(());
+    }
+
+    let print_balance = |outcome: &chameleon_simtest::BalanceSeedOutcome| {
+        println!(
+            "simtest: balance seed {} OK — {} ops on {} shards, {} migration(s), \
+             {} skipped{}, log digest {:#010x}, checkpoint crc {:#010x}",
+            outcome.seed,
+            outcome.ops,
+            outcome.shards,
+            outcome.migrations,
+            outcome.skipped,
+            if outcome.faulted { " (faulted)" } else { "" },
+            outcome.log_digest,
+            outcome.checkpoint_crc
+        );
+    };
+    if let Some(raw) = options.get("balance-replay") {
+        let seed: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --balance-replay"))?;
+        let outcome = chameleon_simtest::check_balance_seed(&scenario, seed)?;
+        print_balance(&outcome);
+        return Ok(());
+    }
+    if let Some(raw) = options.get("balance-seeds") {
+        let seeds: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --balance-seeds"))?;
+        if seeds == 0 {
+            return Err("--balance-seeds must be at least 1".to_string());
+        }
+        let start: u64 = options.get_parsed_or("balance-start-seed", 0)?;
+        let (mut migrations, mut skipped, mut faulted) = (0u64, 0u64, 0u64);
+        for seed in start..start.saturating_add(seeds) {
+            let outcome = chameleon_simtest::check_balance_seed(&scenario, seed).map_err(|e| {
+                format!("{e}; reproduce with `chameleon simtest --balance-replay {seed}`")
+            })?;
+            migrations += outcome.migrations;
+            skipped += outcome.skipped;
+            faulted += u64::from(outcome.faulted);
+        }
+        println!(
+            "simtest: {seeds}/{seeds} balance seeds passed — {migrations} online \
+             migration(s) performed, {skipped} skipped, {faulted} faulted case(s); \
+             every migration schedule matched its unmigrated reference bit for bit"
         );
         return Ok(());
     }
@@ -1962,6 +2152,27 @@ mod tests {
     }
 
     #[test]
+    fn fleet_balance_flag_runs_and_validates() {
+        let argv = toks(&[
+            "fleet",
+            "--dataset",
+            "core50-tiny",
+            "--sessions",
+            "4",
+            "--shards",
+            "2",
+            "--buffer",
+            "20",
+            "--balance",
+            "steal:2",
+            "--json",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["fleet", "--balance", "roulette"])).is_err());
+        assert!(dispatch(&toks(&["fleet", "--balance", "periodic:0"])).is_err());
+    }
+
+    #[test]
     fn serve_command_validates_options() {
         assert!(dispatch(&toks(&["serve", "--workers", "0"])).is_err());
         assert!(dispatch(&toks(&["serve", "--shards", "0"])).is_err());
@@ -2001,6 +2212,33 @@ mod tests {
         assert!(dispatch(&toks(&["loadgen", "--connections", "0"])).is_err());
         assert!(dispatch(&toks(&["loadgen", "--sessions", "0"])).is_err());
         assert!(dispatch(&toks(&["loadgen", "--slice", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_shaped_traffic_with_balance_round_trips() {
+        // Skewed traffic against a self-served multi-shard fleet with the
+        // rebalancer on: covers the --shape draw loop, the balance knob's
+        // passage into the server engine thread, and the shard_step_ratio
+        // observe round-trip.
+        let argv = toks(&[
+            "loadgen",
+            "--dataset",
+            "core50-tiny",
+            "--connections",
+            "1",
+            "--sessions",
+            "3",
+            "--shards",
+            "2",
+            "--shape",
+            "zipf:1.1",
+            "--balance",
+            "steal:2",
+            "--json",
+        ]);
+        assert!(dispatch(&argv).is_ok());
+        assert!(dispatch(&toks(&["loadgen", "--shape", "pareto"])).is_err());
+        assert!(dispatch(&toks(&["loadgen", "--balance", "bogus"])).is_err());
     }
 
     #[test]
@@ -2121,6 +2359,22 @@ mod tests {
     fn simtest_soaks_and_replays_a_seed() {
         assert!(dispatch(&toks(&["simtest", "--seeds", "2"])).is_ok());
         assert!(dispatch(&toks(&["simtest", "--replay", "1"])).is_ok());
+    }
+
+    #[test]
+    fn simtest_runs_a_balance_schedule_seed() {
+        assert!(dispatch(&toks(&[
+            "simtest",
+            "--balance-seeds",
+            "1",
+            "--balance-start-seed",
+            "2",
+        ]))
+        .is_ok());
+        assert!(dispatch(&toks(&["simtest", "--balance-replay", "2"])).is_ok());
+        assert!(dispatch(&toks(&["simtest", "--balance-seeds", "0"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--balance-seeds", "x"])).is_err());
+        assert!(dispatch(&toks(&["simtest", "--balance-replay", "x"])).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The fleet engine: multiplexes many user sessions across N shard worker
 //! threads with deterministic assignment and bounded-queue backpressure.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -128,6 +128,14 @@ struct ShardHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// Correlation id reserved for engine-internal migration traffic.
+///
+/// Safe to reserve: the untagged submit paths use correlation `0` and
+/// network frontends allocate correlations counting up from `1`, so a
+/// caller-chosen id can never collide with this sentinel before the heat
+/// death of the universe.
+pub const MIGRATION_CORRELATION: u64 = u64::MAX;
+
 /// How this engine executes its shard workers.
 enum Backend {
     /// One OS thread per shard behind a bounded `mpsc` queue.
@@ -159,6 +167,15 @@ pub struct FleetEngine {
     events: Receiver<SessionEvent>,
     buffered: VecDeque<SessionEvent>,
     known: HashSet<SessionId>,
+    /// Placement override table: sessions re-homed by online migration.
+    /// Consulted by [`Self::shard_of`] before the seeded-hash default.
+    /// In-memory only — after a crash, recovery re-seeds every session on
+    /// its hash-home shard, which is always correct because the durable
+    /// store is fleet-wide, not per-shard.
+    overrides: HashMap<SessionId, usize>,
+    /// Sessions moved by [`Self::migrate_session`] over this engine's
+    /// lifetime (counts re-homes back to the hash default too).
+    migrations: u64,
     pending: usize,
     observer: Arc<Observer>,
     store: Option<SharedStore>,
@@ -414,6 +431,8 @@ impl FleetEngine {
             events: event_rx,
             buffered: VecDeque::new(),
             known,
+            overrides: HashMap::new(),
+            migrations: 0,
             pending: 0,
             observer,
             store,
@@ -444,10 +463,158 @@ impl FleetEngine {
         &self.config
     }
 
-    /// Deterministic session→shard assignment: seeded hash of the id,
-    /// independent of creation order and of every other session.
+    /// Current session→shard placement: the migration override when one
+    /// exists, else the seeded-hash default ([`Self::home_shard`]).
     pub fn shard_of(&self, id: SessionId) -> usize {
+        match self.overrides.get(&id) {
+            Some(&shard) => shard,
+            None => self.home_shard(id),
+        }
+    }
+
+    /// The seeded-hash default placement, ignoring migration overrides:
+    /// a pure function of the id and the assignment seed, independent of
+    /// creation order and of every other session.
+    pub fn home_shard(&self, id: SessionId) -> usize {
         (splitmix64(id ^ self.config.assignment_seed) % self.config.num_shards as u64) as usize
+    }
+
+    /// Known sessions currently placed on `shard`, in ascending id order
+    /// (deterministic victim enumeration for rebalance policies).
+    pub fn sessions_on(&self, shard: usize) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .known
+            .iter()
+            .copied()
+            .filter(|&id| self.shard_of(id) == shard)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sessions currently placed away from their hash-home shard.
+    pub fn placement_overrides(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Sessions moved by [`Self::migrate_session`] since construction.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Moves one session to another shard, online: exports it to its
+    /// `CHAMFLT1` checkpoint on the current owner, records the new
+    /// placement in the override table, and imports the blob cold on the
+    /// target shard. The move is synchronous — when this returns the
+    /// session is owned by exactly one shard — and observably identical
+    /// to an [`SessionCommand::Evict`] at the same command boundary:
+    /// observable state (stores, quarantine, counters, stream position)
+    /// is preserved bit for bit, transient training state restarts
+    /// exactly as the checkpoint format documents. Events of unrelated
+    /// sessions arriving mid-move are buffered for the next
+    /// [`Self::drain`] in arrival order.
+    ///
+    /// Returns `Ok(true)` when the session moved, `Ok(false)` when the
+    /// move was skipped — already on `to`, or the export was declined
+    /// (e.g. a cold read from a hostile disk failed) and the session
+    /// safely stays where it was.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownSession`] for an id never created,
+    /// [`FleetError::ShardDown`] if a worker died mid-move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a valid shard index, or on the engine
+    /// invariant that a blob this engine just exported always re-imports.
+    pub fn migrate_session(&mut self, id: SessionId, to: usize) -> Result<bool, FleetError> {
+        assert!(
+            to < self.config.num_shards,
+            "migration target shard {to} out of range (num_shards {})",
+            self.config.num_shards
+        );
+        if !self.known.contains(&id) {
+            return Err(FleetError::UnknownSession);
+        }
+        let from = self.shard_of(id);
+        if from == to {
+            return Ok(false);
+        }
+        loop {
+            let request = Request::Command {
+                id,
+                command: SessionCommand::Export,
+                correlation: MIGRATION_CORRELATION,
+            };
+            match self.dispatch(id, request) {
+                Ok(()) => break,
+                Err(FleetError::Rejected(_)) => self.absorb_backpressure(),
+                Err(other) => return Err(other),
+            }
+        }
+        let blob = match self.await_migration_event(id)? {
+            SessionEventKind::Exported(blob) => blob,
+            SessionEventKind::Failed(reason) => {
+                // Export declined: the current owner still holds the
+                // session, so skipping the move is safe.
+                self.observer
+                    .event(format!("migrate: session {id} export declined: {reason}"));
+                return Ok(false);
+            }
+            other => panic!("export acknowledged with unexpected event {other:?}"),
+        };
+        if to == self.home_shard(id) {
+            self.overrides.remove(&id);
+        } else {
+            self.overrides.insert(id, to);
+        }
+        loop {
+            let request = Request::Import {
+                id,
+                blob: blob.clone(),
+                correlation: MIGRATION_CORRELATION,
+            };
+            match self.dispatch(id, request) {
+                Ok(()) => break,
+                Err(FleetError::Rejected(_)) => self.absorb_backpressure(),
+                Err(other) => return Err(other),
+            }
+        }
+        self.known.insert(id);
+        match self.await_migration_event(id)? {
+            SessionEventKind::Imported => {
+                self.migrations += 1;
+                self.observer
+                    .event(format!("migrate: session {id} moved {from} -> {to}"));
+                Ok(true)
+            }
+            other => panic!("re-import of a just-exported blob failed: {other:?}"),
+        }
+    }
+
+    /// Waits for the migration-correlated event of `id`, buffering every
+    /// unrelated event for the next [`Self::drain`] in arrival order.
+    fn await_migration_event(&mut self, id: SessionId) -> Result<SessionEventKind, FleetError> {
+        if let Backend::Sim(exec) = &mut self.backend {
+            exec.run_until_idle();
+        }
+        loop {
+            let received = match &self.backend {
+                // Simulation ran every queued request above, so the event
+                // is already in the channel.
+                Backend::Sim(_) => self.events.try_recv().map_err(|_| ()),
+                Backend::Threads(_) => self.events.recv().map_err(|_| ()),
+            };
+            let Ok(event) = received else {
+                return Err(FleetError::ShardDown(self.shard_of(id)));
+            };
+            self.account(&event);
+            if event.session == id && event.correlation == MIGRATION_CORRELATION {
+                return Ok(event.kind);
+            }
+            self.buffered.push_back(event);
+        }
     }
 
     /// Requests (once acknowledged by an event) not yet drained.

@@ -77,7 +77,9 @@ mod shard;
 mod sim;
 
 pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC};
-pub use engine::{Backpressure, FleetConfig, FleetEngine, FleetError, RecoveryReport};
+pub use engine::{
+    Backpressure, FleetConfig, FleetEngine, FleetError, RecoveryReport, MIGRATION_CORRELATION,
+};
 pub use metrics::{FleetMetrics, ShardMetrics};
 pub use session::{session_fault_plan, SessionId, SessionSpec, UserSession};
 pub use shard::{SessionCommand, SessionEvent, SessionEventKind};

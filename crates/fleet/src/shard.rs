@@ -314,6 +314,7 @@ impl ShardWorker {
                     self.obs.record(Stage::Step, elapsed);
                     self.metrics.step_commands += 1;
                     self.metrics.batches += delivered as u64;
+                    self.refresh_footprint(id);
                     self.emit(
                         id,
                         correlation,
@@ -404,7 +405,8 @@ impl ShardWorker {
                 match blob {
                     Ok(Some(blob)) => {
                         if let Some(resident) = self.resident.remove(&id) {
-                            self.resident_bytes -= resident.bytes;
+                            self.resident_bytes =
+                                self.resident_bytes.saturating_sub(resident.bytes);
                         }
                         self.cold.remove(&id);
                         self.obs
@@ -524,6 +526,10 @@ impl ShardWorker {
         }
     }
 
+    /// Admits a session as resident, pricing its footprint from the
+    /// session *as admitted* — never from a figure remembered across an
+    /// evict/restore cycle, which would let the shard-wide accounting
+    /// drift from the real footprint.
     fn admit(&mut self, id: SessionId, session: UserSession) {
         self.lru_clock += 1;
         let bytes = session.resident_bytes();
@@ -536,6 +542,24 @@ impl ShardWorker {
                 bytes,
             },
         );
+    }
+
+    /// Re-prices a resident session after it ran, folding any footprint
+    /// change into the shard-wide accounting. Keeps `Resident::bytes`
+    /// equal to what `session.resident_bytes()` reports *now*, so the
+    /// figure subtracted at eviction/export time is always the figure
+    /// that was added — the invariant
+    /// `resident_bytes == Σ resident sessions' resident_bytes()` holds
+    /// through arbitrary create/step/evict/restore/export/import churn.
+    fn refresh_footprint(&mut self, id: SessionId) {
+        if let Some(resident) = self.resident.get_mut(&id) {
+            let bytes = resident.session.resident_bytes();
+            self.resident_bytes = self
+                .resident_bytes
+                .saturating_sub(resident.bytes)
+                .saturating_add(bytes);
+            resident.bytes = bytes;
+        }
     }
 
     /// Evicts least-recently-used residents (never `protect`, never the
@@ -557,7 +581,7 @@ impl ShardWorker {
 
     fn evict(&mut self, id: SessionId) {
         let resident = self.resident.remove(&id).expect("evict target resident");
-        self.resident_bytes -= resident.bytes;
+        self.resident_bytes = self.resident_bytes.saturating_sub(resident.bytes);
         let start = self.time.now_nanos();
         let checkpoint = SessionCheckpoint::capture(&resident.session);
         let elapsed = self.time.now_nanos().saturating_sub(start);
@@ -791,6 +815,81 @@ mod tests {
             rx.try_iter().last().expect("events").kind,
             SessionEventKind::Failed(_)
         ));
+    }
+
+    #[test]
+    fn resident_bytes_accounting_never_drifts_across_churn() {
+        // Regression: the shard-wide footprint must always equal the sum
+        // of what the resident sessions report *right now* — never a
+        // figure remembered from before an evict/restore or export/import
+        // cycle. Drive every residency transition and check the invariant
+        // after each one.
+        fn assert_reconciled(worker: &ShardWorker, at: &str) {
+            let expected: u64 = worker
+                .resident
+                .values()
+                .map(|r| r.session.resident_bytes())
+                .sum();
+            assert_eq!(
+                worker.resident_bytes, expected,
+                "resident_bytes drifted after {at}"
+            );
+            assert_eq!(worker.snapshot().resident_bytes, expected);
+        }
+
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        for id in 0..4u64 {
+            worker.handle_create(id, tiny_spec(id), 0);
+            assert_reconciled(&worker, "create");
+        }
+        for id in 0..4u64 {
+            worker.handle_command(id, SessionCommand::Step { batches: 5 }, 0);
+            assert_reconciled(&worker, "step");
+        }
+        worker.handle_command(1, SessionCommand::Evict, 0);
+        assert_reconciled(&worker, "evict");
+        // Restore-after-evict is the cycle the figure must survive.
+        worker.handle_command(1, SessionCommand::Step { batches: 3 }, 0);
+        assert_reconciled(&worker, "restore");
+        worker.handle_command(2, SessionCommand::Export, 0);
+        assert_reconciled(&worker, "export of a resident session");
+        let blob = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Exported(blob) => blob,
+            other => panic!("expected export, got {other:?}"),
+        };
+        worker.handle_import(2, &blob, 0);
+        assert_reconciled(&worker, "import (admitted cold)");
+        worker.handle_command(2, SessionCommand::Step { batches: 2 }, 0);
+        assert_reconciled(&worker, "first touch after import");
+        // Export straight out of cold must not disturb the resident sum.
+        worker.handle_command(3, SessionCommand::Evict, 0);
+        worker.handle_command(3, SessionCommand::Export, 0);
+        assert_reconciled(&worker, "export of a cold session");
+    }
+
+    #[test]
+    fn eviction_under_budget_pressure_reconciles_accounting() {
+        // Same invariant under a budget tight enough that every create
+        // and restore triggers implicit LRU eviction churn.
+        let (mut worker, _rx) = tiny_worker(1);
+        for id in 0..3u64 {
+            worker.handle_create(id, tiny_spec(id), 0);
+        }
+        for round in 0..3 {
+            for id in 0..3u64 {
+                worker.handle_command(id, SessionCommand::Step { batches: 2 }, 0);
+                let expected: u64 = worker
+                    .resident
+                    .values()
+                    .map(|r| r.session.resident_bytes())
+                    .sum();
+                assert_eq!(
+                    worker.resident_bytes, expected,
+                    "drift at round {round} session {id}"
+                );
+            }
+        }
+        assert!(worker.metrics.evictions > 0, "budget pressure must churn");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use chameleon_balance::{BalanceConfig, Balancer};
 use chameleon_fleet::{FleetConfig, FleetEngine, FleetError, SessionCommand, SessionEventKind};
 use chameleon_obs::{Observation, Observer, Stage};
 use chameleon_replay::crc32;
@@ -72,6 +73,10 @@ pub struct ServeConfig {
     /// [`chameleon_store::SessionStore`] in this directory, and startup
     /// recovers every session sealed there back to its last checkpoint.
     pub store_dir: Option<std::path::PathBuf>,
+    /// When set, the engine thread runs a [`chameleon_balance::Balancer`]
+    /// with this policy, migrating sessions between shards online as load
+    /// skews. `None` keeps placement purely hash-static.
+    pub balance: Option<BalanceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             retry_after: Duration::from_millis(2),
             max_payload: MAX_PAYLOAD_BYTES,
             store_dir: None,
+            balance: None,
         }
     }
 }
@@ -228,9 +234,10 @@ impl Server {
         let (op_tx, op_rx) = mpsc::channel::<EngineOp>();
         let engine_metrics = Arc::clone(&metrics);
         let retry_after = config.retry_after;
+        let balance = config.balance.clone();
         let engine = std::thread::Builder::new()
             .name("serve-engine".to_string())
-            .spawn(move || engine_loop(fleet, &op_rx, &engine_metrics, retry_after))
+            .spawn(move || engine_loop(fleet, &op_rx, &engine_metrics, retry_after, balance))
             .expect("spawn engine thread");
 
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.workers);
@@ -335,20 +342,31 @@ fn engine_loop(
     ops: &Receiver<EngineOp>,
     metrics: &ServeMetrics,
     retry_after: Duration,
+    balance: Option<BalanceConfig>,
 ) {
     let retry_millis = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
     let mut next_correlation: u64 = 1;
     let mut pending: HashMap<u64, mpsc::Sender<Response>> = HashMap::new();
+    // The balancer lives here because migration needs exclusive engine
+    // access; it ticks between ops, so a migration never interleaves with
+    // a request's submit/acknowledge pair.
+    let mut balancer = balance.as_ref().map(BalanceConfig::build);
     loop {
         match ops.recv_timeout(Duration::from_millis(1)) {
-            Ok(op) => handle_op(
-                &mut fleet,
-                op,
-                &mut pending,
-                &mut next_correlation,
-                metrics,
-                retry_millis,
-            ),
+            Ok(op) => {
+                handle_op(
+                    &mut fleet,
+                    op,
+                    &mut pending,
+                    &mut next_correlation,
+                    metrics,
+                    retry_millis,
+                    balancer.as_ref(),
+                );
+                if let Some(balancer) = balancer.as_mut() {
+                    balancer.on_op(&mut fleet);
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -384,6 +402,7 @@ fn handle_op(
     next_correlation: &mut u64,
     metrics: &ServeMetrics,
     retry_millis: u32,
+    balancer: Option<&Balancer>,
 ) {
     let correlation = *next_correlation;
     let submitted = match op.request {
@@ -408,7 +427,7 @@ fn handle_op(
         }
         Request::Observe => {
             let _ = op.reply.send(Response::Observed(Box::new(build_observation(
-                fleet, metrics,
+                fleet, metrics, balancer,
             ))));
             return;
         }
@@ -465,7 +484,11 @@ fn handle_op(
 /// flattened under a dotted name. The `fleet.*_nanos` counters and the
 /// corresponding span totals come from the *same* shard measurements, so
 /// they reconcile exactly.
-fn build_observation(fleet: &mut FleetEngine, metrics: &ServeMetrics) -> Observation {
+fn build_observation(
+    fleet: &mut FleetEngine,
+    metrics: &ServeMetrics,
+    balancer: Option<&Balancer>,
+) -> Observation {
     let mut o = fleet.observer().observe();
     let fm = fleet.metrics();
     o.push_counter("fleet.sessions_resident", fm.sessions_resident() as u64);
@@ -474,10 +497,29 @@ fn build_observation(fleet: &mut FleetEngine, metrics: &ServeMetrics) -> Observa
     o.push_counter("fleet.batches", fm.batches());
     o.push_counter("fleet.evictions", fm.evictions());
     o.push_counter("fleet.restores", fm.restores());
+    o.push_counter("fleet.migrations", fleet.migrations());
+    o.push_counter(
+        "fleet.placement_overrides",
+        fleet.placement_overrides() as u64,
+    );
     o.push_counter("fleet.step_nanos", fm.step_nanos());
     o.push_counter("fleet.checkpoint_nanos", fm.checkpoint_nanos());
     o.push_counter("fleet.restore_nanos", fm.restore_nanos());
     o.push_counter("fleet.eval_nanos", fm.eval_nanos());
+    // Per-shard load gauges: the signals the balancer itself watches, so
+    // hot-shard skew (and its correction) is visible from the outside.
+    for shard in &fm.per_shard {
+        let prefix = format!("fleet.shard{}", shard.shard);
+        o.push_counter(format!("{prefix}.queue_depth"), shard.queue_depth as u64);
+        o.push_counter(format!("{prefix}.batches"), shard.batches);
+        o.push_counter(format!("{prefix}.resident_bytes"), shard.resident_bytes);
+        o.push_counter(format!("{prefix}.evictions"), shard.evictions);
+    }
+    if let Some(balancer) = balancer {
+        for (name, value) in balancer.counters().named() {
+            o.push_counter(name, value);
+        }
+    }
     let t = fm.merged_trace();
     o.push_counter("trace.inputs", t.inputs);
     o.push_counter("trace.trunk_passes", t.trunk_passes);

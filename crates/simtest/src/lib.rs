@@ -25,7 +25,11 @@
 //! - [`crash`] — the durable-store crash schedule: kill a store-attached
 //!   engine at every eviction boundary (optionally on a hostile disk),
 //!   recover, and assert every session comes back to exactly its last
-//!   sealed checkpoint with bit-identical subsequent training.
+//!   sealed checkpoint with bit-identical subsequent training;
+//! - [`balance`] — the migration-schedule explorer: online session
+//!   migrations (the `chameleon-balance` primitive) injected at seeded
+//!   op boundaries, proven observably identical to local evictions at
+//!   the same boundaries.
 //!
 //! The `chameleon simtest` CLI subcommand fronts the soak runner and
 //! the golden corpus gate.
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod crash;
 pub mod digest;
 pub mod explorer;
@@ -41,6 +46,7 @@ pub mod multinode;
 pub mod script;
 pub mod soak;
 
+pub use balance::{check_balance_seed, migration_plan, BalanceSeedOutcome};
 pub use crash::{check_crash_seed, CrashOutcome};
 pub use digest::{digest_events, digest_spans, encode_event, ShardScope};
 pub use explorer::{check_seed, SeedOutcome};

@@ -5,6 +5,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use proptest::prelude::*;
+
 use chameleon_core::{ChameleonConfig, EvalReport, Strategy};
 use chameleon_faults::FaultPlan;
 use chameleon_fleet::{
@@ -414,4 +416,97 @@ fn observer_span_totals_reconcile_with_shard_metrics() {
     // Deterministic: the same seed reproduces every aggregate bit for bit.
     let (_, again) = run(0xC0FFEE);
     assert_eq!(observer.snapshot_spans(), again.snapshot_spans());
+}
+
+/// Runs one session on a 4-shard sim engine for `rounds` step slices,
+/// invoking `action` at every slice boundary, then returns the final
+/// evaluation report and `CHAMFLT1` checkpoint bytes.
+fn run_with_boundary_action(
+    scenario: Arc<DomainIlScenario>,
+    user: SessionId,
+    sim_seed: u64,
+    rounds: usize,
+    action: &mut dyn FnMut(&mut FleetEngine, usize),
+) -> (EvalReport, Vec<u8>) {
+    let mut fleet = FleetEngine::new_sim(
+        scenario,
+        FleetConfig {
+            num_shards: 4,
+            budget_bytes: u64::MAX,
+            ..FleetConfig::default()
+        },
+        sim_seed,
+    );
+    fleet
+        .create_blocking(user, user_spec(user))
+        .expect("create");
+    for round in 0..rounds {
+        action(&mut fleet, round);
+        fleet
+            .command_blocking(user, SessionCommand::Step { batches: 4 })
+            .expect("step");
+    }
+    fleet
+        .command_blocking(user, SessionCommand::Evaluate)
+        .expect("evaluate");
+    fleet
+        .command_blocking(user, SessionCommand::Checkpoint)
+        .expect("checkpoint");
+    let mut report = None;
+    let mut blob = None;
+    for event in fleet.drain_pending() {
+        match event.kind {
+            SessionEventKind::Evaluated(r) => report = Some(*r),
+            SessionEventKind::Checkpointed(b) => blob = Some(b),
+            SessionEventKind::Failed(reason) => panic!("request failed: {reason}"),
+            _ => {}
+        }
+    }
+    (report.expect("report"), blob.expect("blob"))
+}
+
+proptest! {
+    /// The `chameleon-balance` safety contract at single-session grain:
+    /// an online migration injected at *any* step boundary, to *any*
+    /// other shard, yields the same evaluation report and bit-identical
+    /// `CHAMFLT1` checkpoint bytes as a local `Evict` at the same
+    /// boundary. Placement is a pure routing concern; the learner
+    /// cannot tell a cross-shard move from a budget eviction.
+    #[test]
+    fn migration_at_any_step_boundary_matches_an_evict_there(
+        user in 0u64..512,
+        boundary in 0usize..6,
+        hop in 1usize..4,
+        sim_seed in 0u64..0x1_0000_0000u64,
+    ) {
+        let scenario = scenario();
+        let migrated = run_with_boundary_action(
+            Arc::clone(&scenario),
+            user,
+            sim_seed,
+            6,
+            &mut |fleet, round| {
+                if round == boundary {
+                    let to = (fleet.shard_of(user) + hop) % 4;
+                    let moved = fleet.migrate_session(user, to).expect("migrate");
+                    assert!(moved, "distinct-shard migration must perform");
+                }
+            },
+        );
+        let evicted = run_with_boundary_action(
+            scenario,
+            user,
+            sim_seed,
+            6,
+            &mut |fleet, round| {
+                if round == boundary {
+                    fleet
+                        .command_blocking(user, SessionCommand::Evict)
+                        .expect("evict");
+                }
+            },
+        );
+        prop_assert_eq!(&migrated.0, &evicted.0, "report diverged");
+        prop_assert_eq!(&migrated.1, &evicted.1, "checkpoint bytes diverged");
+    }
 }
