@@ -1,0 +1,97 @@
+//! Ablation: the **quantized latent replay codec** (DESIGN.md §15).
+//!
+//! Runs Chameleon on the synthetic CORe50 benchmark with the latent
+//! buffers stored at each codec precision — `f32` (the baseline, no
+//! packing), `f16`, and `int8` — and reports the accuracy delta each
+//! precision costs against the memory it buys. The quantized runs also
+//! switch the head to the chunked SIMD-friendly kernels (the precision
+//! knob selects both together), so the deltas here cover the full
+//! quantized configuration a `--precision int8` deployment runs.
+//!
+//! Expected shape: int8 shrinks serialized latents ~4x (f16 ~2x) while
+//! Acc_all stays within noise of the f32 baseline — the latent
+//! activations Chameleon replays tolerate per-tensor affine int8 with
+//! no measurable forgetting penalty on these benchmarks.
+//!
+//! Usage: `cargo run --release -p chameleon-bench --bin
+//! ablation_quantized_latent [--runs N]` (default 5).
+
+use chameleon_bench::report::Table;
+use chameleon_bench::suite::{runs_from_args, seeds};
+use chameleon_core::{Chameleon, ChameleonConfig, ModelConfig, Precision, Trainer};
+use chameleon_stream::shapes::NominalShapes;
+use chameleon_stream::{DatasetSpec, DomainIlScenario, StreamConfig};
+
+fn main() {
+    let runs = runs_from_args(5);
+    let seed_list = seeds(runs);
+
+    let spec = DatasetSpec::core50();
+    let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
+    let model = ModelConfig::for_spec(&spec);
+    let shapes = NominalShapes::for_classes(spec.num_classes);
+    let elems = shapes.latent_elems();
+    let trainer = Trainer::new(StreamConfig::default());
+
+    println!(
+        "# Ablation — quantized latent replay codec ({} synthetic)\n",
+        spec.name
+    );
+    println!(
+        "{runs} runs per precision, identical seeds and stream order. 'Latent B/sample'\n\
+         is the serialized codec blob for one nominal latent ({elems} elems); 'Session MB'\n\
+         is the nominal resident footprint the fleet prices evictions with. Quantized\n\
+         rows also run the chunked head kernels — the delta is the full `--precision`\n\
+         configuration, not the codec in isolation.\n"
+    );
+
+    let mut table = Table::new(&[
+        "Precision",
+        "Acc_all",
+        "Δ vs f32",
+        "Session MB",
+        "Latent B/sample",
+        "Shrink",
+    ]);
+
+    let f32_blob = Precision::F32.packed_len(elems);
+    let mut f32_mean = 0.0f32;
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let config = ChameleonConfig {
+            precision,
+            ..ChameleonConfig::default()
+        };
+        let agg = trainer.run_many(
+            &scenario,
+            |s| Box::new(Chameleon::new(&model, config.clone(), s)),
+            &seed_list,
+        );
+        if precision == Precision::F32 {
+            f32_mean = agg.acc_all.mean;
+        }
+        let blob = precision.packed_len(elems);
+        table.row_owned(vec![
+            precision.to_string(),
+            agg.acc_all.to_string(),
+            if precision == Precision::F32 {
+                "—".to_string()
+            } else {
+                format!("{:+.2}", agg.acc_all.mean - f32_mean)
+            },
+            format!("{:.2}", agg.memory_overhead_mb),
+            blob.to_string(),
+            format!("{:.2}x", f32_blob as f64 / blob as f64),
+        ]);
+        eprintln!("  {precision}: {}", agg.acc_all);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "The equivalence suite (tests/kernel_equivalence.rs) pins the kernel half\n\
+         of this configuration — chunked reductions within 2 ULPs of f64 ground\n\
+         truth — and tests/codec_fuzz.rs pins the codec half, so any delta above\n\
+         is quantization error, not implementation drift. The accuracy bound the\n\
+         suite enforces (|Δ| within noise on CORe50-tiny) lives in\n\
+         tests/kernel_equivalence.rs::quantized_replay_accuracy_delta_is_bounded."
+    );
+}

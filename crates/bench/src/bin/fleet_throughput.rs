@@ -20,10 +20,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use chameleon_bench::report::Table;
-use chameleon_core::ChameleonConfig;
+use chameleon_core::{ChameleonConfig, Precision};
 use chameleon_fleet::{
     FleetConfig, FleetEngine, SessionCommand, SessionEventKind, SessionSpec, UserSession,
 };
+use chameleon_stream::shapes::NominalShapes;
 use chameleon_stream::{DatasetSpec, DomainIlScenario, PreferenceProfile, StreamConfig};
 
 const SESSION_COUNTS: [u64; 2] = [16, 64];
@@ -55,11 +56,12 @@ struct Grid {
     cells: Vec<Cell>,
 }
 
-fn user_spec(user: u64, num_classes: usize) -> SessionSpec {
+fn user_spec(user: u64, num_classes: usize, precision: Precision) -> SessionSpec {
     let base = (user as usize * 3) % num_classes;
     SessionSpec {
         learner: ChameleonConfig {
             long_term_capacity: BUFFER,
+            precision,
             ..ChameleonConfig::default()
         },
         stream: StreamConfig {
@@ -97,6 +99,7 @@ fn run_cell(
     sessions: u64,
     shards: usize,
     budget_bytes: u64,
+    precision: Precision,
 ) -> Cell {
     let num_classes = scenario.spec().num_classes;
     let mut engine = FleetEngine::new(
@@ -110,7 +113,7 @@ fn run_cell(
     );
     for user in 0..sessions {
         engine
-            .create_blocking(user, user_spec(user, num_classes))
+            .create_blocking(user, user_spec(user, num_classes, precision))
             .expect("create session");
     }
     engine.drain_pending();
@@ -154,75 +157,93 @@ fn main() {
     let spec = DatasetSpec::core50_tiny();
     let scenario = Arc::new(DomainIlScenario::generate(&spec, 0xDA7A));
 
-    // One session's nominal resident footprint prices the budgets.
-    let session_bytes = UserSession::new(
-        0,
-        user_spec(0, spec.num_classes),
-        Arc::clone(&scenario),
-        None,
-    )
-    .resident_bytes();
-
     println!(
         "# Fleet throughput ({} synthetic, buffer {BUFFER}, {STEP_BATCHES}-batch slices)\n",
         spec.name
     );
 
-    let mut grids = Vec::new();
-    for &sessions in &SESSION_COUNTS {
-        let widest = *SHARD_COUNTS.iter().max().expect("nonempty");
-        let budget_sessions = max_shard_load(&scenario, sessions, widest);
-        let budget_bytes = session_bytes * budget_sessions + session_bytes / 2;
-        let mut cells = Vec::new();
-        for &shards in &SHARD_COUNTS {
-            let cell = run_cell(&scenario, sessions, shards, budget_bytes);
-            eprintln!(
-                "  {sessions} sessions × {shards} shard(s): {:.0} steps/s, {} evictions",
-                cell.steps_per_sec(),
-                cell.evictions
-            );
-            cells.push(cell);
+    // The full grid runs at both codec precisions: f32 is the baseline,
+    // int8 shows the latent codec's bytes-per-session reduction with no
+    // stepping-rate regression. Each precision's budgets are priced with
+    // its *own* session footprint so both see the same eviction pressure
+    // (~4x budget at 1 shard, fully resident at 4).
+    let mut sweeps: Vec<(Precision, u64, Vec<Grid>)> = Vec::new();
+    for precision in [Precision::F32, Precision::Int8] {
+        // One session's nominal resident footprint prices the budgets.
+        let session_bytes = UserSession::new(
+            0,
+            user_spec(0, spec.num_classes, precision),
+            Arc::clone(&scenario),
+            None,
+        )
+        .resident_bytes();
+
+        let mut grids = Vec::new();
+        for &sessions in &SESSION_COUNTS {
+            let widest = *SHARD_COUNTS.iter().max().expect("nonempty");
+            let budget_sessions = max_shard_load(&scenario, sessions, widest);
+            let budget_bytes = session_bytes * budget_sessions + session_bytes / 2;
+            let mut cells = Vec::new();
+            for &shards in &SHARD_COUNTS {
+                let cell = run_cell(&scenario, sessions, shards, budget_bytes, precision);
+                eprintln!(
+                    "  [{precision}] {sessions} sessions × {shards} shard(s): {:.0} steps/s, {} evictions",
+                    cell.steps_per_sec(),
+                    cell.evictions
+                );
+                cells.push(cell);
+            }
+            grids.push(Grid {
+                sessions,
+                budget_sessions,
+                cells,
+            });
         }
-        grids.push(Grid {
-            sessions,
-            budget_sessions,
-            cells,
-        });
+        sweeps.push((precision, session_bytes, grids));
     }
 
-    let mut table = Table::new(&[
-        "Sessions",
-        "Shards",
-        "Wall (s)",
-        "Steps/s",
-        "Evictions",
-        "Restores",
-        "Speedup vs 1 shard",
-    ]);
-    for grid in &grids {
-        let base = grid.cells[0].steps_per_sec();
-        for cell in &grid.cells {
-            table.row_owned(vec![
-                grid.sessions.to_string(),
-                cell.shards.to_string(),
-                format!("{:.2}", cell.wall_s),
-                format!("{:.0}", cell.steps_per_sec()),
-                cell.evictions.to_string(),
-                cell.restores.to_string(),
-                format!("{:.2}x", cell.steps_per_sec() / base.max(1e-9)),
-            ]);
+    for (precision, session_bytes, grids) in &sweeps {
+        println!("## Precision {precision} ({session_bytes} bytes/session)\n");
+        let mut table = Table::new(&[
+            "Sessions",
+            "Shards",
+            "Wall (s)",
+            "Steps/s",
+            "Evictions",
+            "Restores",
+            "Speedup vs 1 shard",
+        ]);
+        for grid in grids {
+            let base = grid.cells[0].steps_per_sec();
+            for cell in &grid.cells {
+                table.row_owned(vec![
+                    grid.sessions.to_string(),
+                    cell.shards.to_string(),
+                    format!("{:.2}", cell.wall_s),
+                    format!("{:.0}", cell.steps_per_sec()),
+                    cell.evictions.to_string(),
+                    cell.restores.to_string(),
+                    format!("{:.2}x", cell.steps_per_sec() / base.max(1e-9)),
+                ]);
+            }
         }
+        println!("{}", table.render());
     }
-    println!("{}", table.render());
+    let shapes = NominalShapes::for_classes(spec.num_classes);
+    let elems = shapes.latent_elems();
     println!(
         "Budget per shard = the most-loaded shard of the 4-shard split\n\
          (+50% of one session), so 4 shards keep every session resident\n\
          while 1 shard round-robins a working set ~4x its budget through\n\
          LRU evict/restore. The speedup shown is this memory-pressure\n\
-         relief; on multi-core hosts shard parallelism adds on top."
+         relief; on multi-core hosts shard parallelism adds on top.\n\
+         Serialized latents: {} B/sample at f32 vs {} B at int8 ({:.2}x).",
+        Precision::F32.packed_len(elems),
+        Precision::Int8.packed_len(elems),
+        Precision::F32.packed_len(elems) as f64 / Precision::Int8.packed_len(elems) as f64
     );
 
-    let json = render_json(spec.name, session_bytes, &grids);
+    let json = render_json(spec.name, elems, &sweeps);
     let path = "results/fleet_throughput.json";
     if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
         eprintln!("cannot write {path}: {e}");
@@ -231,34 +252,68 @@ fn main() {
     eprintln!("  wrote {path}");
 }
 
-fn render_json(dataset: &str, session_bytes: u64, grids: &[Grid]) -> String {
+fn render_json(
+    dataset: &str,
+    latent_elems: usize,
+    sweeps: &[(Precision, u64, Vec<Grid>)],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"dataset\": \"{dataset}\",");
     let _ = writeln!(out, "  \"buffer\": {BUFFER},");
     let _ = writeln!(out, "  \"step_batches\": {STEP_BATCHES},");
-    let _ = writeln!(out, "  \"session_bytes\": {session_bytes},");
+    let _ = writeln!(
+        out,
+        "  \"latent_bytes_per_sample_f32\": {},",
+        Precision::F32.packed_len(latent_elems)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latent_bytes_per_sample_int8\": {},",
+        Precision::Int8.packed_len(latent_elems)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latent_shrink\": {:.2},",
+        Precision::F32.packed_len(latent_elems) as f64
+            / Precision::Int8.packed_len(latent_elems) as f64
+    );
     let _ = writeln!(
         out,
         "  \"note\": \"budget per shard = max shard load of the widest sharding; speedup is \
          LRU-churn relief and is measured on whatever host ran this, with thread parallelism \
-         on top where cores allow\","
+         on top where cores allow; each precision sweep prices its budget with its own \
+         session footprint so both see the same eviction pressure\","
     );
-    let _ = writeln!(out, "  \"grids\": [");
+    let _ = writeln!(out, "  \"sweeps\": [");
+    for (s, (precision, session_bytes, grids)) in sweeps.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"precision\": \"{precision}\",");
+        let _ = writeln!(out, "      \"session_bytes\": {session_bytes},");
+        render_grids(&mut out, grids);
+        let _ = writeln!(out, "    }}{}", if s + 1 < sweeps.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_grids(out: &mut String, grids: &[Grid]) {
+    let _ = writeln!(out, "      \"grids\": [");
     for (i, grid) in grids.iter().enumerate() {
         let base = grid.cells[0].steps_per_sec();
-        let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"sessions\": {},", grid.sessions);
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"sessions\": {},", grid.sessions);
         let _ = writeln!(
             out,
-            "      \"budget_sessions_per_shard\": {},",
+            "          \"budget_sessions_per_shard\": {},",
             grid.budget_sessions
         );
-        let _ = writeln!(out, "      \"cells\": [");
+        let _ = writeln!(out, "          \"cells\": [");
         for (j, cell) in grid.cells.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "        {{\"shards\": {}, \"wall_s\": {:.4}, \"batches\": {}, \
+                "            {{\"shards\": {}, \"wall_s\": {:.4}, \"batches\": {}, \
                  \"steps_per_sec\": {:.2}, \"evictions\": {}, \"restores\": {}, \
                  \"speedup_vs_1_shard\": {:.3}}}{}",
                 cell.shards,
@@ -271,10 +326,12 @@ fn render_json(dataset: &str, session_bytes: u64, grids: &[Grid]) -> String {
                 if j + 1 < grid.cells.len() { "," } else { "" }
             );
         }
-        let _ = writeln!(out, "      ]");
-        let _ = writeln!(out, "    }}{}", if i + 1 < grids.len() { "," } else { "" });
+        let _ = writeln!(out, "          ]");
+        let _ = writeln!(
+            out,
+            "        }}{}",
+            if i + 1 < grids.len() { "," } else { "" }
+        );
     }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
-    out
+    let _ = writeln!(out, "      ]");
 }

@@ -1,12 +1,12 @@
 //! Subcommand implementations.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 
 use chameleon_balance::{BalanceConfig, TrafficShape};
 use chameleon_core::{
     Chameleon, ChameleonConfig, Der, DerConfig, Er, EvalReport, EwcConfig, EwcPlusPlus, Finetune,
-    Gss, GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Slda,
+    Gss, GssConfig, Joint, JointConfig, LatentReplay, Lwf, LwfConfig, ModelConfig, Precision, Slda,
     SldaConfig, Strategy, Trainer,
 };
 use chameleon_faults::{FaultInjector, FaultPlan};
@@ -38,6 +38,8 @@ COMMANDS:
     --seed <n>                  base seed                  [default: 1]
     --skewed                    user-preference-skewed stream
     --save <path>               save a checkpoint (chameleon, runs = 1 only)
+    --precision <p>             latent storage codec: f32 | f16 | int8
+                                (chameleon only)           [default: f32]
   evaluate                      evaluate a saved checkpoint
     --dataset <name>  --load <path>  [--buffer <n>]
   sweep                         one method across several buffer sizes
@@ -50,7 +52,8 @@ COMMANDS:
                                 resilience counters
     --rate <r>                  DRAM bit-flips per bit per sample [default: 1e-5]
     [--dataset <name>] [--method <name>] [--buffer <n>] [--seed <n>]
-    [--fault-seed <n>] [--no-quarantine] (quarantine: chameleon only)
+    [--fault-seed <n>] [--no-quarantine] [--precision <p>]
+    (quarantine/precision: chameleon only)
   fleet                         run many per-user sessions on a sharded engine
     --sessions <n>              concurrent user sessions   [default: 8]
     --shards <n>                worker shards (threads)    [default: 2]
@@ -61,6 +64,7 @@ COMMANDS:
                                 migration: periodic[:<every>] | steal[:<depth>]
     [--dataset <name>] [--buffer <n>] [--seed <n>] [--queue <n>]
     [--step-batches <n>] [--rate <r>] [--fault-seed <n>] [--json]
+    [--precision <p>]           quantize stored latents (f32 | f16 | int8)
   serve                         serve a fleet engine over TCP (CHAMWIRE)
     --addr <host:port>          bind address               [default: 127.0.0.1:0]
     --duration <secs>           run this long, then drain and exit;
@@ -87,7 +91,7 @@ COMMANDS:
                                 uniform | zipf:<s> | burst | diurnal | flood
     [--balance <policy>]        rebalance the self-served fleet (see fleet)
     [--slice <n>] [--dataset <name>] [--shards <n>] [--workers <n>]
-    [--queue <n>] [--buffer <n>] [--seed <n>] [--json]
+    [--queue <n>] [--buffer <n>] [--seed <n>] [--precision <p>] [--json]
   stats                         observability snapshot of a running server
     --addr <host:port>          target CHAMWIRE server (required)
     --watch                     poll repeatedly instead of once
@@ -117,6 +121,10 @@ COMMANDS:
                                 assert outcomes match an unmigrated run
     --balance-replay <seed>     re-run one balance seed and print its outcome
     [--balance-start-seed <n>]  first balance seed        [default: 0]
+    --quantized-seeds <n>       quantized (int8) sweep: re-run the lifecycle
+                                explorer with packed latents, assert replay
+                                determinism and shard-count invariance
+    [--quantized-start-seed <n>] first quantized seed     [default: 0]
     [--golden-dir <path>]       corpus location   [default: tests/golden]
   help                          show this message
 ";
@@ -169,11 +177,14 @@ const METHODS: [&str; 10] = [
     "joint",
 ];
 
-/// Builds a Chameleon config for a CLI-provided buffer size, turning a
-/// validation failure into a reportable error instead of a panic.
-fn chameleon_config(buffer: usize) -> Result<ChameleonConfig, String> {
+/// Builds a Chameleon config for a CLI-provided buffer size and
+/// latent-codec precision (the `--precision` knob of `train`, `faults`,
+/// `fleet`, and `loadgen`), turning a validation failure into a
+/// reportable error instead of a panic.
+fn chameleon_config_at(buffer: usize, precision: Precision) -> Result<ChameleonConfig, String> {
     let config = ChameleonConfig {
         long_term_capacity: buffer,
+        precision,
         ..ChameleonConfig::default()
     };
     config
@@ -182,14 +193,29 @@ fn chameleon_config(buffer: usize) -> Result<ChameleonConfig, String> {
     Ok(config)
 }
 
+/// Parses the optional `--precision {f32,f16,int8}` flag.
+fn precision_option(options: &Options) -> Result<Precision, String> {
+    Precision::parse(options.get_or("precision", "f32")).map_err(|e| format!("--precision: {e}"))
+}
+
 fn build_method(
     name: &str,
     model: &ModelConfig,
     buffer: usize,
+    precision: Precision,
     seed: u64,
 ) -> Result<Box<dyn Strategy>, String> {
+    if precision != Precision::F32 && name != "chameleon" {
+        return Err(format!(
+            "--precision applies only to --method chameleon, not `{name}`"
+        ));
+    }
     Ok(match name {
-        "chameleon" => Box::new(Chameleon::new(model, chameleon_config(buffer)?, seed)),
+        "chameleon" => Box::new(Chameleon::new(
+            model,
+            chameleon_config_at(buffer, precision)?,
+            seed,
+        )),
         "latent-replay" => Box::new(LatentReplay::new(model, buffer, seed)),
         "er" => Box::new(Er::new(model, buffer, seed)),
         "der" => Box::new(Der::new(model, DerConfig::new(buffer), seed)),
@@ -254,13 +280,21 @@ fn info() -> Result<(), String> {
 
 fn train(options: &Options) -> Result<(), String> {
     options.expect_only(&[
-        "dataset", "method", "buffer", "runs", "seed", "skewed", "save",
+        "dataset",
+        "method",
+        "buffer",
+        "runs",
+        "seed",
+        "skewed",
+        "save",
+        "precision",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
     let method = options.get_or("method", "chameleon").to_string();
     let buffer: usize = options.get_parsed_or("buffer", 100)?;
     let runs: usize = options.get_parsed_or("runs", 1)?;
     let seed: u64 = options.get_parsed_or("seed", 1)?;
+    let precision = precision_option(options)?;
     if runs == 0 {
         return Err("--runs must be at least 1".to_string());
     }
@@ -276,7 +310,7 @@ fn train(options: &Options) -> Result<(), String> {
         let seeds: Vec<u64> = (seed..seed + runs as u64).collect();
         let agg = trainer.run_many(
             &scenario,
-            |s| build_method(&method, &model, buffer, s).expect("validated above"),
+            |s| build_method(&method, &model, buffer, precision, s).expect("validated above"),
             &seeds,
         );
         println!(
@@ -290,7 +324,7 @@ fn train(options: &Options) -> Result<(), String> {
         if method != "chameleon" {
             return Err("--save currently supports only --method chameleon".to_string());
         }
-        let mut learner = Chameleon::new(&model, chameleon_config(buffer)?, seed);
+        let mut learner = Chameleon::new(&model, chameleon_config_at(buffer, precision)?, seed);
         let report = trainer.run(&scenario, &mut learner, seed);
         print_report(&spec, "Chameleon", &report);
         save_checkpoint_atomically(&learner, path)?;
@@ -298,7 +332,7 @@ fn train(options: &Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let mut strategy = build_method(&method, &model, buffer, seed)?;
+    let mut strategy = build_method(&method, &model, buffer, precision, seed)?;
     let report = trainer.run(&scenario, strategy.as_mut(), seed);
     print_report(&spec, strategy.name(), &report);
     Ok(())
@@ -351,6 +385,7 @@ fn faults(options: &Options) -> Result<(), String> {
         "fault-seed",
         "rate",
         "no-quarantine",
+        "precision",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
     let method = options.get_or("method", "chameleon").to_string();
@@ -365,6 +400,7 @@ fn faults(options: &Options) -> Result<(), String> {
     if !quarantine && method != "chameleon" {
         return Err("--no-quarantine applies only to --method chameleon".to_string());
     }
+    let precision = precision_option(options)?;
 
     let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
     let model = ModelConfig::for_spec(&spec);
@@ -375,7 +411,7 @@ fn faults(options: &Options) -> Result<(), String> {
     if method == "chameleon" {
         let config = ChameleonConfig {
             quarantine,
-            ..chameleon_config(buffer)?
+            ..chameleon_config_at(buffer, precision)?
         };
         let mut learner = Chameleon::new(&model, config, seed);
         let report = trainer.run_with_faults(&scenario, &mut learner, seed, &mut injector);
@@ -387,7 +423,7 @@ fn faults(options: &Options) -> Result<(), String> {
         );
         println!("  long-term integrity: {:.3}", r.long_term_integrity);
     } else {
-        let mut strategy = build_method(&method, &model, buffer, seed)?;
+        let mut strategy = build_method(&method, &model, buffer, precision, seed)?;
         let report = trainer.run_with_faults(&scenario, strategy.as_mut(), seed, &mut injector);
         print_report(&spec, strategy.name(), &report);
     }
@@ -417,6 +453,7 @@ fn fleet(options: &Options) -> Result<(), String> {
         "store-dir",
         "balance",
         "json",
+        "precision",
     ])?;
     let spec = dataset(options.get_or("dataset", "core50-tiny"))?;
     let sessions: u64 = options.get_parsed_or("sessions", 8)?;
@@ -454,7 +491,8 @@ fn fleet(options: &Options) -> Result<(), String> {
         .map(|spec| BalanceConfig::parse(spec).map_err(|e| format!("invalid --balance: {e}")))
         .transpose()?;
 
-    let learner = chameleon_config(buffer)?;
+    let precision = precision_option(options)?;
+    let learner = chameleon_config_at(buffer, precision)?;
     let config = FleetConfig {
         num_shards: shards,
         queue_depth: queue,
@@ -567,6 +605,8 @@ fn fleet(options: &Options) -> Result<(), String> {
                 &metrics,
                 recovery.as_ref(),
                 balancer.as_ref().map(|b| b.counters()),
+                &learner,
+                spec.num_classes,
             )
         );
         return Ok(());
@@ -672,6 +712,8 @@ fn fleet_json(
     metrics: &chameleon_fleet::FleetMetrics,
     recovery: Option<&chameleon_fleet::RecoveryReport>,
     balance: Option<chameleon_balance::BalanceCounters>,
+    learner: &ChameleonConfig,
+    num_classes: usize,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -684,6 +726,48 @@ fn fleet_json(
     let _ = writeln!(out, "  \"batches\": {},", metrics.batches());
     let _ = writeln!(out, "  \"evictions\": {},", metrics.evictions());
     let _ = writeln!(out, "  \"restores\": {},", metrics.restores());
+    // Latent-codec accounting: per-session nominal footprint at the
+    // configured precision versus unquantized pricing, plus the
+    // serialized size of one nominal latent (the >=3x shrink claim is
+    // packed-int8 bytes versus f32-serialized bytes).
+    let precision = learner.precision;
+    let shapes = chameleon_stream::shapes::NominalShapes::for_classes(num_classes);
+    let price_mb = |n: usize| match precision {
+        Precision::F32 | Precision::F16 => shapes.latent_mb(n),
+        Precision::Int8 => shapes.latent_packed_mb(n, 1, 8),
+    };
+    let capacities = learner.short_term_capacity + learner.long_term_capacity;
+    let session_mb = price_mb(learner.short_term_capacity) + price_mb(learner.long_term_capacity);
+    let nominal_mb = shapes.latent_mb(capacities);
+    let elems = shapes.latent_elems();
+    let latent_bytes = precision.packed_len(elems);
+    let latent_bytes_f32 = Precision::F32.packed_len(elems);
+    let _ = writeln!(out, "  \"precision\": \"{precision}\",");
+    let _ = writeln!(
+        out,
+        "  \"session_bytes\": {},",
+        (session_mb * 1024.0 * 1024.0).ceil() as u64
+    );
+    let _ = writeln!(
+        out,
+        "  \"session_bytes_nominal\": {},",
+        (nominal_mb * 1024.0 * 1024.0).ceil() as u64
+    );
+    let _ = writeln!(
+        out,
+        "  \"codec_bytes_saved\": {},",
+        metrics.codec_bytes_saved()
+    );
+    let _ = writeln!(out, "  \"latent_bytes_per_sample\": {latent_bytes},");
+    let _ = writeln!(
+        out,
+        "  \"latent_bytes_per_sample_f32\": {latent_bytes_f32},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"latent_shrink\": {:.2},",
+        latent_bytes_f32 as f64 / latent_bytes as f64
+    );
     if let Some(c) = balance {
         for (name, value) in c.named() {
             let _ = writeln!(out, "  \"{name}\": {value},");
@@ -1094,6 +1178,7 @@ fn loadgen(options: &Options) -> Result<(), String> {
         "shape",
         "balance",
         "json",
+        "precision",
     ])?;
     let connections: usize = options.get_parsed_or("connections", 2)?;
     let sessions: u64 = options.get_parsed_or("sessions", 4)?;
@@ -1124,7 +1209,7 @@ fn loadgen(options: &Options) -> Result<(), String> {
         .transpose()?;
     let shape_spec = options.get("shape").map(String::from);
     let (spec, fleet_config, serve_config) = serve_configs(options)?;
-    let learner = chameleon_config(buffer)?;
+    let learner = chameleon_config_at(buffer, precision_option(options)?)?;
 
     // No --addr: self-serve a loopback server so one process exercises
     // the full wire path (the CI smoke mode). A comma-separated --addr
@@ -1230,8 +1315,14 @@ fn loadgen(options: &Options) -> Result<(), String> {
                 for &user in &users {
                     conn.predict(user).map_err(err("predict", user))?;
                     let blob = conn.checkpoint(user).map_err(err("checkpoint", user))?;
-                    if blob.get(..8) != Some(&chameleon_fleet::FLEET_MAGIC[..]) {
-                        return Err(format!("session {user}: checkpoint blob lacks CHAMFLT1"));
+                    // Quantized sessions seal under the v2 fleet magic.
+                    let magic = blob.get(..8);
+                    if magic != Some(&chameleon_fleet::FLEET_MAGIC[..])
+                        && magic != Some(&chameleon_fleet::FLEET_MAGIC_V2[..])
+                    {
+                        return Err(format!(
+                            "session {user}: checkpoint blob lacks a CHAMFLT magic"
+                        ));
                     }
                     requests += 2;
                 }
@@ -1503,6 +1594,8 @@ fn simtest(options: &Options) -> Result<(), String> {
         "balance-seeds",
         "balance-start-seed",
         "balance-replay",
+        "quantized-seeds",
+        "quantized-start-seed",
     ])?;
     let golden_dir = std::path::PathBuf::from(options.get_or("golden-dir", "tests/golden"));
 
@@ -1703,6 +1796,29 @@ fn simtest(options: &Options) -> Result<(), String> {
         return Ok(());
     }
 
+    if let Some(raw) = options.get("quantized-seeds") {
+        let seeds: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --quantized-seeds"))?;
+        if seeds == 0 {
+            return Err("--quantized-seeds must be at least 1".to_string());
+        }
+        let start: u64 = options.get_parsed_or("quantized-start-seed", 0)?;
+        let (mut faulted, mut events) = (0u64, 0u64);
+        for seed in start..start.saturating_add(seeds) {
+            let outcome = chameleon_simtest::check_seed_at(&scenario, seed, Precision::Int8)
+                .map_err(|e| format!("quantized seed {seed} violated a fleet invariant: {e}"))?;
+            faulted += u64::from(outcome.faulted);
+            events += outcome.events;
+        }
+        println!(
+            "simtest: {seeds}/{seeds} quantized (int8) seeds passed ({faulted} \
+             faulted, {events} events) — shard-count invariance and replay \
+             determinism hold with packed latents"
+        );
+        return Ok(());
+    }
+
     if let Some(raw) = options.get("replay") {
         let seed: u64 = raw
             .parse()
@@ -1795,10 +1911,19 @@ fn evaluate(options: &Options) -> Result<(), String> {
 
     let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
     let model = ModelConfig::for_spec(&spec);
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let learner =
-        Chameleon::load_checkpoint(&model, chameleon_config(buffer)?, 1, BufReader::new(file))
-            .map_err(|e| format!("cannot load checkpoint: {e}"))?;
+    let blob = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    // A v3 checkpoint's samples live on a quantization grid; match the
+    // loading config to the precision the blob records so `evaluate`
+    // round-trips any checkpoint `train` writes, no flag needed.
+    let precision = chameleon_core::checkpoint::stored_precision(&blob)
+        .map_err(|e| format!("cannot load checkpoint: {e}"))?;
+    let learner = Chameleon::load_checkpoint(
+        &model,
+        chameleon_config_at(buffer, precision)?,
+        1,
+        blob.as_slice(),
+    )
+    .map_err(|e| format!("cannot load checkpoint: {e}"))?;
     let report = EvalReport::evaluate(&scenario, &learner);
     print_report(&spec, "Chameleon (checkpoint)", &report);
     println!(
@@ -1842,7 +1967,7 @@ fn sweep(options: &Options) -> Result<(), String> {
     for buffer in buffers {
         let agg = trainer.run_many(
             &scenario,
-            |s| build_method(&method, &model, buffer, s).expect("validated above"),
+            |s| build_method(&method, &model, buffer, Precision::F32, s).expect("validated above"),
             &seeds,
         );
         println!(
@@ -1861,7 +1986,7 @@ fn price(options: &Options) -> Result<(), String> {
     let spec = DatasetSpec::core50_tiny();
     let scenario = DomainIlScenario::generate(&spec, 0xDA7A);
     let model = ModelConfig::for_spec(&spec);
-    let mut strategy = build_method(&method, &model, buffer, 1)?;
+    let mut strategy = build_method(&method, &model, buffer, Precision::F32, 1)?;
 
     // Paper hardware configuration: batch size one.
     let stream = StreamConfig {
@@ -2253,7 +2378,7 @@ mod tests {
             .expect("start server");
         let addr = server.local_addr().to_string();
         let mut conn = Connection::connect(&addr).expect("connect");
-        let learner = chameleon_config(20).expect("config");
+        let learner = chameleon_config_at(20, Precision::F32).expect("config");
         conn.create_session(
             1,
             per_user_spec(1, DatasetSpec::core50_tiny().num_classes, &learner, 1),

@@ -1,8 +1,8 @@
 //! The Chameleon dual-memory replay strategy (paper §III, Algorithm 1).
 
-use chameleon_nn::{loss, FrozenExtractor, MlpHead, Sgd};
+use chameleon_nn::{loss, FrozenExtractor, Kernel, MlpHead, Sgd};
 use chameleon_replay::{
-    AccessStats, ClassBalancedBuffer, RingBuffer, StorePlacement, StoredSample,
+    AccessStats, ClassBalancedBuffer, Precision, RingBuffer, StorePlacement, StoredSample,
 };
 use chameleon_stream::Batch;
 use chameleon_tensor::{ops, Matrix, Prng};
@@ -44,6 +44,15 @@ pub struct ChameleonConfig {
     /// sparse to select against, so the store is reseeded from trusted
     /// on-chip data.
     pub rebuild_integrity_floor: f32,
+    /// Storage precision for replay latents. At the default
+    /// [`Precision::F32`] every byte this learner produces (checkpoints,
+    /// fleet records, wire specs) is identical to pre-codec builds. The
+    /// quantized modes project each latent onto the codec grid at
+    /// short-term insertion (training reads the dequantized values, so
+    /// what is learned is exactly what survives an evict/restore),
+    /// serialize packed sample sections (`CHAMLN03`), and switch the
+    /// head's forward matmuls to the chunked SIMD-friendly kernels.
+    pub precision: Precision,
 }
 
 impl Default for ChameleonConfig {
@@ -60,6 +69,7 @@ impl Default for ChameleonConfig {
             beta: 0.7,
             quarantine: true,
             rebuild_integrity_floor: 0.5,
+            precision: Precision::F32,
         }
     }
 }
@@ -262,9 +272,16 @@ impl Chameleon {
         seed: u64,
     ) -> Self {
         config.assert_valid();
+        let mut head = model.build_head(seed);
+        if config.precision != Precision::F32 {
+            // The chunked kernels reassociate float reductions, so they
+            // ride with the quantized modes where every run being
+            // compared (solo vs fleet, run vs replay) selects them too.
+            head.set_kernel(Kernel::Chunked);
+        }
         Self {
             extractor: model.build_extractor(),
-            head: model.build_head(seed),
+            head,
             sgd: model.build_sgd(),
             short_term: RingBuffer::new(config.short_term_capacity),
             long_term: ClassBalancedBuffer::new(config.long_term_capacity),
@@ -283,6 +300,21 @@ impl Chameleon {
             trace: StepTrace::new(),
             prototype_rebuilds: 0,
         }
+    }
+
+    /// Nominal replay-store footprint in MB if the latents were stored
+    /// at `precision` — the repricing hook behind
+    /// [`Strategy::memory_overhead_mb`] and the fleet's bytes-saved
+    /// gauges. The nominal latent (`NominalShapes`) is priced at the
+    /// paper's fp16 storage assumption, so `F32` and `F16` both
+    /// reproduce the paper's Table I numbers; `Int8` halves them
+    /// (1 byte/element + an 8-byte per-tensor affine header).
+    pub fn memory_overhead_mb_at(&self, precision: Precision) -> f64 {
+        let price = |n: usize| match precision {
+            Precision::F32 | Precision::F16 => self.shapes.latent_mb(n),
+            Precision::Int8 => self.shapes.latent_packed_mb(n, 1, 8),
+        };
+        price(self.config.short_term_capacity) + price(self.config.long_term_capacity)
     }
 
     /// Resilience counters: quarantine evictions, rejected updates, and
@@ -547,18 +579,34 @@ impl Chameleon {
     /// Propagates I/O errors from the writer.
     pub fn save_checkpoint<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         use crate::checkpoint as ck;
+        let precision = self.config.precision;
         let mut payload = Vec::new();
+        if precision != Precision::F32 {
+            // v3 leads with the precision tag so a loader knows how to
+            // interpret the packed sample sections before reading them.
+            ck::write_u32(&mut payload, u32::from(precision.tag()))?;
+        }
         ck::write_f32_slice(&mut payload, &self.head.parameters())?;
-        ck::write_samples(&mut payload, self.short_term.items())?;
         let lt: Vec<StoredSample> = self.long_term.iter().cloned().collect();
-        ck::write_samples(&mut payload, &lt)?;
+        if precision == Precision::F32 {
+            ck::write_samples(&mut payload, self.short_term.items())?;
+            ck::write_samples(&mut payload, &lt)?;
+        } else {
+            ck::write_packed_samples(&mut payload, self.short_term.items(), precision)?;
+            ck::write_packed_samples(&mut payload, &lt, precision)?;
+        }
         let counts = self.prefs.total_counts();
         ck::write_u32(&mut payload, counts.len() as u32)?;
         for &c in counts {
             ck::write_u64(&mut payload, c)?;
         }
         ck::write_u64(&mut payload, self.samples_seen)?;
-        w.write_all(&ck::seal(&payload))
+        let blob = if precision == Precision::F32 {
+            ck::seal(&payload)
+        } else {
+            ck::seal_as(ck::MAGIC_V3, &payload)
+        };
+        w.write_all(&blob)
     }
 
     /// Restores a learner from a checkpoint written by
@@ -585,8 +633,33 @@ impl Chameleon {
         r.read_to_end(&mut blob)?;
         // Verify the envelope (magic + CRC32 footer) before touching any
         // section; decode then proceeds over the validated payload slice.
-        let mut r = ck::open(&blob)?;
+        let (payload, version) = ck::open(&blob)?;
+        let mut r = payload;
+        let precision = config.precision;
         let mut learner = Self::new(model, config, seed);
+
+        let packed = match version {
+            ck::Version::V2 => false,
+            ck::Version::V3 => {
+                // v3 records which grid its packed samples live on; a
+                // learner configured at a different precision would
+                // train on a different grid than it restores, so the
+                // mismatch is rejected up front.
+                let tag = ck::read_u32(&mut r)?;
+                let found = u8::try_from(tag)
+                    .ok()
+                    .and_then(Precision::from_tag)
+                    .ok_or(E::UnsupportedVersion)?;
+                if found != precision {
+                    return Err(E::ShapeMismatch {
+                        what: "latent precision tag",
+                        found: usize::from(found.tag()),
+                        expected: usize::from(precision.tag()),
+                    });
+                }
+                true
+            }
+        };
 
         let params = ck::read_f32_vec(&mut r)?;
         if params.len() != learner.head.parameter_count() {
@@ -598,7 +671,14 @@ impl Chameleon {
         }
         learner.head.set_parameters(&params);
 
-        for s in ck::read_samples(&mut r)? {
+        let read_section = |r: &mut &[u8]| -> Result<Vec<StoredSample>, E> {
+            if packed {
+                ck::read_packed_samples(r)
+            } else {
+                Ok(ck::read_samples(r)?)
+            }
+        };
+        for mut s in read_section(&mut r)? {
             if s.dim() != model.latent_dim {
                 return Err(E::ShapeMismatch {
                     what: "short-term sample",
@@ -606,15 +686,23 @@ impl Chameleon {
                     expected: model.latent_dim,
                 });
             }
+            if !packed {
+                // v2→v3 migration: project pre-codec f32 samples onto
+                // the configured grid (no-op at F32, skips corrupt ones).
+                s.requantize(precision);
+            }
             learner.short_term.push(s);
         }
-        for s in ck::read_samples(&mut r)? {
+        for mut s in read_section(&mut r)? {
             if s.dim() != model.latent_dim {
                 return Err(E::ShapeMismatch {
                     what: "long-term sample",
                     found: s.dim(),
                     expected: model.latent_dim,
                 });
+            }
+            if !packed {
+                s.requantize(precision);
             }
             learner.long_term.insert(s, &mut learner.rng);
         }
@@ -683,7 +771,15 @@ impl Strategy for Chameleon {
         // one element b_t by Eq. 4, replace a random short-term slot.
         let weights = self.selection_distribution(&batch.labels, &incoming_logits);
         let pick = self.rng.weighted_choice(&weights);
-        let sample = StoredSample::latent(latents.row(pick).to_vec(), batch.labels[pick]);
+        // At quantized precisions the latent is projected onto the codec
+        // grid here, at insertion: the stored floats are the *decoded*
+        // values, so replay trains on exactly what a checkpoint restore
+        // will reproduce (dequantize-on-read semantics with no drift).
+        let sample = StoredSample::latent_quantized(
+            latents.row(pick).to_vec(),
+            batch.labels[pick],
+            self.config.precision,
+        );
         self.short_term.replace_random(sample, &mut self.rng);
         self.trace.onchip_sample_writes += 1;
 
@@ -698,8 +794,7 @@ impl Strategy for Chameleon {
     }
 
     fn memory_overhead_mb(&self) -> f64 {
-        self.shapes.latent_mb(self.config.short_term_capacity)
-            + self.shapes.latent_mb(self.config.long_term_capacity)
+        self.memory_overhead_mb_at(self.config.precision)
     }
 
     fn trace(&self) -> StepTrace {

@@ -56,6 +56,7 @@ pub use chameleon::{
     Chameleon, ChameleonConfig, ConfigError, LearnerCounters, LongTermPolicy, ResilienceReport,
     ShortTermPolicy,
 };
+pub use chameleon_replay::Precision;
 pub use metrics::{backward_transfer, confusion_matrix, EvalReport};
 pub use model::ModelConfig;
 pub use prefs::PreferenceTracker;

@@ -23,7 +23,9 @@
 use std::sync::Arc;
 
 use chameleon_core::checkpoint::LoadCheckpointError;
-use chameleon_core::{Chameleon, ChameleonConfig, LearnerCounters, ModelConfig, StepTrace};
+use chameleon_core::{
+    Chameleon, ChameleonConfig, LearnerCounters, ModelConfig, Precision, StepTrace,
+};
 use chameleon_faults::FaultPlan;
 use chameleon_replay::{crc32, AccessStats};
 use chameleon_stream::{DomainIlScenario, PreferenceProfile, StreamConfig};
@@ -32,6 +34,13 @@ use crate::session::{SessionId, SessionSpec, UserSession};
 
 /// Magic bytes identifying a fleet session checkpoint (format version 1).
 pub const FLEET_MAGIC: &[u8; 8] = b"CHAMFLT1";
+
+/// Magic bytes for version 2, written only when the session's learner uses
+/// a quantized latent precision. The payload layout is identical to v1 —
+/// the spec's quarantine word carries the precision tag in its second byte
+/// — so a v1 reader never sees a v2 record it would misparse, and an F32
+/// session still serializes byte-identically to the v1 format.
+pub const FLEET_MAGIC_V2: &[u8; 8] = b"CHAMFLT2";
 
 /// A serialized-session bundle: learner blob + replay-buffer integrity
 /// metadata + stream progress. See the module docs for the exact contract.
@@ -125,8 +134,13 @@ impl SessionCheckpoint {
         p.extend_from_slice(&self.learner_blob);
         encode_counters(&mut p, &self.counters);
 
+        let magic = if self.spec.learner.precision == Precision::F32 {
+            FLEET_MAGIC
+        } else {
+            FLEET_MAGIC_V2
+        };
         let mut blob = Vec::with_capacity(p.len() + 12);
-        blob.extend_from_slice(FLEET_MAGIC);
+        blob.extend_from_slice(magic);
         blob.extend_from_slice(&p);
         blob.extend_from_slice(&crc32(&p).to_le_bytes());
         blob
@@ -142,7 +156,8 @@ impl SessionCheckpoint {
         if blob.len() < FLEET_MAGIC.len() + 4 {
             return Err(LoadCheckpointError::Truncated);
         }
-        if &blob[..FLEET_MAGIC.len()] != FLEET_MAGIC {
+        let magic = &blob[..FLEET_MAGIC.len()];
+        if magic != FLEET_MAGIC && magic != FLEET_MAGIC_V2 {
             return Err(LoadCheckpointError::BadMagic);
         }
         let payload = &blob[FLEET_MAGIC.len()..blob.len() - 4];
@@ -271,7 +286,13 @@ fn encode_spec(p: &mut Vec<u8>, spec: &SessionSpec) {
     put_f32(p, l.rho);
     put_f32(p, l.alpha);
     put_f32(p, l.beta);
-    put_u32(p, u32::from(l.quarantine));
+    // Bit 0: quarantine flag (the full width of this word in format v1).
+    // Bits 8..16: the latent-codec precision tag. F32's tag is zero, so an
+    // unquantized spec encodes byte-identically to the v1 layout.
+    put_u32(
+        p,
+        u32::from(l.quarantine) | (u32::from(l.precision.tag()) << 8),
+    );
     put_f32(p, l.rebuild_integrity_floor);
 
     put_u32(p, spec.stream.batch_size as u32);
@@ -295,18 +316,36 @@ fn encode_spec(p: &mut Vec<u8>, spec: &SessionSpec) {
 }
 
 fn decode_spec(r: &mut Reader<'_>) -> Result<SessionSpec, LoadCheckpointError> {
+    let short_term_capacity = r.u32()? as usize;
+    let long_term_capacity = r.u32()? as usize;
+    let long_term_period = r.u32()? as usize;
+    let long_term_batch = r.u32()? as usize;
+    let top_k = r.u32()? as usize;
+    let learning_window = r.u32()? as usize;
+    let rho = r.f32()?;
+    let alpha = r.f32()?;
+    let beta = r.f32()?;
+    let qp = r.u32()?;
+    // Reject any bits outside the defined quarantine flag (bit 0) and
+    // precision tag (bits 8..16): they belong to a future format revision.
+    if qp & !0x0000_FF01 != 0 {
+        return Err(LoadCheckpointError::UnsupportedVersion);
+    }
+    let precision = Precision::from_tag(((qp >> 8) & 0xFF) as u8)
+        .ok_or(LoadCheckpointError::UnsupportedVersion)?;
     let learner = ChameleonConfig {
-        short_term_capacity: r.u32()? as usize,
-        long_term_capacity: r.u32()? as usize,
-        long_term_period: r.u32()? as usize,
-        long_term_batch: r.u32()? as usize,
-        top_k: r.u32()? as usize,
-        learning_window: r.u32()? as usize,
-        rho: r.f32()?,
-        alpha: r.f32()?,
-        beta: r.f32()?,
-        quarantine: r.u32()? != 0,
+        short_term_capacity,
+        long_term_capacity,
+        long_term_period,
+        long_term_batch,
+        top_k,
+        learning_window,
+        rho,
+        alpha,
+        beta,
+        quarantine: qp & 1 != 0,
         rebuild_integrity_floor: r.f32()?,
+        precision,
     };
     let batch_size = r.u32()? as usize;
     let run_length = r.u32()? as usize;
@@ -492,6 +531,78 @@ mod tests {
                 "truncation at {keep} accepted"
             );
         }
+    }
+
+    fn quantized_session(
+        stream_seed: u64,
+        precision: Precision,
+    ) -> (Arc<DomainIlScenario>, UserSession) {
+        let scenario = Arc::new(DomainIlScenario::generate(
+            &DatasetSpec::core50_tiny(),
+            0xDA7A,
+        ));
+        let spec = SessionSpec {
+            learner: ChameleonConfig {
+                long_term_capacity: 30,
+                precision,
+                ..ChameleonConfig::default()
+            },
+            stream: StreamConfig::default(),
+            learner_seed: 5,
+            stream_seed,
+        };
+        let session = UserSession::new(9, spec, Arc::clone(&scenario), None);
+        (scenario, session)
+    }
+
+    #[test]
+    fn f32_spec_encodes_byte_identically_to_v1() {
+        // The precision tag lives in previously-always-zero bits of the
+        // quarantine word, so an unquantized spec's wire bytes must not
+        // change — this pins wire/golden compatibility.
+        let (_, session) = tiny_session(2);
+        let blob = SessionCheckpoint::capture(&session).to_bytes();
+        assert_eq!(&blob[..8], FLEET_MAGIC);
+        let spec_bytes = session.spec().to_bytes();
+        let (back, used) = SessionSpec::decode_prefix(&spec_bytes).expect("decode");
+        assert_eq!(used, spec_bytes.len());
+        assert_eq!(&back, session.spec());
+        assert_eq!(back.learner.precision, Precision::F32);
+    }
+
+    #[test]
+    fn quantized_checkpoint_uses_v2_magic_and_roundtrips() {
+        for precision in [Precision::F16, Precision::Int8] {
+            let (scenario, mut session) = quantized_session(3, precision);
+            session.step_batches(17);
+            let ck = SessionCheckpoint::capture(&session);
+            let blob = ck.to_bytes();
+            assert_eq!(&blob[..8], FLEET_MAGIC_V2, "{precision}");
+            let back = SessionCheckpoint::from_bytes(&blob).expect("roundtrip");
+            assert_eq!(back, ck);
+            assert_eq!(back.spec.learner.precision, precision);
+            // Restore rebuilds a learner whose re-capture is byte-stable.
+            let restored = back.restore(scenario, None).expect("restore");
+            assert_eq!(SessionCheckpoint::capture(&restored).to_bytes(), blob);
+        }
+    }
+
+    #[test]
+    fn unknown_precision_tag_is_rejected() {
+        let (_, mut session) = tiny_session(1);
+        session.step_batches(2);
+        let ck = SessionCheckpoint::capture(&session);
+        let mut spec_bytes = ck.spec.to_bytes();
+        // The quarantine/precision word sits after 6 u32s + 3 f32s.
+        let off = 9 * 4 + 1;
+        spec_bytes[off] = 0x7F; // precision tag 0x7F: undefined
+        let err = SessionSpec::decode_prefix(&spec_bytes).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::UnsupportedVersion));
+        // High bits beyond the tag are reserved too.
+        spec_bytes[off] = 0;
+        spec_bytes[off + 1] = 0x01;
+        let err = SessionSpec::decode_prefix(&spec_bytes).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::UnsupportedVersion));
     }
 
     #[test]

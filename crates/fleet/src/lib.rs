@@ -76,7 +76,7 @@ mod session;
 mod shard;
 mod sim;
 
-pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC};
+pub use checkpoint::{SessionCheckpoint, FLEET_MAGIC, FLEET_MAGIC_V2};
 pub use engine::{
     Backpressure, FleetConfig, FleetEngine, FleetError, RecoveryReport, MIGRATION_CORRELATION,
 };

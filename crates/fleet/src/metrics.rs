@@ -31,6 +31,11 @@ pub struct ShardMetrics {
     pub queue_depth: usize,
     /// Resident session footprint currently accounted, in bytes.
     pub resident_bytes: u64,
+    /// Bytes the latent codec saves across *resident* sessions versus the
+    /// nominal (unquantized) pricing — zero unless sessions run a
+    /// quantized `Precision`. Sampled at snapshot time; cold sessions are
+    /// not included (their footprint is not resident either).
+    pub codec_bytes_saved: u64,
     /// The shard's session-memory budget, in bytes.
     pub budget_bytes: u64,
     /// Wall time spent stepping learners, in nanoseconds.
@@ -99,6 +104,11 @@ impl FleetMetrics {
     /// Requests in flight fleet-wide at snapshot time.
     pub fn queue_depth(&self) -> usize {
         self.per_shard.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Bytes saved by the latent codec across all resident sessions.
+    pub fn codec_bytes_saved(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.codec_bytes_saved).sum()
     }
 
     /// Nanoseconds spent stepping learners, summed across shards. By

@@ -152,6 +152,19 @@ impl UserSession {
         (self.learner.memory_overhead_mb() * 1024.0 * 1024.0).ceil() as u64
     }
 
+    /// Bytes the latent codec saves for this session versus the nominal
+    /// (unquantized) pricing of the same stores — zero for `F32`/`F16`
+    /// sessions, roughly half the nominal footprint for `Int8`.
+    pub fn codec_bytes_saved(&self) -> u64 {
+        let nominal = (self
+            .learner
+            .memory_overhead_mb_at(chameleon_core::Precision::F32)
+            * 1024.0
+            * 1024.0)
+            .ceil() as u64;
+        nominal.saturating_sub(self.resident_bytes())
+    }
+
     /// Advances the session by at most one stream batch, mirroring the
     /// sequential trainer loop (begin/end-domain hooks, per-domain stream
     /// seeds, fault ordering). Returns `false` once the stream is

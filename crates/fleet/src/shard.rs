@@ -618,6 +618,11 @@ impl ShardWorker {
         m.sessions_resident = self.resident.len();
         m.sessions_cold = self.cold.len();
         m.resident_bytes = self.resident_bytes;
+        m.codec_bytes_saved = self
+            .resident
+            .values()
+            .map(|r| r.session.codec_bytes_saved())
+            .sum();
         m.trace = chameleon_core::StepTrace::new();
         for resident in self.resident.values() {
             m.trace.merge(&resident.session.trace());
@@ -890,6 +895,82 @@ mod tests {
             }
         }
         assert!(worker.metrics.evictions > 0, "budget pressure must churn");
+    }
+
+    #[test]
+    fn quantized_sessions_reprice_and_reconcile_accounting() {
+        use chameleon_core::Precision;
+        // Satellite invariant for the latent codec: int8 sessions must
+        // reprice resident_bytes (half the nominal footprint), the shard
+        // gauge must reconcile through evict/restore/export/import churn
+        // with mixed precisions, and codec_bytes_saved must account the
+        // exact delta versus nominal pricing.
+        fn spec_at(stream_seed: u64, precision: Precision) -> SessionSpec {
+            SessionSpec {
+                learner: ChameleonConfig {
+                    long_term_capacity: 30,
+                    precision,
+                    ..ChameleonConfig::default()
+                },
+                stream: StreamConfig::default(),
+                learner_seed: 5,
+                stream_seed,
+            }
+        }
+        fn assert_reconciled(worker: &ShardWorker, at: &str) {
+            let expected: u64 = worker
+                .resident
+                .values()
+                .map(|r| r.session.resident_bytes())
+                .sum();
+            assert_eq!(
+                worker.resident_bytes, expected,
+                "resident_bytes drifted after {at}"
+            );
+            let saved: u64 = worker
+                .resident
+                .values()
+                .map(|r| r.session.codec_bytes_saved())
+                .sum();
+            assert_eq!(worker.snapshot().codec_bytes_saved, saved);
+        }
+
+        let (mut worker, rx) = tiny_worker(u64::MAX);
+        let precisions = [Precision::Int8, Precision::F32, Precision::Int8];
+        for (id, &p) in precisions.iter().enumerate() {
+            worker.handle_create(id as u64, spec_at(id as u64, p), 0);
+            assert_reconciled(&worker, "create");
+        }
+        // An int8 session must be priced strictly below its f32 twin, and
+        // its savings gauge must equal the difference exactly.
+        let int8 = &worker.resident[&0].session;
+        let f32s = &worker.resident[&1].session;
+        assert!(int8.resident_bytes() * 2 <= f32s.resident_bytes() + 1024 * 1024);
+        assert!(int8.resident_bytes() < f32s.resident_bytes());
+        assert_eq!(
+            int8.codec_bytes_saved(),
+            f32s.resident_bytes() - int8.resident_bytes()
+        );
+        assert_eq!(f32s.codec_bytes_saved(), 0);
+
+        for id in 0..3u64 {
+            worker.handle_command(id, SessionCommand::Step { batches: 5 }, 0);
+            assert_reconciled(&worker, "step");
+        }
+        worker.handle_command(0, SessionCommand::Evict, 0);
+        assert_reconciled(&worker, "evict of an int8 session");
+        worker.handle_command(0, SessionCommand::Step { batches: 3 }, 0);
+        assert_reconciled(&worker, "restore of an int8 session");
+        worker.handle_command(0, SessionCommand::Export, 0);
+        let blob = match rx.try_iter().last().expect("events").kind {
+            SessionEventKind::Exported(blob) => blob,
+            other => panic!("expected export, got {other:?}"),
+        };
+        assert_eq!(&blob[..8], crate::FLEET_MAGIC_V2);
+        worker.handle_import(0, &blob, 0);
+        assert_reconciled(&worker, "import of an int8 session");
+        worker.handle_command(0, SessionCommand::Step { batches: 2 }, 0);
+        assert_reconciled(&worker, "first touch after import");
     }
 
     #[test]

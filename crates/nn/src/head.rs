@@ -2,7 +2,7 @@
 
 use chameleon_tensor::{Matrix, Prng};
 
-use crate::{Linear, Sgd};
+use crate::{Kernel, Linear, Sgd};
 
 /// The trainable head `g_φ` mapping latent activations to class logits —
 /// the only part of the network that learns online, exactly as in the paper
@@ -28,6 +28,10 @@ use crate::{Linear, Sgd};
 #[derive(Clone, Debug, PartialEq)]
 pub struct MlpHead {
     layers: Vec<Linear>,
+    /// Hot-path implementation for forward matmuls. Not a learnable
+    /// quantity — it changes rounding order, so it is part of a run's
+    /// determinism configuration, selected once from the precision knob.
+    kernel: Kernel,
 }
 
 /// Cached activations from a forward pass, needed for the backward pass.
@@ -113,7 +117,22 @@ impl MlpHead {
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        Self { layers }
+        Self {
+            layers,
+            kernel: Kernel::Scalar,
+        }
+    }
+
+    /// The kernel path this head's forward passes run through.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Selects the kernel path (see [`Kernel`] for the determinism
+    /// contract). Does not affect parameters or gradients' layout, only
+    /// the reduction order of forward matmuls.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Input (latent) dimension.
@@ -155,7 +174,7 @@ impl MlpHead {
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             inputs.push(cur.clone());
-            let y = layer.forward(&cur);
+            let y = layer.forward_with(&cur, self.kernel);
             pre.push(y.clone());
             if i + 1 < self.layers.len() {
                 // ReLU between layers.

@@ -1,0 +1,31 @@
+//! Kernel-path selection for the trainable head's hot loops.
+
+use chameleon_tensor::{kernels, ops};
+
+/// Which implementation the head's matmul/softmax hot paths use.
+///
+/// `Scalar` is the legacy sequential-reduction path and stays the
+/// default: its rounding order is baked into every golden checkpoint
+/// and determinism contract at `f32` precision. `Chunked` selects the
+/// autovectorizable kernels in [`chameleon_tensor::kernels`] and rides
+/// along with the quantized latent codec (`Precision::F16`/`Int8`),
+/// where both sides of every replay-determinism comparison run the same
+/// kernel so the reassociated rounding cancels out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Sequential scalar reductions — bit-compatible with pre-codec runs.
+    #[default]
+    Scalar,
+    /// Chunked multi-accumulator reductions (SIMD-friendly).
+    Chunked,
+}
+
+impl Kernel {
+    /// Numerically stable softmax through the selected kernel.
+    pub fn softmax(self, logits: &[f32]) -> Vec<f32> {
+        match self {
+            Kernel::Scalar => ops::softmax(logits),
+            Kernel::Chunked => kernels::softmax_chunked(logits),
+        }
+    }
+}

@@ -40,6 +40,7 @@
 mod extractor;
 mod fisher;
 mod head;
+mod kernel;
 mod linear;
 pub mod loss;
 mod sgd;
@@ -47,5 +48,6 @@ mod sgd;
 pub use extractor::FrozenExtractor;
 pub use fisher::FisherDiagonal;
 pub use head::{Forward, Gradients, MlpHead};
+pub use kernel::Kernel;
 pub use linear::Linear;
 pub use sgd::Sgd;

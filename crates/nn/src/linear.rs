@@ -67,7 +67,20 @@ impl Linear {
     ///
     /// Panics if `x.cols() != self.in_features()`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul_nt(&self.weight);
+        self.forward_with(x, crate::Kernel::Scalar)
+    }
+
+    /// Forward pass through an explicit kernel path (see
+    /// [`Kernel`](crate::Kernel) for when the chunked path is legal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_features()`.
+    pub fn forward_with(&self, x: &Matrix, kernel: crate::Kernel) -> Matrix {
+        let mut y = match kernel {
+            crate::Kernel::Scalar => x.matmul_nt(&self.weight),
+            crate::Kernel::Chunked => chameleon_tensor::kernels::matmul_nt_chunked(x, &self.weight),
+        };
         y.add_row_broadcast(&self.bias);
         y
     }

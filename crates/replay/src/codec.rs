@@ -1,0 +1,489 @@
+//! Bit-packed latent codec: per-tensor affine int8 and fp16 encodings.
+//!
+//! Replay latents dominate `session_bytes` in the fleet (the eviction
+//! cost in `results/fleet_throughput.json`), and the TinyML latent-replay
+//! literature shows they tolerate aggressive quantization. This module
+//! packs a latent vector into a self-describing blob:
+//!
+//! ```text
+//! [tag: u8] [count: u32 LE] [int8 only: scale f32 LE, min f32 LE] payload
+//! ```
+//!
+//! * tag 0 (`f32`)  — payload is `count` f32 LE words (lossless),
+//! * tag 1 (`f16`)  — payload is `count` IEEE 754 binary16 LE halfwords,
+//! * tag 2 (`int8`) — payload is `count` bytes; value `q` decodes to
+//!   `min + q * scale` with `scale = (max - min) / 255` computed per
+//!   tensor at encode time (per-tensor affine quantization).
+//!
+//! The codec itself carries **no checksum**: every packed blob in this
+//! codebase travels inside an envelope that already seals it (the
+//! `StoredSample` content CRC, the `CHAMLN03` checkpoint footer, the
+//! `CHAMSEG1` record CRC), so corruption detection is the envelope's
+//! job. What the codec guarantees is that *decoding never panics*:
+//! truncated, oversized, or garbage input yields a typed [`CodecError`],
+//! and an oversized count is rejected before any allocation.
+//!
+//! Determinism contract: `decode(encode(x))` is a pure function of the
+//! packed bytes — two decodes of the same blob are bit-identical, which
+//! is what lets quantized samples keep the insertion-time CRC across
+//! checkpoint round-trips (the packed bytes are the durable truth; the
+//! f32 features are a dequantized read-through cache).
+
+use std::fmt;
+
+/// Storage precision for replay latents — the knob that flows from
+/// `ChameleonConfig` through the fleet, serve, and the CLI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Lossless f32 storage — the legacy format; byte-identical to the
+    /// pre-codec encoding everywhere (checkpoints, wire, store).
+    #[default]
+    F32,
+    /// IEEE 754 binary16 storage: 2 bytes/element, ~3 decimal digits.
+    F16,
+    /// Per-tensor affine int8: 1 byte/element plus an 8-byte header.
+    Int8,
+}
+
+impl Precision {
+    /// Wire/checkpoint tag for this precision (also the codec blob tag).
+    pub fn tag(self) -> u8 {
+        match self {
+            Precision::F32 => 0,
+            Precision::F16 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Precision::F32),
+            1 => Some(Precision::F16),
+            2 => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Bytes per stored element (excluding the per-tensor header).
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Per-tensor header bytes beyond the common `tag + count` prefix.
+    pub fn header_bytes(self) -> usize {
+        match self {
+            Precision::F32 | Precision::F16 => 0,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// Serialized size of a packed `count`-element latent.
+    pub fn packed_len(self, count: usize) -> usize {
+        5 + self.header_bytes() + count * self.bytes_per_element()
+    }
+
+    /// Canonical lowercase name (`f32` / `f16` / `int8`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses a CLI spelling; accepts the aliases `fp16` and `i8`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "f32" | "fp32" => Ok(Precision::F32),
+            "f16" | "fp16" => Ok(Precision::F16),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!(
+                "unknown precision {other:?} (expected f32, f16, or int8)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Largest element count a packed blob may declare. Checked before any
+/// allocation so a corrupted count cannot balloon memory.
+pub const MAX_PACKED_ELEMS: usize = 1 << 20;
+
+/// Typed decode failure — decoding never panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob ends before the declared payload does.
+    Truncated {
+        /// Bytes the declared layout requires.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The leading tag byte names no known precision.
+    BadTag(u8),
+    /// The declared element count exceeds [`MAX_PACKED_ELEMS`].
+    Oversized(usize),
+    /// Bytes remain after the declared payload.
+    Trailing(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "packed latent truncated: need {needed} bytes, have {have}"
+                )
+            }
+            CodecError::BadTag(tag) => write!(f, "unknown precision tag {tag}"),
+            CodecError::Oversized(count) => write!(
+                f,
+                "declared element count {count} exceeds the {MAX_PACKED_ELEMS} cap"
+            ),
+            CodecError::Trailing(extra) => {
+                write!(f, "{extra} trailing bytes after the packed payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Converts an f32 to IEEE 754 binary16 bits, rounding to nearest even.
+/// Infinities and NaNs are preserved (NaN payload truncated, quiet bit
+/// forced); values beyond the f16 range overflow to infinity.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf stays inf; NaN keeps its top payload bits with the quiet
+        // bit forced so the result is still a NaN after truncation.
+        let payload = if mant != 0 {
+            0x0200 | ((mant >> 13) as u16 & 0x03FF)
+        } else {
+            0
+        };
+        return sign | 0x7C00 | payload;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        // A mantissa carry propagates into the exponent arithmetically
+        // (1.111.. rounds up to the next power of two), and a carry out
+        // of the top exponent value lands exactly on the inf encoding.
+        let rem = mant & 0x1FFF;
+        let mut half = (((unbiased + 15) as u32) << 10) | (mant >> 13);
+        if rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1) {
+            half += 1;
+        }
+        return sign | half as u16;
+    }
+    if unbiased < -25 {
+        return sign; // underflows even the smallest subnormal → ±0
+    }
+    // Subnormal half: value = q * 2^-24 with q = round(mant_full * 2^(unbiased+1)).
+    let mant_full = mant | 0x0080_0000;
+    let shift = (-unbiased - 1) as u32; // 14..=24
+    let halfway = 1u32 << (shift - 1);
+    let rem = mant_full & ((1u32 << shift) - 1);
+    let mut q = mant_full >> shift;
+    if rem > halfway || (rem == halfway && (q & 1) == 1) {
+        q += 1;
+    }
+    sign | q as u16
+}
+
+/// Converts IEEE 754 binary16 bits back to f32 (exact — every f16 value
+/// is representable in f32).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = u32::from(bits >> 10) & 0x1F;
+    let mant = u32::from(bits & 0x03FF);
+    let out = if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp != 0 {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    } else if mant != 0 {
+        // Subnormal half: normalize into an f32 exponent.
+        let mut e = 113u32;
+        let mut m = mant;
+        while m & 0x0400 == 0 {
+            m <<= 1;
+            e -= 1;
+        }
+        sign | (e << 23) | ((m & 0x03FF) << 13)
+    } else {
+        sign // ±0
+    };
+    f32::from_bits(out)
+}
+
+/// Per-tensor affine parameters for int8: `(scale, min)` such that code
+/// `q` decodes to `min + q * scale`. The range is computed in f64 so an
+/// extreme `max - min` cannot overflow; non-finite inputs are ignored
+/// when ranging (they clamp to the nearest grid edge at encode time).
+fn int8_params(values: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (1.0, 0.0);
+    }
+    if hi > lo {
+        (((f64::from(hi) - f64::from(lo)) / 255.0) as f32, lo)
+    } else {
+        (1.0, lo)
+    }
+}
+
+/// Packs `values` at `precision` into a self-describing blob.
+pub fn encode_latent(precision: Precision, values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(precision.packed_len(values.len()));
+    out.push(precision.tag());
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    match precision {
+        Precision::F32 => {
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Precision::F16 => {
+            for &v in values {
+                out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+            }
+        }
+        Precision::Int8 => {
+            let (scale, min) = int8_params(values);
+            out.extend_from_slice(&scale.to_le_bytes());
+            out.extend_from_slice(&min.to_le_bytes());
+            let inv = 1.0 / f64::from(scale);
+            for &v in values {
+                // f64 staging keeps the rounding exact for every finite
+                // input; NaN falls through `clamp` and saturates to 0
+                // via the `as` cast — never a panic.
+                let q = ((f64::from(v) - f64::from(min)) * inv)
+                    .round()
+                    .clamp(0.0, 255.0);
+                out.push(q as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a packed blob, appending the values to `out` (the fused
+/// dequantize-on-read path: callers decoding replay batches reuse one
+/// buffer instead of allocating per sample). Returns the precision the
+/// blob was packed at. `out` is untouched on error.
+pub fn decode_latent_into(blob: &[u8], out: &mut Vec<f32>) -> Result<Precision, CodecError> {
+    if blob.len() < 5 {
+        return Err(CodecError::Truncated {
+            needed: 5,
+            have: blob.len(),
+        });
+    }
+    let precision = Precision::from_tag(blob[0]).ok_or(CodecError::BadTag(blob[0]))?;
+    let count = u32::from_le_bytes([blob[1], blob[2], blob[3], blob[4]]) as usize;
+    if count > MAX_PACKED_ELEMS {
+        return Err(CodecError::Oversized(count));
+    }
+    let needed = precision.packed_len(count);
+    if blob.len() < needed {
+        return Err(CodecError::Truncated {
+            needed,
+            have: blob.len(),
+        });
+    }
+    if blob.len() > needed {
+        return Err(CodecError::Trailing(blob.len() - needed));
+    }
+    let payload = &blob[5 + precision.header_bytes()..];
+    out.reserve(count);
+    match precision {
+        Precision::F32 => {
+            for chunk in payload.chunks_exact(4) {
+                out.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+        }
+        Precision::F16 => {
+            for chunk in payload.chunks_exact(2) {
+                out.push(f16_bits_to_f32(u16::from_le_bytes([chunk[0], chunk[1]])));
+            }
+        }
+        Precision::Int8 => {
+            let scale = f32::from_le_bytes([blob[5], blob[6], blob[7], blob[8]]);
+            let min = f32::from_le_bytes([blob[9], blob[10], blob[11], blob[12]]);
+            for &q in payload {
+                out.push(min + f32::from(q) * scale);
+            }
+        }
+    }
+    Ok(precision)
+}
+
+/// Decodes a packed blob into a fresh vector.
+pub fn decode_latent(blob: &[u8]) -> Result<(Precision, Vec<f32>), CodecError> {
+    let mut out = Vec::new();
+    let precision = decode_latent_into(blob, &mut out)?;
+    Ok((precision, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_is_bitexact() {
+        let values = vec![0.0, -1.5, 3.25e-12, f32::MAX, -0.0];
+        let blob = encode_latent(Precision::F32, &values);
+        let (p, decoded) = decode_latent(&blob).expect("decode");
+        assert_eq!(p, Precision::F32);
+        assert_eq!(
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            decoded.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f16_roundtrip_matches_half_precision() {
+        for v in [0.0f32, 1.0, -2.5, 65504.0, 6.1e-5, 5.96e-8, 1.0e-8] {
+            let blob = encode_latent(Precision::F16, &[v]);
+            let (_, decoded) = decode_latent(&blob).expect("decode");
+            let rt = decoded[0];
+            if v.abs() >= 6.2e-5 {
+                // Normal range: relative error bounded by half an ulp
+                // of a 10-bit mantissa.
+                assert!(
+                    ((rt - v) / v).abs() <= 1.0 / 2048.0,
+                    "f16 roundtrip of {v} gave {rt}"
+                );
+            }
+            // Double roundtrip is a fixed point.
+            let blob2 = encode_latent(Precision::F16, &decoded);
+            assert_eq!(blob, blob2, "f16 grid values must re-encode identically");
+        }
+    }
+
+    #[test]
+    fn f16_preserves_specials() {
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16_bits(1.0e9), 0x7C00, "overflow goes to +inf");
+        assert_eq!(f32_to_f16_bits(-0.0).to_le_bytes(), [0x00, 0x80]);
+    }
+
+    #[test]
+    fn int8_roundtrip_within_half_step() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 5.0).collect();
+        let blob = encode_latent(Precision::Int8, &values);
+        let (_, decoded) = decode_latent(&blob).expect("decode");
+        let scale = f32::from_le_bytes([blob[5], blob[6], blob[7], blob[8]]);
+        for (v, d) in values.iter().zip(&decoded) {
+            assert!(
+                (v - d).abs() <= scale * 0.5 + scale * 1e-3,
+                "int8 roundtrip of {v} gave {d} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_constant_and_empty_tensors() {
+        let blob = encode_latent(Precision::Int8, &[3.5; 7]);
+        let (_, decoded) = decode_latent(&blob).expect("decode");
+        assert_eq!(decoded, vec![3.5; 7], "constant tensors decode exactly");
+        let empty = encode_latent(Precision::Int8, &[]);
+        assert_eq!(decode_latent(&empty).expect("decode").1, Vec::<f32>::new());
+    }
+
+    #[test]
+    fn int8_nonfinite_inputs_never_panic() {
+        let values = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0, 2.0];
+        let blob = encode_latent(Precision::Int8, &values);
+        let (_, decoded) = decode_latent(&blob).expect("decode");
+        assert_eq!(decoded.len(), values.len());
+        // Finite values still land within their half-step.
+        assert!((decoded[3] - 1.0).abs() <= 0.01);
+    }
+
+    #[test]
+    fn truncated_blobs_yield_typed_errors() {
+        let blob = encode_latent(Precision::Int8, &[1.0, 2.0, 3.0]);
+        for cut in 0..blob.len() {
+            match decode_latent(&blob[..cut]) {
+                Err(CodecError::Truncated { .. }) => {}
+                other => panic!("cut {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_are_rejected() {
+        let mut blob = encode_latent(Precision::F16, &[1.0]);
+        blob[0] = 9;
+        assert_eq!(decode_latent(&blob), Err(CodecError::BadTag(9)));
+        let mut blob = encode_latent(Precision::F32, &[1.0]);
+        blob.push(0);
+        assert_eq!(decode_latent(&blob), Err(CodecError::Trailing(1)));
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocation() {
+        let mut blob = vec![0u8]; // f32 tag
+        blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_latent(&blob),
+            Err(CodecError::Oversized(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn precision_parse_and_tags_roundtrip() {
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            assert_eq!(Precision::from_tag(p.tag()), Some(p));
+            assert_eq!(Precision::parse(p.name()), Ok(p));
+        }
+        assert_eq!(Precision::parse("fp16"), Ok(Precision::F16));
+        assert_eq!(Precision::parse("i8"), Ok(Precision::Int8));
+        assert!(Precision::parse("bf16").is_err());
+        assert_eq!(Precision::from_tag(3), None);
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn packed_len_matches_encoded_len() {
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            for n in [0, 1, 7, 64] {
+                let blob = encode_latent(p, &vec![0.25; n]);
+                assert_eq!(blob.len(), p.packed_len(n), "{p} n={n}");
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod balanced;
+pub mod codec;
 mod integrity;
 mod placement;
 mod reservoir;
@@ -47,6 +48,7 @@ mod sample;
 mod stats;
 
 pub use balanced::ClassBalancedBuffer;
+pub use codec::{decode_latent, decode_latent_into, encode_latent, CodecError, Precision};
 pub use integrity::{crc32, Crc32};
 pub use placement::StorePlacement;
 pub use reservoir::ReservoirBuffer;

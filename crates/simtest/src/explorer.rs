@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use chameleon_core::Precision;
 use chameleon_fleet::{
     FleetConfig, FleetEngine, FleetError, SessionCheckpoint, SessionCommand, SessionEvent,
     SessionEventKind, SessionId,
@@ -66,15 +67,23 @@ struct SimRun {
     /// Highest `trace.inputs` seen per session — progress counters must
     /// never regress, not even across evict/restore cycles.
     progress: HashMap<SessionId, u64>,
+    /// Latent-codec precision every session spec in this run uses.
+    precision: Precision,
 }
 
 impl SimRun {
-    fn new(scenario: Arc<DomainIlScenario>, config: FleetConfig, scheduler_seed: u64) -> Self {
+    fn new(
+        scenario: Arc<DomainIlScenario>,
+        config: FleetConfig,
+        scheduler_seed: u64,
+        precision: Precision,
+    ) -> Self {
         Self {
             engine: FleetEngine::new_sim(scenario, config, scheduler_seed),
             logs: HashMap::new(),
             all_events: Vec::new(),
             progress: HashMap::new(),
+            precision,
         }
     }
 
@@ -85,9 +94,10 @@ impl SimRun {
     fn apply(&mut self, seed: u64, op: &Op, probe: bool) -> Result<(), String> {
         let session = op.session();
         let submitted = match op {
-            Op::Create { session } => self
-                .engine
-                .create_blocking(*session, script::session_spec(seed, *session)),
+            Op::Create { session } => self.engine.create_blocking(
+                *session,
+                script::session_spec_at(seed, *session, self.precision),
+            ),
             Op::Step { session, batches } => self
                 .engine
                 .command_blocking(*session, SessionCommand::Step { batches: *batches }),
@@ -238,6 +248,23 @@ impl SimRun {
 /// A human-readable description of the first violated invariant; the
 /// seed reproduces it bit-identically.
 pub fn check_seed(scenario: &Arc<DomainIlScenario>, seed: u64) -> Result<SeedOutcome, String> {
+    check_seed_at(scenario, seed, Precision::F32)
+}
+
+/// [`check_seed`] with every session spec pinned to `precision` — the
+/// quantized soak slice. The same shard-count-invariance and
+/// replay-determinism contracts must hold when latents round-trip
+/// through the codec: quantization is deterministic, so a quantized
+/// fleet replays bit-identically too.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn check_seed_at(
+    scenario: &Arc<DomainIlScenario>,
+    seed: u64,
+    precision: Precision,
+) -> Result<SeedOutcome, String> {
     let ops = script::generate(seed);
     let faults = script::fault_plan(seed);
     let shards = 2 + (splitmix64(seed ^ 0x5A4D) % 3) as usize;
@@ -248,16 +275,18 @@ pub fn check_seed(scenario: &Arc<DomainIlScenario>, seed: u64) -> Result<SeedOut
         assignment_seed: splitmix64(seed ^ 0xA551),
         faults,
     };
-    let mut solo = SimRun::new(Arc::clone(scenario), config(1), seed);
+    let mut solo = SimRun::new(Arc::clone(scenario), config(1), seed, precision);
     let mut multi = SimRun::new(
         Arc::clone(scenario),
         config(shards),
         splitmix64(seed ^ 0xB0B),
+        precision,
     );
     let mut replay = SimRun::new(
         Arc::clone(scenario),
         config(shards),
         splitmix64(seed ^ 0xB0B),
+        precision,
     );
 
     for (index, op) in ops.iter().enumerate() {
@@ -365,6 +394,25 @@ mod tests {
             let b = check_seed(&scenario, seed).expect("invariants hold");
             assert_eq!(a, b, "outcome of seed {seed} not reproducible");
             assert_eq!(a.faulted, seed % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn quantized_seeds_replay_deterministically() {
+        // The quantized soak slice: int8 sessions must satisfy the same
+        // shard-count-invariance and replay-determinism contracts, and
+        // must actually change the observable bytes versus f32 (the
+        // checkpoints carry packed latents).
+        let scenario = scenario();
+        for seed in [0u64, 1] {
+            let a = check_seed_at(&scenario, seed, Precision::Int8).expect("invariants hold");
+            let b = check_seed_at(&scenario, seed, Precision::Int8).expect("invariants hold");
+            assert_eq!(a, b, "quantized seed {seed} not reproducible");
+            let f32_run = check_seed(&scenario, seed).expect("invariants hold");
+            assert_ne!(
+                a.checkpoint_crc, f32_run.checkpoint_crc,
+                "int8 checkpoints should differ from f32 bytes"
+            );
         }
     }
 

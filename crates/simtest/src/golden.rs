@@ -282,19 +282,22 @@ fn golden_observation() -> Observation {
 /// Derives the checkpoint family: full `CHAMFLT1` session blobs (clean
 /// and faulted) and the embedded `CHAMLN02` learner blob, from a fixed
 /// 12-batch solo session — plus the `CHAMSEG1` durable-store framing
-/// those blobs are sealed into on eviction.
+/// those blobs are sealed into on eviction, and the quantized
+/// `CHAMFLT2`/`CHAMLN03` twins of the clean session (int8 latents).
 fn derive_checkpoints() -> GoldenFile {
     let scenario = golden_scenario();
     let version = format!(
-        "{}+{}+{}",
+        "{}+{}+{}+{}+{}",
         String::from_utf8_lossy(chameleon_fleet::FLEET_MAGIC),
+        String::from_utf8_lossy(chameleon_fleet::FLEET_MAGIC_V2),
         String::from_utf8_lossy(chameleon_core::checkpoint::MAGIC),
+        String::from_utf8_lossy(chameleon_core::checkpoint::MAGIC_V3),
         String::from_utf8_lossy(chameleon_store::SEGMENT_MAGIC),
     );
-    let blob_after = |faults: Option<FaultPlan>| {
+    let blob_after = |faults: Option<FaultPlan>, precision: chameleon_core::Precision| {
         let mut session = UserSession::new(
             1,
-            script::session_spec(GOLDEN_SPEC_SEED, 1),
+            script::session_spec_at(GOLDEN_SPEC_SEED, 1, precision),
             Arc::clone(&scenario),
             faults.as_ref(),
         );
@@ -303,8 +306,12 @@ fn derive_checkpoints() -> GoldenFile {
         }
         SessionCheckpoint::capture(&session)
     };
-    let clean = blob_after(None);
-    let faulted = blob_after(Some(FaultPlan::bit_flips(0xBAD, 1e-4)));
+    let clean = blob_after(None, chameleon_core::Precision::F32);
+    let faulted = blob_after(
+        Some(FaultPlan::bit_flips(0xBAD, 1e-4)),
+        chameleon_core::Precision::F32,
+    );
+    let int8 = blob_after(None, chameleon_core::Precision::Int8);
     GoldenFile {
         file: GOLDEN_FILE_NAMES[1],
         version,
@@ -323,6 +330,12 @@ fn derive_checkpoints() -> GoldenFile {
             (
                 "chamseg1_record_empty".to_string(),
                 hex(&chameleon_store::encode_record(7, 3, &[])),
+            ),
+            ("chamflt2_int8".to_string(), hex(&int8.to_bytes())),
+            ("chamln03_int8".to_string(), hex(&int8.learner_blob)),
+            (
+                "chamseg1_record_int8".to_string(),
+                hex(&chameleon_store::encode_record(1, 0, &int8.to_bytes())),
             ),
         ],
     }

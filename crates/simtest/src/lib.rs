@@ -49,7 +49,7 @@ pub mod soak;
 pub use balance::{check_balance_seed, migration_plan, BalanceSeedOutcome};
 pub use crash::{check_crash_seed, CrashOutcome};
 pub use digest::{digest_events, digest_spans, encode_event, ShardScope};
-pub use explorer::{check_seed, SeedOutcome};
+pub use explorer::{check_seed, check_seed_at, SeedOutcome};
 pub use golden::{
     derive_corpus, diff, golden_scenario, parse, render, GoldenFile, GOLDEN_FILE_NAMES,
 };

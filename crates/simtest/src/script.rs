@@ -8,7 +8,7 @@
 //! the engine's own seeded scheduler, so one `(script seed, scheduler
 //! seed)` pair pins a complete run.
 
-use chameleon_core::ChameleonConfig;
+use chameleon_core::{ChameleonConfig, Precision};
 use chameleon_faults::FaultPlan;
 use chameleon_fleet::{SessionId, SessionSpec};
 use chameleon_runtime::{splitmix64, SimRng};
@@ -143,11 +143,20 @@ pub fn file_fault_plan(seed: u64) -> Option<FaultPlan> {
 /// the CLI's per-user specs (rotating 3-class skew, derived seeds), so
 /// simulation findings transfer to the served fleet.
 pub fn session_spec(seed: u64, session: SessionId) -> SessionSpec {
+    session_spec_at(seed, session, Precision::F32)
+}
+
+/// [`session_spec`] with an explicit latent-codec precision — the
+/// quantized soak slice and golden corpus pin their specs through this,
+/// keeping every other field identical to the unquantized script so a
+/// quantized run is a precision-only ablation.
+pub fn session_spec_at(seed: u64, session: SessionId, precision: Precision) -> SessionSpec {
     let classes = DatasetSpec::core50_tiny().num_classes;
     let base = (session as usize * 3) % classes;
     SessionSpec {
         learner: ChameleonConfig {
             long_term_capacity: 30,
+            precision,
             ..ChameleonConfig::default()
         },
         stream: StreamConfig {

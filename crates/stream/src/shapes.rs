@@ -61,6 +61,21 @@ impl NominalShapes {
         (n * self.latent_bytes) as f64 / MB
     }
 
+    /// Elements in one nominal latent map (4·4·1024). The nominal
+    /// [`Self::latent_bytes`] prices these at fp16 — the paper's own
+    /// storage assumption — so codec repricing derives from the element
+    /// count, not the fp16 byte count.
+    pub fn latent_elems(&self) -> usize {
+        self.latent_bytes / 2
+    }
+
+    /// Memory overhead in MB of `n` latents packed at `bytes_per_element`
+    /// with a `header_bytes` per-tensor quantization header — the
+    /// accounting hook for the latent codec in `chameleon-replay`.
+    pub fn latent_packed_mb(&self, n: usize, bytes_per_element: usize, header_bytes: usize) -> f64 {
+        (n * (self.latent_elems() * bytes_per_element + header_bytes)) as f64 / MB
+    }
+
     /// Memory overhead in MB of `n` samples stored as raw + logits (DER).
     pub fn raw_with_logits_mb(&self, n: usize) -> f64 {
         (n * (self.raw_bytes + self.logit_bytes)) as f64 / MB
@@ -129,6 +144,19 @@ mod tests {
             "{}",
             s.model_copy_mb(1)
         );
+    }
+
+    #[test]
+    fn packed_latents_reprice_by_element_count() {
+        let s = NominalShapes::for_classes(50);
+        // fp16 packing reproduces the nominal pricing exactly.
+        assert_eq!(s.latent_packed_mb(100, 2, 0), s.latent_mb(100));
+        // int8 + 8-byte affine header: half the fp16 nominal, one quarter
+        // of an f32 latent store.
+        let int8 = s.latent_packed_mb(100, 1, 8);
+        assert!((int8 / s.latent_mb(100) - 0.5).abs() < 0.01, "{int8}");
+        let f32_store = s.latent_packed_mb(100, 4, 0);
+        assert!((f32_store / int8 - 4.0).abs() < 0.01, "{f32_store} {int8}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod linalg;
 mod matrix;
 pub mod ops;

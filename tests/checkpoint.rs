@@ -3,12 +3,19 @@
 //! original.
 
 use chameleon_repro::core::checkpoint::LoadCheckpointError;
-use chameleon_repro::core::{Chameleon, ChameleonConfig, EvalReport, ModelConfig, Strategy};
+use chameleon_repro::core::{
+    Chameleon, ChameleonConfig, EvalReport, ModelConfig, Precision, Strategy,
+};
 use chameleon_repro::stream::{DatasetSpec, DomainIlScenario, StreamConfig};
 
-fn trained_learner(scenario: &DomainIlScenario, model: &ModelConfig) -> Chameleon {
+fn trained_learner_at(
+    scenario: &DomainIlScenario,
+    model: &ModelConfig,
+    precision: Precision,
+) -> Chameleon {
     let config = ChameleonConfig {
         long_term_capacity: 40,
+        precision,
         ..ChameleonConfig::default()
     };
     let mut learner = Chameleon::new(model, config, 5);
@@ -19,6 +26,10 @@ fn trained_learner(scenario: &DomainIlScenario, model: &ModelConfig) -> Chameleo
         }
     }
     learner
+}
+
+fn trained_learner(scenario: &DomainIlScenario, model: &ModelConfig) -> Chameleon {
+    trained_learner_at(scenario, model, Precision::F32)
 }
 
 #[test]
@@ -83,6 +94,89 @@ fn restored_learner_continues_training() {
         "resumed training collapsed: {}",
         report.acc_all
     );
+}
+
+#[test]
+fn quantized_checkpoint_roundtrips_bit_stable() {
+    // The v3 record (`CHAMLN03`): a quantized learner serializes its
+    // packed latent blobs verbatim, so save → load → save is a byte-level
+    // fixed point and the restored head predicts identically.
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 35);
+    let model = ModelConfig::for_spec(&spec);
+    let config = ChameleonConfig {
+        long_term_capacity: 40,
+        precision: Precision::Int8,
+        ..ChameleonConfig::default()
+    };
+    let learner = trained_learner_at(&scenario, &model, Precision::Int8);
+
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+    assert_eq!(&blob[..8], b"CHAMLN03", "quantized saves use the v3 magic");
+    let restored = Chameleon::load_checkpoint(&model, config, 5, blob.as_slice()).expect("load v3");
+    let (x, _) = scenario.test_set();
+    assert_eq!(
+        learner.logits(x).as_slice(),
+        restored.logits(x).as_slice(),
+        "restored head must predict identically"
+    );
+    assert_eq!(learner.short_term_len(), restored.short_term_len());
+    assert_eq!(learner.long_term_len(), restored.long_term_len());
+    let mut again = Vec::new();
+    restored.save_checkpoint(&mut again).expect("re-save");
+    assert_eq!(blob, again, "save → load → save must be byte-stable");
+}
+
+#[test]
+fn v2_checkpoint_reads_back_into_a_quantized_config() {
+    // v2→v3 migration: a pre-codec `CHAMLN02` checkpoint loaded under
+    // `--precision int8` requantizes its replay buffers onto the int8
+    // grid and writes v3 from then on. The head itself is never
+    // quantized, so predictions are untouched.
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 30);
+    let model = ModelConfig::for_spec(&spec);
+    let learner = trained_learner(&scenario, &model);
+    let mut blob = Vec::new();
+    learner.save_checkpoint(&mut blob).expect("save");
+    assert_eq!(&blob[..8], b"CHAMLN02", "f32 saves keep the v2 magic");
+
+    let config = ChameleonConfig {
+        long_term_capacity: 40,
+        precision: Precision::Int8,
+        ..ChameleonConfig::default()
+    };
+    let migrated = Chameleon::load_checkpoint(&model, config.clone(), 5, blob.as_slice())
+        .expect("v2 blob must load under a quantized config");
+    let (x, _) = scenario.test_set();
+    // The head weights are untouched, but the quantized config runs the
+    // chunked forward kernel, so logits agree only to kernel tolerance
+    // (tests/kernel_equivalence.rs pins the ULP bound).
+    for (&a, &b) in learner
+        .logits(x)
+        .as_slice()
+        .iter()
+        .zip(migrated.logits(x).as_slice())
+    {
+        assert!(
+            (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+            "migration changed the head beyond kernel tolerance: {a} vs {b}"
+        );
+    }
+    assert_eq!(learner.short_term_len(), migrated.short_term_len());
+    assert_eq!(learner.long_term_len(), migrated.long_term_len());
+
+    // The migrated learner saves v3, and from there the roundtrip is a
+    // byte-level fixed point.
+    let mut v3 = Vec::new();
+    migrated.save_checkpoint(&mut v3).expect("save v3");
+    assert_eq!(&v3[..8], b"CHAMLN03");
+    let reloaded =
+        Chameleon::load_checkpoint(&model, config, 5, v3.as_slice()).expect("load migrated");
+    let mut again = Vec::new();
+    reloaded.save_checkpoint(&mut again).expect("re-save");
+    assert_eq!(v3, again, "post-migration saves must be byte-stable");
 }
 
 #[test]
@@ -260,4 +354,35 @@ fn bitflipped_valid_checkpoint_errors_or_roundtrips_sanely() {
             corrupted.as_slice(),
         );
     }
+}
+
+#[test]
+fn stored_precision_sniffs_the_blob_without_a_flag() {
+    // `evaluate --load` matches its loading config to the precision the
+    // blob records; this pins the sniffing helper it relies on.
+    use chameleon_repro::core::checkpoint::stored_precision;
+    let spec = DatasetSpec::core50_tiny();
+    let scenario = DomainIlScenario::generate(&spec, 35);
+    let model = ModelConfig::for_spec(&spec);
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let learner = trained_learner_at(&scenario, &model, precision);
+        let mut blob = Vec::new();
+        learner.save_checkpoint(&mut blob).expect("save");
+        assert_eq!(stored_precision(&blob).expect("sniff"), precision);
+        // The sniffed precision must actually open the blob.
+        let config = ChameleonConfig {
+            long_term_capacity: 40,
+            precision: stored_precision(&blob).expect("sniff"),
+            ..ChameleonConfig::default()
+        };
+        Chameleon::load_checkpoint(&model, config, 5, blob.as_slice()).expect("load at sniffed");
+    }
+    assert!(matches!(
+        stored_precision(b"not a checkpoint at all"),
+        Err(LoadCheckpointError::BadMagic)
+    ));
+    assert!(matches!(
+        stored_precision(b"CHAM"),
+        Err(LoadCheckpointError::Truncated)
+    ));
 }

@@ -1,0 +1,235 @@
+//! Latent-codec fuzzer: encode→decode round trips stay within each
+//! precision's documented tolerance, and corrupt, truncated, and
+//! oversized blobs produce typed [`CodecError`]s — never a panic, and
+//! never an allocation sized by a hostile count prefix.
+//!
+//! Mirrors `tests/store_fuzz.rs` for the packed-latent blob format:
+//! structured truncations and bit flips at every offset, plus the
+//! `chameleon-faults` damage model applied to encoded blobs. The codec
+//! deliberately carries no checksum of its own — every envelope that
+//! embeds a blob (`CHAMLN03`, `CHAMFLT2`, `CHAMSEG1`) seals it under a
+//! CRC32, and [`StoredSample`] keeps an insertion-time checksum — so a
+//! flipped blob may decode *successfully* to different values; what it
+//! must never do is panic or slip past the sample integrity check.
+
+use chameleon_faults::{FaultInjector, FaultPlan, FileFaultModel};
+use chameleon_replay::codec::MAX_PACKED_ELEMS;
+use chameleon_replay::{decode_latent, encode_latent, CodecError, Precision, StoredSample};
+use proptest::prelude::*;
+
+const PRECISIONS: [Precision; 3] = [Precision::F32, Precision::F16, Precision::Int8];
+
+/// Worst-case absolute round-trip error of one value for a precision,
+/// given the min/max of the encoded tensor.
+fn tolerance(precision: Precision, value: f32, min: f32, max: f32) -> f64 {
+    match precision {
+        Precision::F32 => 0.0,
+        // Round-to-nearest-even half precision: 2^-11 relative error in
+        // the normal range, 2^-25 absolute below it.
+        Precision::F16 => f64::from(value.abs()) * (1.0 / 2048.0) + 3.0e-8,
+        // Affine int8: half a quantization step, plus slack for the
+        // f32-rounded scale/min parameters.
+        Precision::Int8 => {
+            let range = f64::from(max) - f64::from(min);
+            range / 255.0 * 0.5 + range * 1e-6 + 1e-30
+        }
+    }
+}
+
+/// The tail-damage model the store's crash schedules use, aimed at
+/// encoded codec blobs instead of segment files.
+fn damage_plan(seed: u64) -> FaultPlan {
+    FaultPlan::file_faults(
+        seed,
+        FileFaultModel {
+            torn_write_prob: 0.5,
+            partial_fsync_prob: 0.0,
+            short_read_prob: 0.0,
+            bit_flip_prob: 0.8,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_stays_within_tolerance(
+        values in prop::collection::vec(-1000.0f32..1000.0, 0..128),
+        which in 0usize..3,
+    ) {
+        let precision = PRECISIONS[which];
+        let blob = encode_latent(precision, &values);
+        prop_assert_eq!(blob.len(), precision.packed_len(values.len()));
+        let (tag, decoded) = decode_latent(&blob).expect("intact blob");
+        prop_assert_eq!(tag, precision);
+        prop_assert_eq!(decoded.len(), values.len());
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for (&v, &d) in values.iter().zip(&decoded) {
+            let err = (f64::from(v) - f64::from(d)).abs();
+            prop_assert!(
+                err <= tolerance(precision, v, min, max),
+                "{precision}: {v} -> {d} (err {err:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn second_roundtrip_is_a_fixed_point(
+        values in prop::collection::vec(-50.0f32..50.0, 1..64),
+        which in 0usize..3,
+    ) {
+        // Once on the quantization grid, values stay there bit for bit:
+        // this is what lets `StoredSample` keep decoded floats in RAM
+        // while the packed blob remains the durable truth.
+        let precision = PRECISIONS[which];
+        let (_, once) = decode_latent(&encode_latent(precision, &values)).expect("decode");
+        let (_, twice) = decode_latent(&encode_latent(precision, &once)).expect("decode");
+        prop_assert_eq!(&once, &twice);
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_a_typed_error(
+        values in prop::collection::vec(-10.0f32..10.0, 0..32),
+        which in 0usize..3,
+    ) {
+        let blob = encode_latent(PRECISIONS[which], &values);
+        for cut in 0..blob.len() {
+            match decode_latent(&blob[..cut]) {
+                Err(CodecError::Truncated { .. }) => {}
+                other => prop_assert!(false, "cut {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation(
+        count in (MAX_PACKED_ELEMS as u64 + 1..=u32::MAX as u64),
+        which in 0usize..3,
+    ) {
+        // Hostile count prefix: if decode sized its output buffer from
+        // the prefix this test would OOM long before the assertion.
+        let precision = PRECISIONS[which];
+        let mut blob = vec![precision.tag()];
+        blob.extend_from_slice(&(count as u32).to_le_bytes());
+        let err = decode_latent(&blob).unwrap_err();
+        prop_assert!(matches!(err, CodecError::Oversized(_)), "{:?}", err);
+    }
+
+    #[test]
+    fn bad_tags_and_trailing_bytes_are_typed_errors(
+        tag in 3u8..=255,
+        noise in prop::collection::vec(0u8..=255, 0..32),
+    ) {
+        let mut blob = vec![tag];
+        blob.extend_from_slice(&0u32.to_le_bytes());
+        blob.extend_from_slice(&noise);
+        match decode_latent(&blob) {
+            Err(CodecError::BadTag(t)) => prop_assert_eq!(t, tag),
+            other => prop_assert!(false, "{:?}", other),
+        }
+        // A valid empty f32 blob with trailing garbage is Trailing.
+        if !noise.is_empty() {
+            let mut blob = encode_latent(Precision::F32, &[]);
+            blob.extend_from_slice(&noise);
+            match decode_latent(&blob) {
+                Err(CodecError::Trailing(n)) => prop_assert_eq!(n, noise.len()),
+                other => prop_assert!(false, "{:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_and_never_fool_integrity(
+        values in prop::collection::vec(-20.0f32..20.0, 1..48),
+        which in 0usize..3,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u64..8,
+    ) {
+        let precision = PRECISIONS[which];
+        let sample = StoredSample::latent_quantized(values, 3, precision);
+        let blob = sample.packed_for_write(precision);
+        let index = ((byte_frac * blob.len() as f64) as usize).min(blob.len() - 1);
+        let mut mutated = blob.clone();
+        mutated[index] ^= 1u8 << bit;
+        match StoredSample::from_packed_parts(mutated, 3, sample.checksum()) {
+            // The blob has no checksum of its own, so a flip may decode
+            // — but if the features moved, the insertion-time checksum
+            // the enclosing formats persist must catch it.
+            Ok(back) => {
+                if back.features != sample.features {
+                    prop_assert!(!back.integrity_ok(), "flip escaped the integrity check");
+                }
+            }
+            Err(
+                CodecError::Truncated { .. }
+                | CodecError::BadTag(_)
+                | CodecError::Oversized(_)
+                | CodecError::Trailing(_),
+            ) => {}
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(0u8..=255, 0..96),
+    ) {
+        let _ = decode_latent(&bytes);
+    }
+
+    #[test]
+    fn fault_injected_damage_never_panics(
+        seed in 0u64..10_000,
+        values in prop::collection::vec(-100.0f32..100.0, 1..48),
+        which in 0usize..3,
+    ) {
+        // The exact damage model the store's crash schedules apply to
+        // segment tails, aimed at a packed blob: torn truncation plus
+        // tail bit flips. Decode must yield a typed error or a decode
+        // the sample checksum can judge — never a panic.
+        let precision = PRECISIONS[which];
+        let blob = encode_latent(precision, &values);
+        let mut injector = FaultInjector::new(damage_plan(seed));
+        let mut damaged = blob.clone();
+        let _ = injector.crash_damage(&mut damaged);
+        if damaged == blob {
+            decode_latent(&damaged).expect("intact blob");
+        } else {
+            let _ = decode_latent(&damaged);
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep alongside the randomized cases: every
+/// truncation and every single-bit XOR of a realistic packed blob, at
+/// every precision.
+#[test]
+fn exhaustive_single_bit_damage_on_real_blobs() {
+    let values: Vec<f32> = (0..32).map(|i| (i as f32) * 0.37 - 5.0).collect();
+    for precision in PRECISIONS {
+        let sample = StoredSample::latent_quantized(values.clone(), 7, precision);
+        let blob = sample.packed_for_write(precision);
+        for cut in 0..blob.len() {
+            assert!(
+                matches!(
+                    decode_latent(&blob[..cut]),
+                    Err(CodecError::Truncated { .. })
+                ),
+                "{precision}: cut {cut}"
+            );
+        }
+        for index in 0..blob.len() {
+            for bit in 0..8u8 {
+                let mut mutated = blob.clone();
+                mutated[index] ^= 1 << bit;
+                if let Ok(back) = StoredSample::from_packed_parts(mutated, 7, sample.checksum()) {
+                    if back.features != sample.features {
+                        assert!(
+                            !back.integrity_ok(),
+                            "{precision}: index {index} bit {bit} escaped integrity"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
