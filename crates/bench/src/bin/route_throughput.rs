@@ -35,12 +35,13 @@ const CONNECTIONS: usize = 4;
 const SHARDS: usize = 2;
 /// Router-side connection workers.
 const ROUTE_WORKERS: usize = 4;
-/// Backend-side connection workers. A backend fronted by a router must
-/// budget one connection per router worker (the lazy per-worker pools)
-/// plus the prober — an undersized backend parks the surplus persistent
-/// connection in its accept queue until an idle reap frees a worker,
-/// which reads as a spurious multi-second stall (DESIGN.md §13).
-const SERVE_WORKERS: usize = ROUTE_WORKERS + 2;
+/// Backend-side connection workers. Deliberately equal to the router's:
+/// the router multiplexes every worker over ONE connection per backend
+/// (correlation-tagged frames, a reader thread waking the matching
+/// sender), so the old `serve workers ≥ router workers + 2` sizing rule
+/// — and the silent stall an undersized backend used to cause — no
+/// longer exists. The equality here is the regression check.
+const SERVE_WORKERS: usize = ROUTE_WORKERS;
 const STEP_BATCHES: u32 = 4;
 
 struct Cell {

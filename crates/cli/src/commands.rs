@@ -79,6 +79,9 @@ COMMANDS:
     --addr <host:port>          bind address               [default: 127.0.0.1:0]
     --duration <secs>           run this long, then exit;
                                 omitted: run until stdin reaches EOF
+    [--state-dir <path>]        persist pins + shadow checkpoints to a
+                                CHAMRTE1 log; a restarted router recovers
+                                placement and failover state from it
     [--workers <n>] [--probe-interval-ms <n>] [--degraded-after <n>]
     [--dead-after <n>] [--salt <n>] [--json]
   loadgen                       drive a CHAMWIRE server with client traffic
@@ -1031,6 +1034,11 @@ fn route_counters_json(c: &chameleon_route::RouteCounters, indent: &str) -> Stri
     let _ = writeln!(out, "{indent}\"route.failovers\": {},", c.failovers);
     let _ = writeln!(
         out,
+        "{indent}\"route.failover_replays_skipped\": {},",
+        c.failover_replays_skipped
+    );
+    let _ = writeln!(
+        out,
         "{indent}\"route.decode_rejects\": {},",
         c.decode_rejects
     );
@@ -1041,10 +1049,25 @@ fn route_counters_json(c: &chameleon_route::RouteCounters, indent: &str) -> Stri
         "{indent}\"route.shadow_refreshes\": {},",
         c.shadow_refreshes
     );
+    let _ = writeln!(
+        out,
+        "{indent}\"route.shadow_refresh_failures\": {},",
+        c.shadow_refresh_failures
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"route.pins_recovered\": {},",
+        c.pins_recovered
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"route.shadows_recovered\": {},",
+        c.shadows_recovered
+    );
     let _ = write!(
         out,
-        "{indent}\"route.shadow_refresh_failures\": {}",
-        c.shadow_refresh_failures
+        "{indent}\"route.state_append_failures\": {}",
+        c.state_append_failures
     );
     out
 }
@@ -1062,6 +1085,7 @@ fn route(options: &Options) -> Result<(), String> {
         "degraded-after",
         "dead-after",
         "salt",
+        "state-dir",
         "json",
     ])?;
     let backends: Vec<String> = options
@@ -1096,6 +1120,7 @@ fn route(options: &Options) -> Result<(), String> {
         )?),
         degraded_after: options.get_parsed_or("degraded-after", defaults.degraded_after)?,
         dead_after: options.get_parsed_or("dead-after", defaults.dead_after)?,
+        state_dir: options.get("state-dir").map(std::path::PathBuf::from),
         ..defaults
     };
 
@@ -1149,6 +1174,14 @@ fn route(options: &Options) -> Result<(), String> {
             counters.probes_ok + counters.probes_failed,
             counters.shadow_refreshes,
             counters.shadow_refresh_failures
+        );
+        println!(
+            "  {} pins + {} shadows recovered from state log, {} replays skipped, \
+             {} state-append failures",
+            counters.pins_recovered,
+            counters.shadows_recovered,
+            counters.failover_replays_skipped,
+            counters.state_append_failures
         );
         for (addr, state) in &states {
             println!("  backend {addr}: {state:?}");
@@ -1702,14 +1735,15 @@ fn simtest(options: &Options) -> Result<(), String> {
     let print_route = |outcome: &chameleon_simtest::RouteSeedOutcome| {
         println!(
             "simtest: route seed {} OK — {} ops on {} nodes, {} handoff(s), \
-             {} kill(s) re-homing {} session(s){}, log digest {:#010x}, \
-             checkpoint crc {:#010x}",
+             {} kill(s) re-homing {} session(s), {} router restart(s){}, \
+             log digest {:#010x}, checkpoint crc {:#010x}",
             outcome.seed,
             outcome.ops,
             outcome.nodes,
             outcome.handoffs,
             outcome.kills,
             outcome.recovered,
+            outcome.router_restarts,
             if outcome.faulted { " (faulted)" } else { "" },
             outcome.log_digest,
             outcome.checkpoint_crc
@@ -1732,6 +1766,7 @@ fn simtest(options: &Options) -> Result<(), String> {
         }
         let start: u64 = options.get_parsed_or("route-start-seed", 0)?;
         let (mut handoffs, mut kills, mut recovered, mut faulted) = (0u64, 0u64, 0u64, 0u64);
+        let mut restarts = 0u64;
         for seed in start..start.saturating_add(seeds) {
             let outcome = chameleon_simtest::check_route_seed(&scenario, seed).map_err(|e| {
                 format!("{e}; reproduce with `chameleon simtest --route-replay {seed}`")
@@ -1739,11 +1774,13 @@ fn simtest(options: &Options) -> Result<(), String> {
             handoffs += outcome.handoffs;
             kills += outcome.kills;
             recovered += outcome.recovered;
+            restarts += outcome.router_restarts;
             faulted += u64::from(outcome.faulted);
         }
         println!(
             "simtest: {seeds}/{seeds} route seeds passed — {handoffs} session(s) handed \
              off, {kills} node kill(s) re-homing {recovered} session(s) from shadows, \
+             {restarts} router restart(s) recovered bit-identically, \
              {faulted} faulted case(s); every schedule matched its single-node reference"
         );
         return Ok(());

@@ -21,6 +21,15 @@
 //! the repo-wide bit-identity guarantee: the final checkpoint of a
 //! session is byte-for-byte independent of how often (or when) it moved.
 //!
+//! The router talks to each backend over **one multiplexed connection**
+//! ([`MuxConnection`]): workers tag frames with correlation ids and a
+//! per-backend reader thread wakes the matching sender, so backend
+//! worker pools no longer have to be sized to the router's. With a state
+//! directory configured ([`RouterConfig::state_dir`]), pins and shadow
+//! checkpoints are also persisted to an append-only CHAMRTE1 log
+//! ([`state`]) and recovered on start — a restarted router resumes
+//! routing, pinning, and failover where it left off.
+//!
 //! ```no_run
 //! use chameleon_route::{Router, RouterConfig};
 //!
@@ -36,8 +45,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mux;
 mod registry;
 mod router;
+pub mod state;
 
+pub use mux::{MuxConnection, MuxError, MuxOptions};
 pub use registry::{Backend, BackendState, Registry};
 pub use router::{RouteCounters, Router, RouterConfig};
+
+/// Locks a mutex, recovering the data behind a poisoned lock instead of
+/// propagating the panic. One router worker dying mid-request must not
+/// brick every other worker and the prober; all router state updates are
+/// single-key inserts/removes that are valid at every intermediate
+/// point, so the data behind a poisoned lock is always safe to keep
+/// serving.
+pub(crate) fn plock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

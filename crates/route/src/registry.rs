@@ -108,6 +108,17 @@ impl Registry {
         &self.backends[index]
     }
 
+    /// The index registered under `addr`, if any. Recovery uses this to
+    /// map address-keyed CHAMRTE1 pins onto the current backend list.
+    pub fn index_of(&self, addr: &str) -> Option<usize> {
+        self.backends.iter().position(|b| b.addr == addr)
+    }
+
+    /// The whole pin table (read-only; used to snapshot durable state).
+    pub fn pins(&self) -> &HashMap<SessionId, usize> {
+        &self.pins
+    }
+
     /// Sets a backend's state, resetting its failure streak when it
     /// returns to [`BackendState::Healthy`].
     pub fn set_state(&mut self, index: usize, state: BackendState) {

@@ -1,25 +1,35 @@
 //! The routing proxy: CHAMWIRE in front, N CHAMWIRE backends behind.
 //!
-//! Threading model (mirrors `chameleon-serve`): an acceptor admits client
-//! sockets into a bounded worker queue; each worker speaks CHAMWIRE to
-//! its clients and keeps a lazy pool of backend connections; a probe
-//! thread walks the backend set on the injected clock and advances
-//! lifecycle states. There is no engine thread — the router holds no
-//! sessions, only the registry, the pin table, and shadow checkpoints.
+//! Threading model: an acceptor admits client sockets into a bounded
+//! worker queue; each worker speaks CHAMWIRE to its clients and forwards
+//! session ops over the **shared multiplexed backend connections** (one
+//! [`MuxConnection`] per backend — see `mux.rs`); a probe thread walks
+//! the backend set on the injected clock and advances lifecycle states.
+//! There is no engine thread — the router holds no sessions, only the
+//! registry, the pin table, and shadow checkpoints.
 //!
 //! **Shadow checkpoints** are the failover mechanism: after every
 //! mutating operation (create, step) the router pulls a `CHAMFLT1`
-//! checkpoint from the session's owner and caches it. When a backend
-//! dies — probe streak past the threshold, or a forward that fails even
-//! on a fresh connection — each of its sessions is re-homed by handing
-//! the shadow blob to the rendezvous successor. Because the shadow is
-//! refreshed *after* the reply, a failure observed mid-operation always
-//! recovers to the pre-operation state, and re-sending the operation
-//! yields exactly the outcome a single healthy node would have produced.
+//! checkpoint from the session's owner and caches it, stamped with the
+//! op sequence it reflects. When a backend dies — probe streak past the
+//! threshold, or a forward that fails even on a fresh connection — each
+//! of its sessions is re-homed by handing the shadow blob to the
+//! rendezvous successor. Because the shadow is refreshed *after* the
+//! reply, a failure observed mid-operation recovers to the pre-operation
+//! state and re-sending the operation yields exactly the single-node
+//! outcome; when the shadow's stamp shows it already captured the
+//! in-flight op (the refresh landed but the ack was lost), the re-send
+//! is skipped instead of applied twice.
+//!
+//! With [`RouterConfig::state_dir`] set, every pin update and shadow
+//! refresh is also appended to a durable CHAMRTE1 log (`state.rs`) and
+//! recovered on start, so a restarted router — graceful or SIGKILLed —
+//! resumes routing, pinning, and failover without re-learning placement.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -33,10 +43,12 @@ use chameleon_serve::wire::{
     correlation_of, decode_frame, encode_frame, ErrorCode, ProbeSummary, Request, Response,
     StatsSnapshot, WireError, MAX_PAYLOAD_BYTES,
 };
-use chameleon_serve::Connection;
 use chameleon_stream::ConfigError;
 
+use crate::mux::{MuxConnection, MuxOptions};
+use crate::plock;
 use crate::registry::{BackendState, Registry};
+use crate::state::{self, StateLog};
 
 /// Tunables of the routing tier.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,7 +57,9 @@ pub struct RouterConfig {
     pub addr: String,
     /// Backend addresses (`host:port`), registration order = index.
     pub backends: Vec<String>,
-    /// Client-facing connection-worker pool size.
+    /// Client-facing connection-worker pool size. Backends no longer
+    /// need to be sized against this — all workers share one multiplexed
+    /// connection per backend.
     pub workers: usize,
     /// Salt for the rendezvous hash (same salt ⇒ same placement).
     pub salt: u64,
@@ -63,11 +77,23 @@ pub struct RouterConfig {
     pub write_timeout: Duration,
     /// A client connection silent for this long is reaped.
     pub idle_timeout: Duration,
+    /// How long one forwarded request may wait for its backend response
+    /// before it becomes a typed failure (feeding the normal bury and
+    /// failover path) instead of a silent stall.
+    pub request_timeout: Duration,
     /// Per-frame payload cap enforced on the client side.
     pub max_payload: usize,
     /// Retry budget for backend-side requests (how many `RetryAfter`
     /// rounds a forward rides out before counting as a failure).
     pub backend_retries: u32,
+    /// When set, pins and shadow checkpoints are persisted to a CHAMRTE1
+    /// log in this directory and recovered on start.
+    pub state_dir: Option<PathBuf>,
+    /// Test-only fault injection: the first `Step` routed for this
+    /// session panics the handling worker *while it holds the registry
+    /// lock* — the worst poison a dying worker can leave behind. Used by
+    /// the poison-tolerance regression test; leave `None` in production.
+    pub fault_panic_session: Option<SessionId>,
 }
 
 impl Default for RouterConfig {
@@ -83,8 +109,11 @@ impl Default for RouterConfig {
             read_timeout: Duration::from_millis(25),
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(30),
+            request_timeout: Duration::from_secs(30),
             max_payload: MAX_PAYLOAD_BYTES,
             backend_retries: 10_000,
+            state_dir: None,
+            fault_panic_session: None,
         }
     }
 }
@@ -111,6 +140,12 @@ impl RouterConfig {
         if self.read_timeout.is_zero() {
             return Err(ConfigError {
                 field: "read timeout",
+                requirement: "must be positive",
+            });
+        }
+        if self.request_timeout.is_zero() {
+            return Err(ConfigError {
+                field: "request timeout",
                 requirement: "must be positive",
             });
         }
@@ -143,6 +178,9 @@ pub struct RouteCounters {
     pub sessions_handed_off: u64,
     /// Sessions re-homed from a shadow checkpoint after a backend died.
     pub failovers: u64,
+    /// In-flight ops *not* re-sent after failover because the recovered
+    /// shadow's sequence stamp showed it already captured them.
+    pub failover_replays_skipped: u64,
     /// Client frames or payloads rejected by the decoder.
     pub decode_rejects: u64,
     /// Successful health probes.
@@ -153,6 +191,13 @@ pub struct RouteCounters {
     pub shadow_refreshes: u64,
     /// Shadow refresh attempts that failed (the previous shadow stays).
     pub shadow_refresh_failures: u64,
+    /// Pins recovered from the CHAMRTE1 state log at start.
+    pub pins_recovered: u64,
+    /// Shadow checkpoints recovered from the CHAMRTE1 state log at start.
+    pub shadows_recovered: u64,
+    /// State-log appends (or compactions) that failed; the in-memory
+    /// state stays authoritative, durability of that update is lost.
+    pub state_append_failures: u64,
 }
 
 #[derive(Debug, Default)]
@@ -162,11 +207,15 @@ struct RouteMetrics {
     forward_failures: AtomicU64,
     sessions_handed_off: AtomicU64,
     failovers: AtomicU64,
+    failover_replays_skipped: AtomicU64,
     decode_rejects: AtomicU64,
     probes_ok: AtomicU64,
     probes_failed: AtomicU64,
     shadow_refreshes: AtomicU64,
     shadow_refresh_failures: AtomicU64,
+    pins_recovered: AtomicU64,
+    shadows_recovered: AtomicU64,
+    state_append_failures: AtomicU64,
 }
 
 impl RouteMetrics {
@@ -181,90 +230,167 @@ impl RouteMetrics {
             forward_failures: self.forward_failures.load(Ordering::Relaxed),
             sessions_handed_off: self.sessions_handed_off.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            failover_replays_skipped: self.failover_replays_skipped.load(Ordering::Relaxed),
             decode_rejects: self.decode_rejects.load(Ordering::Relaxed),
             probes_ok: self.probes_ok.load(Ordering::Relaxed),
             probes_failed: self.probes_failed.load(Ordering::Relaxed),
             shadow_refreshes: self.shadow_refreshes.load(Ordering::Relaxed),
             shadow_refresh_failures: self.shadow_refresh_failures.load(Ordering::Relaxed),
+            pins_recovered: self.pins_recovered.load(Ordering::Relaxed),
+            shadows_recovered: self.shadows_recovered.load(Ordering::Relaxed),
+            state_append_failures: self.state_append_failures.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One cached shadow checkpoint, stamped with the last-acked op sequence
+/// it reflects.
+struct Shadow {
+    seq: u64,
+    blob: Vec<u8>,
+}
+
+/// The shadow cache plus the per-session acked-op sequence counter the
+/// stamps are drawn from.
+#[derive(Default)]
+struct ShadowTable {
+    entries: HashMap<SessionId, Shadow>,
+    acked: HashMap<SessionId, u64>,
 }
 
 /// State shared by workers, the probe thread, and the admin API.
+///
+/// Lock order where multiple are held: `handoff` → `registry` →
+/// `shadows` → `state`. `Shared::persist` is only called with none of
+/// the first three held (its compaction path re-acquires registry and
+/// shadows while holding the state lock, which is safe because no thread
+/// holds registry/shadows and then waits on state).
 struct Shared {
     registry: Mutex<Registry>,
-    shadows: Mutex<HashMap<SessionId, Vec<u8>>>,
+    shadows: Mutex<ShadowTable>,
     /// Serializes session moves (drain, failover) so two threads never
     /// re-home the same session to different backends concurrently.
     handoff: Mutex<()>,
+    /// The durable CHAMRTE1 log, when a state dir is configured.
+    state: Option<Mutex<StateLog>>,
+    /// One multiplexed connection per backend, shared by every worker
+    /// and the prober.
+    mux: Vec<MuxConnection>,
     metrics: RouteMetrics,
     stop: AtomicBool,
-    backend_retries: u32,
+    /// See [`RouterConfig::fault_panic_session`].
+    panic_session: Option<SessionId>,
+    panic_fired: AtomicBool,
 }
 
 impl Shared {
-    fn addr_of(&self, index: usize) -> String {
-        self.registry
-            .lock()
-            .expect("registry lock")
-            .backend(index)
-            .addr
-            .clone()
+    /// Pins `session` to `index` in memory and in the durable log.
+    fn pin_session(&self, session: SessionId, index: usize) {
+        let addr = {
+            let mut registry = plock(&self.registry);
+            registry.pin(session, index);
+            registry.backend(index).addr.clone()
+        };
+        self.persist(state::encode_pin(session, &addr));
     }
-}
 
-/// Lazy per-thread pool of backend connections, keyed by backend index.
-type Pool = HashMap<usize, Connection>;
+    /// Replaces `session`'s shadow (seq-stamped) in memory and in the
+    /// durable log.
+    fn store_shadow(&self, session: SessionId, seq: u64, blob: Vec<u8>) {
+        let framed = state::encode_shadow(session, seq, &blob);
+        plock(&self.shadows)
+            .entries
+            .insert(session, Shadow { seq, blob });
+        self.persist(framed);
+    }
 
-/// Sends one request to a backend, transparently replacing a stale pooled
-/// connection: a failure on a pooled socket (idle-reaped by the backend,
-/// half-closed, …) triggers exactly one fresh-connection retry, so only
-/// a backend that fails a *fresh* connect/request counts as failed.
-fn send_to_backend(
-    shared: &Shared,
-    pool: &mut Pool,
-    index: usize,
-    request: &Request,
-) -> Result<Response, String> {
-    RouteMetrics::add(&shared.metrics.requests_forwarded, 1);
-    if let Some(conn) = pool.get_mut(&index) {
-        match conn.request(request) {
-            Ok(response) => return Ok(response),
-            Err(_) => {
-                pool.remove(&index);
+    /// Raises `session`'s acked-op sequence to at least `seq`.
+    fn ack(&self, session: SessionId, seq: u64) {
+        let mut shadows = plock(&self.shadows);
+        let acked = shadows.acked.entry(session).or_insert(0);
+        *acked = (*acked).max(seq);
+    }
+
+    /// `session`'s current acked-op sequence.
+    fn acked_seq(&self, session: SessionId) -> u64 {
+        plock(&self.shadows)
+            .acked
+            .get(&session)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Appends one framed record to the state log (no-op without a state
+    /// dir), compacting when the log has grown well past its live size.
+    /// Must be called with no registry/shadow/handoff lock held.
+    fn persist(&self, framed: Vec<u8>) {
+        let Some(state) = &self.state else { return };
+        let past_floor = {
+            let mut log = plock(state);
+            if log.append(&framed).is_err() {
+                RouteMetrics::add(&self.metrics.state_append_failures, 1);
+                return;
+            }
+            log.wants_compaction(0)
+        };
+        if past_floor {
+            let image = self.image();
+            let mut log = plock(state);
+            if log.wants_compaction(image.encoded_len()) && log.compact(&image).is_err() {
+                RouteMetrics::add(&self.metrics.state_append_failures, 1);
             }
         }
     }
-    let addr = shared.addr_of(index);
-    let fresh = (|| -> Result<(Connection, Response), chameleon_serve::ClientError> {
-        let mut conn = Connection::connect(&addr)?;
-        conn.set_max_retries(shared.backend_retries);
-        let response = conn.request(request)?;
-        Ok((conn, response))
-    })();
-    match fresh {
-        Ok((conn, response)) => {
-            pool.insert(index, conn);
-            Ok(response)
+
+    /// Snapshot of the durable state: address-keyed pins plus seq-stamped
+    /// shadows.
+    fn image(&self) -> state::RouterImage {
+        let mut image = state::RouterImage::default();
+        {
+            let registry = plock(&self.registry);
+            for (&session, &index) in registry.pins() {
+                image
+                    .pins
+                    .insert(session, registry.backend(index).addr.clone());
+            }
         }
+        let shadows = plock(&self.shadows);
+        for (&session, shadow) in &shadows.entries {
+            image
+                .shadows
+                .insert(session, (shadow.seq, shadow.blob.clone()));
+        }
+        image
+    }
+}
+
+/// Sends one request to a backend over its shared multiplexed
+/// connection. Retry semantics live in the mux: `RetryAfter` rides the
+/// configured budget, a stale established connection gets exactly one
+/// fresh-connect retry, and only a failure beyond that (including a
+/// request timeout — the old silent stall, now typed) counts here.
+fn send_to_backend(shared: &Shared, index: usize, request: &Request) -> Result<Response, String> {
+    RouteMetrics::add(&shared.metrics.requests_forwarded, 1);
+    match shared.mux[index].request(request) {
+        Ok(response) => Ok(response),
         Err(e) => {
             RouteMetrics::add(&shared.metrics.forward_failures, 1);
-            Err(format!("backend {index} ({addr}): {e}"))
+            Err(format!(
+                "backend {index} ({}): {e}",
+                shared.mux[index].addr()
+            ))
         }
     }
 }
 
 /// Pulls a fresh checkpoint of `session` from `owner` into the shadow
-/// cache. Failure is tolerated (the previous shadow stays, and recovery
-/// falls back to the pre-operation state); only counted.
-fn refresh_shadow(shared: &Shared, pool: &mut Pool, session: SessionId, owner: usize) {
-    match send_to_backend(shared, pool, owner, &Request::Checkpoint { session }) {
+/// cache, stamped with `seq` (the op sequence it reflects). Failure is
+/// tolerated (the previous shadow stays, and recovery falls back to the
+/// pre-operation state); only counted.
+fn refresh_shadow(shared: &Shared, session: SessionId, owner: usize, seq: u64) {
+    match send_to_backend(shared, owner, &Request::Checkpoint { session }) {
         Ok(Response::Checkpointed(blob)) => {
-            shared
-                .shadows
-                .lock()
-                .expect("shadow lock")
-                .insert(session, blob);
+            shared.store_shadow(session, seq, blob);
             RouteMetrics::add(&shared.metrics.shadow_refreshes, 1);
         }
         _ => RouteMetrics::add(&shared.metrics.shadow_refresh_failures, 1),
@@ -276,32 +402,25 @@ fn refresh_shadow(shared: &Shared, pool: &mut Pool, session: SessionId, owner: u
 /// impossible (no shadow, or no eligible backend).
 fn fail_over_session(
     shared: &Shared,
-    pool: &mut Pool,
     obs: &Observer,
     session: SessionId,
     dead: usize,
 ) -> Option<usize> {
-    let _guard = shared.handoff.lock().expect("handoff lock");
+    let _guard = plock(&shared.handoff);
     {
         // Another thread may have re-homed it while we waited.
-        let registry = shared.registry.lock().expect("registry lock");
+        let registry = plock(&shared.registry);
         match registry.pinned(session) {
             Some(owner) if owner != dead => return Some(owner),
             _ => {}
         }
     }
-    let blob = shared
-        .shadows
-        .lock()
-        .expect("shadow lock")
-        .get(&session)
-        .cloned()?;
-    let new = shared
-        .registry
-        .lock()
-        .expect("registry lock")
-        .rendezvous(session, Some(dead))?;
-    match send_to_backend(shared, pool, new, &Request::Handoff { session, blob }) {
+    let blob = {
+        let shadows = plock(&shared.shadows);
+        shadows.entries.get(&session).map(|s| s.blob.clone())?
+    };
+    let new = plock(&shared.registry).rendezvous(session, Some(dead))?;
+    match send_to_backend(shared, new, &Request::Handoff { session, blob }) {
         // DuplicateSession means an earlier, ambiguously failed import
         // actually landed — the session is already there, adopt it.
         Ok(Response::HandoffAck)
@@ -309,11 +428,7 @@ fn fail_over_session(
             code: ErrorCode::DuplicateSession,
             ..
         }) => {
-            shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .pin(session, new);
+            shared.pin_session(session, new);
             RouteMetrics::add(&shared.metrics.failovers, 1);
             RouteMetrics::add(&shared.metrics.sessions_handed_off, 1);
             obs.event(format!(
@@ -327,9 +442,9 @@ fn fail_over_session(
 
 /// Declares a backend dead and re-homes every session pinned to it from
 /// the shadow cache. Returns how many sessions moved.
-fn bury_backend(shared: &Shared, pool: &mut Pool, obs: &Observer, index: usize) -> usize {
+fn bury_backend(shared: &Shared, obs: &Observer, index: usize) -> usize {
     let sessions = {
-        let mut registry = shared.registry.lock().expect("registry lock");
+        let mut registry = plock(&shared.registry);
         registry.set_state(index, BackendState::Dead);
         registry.sessions_on(index)
     };
@@ -339,7 +454,7 @@ fn bury_backend(shared: &Shared, pool: &mut Pool, obs: &Observer, index: usize) 
     ));
     sessions
         .into_iter()
-        .filter(|&s| fail_over_session(shared, pool, obs, s, index).is_some())
+        .filter(|&s| fail_over_session(shared, obs, s, index).is_some())
         .count()
 }
 
@@ -365,17 +480,58 @@ fn no_backend() -> Response {
     }
 }
 
+/// The at-least-once guard: failover re-homed `session` from a shadow
+/// stamped `shadow_seq` while `request` (which would occupy `op_seq` once
+/// acked) was in flight. If the stamp shows the shadow already captured
+/// the op — its refresh landed but the ack was lost on the dying
+/// connection — re-sending would apply it a second time; synthesize the
+/// response instead.
+fn skip_failover_replay(request: &Request, shadow_seq: u64, op_seq: u64) -> Option<Response> {
+    if shadow_seq < op_seq {
+        return None;
+    }
+    match request {
+        Request::CreateSession { .. } => Some(Response::Created),
+        // The shadow already contains this step's progress: report no
+        // *additional* delivery and let the client drive the next step.
+        Request::Step { .. } => Some(Response::Stepped {
+            delivered: 0,
+            done: false,
+        }),
+        _ => None,
+    }
+}
+
 /// Routes one session-scoped request to its owner, failing over (and
-/// re-sending) when the owner proves unreachable. Mutating successes
-/// refresh the session's shadow checkpoint afterwards.
-fn route_session_op(ctx: &Ctx, pool: &mut Pool, session: SessionId, request: &Request) -> Response {
+/// re-sending, unless the shadow stamp proves the op already landed)
+/// when the owner proves unreachable. Mutating successes refresh the
+/// session's shadow checkpoint afterwards.
+fn route_session_op(ctx: &Ctx, session: SessionId, request: &Request) -> Response {
     let shared = &ctx.shared;
+    if shared.panic_session == Some(session)
+        && matches!(request, Request::Step { .. })
+        && !shared.panic_fired.swap(true, Ordering::SeqCst)
+    {
+        // Injected fault (RouterConfig::fault_panic_session): die while
+        // holding the registry lock — the worst-case poison a panicking
+        // worker can leave for everyone else.
+        let _guard = plock(&shared.registry);
+        panic!("injected route-worker panic (fault_panic_session)");
+    }
     let is_create = matches!(request, Request::CreateSession { .. });
-    let attempts = shared.registry.lock().expect("registry lock").len() + 1;
+    // The op sequence this mutating op will occupy once acked: stamps the
+    // post-op shadow, and on failover proves whether the recovered shadow
+    // already captured it.
+    let op_seq = matches!(
+        request,
+        Request::CreateSession { .. } | Request::Step { .. }
+    )
+    .then(|| shared.acked_seq(session) + 1);
+    let attempts = plock(&shared.registry).len() + 1;
     let mut exclude = None;
     for _ in 0..attempts {
         let owner = {
-            let registry = shared.registry.lock().expect("registry lock");
+            let registry = plock(&shared.registry);
             match registry.pinned(session) {
                 Some(owner) => Some(owner),
                 None if is_create => registry.rendezvous(session, exclude),
@@ -390,24 +546,25 @@ fn route_session_op(ctx: &Ctx, pool: &mut Pool, session: SessionId, request: &Re
         let Some(owner) = owner else {
             return no_backend();
         };
-        match send_to_backend(shared, pool, owner, request) {
+        match send_to_backend(shared, owner, request) {
             Ok(response) => {
                 match &response {
                     Response::Created => {
-                        shared
-                            .registry
-                            .lock()
-                            .expect("registry lock")
-                            .pin(session, owner);
-                        refresh_shadow(shared, pool, session, owner);
+                        shared.pin_session(session, owner);
+                        if let Some(seq) = op_seq {
+                            shared.ack(session, seq);
+                            refresh_shadow(shared, session, owner, seq);
+                        }
                     }
-                    Response::Stepped { .. } => refresh_shadow(shared, pool, session, owner),
+                    Response::Stepped { .. } => {
+                        if let Some(seq) = op_seq {
+                            shared.ack(session, seq);
+                            refresh_shadow(shared, session, owner, seq);
+                        }
+                    }
                     Response::Checkpointed(blob) => {
-                        shared
-                            .shadows
-                            .lock()
-                            .expect("shadow lock")
-                            .insert(session, blob.clone());
+                        let seq = shared.acked_seq(session);
+                        shared.store_shadow(session, seq, blob.clone());
                     }
                     _ => {}
                 }
@@ -415,28 +572,30 @@ fn route_session_op(ctx: &Ctx, pool: &mut Pool, session: SessionId, request: &Re
             }
             Err(reason) => {
                 ctx.obs.event(format!("route: forward failed: {reason}"));
-                if is_create
-                    && shared
-                        .registry
-                        .lock()
-                        .expect("registry lock")
-                        .pinned(session)
-                        .is_none()
-                {
+                if is_create && plock(&shared.registry).pinned(session).is_none() {
                     // The session exists nowhere yet: no shadow to carry,
                     // just place it on the next-best backend.
-                    shared
-                        .registry
-                        .lock()
-                        .expect("registry lock")
-                        .set_state(owner, BackendState::Dead);
+                    plock(&shared.registry).set_state(owner, BackendState::Dead);
                     exclude = Some(owner);
                     continue;
                 }
-                if bury_backend(shared, pool, &ctx.obs, owner) == 0
-                    && fail_over_session(shared, pool, &ctx.obs, session, owner).is_none()
+                if bury_backend(shared, &ctx.obs, owner) == 0
+                    && fail_over_session(shared, &ctx.obs, session, owner).is_none()
                 {
                     return no_backend();
+                }
+                if let Some(op_seq) = op_seq {
+                    let shadow_seq = {
+                        let shadows = plock(&shared.shadows);
+                        shadows.entries.get(&session).map(|s| s.seq)
+                    };
+                    if let Some(response) = shadow_seq
+                        .and_then(|shadow_seq| skip_failover_replay(request, shadow_seq, op_seq))
+                    {
+                        RouteMetrics::add(&shared.metrics.failover_replays_skipped, 1);
+                        shared.ack(session, op_seq);
+                        return response;
+                    }
                 }
             }
         }
@@ -444,13 +603,13 @@ fn route_session_op(ctx: &Ctx, pool: &mut Pool, session: SessionId, request: &Re
     no_backend()
 }
 
-fn aggregate_probe(ctx: &Ctx, pool: &mut Pool) -> Response {
+fn aggregate_probe(ctx: &Ctx) -> Response {
     let indices = live_backends(&ctx.shared);
     let mut total = ProbeSummary::default();
     let mut reached = 0usize;
     for index in indices {
         if let Ok(Response::ProbeAck(summary)) =
-            send_to_backend(&ctx.shared, pool, index, &Request::Probe)
+            send_to_backend(&ctx.shared, index, &Request::Probe)
         {
             total.sessions_resident += summary.sessions_resident;
             total.sessions_cold += summary.sessions_cold;
@@ -464,13 +623,12 @@ fn aggregate_probe(ctx: &Ctx, pool: &mut Pool) -> Response {
     Response::ProbeAck(total)
 }
 
-fn aggregate_stats(ctx: &Ctx, pool: &mut Pool) -> Response {
+fn aggregate_stats(ctx: &Ctx) -> Response {
     let indices = live_backends(&ctx.shared);
     let mut total = StatsSnapshot::default();
     let mut reached = 0usize;
     for index in indices {
-        if let Ok(Response::Stats(snapshot)) =
-            send_to_backend(&ctx.shared, pool, index, &Request::Stats)
+        if let Ok(Response::Stats(snapshot)) = send_to_backend(&ctx.shared, index, &Request::Stats)
         {
             total.sessions_resident += snapshot.sessions_resident;
             total.sessions_cold += snapshot.sessions_cold;
@@ -500,11 +658,11 @@ fn aggregate_stats(ctx: &Ctx, pool: &mut Pool) -> Response {
     Response::Stats(Box::new(total))
 }
 
-fn aggregate_observation(ctx: &Ctx, pool: &mut Pool) -> Response {
+fn aggregate_observation(ctx: &Ctx) -> Response {
     let mut merged = build_route_observation(&ctx.shared, &ctx.obs);
     for index in live_backends(&ctx.shared) {
         if let Ok(Response::Observed(observation)) =
-            send_to_backend(&ctx.shared, pool, index, &Request::Observe)
+            send_to_backend(&ctx.shared, index, &Request::Observe)
         {
             merged.merge(&observation);
         }
@@ -513,7 +671,8 @@ fn aggregate_observation(ctx: &Ctx, pool: &mut Pool) -> Response {
 }
 
 /// The router's own observation: its observer's spans/events plus every
-/// `route.*` counter and per-state backend gauges.
+/// `route.*` counter, per-state backend gauges, and (in durable mode)
+/// the state log's self-counters.
 fn build_route_observation(shared: &Shared, obs: &Observer) -> Observation {
     let mut o = obs.observe();
     let c = shared.metrics.snapshot();
@@ -522,12 +681,23 @@ fn build_route_observation(shared: &Shared, obs: &Observer) -> Observation {
     o.push_counter("route.forward_failures", c.forward_failures);
     o.push_counter("route.sessions_handed_off", c.sessions_handed_off);
     o.push_counter("route.failovers", c.failovers);
+    o.push_counter("route.failover_replays_skipped", c.failover_replays_skipped);
     o.push_counter("route.decode_rejects", c.decode_rejects);
     o.push_counter("route.probes_ok", c.probes_ok);
     o.push_counter("route.probes_failed", c.probes_failed);
     o.push_counter("route.shadow_refreshes", c.shadow_refreshes);
     o.push_counter("route.shadow_refresh_failures", c.shadow_refresh_failures);
-    let registry = shared.registry.lock().expect("registry lock");
+    o.push_counter("route.pins_recovered", c.pins_recovered);
+    o.push_counter("route.shadows_recovered", c.shadows_recovered);
+    o.push_counter("route.state_append_failures", c.state_append_failures);
+    if let Some(state) = &shared.state {
+        let s = plock(state).counters();
+        o.push_counter("route.state_appends", s.appends);
+        o.push_counter("route.state_append_bytes", s.append_bytes);
+        o.push_counter("route.state_compactions", s.compactions);
+        o.push_counter("route.state_truncated_bytes", s.truncated_bytes);
+    }
+    let registry = plock(&shared.registry);
     o.push_counter(
         "route.backends_healthy",
         registry.count_in(BackendState::Healthy),
@@ -545,19 +715,19 @@ fn build_route_observation(shared: &Shared, obs: &Observer) -> Observation {
 }
 
 fn live_backends(shared: &Shared) -> Vec<usize> {
-    let registry = shared.registry.lock().expect("registry lock");
+    let registry = plock(&shared.registry);
     (0..registry.len())
         .filter(|&i| registry.backend(i).state != BackendState::Dead)
         .collect()
 }
 
-fn handle_request(ctx: &Ctx, pool: &mut Pool, request: &Request) -> Response {
+fn handle_request(ctx: &Ctx, request: &Request) -> Response {
     RouteMetrics::add(&ctx.shared.metrics.requests_in, 1);
     match request {
         Request::Ping => Response::Pong,
-        Request::Probe => aggregate_probe(ctx, pool),
-        Request::Stats => aggregate_stats(ctx, pool),
-        Request::Observe => aggregate_observation(ctx, pool),
+        Request::Probe => aggregate_probe(ctx),
+        Request::Stats => aggregate_stats(ctx),
+        Request::Observe => aggregate_observation(ctx),
         Request::HandoffExport { .. } | Request::Handoff { .. } => Response::Error {
             code: ErrorCode::BadRequest,
             message: "handoff frames are router-internal; use the router admin API".to_string(),
@@ -566,7 +736,7 @@ fn handle_request(ctx: &Ctx, pool: &mut Pool, request: &Request) -> Response {
         | Request::Step { session, .. }
         | Request::Predict { session }
         | Request::Checkpoint { session }
-        | Request::Evict { session } => route_session_op(ctx, pool, *session, request),
+        | Request::Evict { session } => route_session_op(ctx, *session, request),
     }
 }
 
@@ -575,21 +745,15 @@ fn handle_request(ctx: &Ctx, pool: &mut Pool, request: &Request) -> Response {
 // ---------------------------------------------------------------------------
 
 fn probe_loop(shared: &Arc<Shared>, obs: &Observer, clock: &dyn Clock, config: &RouterConfig) {
-    let mut pool: Pool = Pool::new();
     while !shared.stop.load(Ordering::Relaxed) {
-        let n = shared.registry.lock().expect("registry lock").len();
+        let n = plock(&shared.registry).len();
         for index in 0..n {
-            let state = shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .backend(index)
-                .state;
+            let state = plock(&shared.registry).backend(index).state;
             if !state.eligible() {
                 continue;
             }
-            let ok = probe_once(shared, &mut pool, index);
-            let mut registry = shared.registry.lock().expect("registry lock");
+            let ok = probe_once(shared, index);
+            let mut registry = plock(&shared.registry);
             let streak = registry.record_probe(index, ok);
             if ok {
                 RouteMetrics::add(&shared.metrics.probes_ok, 1);
@@ -601,7 +765,7 @@ fn probe_loop(shared: &Arc<Shared>, obs: &Observer, clock: &dyn Clock, config: &
                 RouteMetrics::add(&shared.metrics.probes_failed, 1);
                 if streak >= config.dead_after {
                     drop(registry);
-                    bury_backend(shared, &mut pool, obs, index);
+                    bury_backend(shared, obs, index);
                 } else if streak >= config.degraded_after
                     && registry.backend(index).state == BackendState::Healthy
                 {
@@ -616,24 +780,14 @@ fn probe_loop(shared: &Arc<Shared>, obs: &Observer, clock: &dyn Clock, config: &
     }
 }
 
-fn probe_once(shared: &Shared, pool: &mut Pool, index: usize) -> bool {
-    if let Some(conn) = pool.get_mut(&index) {
-        if conn.probe().is_ok() {
-            return true;
-        }
-        pool.remove(&index);
-    }
-    let addr = shared.addr_of(index);
-    let Ok(mut conn) = Connection::connect(&addr) else {
-        return false;
-    };
-    conn.set_max_retries(64);
-    if conn.probe().is_ok() {
-        pool.insert(index, conn);
-        true
-    } else {
-        false
-    }
+/// One probe over the backend's shared mux connection. Probes ride a
+/// deliberately small `RetryAfter` budget so a saturated backend is
+/// detected in bounded time; they do not touch the forward counters.
+fn probe_once(shared: &Shared, index: usize) -> bool {
+    matches!(
+        shared.mux[index].request_with_budget(&Request::Probe, 64),
+        Ok(Response::ProbeAck(_))
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -654,12 +808,16 @@ pub struct Router {
 }
 
 impl Router {
-    /// Binds and starts serving in front of `config.backends`.
+    /// Binds and starts serving in front of `config.backends`. With a
+    /// state dir configured, pins and shadows are first recovered from
+    /// the CHAMRTE1 log (a torn tail from a crashed predecessor is
+    /// truncated away).
     ///
     /// # Errors
     ///
     /// Returns an [`std::io::Error`] if the config fails validation
-    /// (`InvalidInput`) or the listener cannot bind.
+    /// (`InvalidInput`), the listener cannot bind, or the state log
+    /// cannot be opened.
     pub fn start(config: RouterConfig) -> std::io::Result<Self> {
         Self::start_with_clock(config, WallClock::shared())
     }
@@ -676,15 +834,75 @@ impl Router {
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+
+        // Recover durable state before anything routes: pins come back
+        // keyed by address (mapped onto the current backend list; pins to
+        // addresses no longer listed are dropped), shadows come back with
+        // their sequence stamps seeding the acked-op counters.
+        let mut registry = Registry::new(config.backends.clone(), config.salt);
+        let mut shadow_table = ShadowTable::default();
+        let mut recovered = (0u64, 0u64, 0u64); // pins, shadows, dropped
+        let state = match &config.state_dir {
+            Some(dir) => {
+                let (log, image) = StateLog::open(dir)?;
+                for (session, addr) in image.pins {
+                    match registry.index_of(&addr) {
+                        Some(index) => {
+                            registry.pin(session, index);
+                            recovered.0 += 1;
+                        }
+                        None => recovered.2 += 1,
+                    }
+                }
+                for (session, (seq, blob)) in image.shadows {
+                    shadow_table.acked.insert(session, seq);
+                    shadow_table.entries.insert(session, Shadow { seq, blob });
+                    recovered.1 += 1;
+                }
+                Some(Mutex::new(log))
+            }
+            None => None,
+        };
+
+        let mux = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| {
+                MuxConnection::new(
+                    addr.clone(),
+                    MuxOptions {
+                        max_payload: config.max_payload,
+                        write_timeout: config.write_timeout,
+                        request_timeout: config.request_timeout,
+                        retry_budget: config.backend_retries,
+                        clock: Arc::clone(&clock),
+                        backoff_seed: config.salt ^ (index as u64 + 1),
+                    },
+                )
+            })
+            .collect();
+
         let shared = Arc::new(Shared {
-            registry: Mutex::new(Registry::new(config.backends.clone(), config.salt)),
-            shadows: Mutex::new(HashMap::new()),
+            registry: Mutex::new(registry),
+            shadows: Mutex::new(shadow_table),
             handoff: Mutex::new(()),
+            state,
+            mux,
             metrics: RouteMetrics::default(),
             stop: AtomicBool::new(false),
-            backend_retries: config.backend_retries,
+            panic_session: config.fault_panic_session,
+            panic_fired: AtomicBool::new(false),
         });
+        RouteMetrics::add(&shared.metrics.pins_recovered, recovered.0);
+        RouteMetrics::add(&shared.metrics.shadows_recovered, recovered.1);
         let observer = Arc::new(Observer::new(Arc::clone(&clock)));
+        if recovered.0 > 0 || recovered.1 > 0 || recovered.2 > 0 {
+            observer.event(format!(
+                "route: recovered {} pins and {} shadows from the state log ({} pins dropped: address not in --backends)",
+                recovered.0, recovered.1, recovered.2
+            ));
+        }
 
         let ctx = Ctx {
             shared: Arc::clone(&shared),
@@ -750,7 +968,7 @@ impl Router {
 
     /// Each backend's address and current lifecycle state.
     pub fn backend_states(&self) -> Vec<(String, BackendState)> {
-        let registry = self.shared.registry.lock().expect("registry lock");
+        let registry = plock(&self.shared.registry);
         registry
             .backends()
             .iter()
@@ -760,11 +978,7 @@ impl Router {
 
     /// Where `session` is currently pinned, if anywhere.
     pub fn owner_of(&self, session: SessionId) -> Option<usize> {
-        self.shared
-            .registry
-            .lock()
-            .expect("registry lock")
-            .pinned(session)
+        plock(&self.shared.registry).pinned(session)
     }
 
     /// Administratively drains a backend: marks it
@@ -780,7 +994,7 @@ impl Router {
     pub fn drain_backend(&self, index: usize) -> std::io::Result<usize> {
         let shared = &self.shared;
         let sessions = {
-            let mut registry = shared.registry.lock().expect("registry lock");
+            let mut registry = plock(&shared.registry);
             if index >= registry.len() {
                 return Err(std::io::Error::new(
                     ErrorKind::InvalidInput,
@@ -790,77 +1004,60 @@ impl Router {
             registry.set_state(index, BackendState::Draining);
             registry.sessions_on(index)
         };
-        let mut pool: Pool = Pool::new();
         let mut moved = 0usize;
         for session in sessions {
-            let _guard = shared.handoff.lock().expect("handoff lock");
-            let exported = match send_to_backend(
-                shared,
-                &mut pool,
-                index,
-                &Request::HandoffExport { session },
-            ) {
-                Ok(Response::HandoffExported(blob)) => Some(blob),
-                _ => None,
-            };
-            let Some(new) = shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .rendezvous(session, Some(index))
-            else {
-                continue;
-            };
-            let blob = match &exported {
-                Some(blob) => blob.clone(),
-                // Export failed (node died mid-drain): fall back to the
-                // shadow checkpoint, exactly like a kill failover.
-                None => {
-                    let Some(blob) = shared
-                        .shadows
-                        .lock()
-                        .expect("shadow lock")
-                        .get(&session)
-                        .cloned()
-                    else {
-                        continue;
+            let (new, blob) = {
+                let _guard = plock(&shared.handoff);
+                let exported =
+                    match send_to_backend(shared, index, &Request::HandoffExport { session }) {
+                        Ok(Response::HandoffExported(blob)) => Some(blob),
+                        _ => None,
                     };
-                    RouteMetrics::add(&shared.metrics.failovers, 1);
-                    blob
+                let Some(new) = plock(&shared.registry).rendezvous(session, Some(index)) else {
+                    continue;
+                };
+                let blob = match exported {
+                    Some(blob) => blob,
+                    // Export failed (node died mid-drain): fall back to
+                    // the shadow checkpoint, exactly like a kill failover.
+                    None => {
+                        let Some(blob) = plock(&shared.shadows)
+                            .entries
+                            .get(&session)
+                            .map(|s| s.blob.clone())
+                        else {
+                            continue;
+                        };
+                        RouteMetrics::add(&shared.metrics.failovers, 1);
+                        blob
+                    }
+                };
+                match send_to_backend(
+                    shared,
+                    new,
+                    &Request::Handoff {
+                        session,
+                        blob: blob.clone(),
+                    },
+                ) {
+                    Ok(Response::HandoffAck)
+                    | Ok(Response::Error {
+                        code: ErrorCode::DuplicateSession,
+                        ..
+                    }) => (new, blob),
+                    _ => continue,
                 }
             };
-            match send_to_backend(
-                shared,
-                &mut pool,
-                new,
-                &Request::Handoff {
-                    session,
-                    blob: blob.clone(),
-                },
-            ) {
-                Ok(Response::HandoffAck)
-                | Ok(Response::Error {
-                    code: ErrorCode::DuplicateSession,
-                    ..
-                }) => {
-                    shared
-                        .registry
-                        .lock()
-                        .expect("registry lock")
-                        .pin(session, new);
-                    shared
-                        .shadows
-                        .lock()
-                        .expect("shadow lock")
-                        .insert(session, blob);
-                    RouteMetrics::add(&shared.metrics.sessions_handed_off, 1);
-                    self.observer.event(format!(
-                        "route: session {session} handed off from backend {index} to {new}"
-                    ));
-                    moved += 1;
-                }
-                _ => {}
-            }
+            // Persisting happens outside the handoff guard (persist must
+            // not run under the other locks; see `Shared` lock order).
+            shared.pin_session(session, new);
+            let seq = shared.acked_seq(session);
+            shared.store_shadow(session, seq, blob);
+            RouteMetrics::add(&shared.metrics.sessions_handed_off, 1);
+            self.observer.event(format!(
+                "route: session {session} handed off from backend {index} to {new}"
+            ));
+            moved += 1;
         }
         Ok(moved)
     }
@@ -873,14 +1070,13 @@ impl Router {
     ///
     /// Returns `InvalidInput` for an out-of-range index.
     pub fn mark_dead(&self, index: usize) -> std::io::Result<usize> {
-        if index >= self.shared.registry.lock().expect("registry lock").len() {
+        if index >= plock(&self.shared.registry).len() {
             return Err(std::io::Error::new(
                 ErrorKind::InvalidInput,
                 format!("no backend {index}"),
             ));
         }
-        let mut pool: Pool = Pool::new();
-        Ok(bury_backend(&self.shared, &mut pool, &self.observer, index))
+        Ok(bury_backend(&self.shared, &self.observer, index))
     }
 
     /// Graceful shutdown: stop accepting, join workers and the prober.
@@ -931,20 +1127,22 @@ fn acceptor_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, shared
 }
 
 fn worker_loop(ctx: &Ctx, conn_rx: &Mutex<Receiver<TcpStream>>) {
-    let mut pool: Pool = Pool::new();
     loop {
         let stream = {
-            let Ok(guard) = conn_rx.lock() else { return };
+            // Poison-tolerant: a worker that panicked mid-request must
+            // not take the connection queue (and thus every other
+            // worker) down with it.
+            let guard = plock(conn_rx);
             match guard.recv() {
                 Ok(stream) => stream,
                 Err(_) => return,
             }
         };
-        handle_connection(ctx, &mut pool, stream);
+        handle_connection(ctx, stream);
     }
 }
 
-fn handle_connection(ctx: &Ctx, pool: &mut Pool, mut stream: TcpStream) {
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_write_timeout(Some(ctx.write_timeout));
@@ -957,7 +1155,7 @@ fn handle_connection(ctx: &Ctx, pool: &mut Pool, mut stream: TcpStream) {
             match decode_frame(&buf, ctx.max_payload) {
                 Ok((payload, used)) => {
                     buf.drain(..used);
-                    if !serve_one(ctx, pool, &mut stream, &payload) {
+                    if !serve_one(ctx, &mut stream, &payload) {
                         return;
                     }
                 }
@@ -995,7 +1193,7 @@ fn handle_connection(ctx: &Ctx, pool: &mut Pool, mut stream: TcpStream) {
     }
 }
 
-fn serve_one(ctx: &Ctx, pool: &mut Pool, stream: &mut TcpStream, payload: &[u8]) -> bool {
+fn serve_one(ctx: &Ctx, stream: &mut TcpStream, payload: &[u8]) -> bool {
     let (decoded, decode_nanos) = timed(ctx.clock.as_ref(), || Request::decode_payload(payload));
     ctx.obs.record(Stage::Decode, decode_nanos);
     let (correlation, request) = match decoded {
@@ -1009,7 +1207,7 @@ fn serve_one(ctx: &Ctx, pool: &mut Pool, stream: &mut TcpStream, payload: &[u8])
             return write_response(stream, correlation_of(payload), &reply);
         }
     };
-    let response = handle_request(ctx, pool, &request);
+    let response = handle_request(ctx, &request);
     let (wrote, encode_nanos) = timed(ctx.clock.as_ref(), || {
         write_response(stream, correlation, &response)
     });
@@ -1020,4 +1218,44 @@ fn serve_one(ctx: &Ctx, pool: &mut Pool, stream: &mut TcpStream, payload: &[u8])
 fn write_response(stream: &mut TcpStream, correlation: u64, response: &Response) -> bool {
     let frame = encode_frame(&response.encode_payload(correlation));
     stream.write_all(&frame).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_skip_requires_the_shadow_to_have_caught_up() {
+        let step = Request::Step {
+            session: 1,
+            batches: 3,
+        };
+        // Normal failover: the shadow is one op behind the in-flight op
+        // and re-sending reproduces it — no skip.
+        assert!(skip_failover_replay(&step, 4, 5).is_none());
+        // The shadow already captured the op (refresh landed, ack lost):
+        // re-sending would double-apply, so a response is synthesized.
+        assert!(matches!(
+            skip_failover_replay(&step, 5, 5),
+            Some(Response::Stepped {
+                delivered: 0,
+                done: false
+            })
+        ));
+        let create = Request::CreateSession {
+            session: 1,
+            spec: chameleon_fleet::SessionSpec {
+                learner: Default::default(),
+                stream: Default::default(),
+                learner_seed: 0,
+                stream_seed: 0,
+            },
+        };
+        assert!(matches!(
+            skip_failover_replay(&create, 1, 1),
+            Some(Response::Created)
+        ));
+        // Non-mutating ops never skip — they are safe to re-send.
+        assert!(skip_failover_replay(&Request::Predict { session: 1 }, 9, 5).is_none());
+    }
 }

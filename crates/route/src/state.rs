@@ -1,0 +1,654 @@
+//! Durable router state: the CHAMRTE1 append-only log.
+//!
+//! A router started with a state directory persists every pin-table
+//! update and shadow-checkpoint refresh as it happens, so a restarted
+//! router (including one that was SIGKILLed) resumes routing, pinning,
+//! and failover without re-learning placement — the restart-amnesia
+//! failure mode is gone.
+//!
+//! The on-disk discipline is the same one CHAMSEG1 uses for session
+//! blobs (DESIGN.md §12): an 8-byte magic header followed by records of
+//! `len:u32 LE | body | crc32(body):u32 LE`, with the length cap checked
+//! *before* any allocation and a torn tail truncated on open. Record
+//! bodies are `op:u8 | session:u64 LE | ...`:
+//!
+//! * `OP_PIN` — `addr` bytes (UTF-8): the session is pinned to the
+//!   backend listening at `addr`. Pins are keyed by address, not index,
+//!   so recovery maps onto whatever `--backends` order the restarted
+//!   router was given; a pin whose address is no longer listed is
+//!   dropped (and counted).
+//! * `OP_UNPIN` — the pin is removed.
+//! * `OP_SHADOW` — `seq:u64 LE | blob`: the session's shadow checkpoint,
+//!   stamped with the last-acked op sequence it reflects (the stamp is
+//!   what lets failover skip re-sending an op the shadow already
+//!   captured).
+//!
+//! Later records win, so replaying the log front to back reproduces the
+//! router's final image. When the log grows well past its live size it
+//! is compacted: the current image is written to a sibling file that is
+//! atomically renamed over the log.
+//!
+//! The codec half of this module (`encode_*`, [`decode_state`]) is pure
+//! — no I/O — so the simtest multinode explorer round-trips its router
+//! state through the real bytes.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use chameleon_fleet::SessionId;
+use chameleon_replay::crc32;
+
+/// File magic opening a CHAMRTE1 router-state log.
+pub const STATE_MAGIC: &[u8; 8] = b"CHAMRTE1";
+
+/// `len | crc` framing bytes around each record body.
+const RECORD_FRAME_BYTES: usize = 8;
+
+/// Upper bound on a record body, checked before allocating: a shadow
+/// blob can never exceed a wire payload, so anything larger is damage.
+pub const MAX_STATE_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+const OP_PIN: u8 = 0x01;
+const OP_UNPIN: u8 = 0x02;
+const OP_SHADOW: u8 = 0x03;
+
+/// Smallest body: op byte + session id.
+const MIN_BODY_BYTES: usize = 9;
+
+/// One replayable router-state mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateRecord {
+    /// Pin `session` to the backend at `addr`.
+    Pin {
+        /// The pinned session.
+        session: SessionId,
+        /// The owning backend's listen address.
+        addr: String,
+    },
+    /// Remove `session`'s pin.
+    Unpin {
+        /// The unpinned session.
+        session: SessionId,
+    },
+    /// Replace `session`'s shadow checkpoint.
+    Shadow {
+        /// The shadowed session.
+        session: SessionId,
+        /// Last-acked op sequence the blob reflects.
+        seq: u64,
+        /// CHAMFLT checkpoint bytes.
+        blob: Vec<u8>,
+    },
+}
+
+/// Why a CHAMRTE1 log (or record) failed to decode. Mirrors the store's
+/// `RecordError` taxonomy: every way of *shortening* a valid log is
+/// `Truncated` (a torn tail, recoverable by truncation); everything else
+/// is damage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// The log ends mid-record (or mid-header): a torn tail.
+    Truncated,
+    /// The file does not open with [`STATE_MAGIC`].
+    BadMagic,
+    /// A record's length prefix exceeds [`MAX_STATE_RECORD_BYTES`].
+    Oversized {
+        /// The claimed body length.
+        len: u64,
+        /// The enforced cap.
+        max: u64,
+    },
+    /// A record body is too short to hold its opcode's fixed fields.
+    BadLength {
+        /// The claimed body length.
+        len: u64,
+    },
+    /// The record's CRC32 footer does not match its body.
+    BadChecksum {
+        /// CRC computed over the body as read.
+        found: u32,
+        /// CRC the footer claims.
+        expected: u32,
+    },
+    /// An unknown opcode byte.
+    BadOp {
+        /// The opcode as read.
+        op: u8,
+    },
+    /// A pin record's address bytes are not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "state log ends mid-record"),
+            Self::BadMagic => write!(f, "not a CHAMRTE1 state log"),
+            Self::Oversized { len, max } => {
+                write!(f, "state record claims {len} bytes (cap {max})")
+            }
+            Self::BadLength { len } => write!(f, "state record body too short ({len} bytes)"),
+            Self::BadChecksum { found, expected } => {
+                write!(f, "state record checksum {found:#010x} != {expected:#010x}")
+            }
+            Self::BadOp { op } => write!(f, "unknown state record opcode {op:#04x}"),
+            Self::BadUtf8 => write!(f, "pin record address is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+fn encode_body(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_FRAME_BYTES + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+/// Encodes a pin record (framed, ready to append).
+pub fn encode_pin(session: SessionId, addr: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(MIN_BODY_BYTES + addr.len());
+    body.push(OP_PIN);
+    body.extend_from_slice(&session.to_le_bytes());
+    body.extend_from_slice(addr.as_bytes());
+    encode_body(&body)
+}
+
+/// Encodes an unpin record (framed, ready to append).
+pub fn encode_unpin(session: SessionId) -> Vec<u8> {
+    let mut body = Vec::with_capacity(MIN_BODY_BYTES);
+    body.push(OP_UNPIN);
+    body.extend_from_slice(&session.to_le_bytes());
+    encode_body(&body)
+}
+
+/// Encodes a shadow-checkpoint record (framed, ready to append).
+pub fn encode_shadow(session: SessionId, seq: u64, blob: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(MIN_BODY_BYTES + 8 + blob.len());
+    body.push(OP_SHADOW);
+    body.extend_from_slice(&session.to_le_bytes());
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(blob);
+    encode_body(&body)
+}
+
+/// Encodes a [`StateRecord`] (framed, ready to append).
+pub fn encode_state_record(record: &StateRecord) -> Vec<u8> {
+    match record {
+        StateRecord::Pin { session, addr } => encode_pin(*session, addr),
+        StateRecord::Unpin { session } => encode_unpin(*session),
+        StateRecord::Shadow { session, seq, blob } => encode_shadow(*session, *seq, blob),
+    }
+}
+
+/// Decodes the record at the front of `bytes`, returning it and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Any shortening of a valid record is [`StateError::Truncated`]; other
+/// variants report the specific damage.
+pub fn decode_state_record(bytes: &[u8]) -> Result<(StateRecord, usize), StateError> {
+    if bytes.len() < 4 {
+        return Err(StateError::Truncated);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_STATE_RECORD_BYTES {
+        return Err(StateError::Oversized {
+            len: len as u64,
+            max: MAX_STATE_RECORD_BYTES as u64,
+        });
+    }
+    let total = RECORD_FRAME_BYTES + len;
+    if bytes.len() < total {
+        return Err(StateError::Truncated);
+    }
+    let body = &bytes[4..4 + len];
+    let expected = u32::from_le_bytes(bytes[4 + len..total].try_into().expect("4 bytes"));
+    let found = crc32(body);
+    if found != expected {
+        return Err(StateError::BadChecksum { found, expected });
+    }
+    if body.len() < MIN_BODY_BYTES {
+        return Err(StateError::BadLength { len: len as u64 });
+    }
+    let session = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+    let rest = &body[MIN_BODY_BYTES..];
+    let record = match body[0] {
+        OP_PIN => StateRecord::Pin {
+            session,
+            addr: std::str::from_utf8(rest)
+                .map_err(|_| StateError::BadUtf8)?
+                .to_string(),
+        },
+        OP_UNPIN => {
+            if !rest.is_empty() {
+                return Err(StateError::BadLength { len: len as u64 });
+            }
+            StateRecord::Unpin { session }
+        }
+        OP_SHADOW => {
+            if rest.len() < 8 {
+                return Err(StateError::BadLength { len: len as u64 });
+            }
+            StateRecord::Shadow {
+                session,
+                seq: u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")),
+                blob: rest[8..].to_vec(),
+            }
+        }
+        op => return Err(StateError::BadOp { op }),
+    };
+    Ok((record, total))
+}
+
+/// The router image a log replays to: the pin table (by backend address)
+/// and the shadow table (seq-stamped checkpoint blobs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterImage {
+    /// session → owning backend address.
+    pub pins: HashMap<SessionId, String>,
+    /// session → (last-acked op sequence, checkpoint blob).
+    pub shadows: HashMap<SessionId, (u64, Vec<u8>)>,
+}
+
+impl RouterImage {
+    /// Applies one record (later records win).
+    pub fn apply(&mut self, record: StateRecord) {
+        match record {
+            StateRecord::Pin { session, addr } => {
+                self.pins.insert(session, addr);
+            }
+            StateRecord::Unpin { session } => {
+                self.pins.remove(&session);
+            }
+            StateRecord::Shadow { session, seq, blob } => {
+                self.shadows.insert(session, (seq, blob));
+            }
+        }
+    }
+
+    /// Bytes a compacted log of this image would occupy (framing
+    /// included) — the live size the compaction trigger compares against.
+    pub fn encoded_len(&self) -> u64 {
+        let mut total = STATE_MAGIC.len() as u64;
+        for addr in self.pins.values() {
+            total += (RECORD_FRAME_BYTES + MIN_BODY_BYTES + addr.len()) as u64;
+        }
+        for (_, blob) in self.shadows.values() {
+            total += (RECORD_FRAME_BYTES + MIN_BODY_BYTES + 8 + blob.len()) as u64;
+        }
+        total
+    }
+
+    /// Serializes the image as a fresh, minimal log (magic + one record
+    /// per live pin/shadow, in sorted session order for determinism).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = STATE_MAGIC.to_vec();
+        let mut pins: Vec<_> = self.pins.iter().collect();
+        pins.sort_by_key(|(session, _)| **session);
+        for (session, addr) in pins {
+            out.extend_from_slice(&encode_pin(*session, addr));
+        }
+        let mut shadows: Vec<_> = self.shadows.iter().collect();
+        shadows.sort_by_key(|(session, _)| **session);
+        for (session, (seq, blob)) in shadows {
+            out.extend_from_slice(&encode_shadow(*session, *seq, blob));
+        }
+        out
+    }
+}
+
+/// Replays a whole log image from bytes (magic + records).
+///
+/// Returns the image and the offset of the first undecodable byte (==
+/// `bytes.len()` for a clean log). A trailing [`StateError::Truncated`]
+/// is *not* an error — it is the expected signature of a crash mid-append
+/// and the tail is simply ignored, mirroring the store's torn-tail rule.
+/// Any other damage is fatal: a CRC-sealed record that fails its checksum
+/// mid-file means the log cannot be trusted past that point either, so
+/// the same truncation applies, but the error is surfaced so callers can
+/// count it.
+///
+/// # Errors
+///
+/// [`StateError::BadMagic`] if the header is wrong; otherwise `Ok` with
+/// the clean prefix replayed and `damage` describing why replay stopped
+/// early (`None` for a clean log or a plain torn tail... see
+/// [`DecodedState::damage`]).
+pub fn decode_state(bytes: &[u8]) -> Result<DecodedState, StateError> {
+    let head = bytes.len().min(STATE_MAGIC.len());
+    if bytes[..head] != STATE_MAGIC[..head] {
+        return Err(StateError::BadMagic);
+    }
+    if bytes.len() < STATE_MAGIC.len() {
+        // An empty or partially written header: nothing to replay.
+        return Ok(DecodedState {
+            image: RouterImage::default(),
+            clean_len: bytes.len(),
+            records: 0,
+            damage: if bytes.is_empty() {
+                None
+            } else {
+                Some(StateError::Truncated)
+            },
+        });
+    }
+    let mut image = RouterImage::default();
+    let mut offset = STATE_MAGIC.len();
+    let mut records = 0u64;
+    let mut damage = None;
+    while offset < bytes.len() {
+        match decode_state_record(&bytes[offset..]) {
+            Ok((record, used)) => {
+                image.apply(record);
+                offset += used;
+                records += 1;
+            }
+            Err(error) => {
+                damage = Some(error);
+                break;
+            }
+        }
+    }
+    Ok(DecodedState {
+        image,
+        clean_len: offset,
+        records,
+        damage,
+    })
+}
+
+/// Result of replaying a log's bytes: the image from the clean prefix,
+/// where that prefix ends, and what (if anything) stopped replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedState {
+    /// Image replayed from the clean prefix.
+    pub image: RouterImage,
+    /// Byte offset the clean prefix ends at.
+    pub clean_len: usize,
+    /// Records replayed.
+    pub records: u64,
+    /// `None` for a clean log; `Some(Truncated)` for a torn tail;
+    /// anything else is mid-file damage (still recovered by truncation,
+    /// but worth counting separately).
+    pub damage: Option<StateError>,
+}
+
+/// Counters the state log keeps about itself, surfaced through the
+/// router's observation under `route.state_*` names.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateLogCounters {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Bytes appended since open (framing included).
+    pub append_bytes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Bytes truncated off the tail at open (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// The file-backed CHAMRTE1 log. Appends are `write_all` +
+/// `sync_data` — an acked pin or shadow survives a SIGKILL of the router
+/// process, the same durability bar the session store sets.
+#[derive(Debug)]
+pub struct StateLog {
+    file: File,
+    path: PathBuf,
+    dir: PathBuf,
+    bytes: u64,
+    counters: StateLogCounters,
+}
+
+/// Compaction triggers once the log is both past this floor and more
+/// than four times its live size — small logs are never worth rewriting.
+const COMPACT_FLOOR_BYTES: u64 = 1024 * 1024;
+
+impl StateLog {
+    /// Opens (creating if needed) `dir/ROUTER.log`, replays it, truncates
+    /// any torn or damaged tail, and returns the log handle plus the
+    /// recovered image.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a file whose header is not CHAMRTE1 (a state dir
+    /// pointed at something that is not a router-state log is refused
+    /// rather than clobbered).
+    pub fn open(dir: &Path) -> std::io::Result<(Self, RouterImage)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("ROUTER.log");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(STATE_MAGIC)?;
+            file.sync_data()?;
+            bytes.extend_from_slice(STATE_MAGIC);
+        }
+        let decoded = decode_state(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut counters = StateLogCounters::default();
+        if decoded.clean_len < bytes.len() {
+            // Torn tail (or damage): keep the clean prefix, drop the rest.
+            counters.truncated_bytes = (bytes.len() - decoded.clean_len) as u64;
+            file.set_len(decoded.clean_len as u64)?;
+            file.sync_data()?;
+        }
+        Ok((
+            Self {
+                file,
+                path,
+                dir: dir.to_path_buf(),
+                bytes: decoded.clean_len as u64,
+                counters,
+            },
+            decoded.image,
+        ))
+    }
+
+    /// Appends one already-framed record durably.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write or fsync failure.
+    pub fn append(&mut self, framed: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(framed)?;
+        self.file.sync_data()?;
+        self.bytes += framed.len() as u64;
+        self.counters.appends += 1;
+        self.counters.append_bytes += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Whether the log has grown enough past `live` (the current image's
+    /// [`RouterImage::encoded_len`]) to be worth compacting.
+    pub fn wants_compaction(&self, live: u64) -> bool {
+        self.bytes > COMPACT_FLOOR_BYTES && self.bytes > live.saturating_mul(4)
+    }
+
+    /// Rewrites the log as `image`'s minimal form: write a sibling temp
+    /// file, fsync it, atomically rename it over the log, fsync the
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O failure; the original log is untouched on error.
+    pub fn compact(&mut self, image: &RouterImage) -> std::io::Result<()> {
+        let tmp = self.dir.join("ROUTER.log.tmp");
+        let encoded = image.encode();
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&encoded)?;
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_data();
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.bytes = encoded.len() as u64;
+        self.counters.compactions += 1;
+        Ok(())
+    }
+
+    /// Snapshot of the log's self-counters.
+    pub fn counters(&self) -> StateLogCounters {
+        self.counters
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> RouterImage {
+        let mut image = RouterImage::default();
+        image.pins.insert(7, "127.0.0.1:7411".to_string());
+        image.pins.insert(3, "127.0.0.1:7412".to_string());
+        image.shadows.insert(7, (4, vec![0xAB; 96]));
+        image
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            StateRecord::Pin {
+                session: 42,
+                addr: "10.0.0.1:9000".to_string(),
+            },
+            StateRecord::Unpin { session: 42 },
+            StateRecord::Shadow {
+                session: 42,
+                seq: 17,
+                blob: vec![1, 2, 3, 4, 5],
+            },
+        ];
+        for record in &records {
+            let framed = encode_state_record(record);
+            let (decoded, used) = decode_state_record(&framed).expect("roundtrip");
+            assert_eq!(&decoded, record);
+            assert_eq!(used, framed.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_truncated() {
+        // The invariant torn-tail recovery rests on: any prefix of a
+        // valid record decodes to Truncated, never to a scarier error.
+        let framed = encode_shadow(9, 3, &[7u8; 33]);
+        for cut in 0..framed.len() {
+            assert_eq!(
+                decode_state_record(&framed[..cut]),
+                Err(StateError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_roundtrips_through_encode_decode() {
+        let image = sample_image();
+        let decoded = decode_state(&image.encode()).expect("valid log");
+        assert_eq!(decoded.image, image);
+        assert_eq!(decoded.damage, None);
+        assert_eq!(decoded.clean_len as u64, image.encoded_len());
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_damaged_record() {
+        let mut log = STATE_MAGIC.to_vec();
+        log.extend_from_slice(&encode_pin(1, "a:1"));
+        let clean = log.len();
+        log.extend_from_slice(&encode_pin(2, "b:2"));
+        log[clean + 6] ^= 0x10; // inside the second record's body
+        let decoded = decode_state(&log).expect("magic intact");
+        assert_eq!(decoded.records, 1);
+        assert_eq!(decoded.clean_len, clean);
+        assert!(matches!(
+            decoded.damage,
+            Some(StateError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut framed = (u32::MAX).to_le_bytes().to_vec();
+        framed.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decode_state_record(&framed),
+            Err(StateError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_recovers_clean_prefix() {
+        let dir = std::env::temp_dir().join(format!("chamrte1-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut log, image) = StateLog::open(&dir).expect("fresh open");
+            assert_eq!(image, RouterImage::default());
+            log.append(&encode_pin(5, "127.0.0.1:7411"))
+                .expect("append");
+            log.append(&encode_shadow(5, 2, &[9u8; 40]))
+                .expect("append");
+        }
+        // Crash mid-append: garbage half-record at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("ROUTER.log"))
+                .expect("reopen");
+            f.write_all(&[0x55; 7]).expect("tear");
+        }
+        let (log, image) = StateLog::open(&dir).expect("recovering open");
+        assert_eq!(log.counters().truncated_bytes, 7);
+        assert_eq!(
+            image.pins.get(&5).map(String::as_str),
+            Some("127.0.0.1:7411")
+        );
+        assert_eq!(image.shadows.get(&5), Some(&(2, vec![9u8; 40])));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_only_the_live_image() {
+        let dir = std::env::temp_dir().join(format!("chamrte1-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut log, _) = StateLog::open(&dir).expect("fresh open");
+        // Many superseded shadows for one session: the live image is one
+        // record, the log is many.
+        let mut image = RouterImage::default();
+        for seq in 1..=50u64 {
+            log.append(&encode_shadow(1, seq, &[seq as u8; 64]))
+                .expect("append");
+        }
+        image.shadows.insert(1, (50, vec![50u8; 64]));
+        image.pins.insert(1, "127.0.0.1:7411".to_string());
+        log.append(&encode_pin(1, "127.0.0.1:7411"))
+            .expect("append");
+        let before = log.bytes();
+        log.compact(&image).expect("compact");
+        assert!(log.bytes() < before);
+        assert_eq!(log.bytes(), image.encoded_len());
+        drop(log);
+        let (log, recovered) = StateLog::open(&dir).expect("reopen");
+        assert_eq!(recovered, image);
+        assert_eq!(log.counters().truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,8 +13,16 @@
 //!   blocking, so one saturated shard never stalls the serving layer;
 //! * **connection workers** pull accepted sockets from a shared queue and
 //!   speak CHAMWIRE: split frames, verify CRCs, decode requests, forward
-//!   to the engine, write the reply. Read timeouts double as the idle
-//!   clock — a connection silent past `idle_timeout` is reaped;
+//!   to the engine. Requests are served *pipelined*: the worker keeps
+//!   reading and dispatching frames while earlier requests are still in
+//!   the engine, and a per-connection **writer thread** sends responses
+//!   back as they resolve — out of order is fine, the correlation id is
+//!   what pairs them. One slow request therefore never head-of-line
+//!   blocks the socket, and a peer multiplexing many logical streams
+//!   over a single connection (the router's per-backend connection) gets
+//!   full engine-side parallelism from one socket. Read timeouts double
+//!   as the idle clock — a connection silent past `idle_timeout` is
+//!   reaped;
 //! * the **acceptor** admits sockets into the bounded worker queue; when
 //!   the queue is full it turns the connection away with a `RetryAfter`
 //!   frame rather than letting it queue unbounded.
@@ -124,11 +132,39 @@ impl ServeConfig {
     }
 }
 
-/// One decoded request on its way to the engine thread, with the channel
-/// the connection worker is blocked on.
+/// One decoded request on its way to the engine thread, carrying the wire
+/// correlation id and the frame's start timestamp so the reply can be
+/// written (and its latency priced) by the connection's writer thread.
 struct EngineOp {
     request: Request,
-    reply: mpsc::Sender<Response>,
+    correlation: u64,
+    started: u64,
+    reply: mpsc::Sender<Outbound>,
+}
+
+/// One response on its way to a connection's writer thread. Responses may
+/// arrive out of order relative to their requests — the correlation id is
+/// what lets the peer pair them back up.
+struct Outbound {
+    correlation: u64,
+    started: u64,
+    response: Response,
+}
+
+/// What the engine remembers about an accepted fleet request until the
+/// fleet acknowledges it.
+struct PendingReply {
+    correlation: u64,
+    started: u64,
+    reply: mpsc::Sender<Outbound>,
+}
+
+fn answer(reply: &mpsc::Sender<Outbound>, correlation: u64, started: u64, response: Response) {
+    let _ = reply.send(Outbound {
+        correlation,
+        started,
+        response,
+    });
 }
 
 /// Everything a connection worker needs, cloned once per worker thread.
@@ -346,7 +382,7 @@ fn engine_loop(
 ) {
     let retry_millis = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
     let mut next_correlation: u64 = 1;
-    let mut pending: HashMap<u64, mpsc::Sender<Response>> = HashMap::new();
+    let mut pending: HashMap<u64, PendingReply> = HashMap::new();
     // The balancer lives here because migration needs exclusive engine
     // access; it ticks between ops, so a migration never interleaves with
     // a request's submit/acknowledge pair.
@@ -375,22 +411,37 @@ fn engine_loop(
     // Every accepted fleet request is acknowledged by exactly one event;
     // resolve them all before dropping the engine (which joins shards).
     for event in fleet.drain_pending() {
-        if let Some(reply) = pending.remove(&event.correlation) {
-            let _ = reply.send(event_response(event.kind));
+        if let Some(p) = pending.remove(&event.correlation) {
+            answer(
+                &p.reply,
+                p.correlation,
+                p.started,
+                event_response(event.kind),
+            );
         }
     }
-    for (_, reply) in pending.drain() {
-        let _ = reply.send(Response::Error {
-            code: ErrorCode::EngineDown,
-            message: "server shut down before the request resolved".to_string(),
-        });
+    for (_, p) in pending.drain() {
+        answer(
+            &p.reply,
+            p.correlation,
+            p.started,
+            Response::Error {
+                code: ErrorCode::EngineDown,
+                message: "server shut down before the request resolved".to_string(),
+            },
+        );
     }
 }
 
-fn flush_events(fleet: &mut FleetEngine, pending: &mut HashMap<u64, mpsc::Sender<Response>>) {
+fn flush_events(fleet: &mut FleetEngine, pending: &mut HashMap<u64, PendingReply>) {
     for event in fleet.drain() {
-        if let Some(reply) = pending.remove(&event.correlation) {
-            let _ = reply.send(event_response(event.kind));
+        if let Some(p) = pending.remove(&event.correlation) {
+            answer(
+                &p.reply,
+                p.correlation,
+                p.started,
+                event_response(event.kind),
+            );
         }
     }
 }
@@ -398,16 +449,24 @@ fn flush_events(fleet: &mut FleetEngine, pending: &mut HashMap<u64, mpsc::Sender
 fn handle_op(
     fleet: &mut FleetEngine,
     op: EngineOp,
-    pending: &mut HashMap<u64, mpsc::Sender<Response>>,
+    pending: &mut HashMap<u64, PendingReply>,
     next_correlation: &mut u64,
     metrics: &ServeMetrics,
     retry_millis: u32,
     balancer: Option<&Balancer>,
 ) {
+    // The fleet's internal correlation space is the engine's own — the
+    // wire correlation rides alongside in `pending` and stamps the reply.
+    let EngineOp {
+        request,
+        correlation: wire,
+        started,
+        reply,
+    } = op;
     let correlation = *next_correlation;
-    let submitted = match op.request {
+    let submitted = match request {
         Request::Ping => {
-            let _ = op.reply.send(Response::Pong);
+            answer(&reply, wire, started, Response::Pong);
             return;
         }
         Request::Stats => {
@@ -422,13 +481,17 @@ fn handle_op(
                 trace: fm.merged_trace(),
                 serve: metrics.snapshot(),
             };
-            let _ = op.reply.send(Response::Stats(Box::new(snapshot)));
+            answer(&reply, wire, started, Response::Stats(Box::new(snapshot)));
             return;
         }
         Request::Observe => {
-            let _ = op.reply.send(Response::Observed(Box::new(build_observation(
-                fleet, metrics, balancer,
-            ))));
+            let observation = build_observation(fleet, metrics, balancer);
+            answer(
+                &reply,
+                wire,
+                started,
+                Response::Observed(Box::new(observation)),
+            );
             return;
         }
         Request::Probe => {
@@ -441,7 +504,7 @@ fn handle_op(
                 sessions_cold: fm.sessions_cold() as u64,
                 in_flight: fleet.pending() as u64,
             };
-            let _ = op.reply.send(Response::ProbeAck(summary));
+            answer(&reply, wire, started, Response::ProbeAck(summary));
             return;
         }
         Request::CreateSession { session, spec } => {
@@ -471,10 +534,22 @@ fn handle_op(
     match submitted {
         Ok(()) => {
             *next_correlation += 1;
-            pending.insert(correlation, op.reply);
+            pending.insert(
+                correlation,
+                PendingReply {
+                    correlation: wire,
+                    started,
+                    reply,
+                },
+            );
         }
         Err(error) => {
-            let _ = op.reply.send(fleet_error_response(&error, retry_millis));
+            answer(
+                &reply,
+                wire,
+                started,
+                fleet_error_response(&error, retry_millis),
+            );
         }
     }
 }
@@ -734,6 +809,22 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    // The reader half (this thread) and the writer half share the socket:
+    // responses stream back as they resolve while further requests are
+    // still being read, paired by correlation id.
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = mpsc::channel::<Outbound>();
+    let writer_dead = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let ctx = ctx.clone();
+        let dead = Arc::clone(&writer_dead);
+        std::thread::Builder::new()
+            .name("serve-writer".to_string())
+            .spawn(move || writer_loop(&ctx, writer_stream, &out_rx, &dead))
+            .expect("spawn connection writer")
+    };
     let mut buf: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 16 * 1024];
     // Idle reaping reads the injected clock: each read timeout is a
@@ -742,41 +833,42 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     // the test advances time.
     let mut last_activity = ctx.clock.now_nanos();
     let idle_timeout_nanos = ctx.idle_timeout.as_nanos() as u64;
-    loop {
-        // Serve every complete frame already buffered before reading more.
+    'conn: loop {
+        // Dispatch every complete frame already buffered before reading
+        // more; none of these dispatches blocks on the engine.
         loop {
             match split_frame(&buf, ctx.max_payload) {
                 FrameSplit::NeedMore => break,
                 FrameSplit::Frame { payload, used } => {
                     buf.drain(..used);
-                    if !serve_one(ctx, &mut stream, &payload) {
-                        return;
-                    }
+                    serve_one(ctx, &out_tx, &payload);
                 }
                 FrameSplit::Corrupt {
                     used,
                     correlation,
                     error,
                 } => {
+                    // requests_failed is counted by the writer when it
+                    // sends the Error response — not here, or the reject
+                    // would be double-counted.
                     ServeMetrics::add(&ctx.metrics.decode_rejects, 1);
-                    ServeMetrics::add(&ctx.metrics.requests_failed, 1);
                     let reply = Response::Error {
                         code: ErrorCode::BadRequest,
                         message: error.to_string(),
                     };
-                    let wrote = write_response(ctx, &mut stream, correlation, &reply);
-                    if used == 0 || !wrote {
-                        return; // desynchronized: nothing after this parses
+                    answer(&out_tx, correlation, ctx.clock.now_nanos(), reply);
+                    if used == 0 {
+                        break 'conn; // desynchronized: nothing after this parses
                     }
                     buf.drain(..used);
                 }
             }
         }
-        if ctx.stop.load(Ordering::Relaxed) {
-            return; // in-flight frames above were finished first
+        if ctx.stop.load(Ordering::Relaxed) || writer_dead.load(Ordering::Relaxed) {
+            break; // in-flight frames above were dispatched first
         }
         match stream.read(&mut scratch) {
-            Ok(0) => return, // clean EOF
+            Ok(0) => break, // clean EOF
             Ok(n) => {
                 last_activity = ctx.clock.now_nanos();
                 ServeMetrics::add(&ctx.metrics.bytes_in, n as u64);
@@ -784,17 +876,22 @@ fn handle_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if ctx.clock.now_nanos().saturating_sub(last_activity) >= idle_timeout_nanos {
-                    return; // reaped
+                    break; // reaped
                 }
             }
-            Err(_) => return,
+            Err(_) => break,
         }
     }
+    // The writer drains what is already queued and exits once every sender
+    // is gone — ours here, and the engine's transient clones as the last
+    // in-flight requests resolve.
+    drop(out_tx);
+    let _ = writer.join();
 }
 
-/// Serves one CRC-valid frame; returns `false` when the connection should
-/// close (write failure).
-fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
+/// Dispatches one CRC-valid frame. Never blocks on the engine: the
+/// response reaches the connection's writer thread via `out`.
+fn serve_one(ctx: &WorkerCtx, out: &mpsc::Sender<Outbound>, payload: &[u8]) {
     let started = ctx.clock.now_nanos();
     ServeMetrics::add(&ctx.metrics.frames_in, 1);
     let (decoded, decode_nanos) = timed(ctx.clock.as_ref(), || Request::decode_payload(payload));
@@ -803,49 +900,63 @@ fn serve_one(ctx: &WorkerCtx, stream: &mut TcpStream, payload: &[u8]) -> bool {
         Ok(decoded) => decoded,
         Err(error) => {
             ServeMetrics::add(&ctx.metrics.decode_rejects, 1);
-            ServeMetrics::add(&ctx.metrics.requests_failed, 1);
             let reply = Response::Error {
                 code: ErrorCode::BadRequest,
                 message: error.to_string(),
             };
-            return write_response(ctx, stream, correlation_of(payload), &reply);
+            answer(out, correlation_of(payload), started, reply);
+            return;
         }
     };
-    let response = match request {
+    match request {
         // Liveness must stay observable even when the engine is saturated.
-        Request::Ping => Response::Pong,
+        Request::Ping => answer(out, correlation, started, Response::Pong),
         request => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            let engine_down = || Response::Error {
-                code: ErrorCode::EngineDown,
-                message: "engine thread is gone".to_string(),
+            let op = EngineOp {
+                request,
+                correlation,
+                started,
+                reply: out.clone(),
             };
-            if ctx
-                .ops
-                .send(EngineOp {
-                    request,
-                    reply: reply_tx,
-                })
-                .is_err()
-            {
-                engine_down()
-            } else {
-                reply_rx.recv().unwrap_or_else(|_| engine_down())
+            if ctx.ops.send(op).is_err() {
+                let reply = Response::Error {
+                    code: ErrorCode::EngineDown,
+                    message: "engine thread is gone".to_string(),
+                };
+                answer(out, correlation, started, reply);
             }
         }
-    };
-    match &response {
-        Response::RetryAfter { .. } => ServeMetrics::add(&ctx.metrics.backpressure_replies, 1),
-        Response::Error { .. } => ServeMetrics::add(&ctx.metrics.requests_failed, 1),
-        _ => ServeMetrics::add(&ctx.metrics.requests_ok, 1),
     }
-    let (wrote, encode_nanos) = timed(ctx.clock.as_ref(), || {
-        write_response(ctx, stream, correlation, &response)
-    });
-    ctx.obs.record(Stage::Encode, encode_nanos);
-    let elapsed = ctx.clock.now_nanos().saturating_sub(started);
-    ctx.metrics.record_latency(Duration::from_nanos(elapsed));
-    wrote
+}
+
+/// Owns the write half of one connection: prices each response, writes it,
+/// and on a write failure faults the reader by shutting the socket down.
+fn writer_loop(
+    ctx: &WorkerCtx,
+    mut stream: TcpStream,
+    out_rx: &Receiver<Outbound>,
+    dead: &AtomicBool,
+) {
+    while let Ok(out) = out_rx.recv() {
+        match &out.response {
+            Response::RetryAfter { .. } => ServeMetrics::add(&ctx.metrics.backpressure_replies, 1),
+            Response::Error { .. } => ServeMetrics::add(&ctx.metrics.requests_failed, 1),
+            _ => ServeMetrics::add(&ctx.metrics.requests_ok, 1),
+        }
+        let (wrote, encode_nanos) = timed(ctx.clock.as_ref(), || {
+            write_response(ctx, &mut stream, out.correlation, &out.response)
+        });
+        ctx.obs.record(Stage::Encode, encode_nanos);
+        let elapsed = ctx.clock.now_nanos().saturating_sub(out.started);
+        ctx.metrics.record_latency(Duration::from_nanos(elapsed));
+        if !wrote {
+            // The peer stopped reading (or is gone): poison the connection
+            // so the reader stops feeding it and unblock its pending read.
+            dead.store(true, Ordering::Relaxed);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+    }
 }
 
 fn write_response(

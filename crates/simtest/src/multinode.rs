@@ -14,6 +14,12 @@
 //!   caches (a network-partition window looks identical from the
 //!   session's perspective: ops stop reaching the node, and recovery
 //!   re-homes from the last acknowledged state).
+//! - **RouterRestart**: the routing tier itself crashes and restarts.
+//!   The cluster's routing state (placement pins + seq-stamped shadows)
+//!   is pushed through the real CHAMRTE1 codec from `chameleon-route`
+//!   and decoded back, and the schedule only continues if the restarted
+//!   view is bit-identical — the in-sim twin of the router's
+//!   `--state-dir` recovery path.
 //!
 //! The invariant proved per seed is **placement invisibility**:
 //! checkpoint restore resets transient training state *by design* (see
@@ -52,6 +58,10 @@ pub enum Disruption {
         /// Node to kill.
         node: usize,
     },
+    /// Crash-and-restart the routing tier: round-trip its state through
+    /// the CHAMRTE1 codec and require the recovered view to be
+    /// bit-identical.
+    RouterRestart,
 }
 
 /// Seed-derived disruption plan: `(op_index, disruption)` pairs, applied
@@ -66,7 +76,9 @@ pub fn disruption_plan(seed: u64, ops: usize, nodes: usize) -> Vec<(usize, Disru
         if !rng.chance(1, 6) {
             continue;
         }
-        if alive > 1 && rng.chance(1, 3) {
+        if rng.chance(1, 4) {
+            plan.push((index, Disruption::RouterRestart));
+        } else if alive > 1 && rng.chance(1, 3) {
             // The specific victim is resolved at apply time (first node
             // still alive counting from the drawn index), so the plan
             // stays valid however earlier kills landed.
@@ -112,6 +124,9 @@ pub struct RouteSeedOutcome {
     pub kills: u64,
     /// Sessions re-homed out of killed nodes.
     pub recovered: u64,
+    /// Router crash/restart cycles survived (CHAMRTE1 state round-trips
+    /// proven bit-identical).
+    pub router_restarts: u64,
     /// Whether the case ran under an injected fault plan.
     pub faulted: bool,
     /// CRC32 over every per-session observable log, in id order.
@@ -132,12 +147,16 @@ struct Cluster {
     alive: Vec<bool>,
     placement: HashMap<SessionId, usize>,
     shadows: HashMap<SessionId, Vec<u8>>,
+    /// Per-session shadow refresh count — the op-sequence stamp the
+    /// routing tier writes next to each shadow in its CHAMRTE1 log.
+    shadow_seqs: HashMap<SessionId, u64>,
     logs: HashMap<SessionId, Vec<u8>>,
     seed: u64,
     trace: Trace,
     handoffs: u64,
     kills: u64,
     recovered: u64,
+    router_restarts: u64,
 }
 
 impl Cluster {
@@ -163,12 +182,14 @@ impl Cluster {
             alive: vec![true; nodes],
             placement: HashMap::new(),
             shadows: HashMap::new(),
+            shadow_seqs: HashMap::new(),
             logs: HashMap::new(),
             seed,
             trace: Trace::new(),
             handoffs: 0,
             kills: 0,
             recovered: 0,
+            router_restarts: 0,
         }
     }
 
@@ -195,6 +216,7 @@ impl Cluster {
         for event in self.engines[node].drain_pending() {
             if let SessionEventKind::Checkpointed(blob) = &event.kind {
                 self.shadows.insert(event.session, blob.clone());
+                *self.shadow_seqs.entry(event.session).or_insert(0) += 1;
             }
             let log = self.logs.entry(event.session).or_default();
             encode_event(log, &event, ShardScope::Exclude);
@@ -273,8 +295,65 @@ impl Cluster {
         self.drain_to_bin(new);
         self.placement.insert(session, new);
         self.shadows.insert(session, blob);
+        *self.shadow_seqs.entry(session).or_insert(0) += 1;
         self.trace.push((op_index, session));
         self.handoffs += 1;
+        Ok(())
+    }
+
+    /// Crash-and-restart of the routing tier: serialize the cluster's
+    /// routing state (placement pins keyed by a stable node address,
+    /// shadows stamped with their refresh sequence) through the real
+    /// CHAMRTE1 codec, decode it back, and require the recovered view to
+    /// match bit for bit. Placement must survive exactly, or a restarted
+    /// router would re-derive different owners and break invisibility.
+    fn router_restart(&mut self) -> Result<(), String> {
+        use chameleon_route::state;
+        let mut log: Vec<u8> = state::STATE_MAGIC.to_vec();
+        let mut sessions: Vec<SessionId> = self.placement.keys().copied().collect();
+        sessions.sort_unstable();
+        for &session in &sessions {
+            log.extend_from_slice(&state::encode_pin(
+                session,
+                &format!("node-{}", self.placement[&session]),
+            ));
+        }
+        let mut shadowed: Vec<SessionId> = self.shadows.keys().copied().collect();
+        shadowed.sort_unstable();
+        for &session in &shadowed {
+            let seq = self.shadow_seqs.get(&session).copied().unwrap_or(0);
+            log.extend_from_slice(&state::encode_shadow(session, seq, &self.shadows[&session]));
+        }
+        let decoded = state::decode_state(&log)
+            .map_err(|e| format!("router restart: state log unreadable: {e}"))?;
+        if let Some(damage) = decoded.damage {
+            return Err(format!("router restart: state log damaged: {damage}"));
+        }
+        for &session in &sessions {
+            let expected = format!("node-{}", self.placement[&session]);
+            if decoded.image.pins.get(&session) != Some(&expected) {
+                return Err(format!(
+                    "router restart: session {session} pin did not survive the \
+                     CHAMRTE1 round-trip"
+                ));
+            }
+        }
+        if decoded.image.pins.len() != sessions.len() {
+            return Err("router restart: recovered pin table has extra entries".to_string());
+        }
+        for &session in &shadowed {
+            let seq = self.shadow_seqs.get(&session).copied().unwrap_or(0);
+            match decoded.image.shadows.get(&session) {
+                Some((s, blob)) if *s == seq && *blob == self.shadows[&session] => {}
+                _ => {
+                    return Err(format!(
+                        "router restart: session {session} shadow (seq {seq}) did not \
+                         survive the CHAMRTE1 round-trip"
+                    ));
+                }
+            }
+        }
+        self.router_restarts += 1;
         Ok(())
     }
 
@@ -358,6 +437,7 @@ fn run_cluster(
             match disruption {
                 Disruption::Handoff { session } => cluster.handoff(*at, *session)?,
                 Disruption::Kill { node } => cluster.kill(*at, *node)?,
+                Disruption::RouterRestart => cluster.router_restart()?,
             }
         }
         cluster
@@ -530,6 +610,7 @@ pub fn check_route_seed(
         handoffs: cluster.handoffs,
         kills: cluster.kills,
         recovered: cluster.recovered,
+        router_restarts: cluster.router_restarts,
         faulted: script::fault_plan(seed).is_some(),
         log_digest: crc32(&log_concat),
         checkpoint_crc: crc32(&blob_concat),
@@ -568,6 +649,15 @@ mod tests {
             assert_eq!(a, b, "outcome of route seed {seed} not reproducible");
             assert_eq!(a.faulted, seed % 2 == 1);
         }
+    }
+
+    #[test]
+    fn plans_schedule_router_restarts() {
+        let restarts = (0..32u64)
+            .flat_map(|seed| disruption_plan(seed, 20, 3))
+            .filter(|(_, d)| *d == Disruption::RouterRestart)
+            .count();
+        assert!(restarts > 0, "no seed in 0..32 ever restarts the router");
     }
 
     #[test]

@@ -57,6 +57,15 @@ struct Cluster {
 }
 
 fn start_cluster(n: usize, faults: Option<FaultPlan>) -> Cluster {
+    start_cluster_with(n, faults, ServeConfig::default(), |_| {})
+}
+
+fn start_cluster_with(
+    n: usize,
+    faults: Option<FaultPlan>,
+    serve_config: ServeConfig,
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> Cluster {
     let scenario = scenario();
     let backends: Vec<Server> = (0..n)
         .map(|_| {
@@ -67,12 +76,12 @@ fn start_cluster(n: usize, faults: Option<FaultPlan>) -> Cluster {
                     faults,
                     ..FleetConfig::default()
                 },
-                ServeConfig::default(),
+                serve_config.clone(),
             )
             .expect("start backend")
         })
         .collect();
-    let router = Router::start(RouterConfig {
+    let mut config = RouterConfig {
         addr: "127.0.0.1:0".into(),
         backends: backends
             .iter()
@@ -80,8 +89,9 @@ fn start_cluster(n: usize, faults: Option<FaultPlan>) -> Cluster {
             .collect(),
         probe_interval: Duration::from_millis(20),
         ..RouterConfig::default()
-    })
-    .expect("start router");
+    };
+    tweak(&mut config);
+    let router = Router::start(config).expect("start router");
     Cluster { backends, router }
 }
 
@@ -296,6 +306,200 @@ fn external_handoff_frames_are_refused_and_stats_aggregate() {
     assert_eq!(observation.counter("route.backends_healthy"), Some(2));
     assert!(observation.counter("fleet.batches").unwrap_or(0) > 0);
 
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+}
+
+/// SIGKILL-the-router: shut the router down abruptly mid-run (the state
+/// log even gets a torn tail, as a crashed process would leave), start a
+/// fresh router over the same backends and state dir, and require it to
+/// resume routing, pinning, and shadow failover exactly where the old
+/// one stopped — with the placement-invisibility contract still holding
+/// bit for bit.
+#[test]
+fn restarted_router_recovers_pins_and_shadows_from_state_log() {
+    let users: [SessionId; 3] = [2, 11, 29];
+    let state_dir =
+        std::env::temp_dir().join(format!("chameleon-route-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let mut cluster = start_cluster_with(2, None, ServeConfig::default(), |config| {
+        config.state_dir = Some(state_dir.clone());
+    });
+    let backend_addrs: Vec<String> = cluster
+        .backends
+        .iter()
+        .map(|s| s.local_addr().to_string())
+        .collect();
+    let mut conn = connect_to(cluster.router.local_addr());
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+        let _ = conn.step(user, 13).expect("step before router restart");
+    }
+    let owners_before: Vec<Option<usize>> =
+        users.iter().map(|&u| cluster.router.owner_of(u)).collect();
+    drop(conn);
+    cluster.router.shutdown();
+
+    // A crashed router can die mid-append: leave a torn partial record
+    // on the log's tail. Recovery must truncate it away, not refuse.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(state_dir.join("ROUTER.log"))
+            .expect("open state log");
+        file.write_all(&[0x55; 7]).expect("append torn tail");
+    }
+
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        backends: backend_addrs,
+        probe_interval: Duration::from_millis(20),
+        state_dir: Some(state_dir.clone()),
+        ..RouterConfig::default()
+    })
+    .expect("restart router over the same state dir");
+    let metrics = router.metrics();
+    assert_eq!(metrics.pins_recovered, users.len() as u64);
+    assert!(
+        metrics.shadows_recovered >= users.len() as u64,
+        "every session must come back with a shadow, got {}",
+        metrics.shadows_recovered
+    );
+    let owners_after: Vec<Option<usize>> = users.iter().map(|&u| router.owner_of(u)).collect();
+    assert_eq!(
+        owners_before, owners_after,
+        "placement must survive restart"
+    );
+
+    // Failover must still fire from the *recovered* shadows: declare the
+    // first user's backend dead on the restarted router.
+    let victim = router.owner_of(users[0]).expect("owner pinned");
+    let moved: BTreeSet<SessionId> = users
+        .iter()
+        .copied()
+        .filter(|&u| router.owner_of(u) == Some(victim))
+        .collect();
+    let recovered = router.mark_dead(victim).expect("mark dead");
+    assert_eq!(recovered, moved.len(), "recovered shadows must re-home");
+
+    let mut conn = connect_to(router.local_addr());
+    let routed: Vec<Outcome> = users
+        .iter()
+        .map(|&user| {
+            conn.run_to_completion(user, 7).expect("finish");
+            let summary = conn.predict(user).expect("predict");
+            let blob = conn.checkpoint(user).expect("checkpoint");
+            (summary, blob)
+        })
+        .collect();
+    let reference = run_single_node_reference(&users, 13, &moved, None);
+    assert_outcomes_match(&routed, &reference, &users);
+
+    let metrics = router.metrics();
+    assert_eq!(metrics.failovers, moved.len() as u64);
+    assert_eq!(metrics.decode_rejects, 0);
+    assert_eq!(metrics.state_append_failures, 0);
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+    drop(router);
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+/// A worker that panics mid-request (here: injected while holding the
+/// registry lock — the worst possible poison) must cost exactly its own
+/// connection. Every other worker, the prober, and the admin API keep
+/// serving off the poisoned locks, and outcomes stay bit-identical.
+#[test]
+fn router_survives_a_worker_panic_and_keeps_serving() {
+    let users: [SessionId; 3] = [2, 11, 29];
+    let panicking = users[1];
+    let mut cluster = start_cluster_with(2, None, ServeConfig::default(), |config| {
+        config.fault_panic_session = Some(panicking);
+    });
+    let mut conn = connect_to(cluster.router.local_addr());
+    for &user in &users {
+        conn.create_session(user, user_spec(user)).expect("create");
+    }
+    let _ = conn.step(users[0], 10).expect("step on a healthy worker");
+    // The injected fault: the worker handling this step panics while
+    // holding the registry lock, before forwarding anything. The client
+    // sees its connection die with no reply; the op was never applied.
+    conn.step(panicking, 10)
+        .expect_err("the panicking worker must drop the connection");
+
+    // A fresh connection lands on a surviving worker; the router must
+    // keep routing off the poisoned locks as if nothing happened.
+    let mut conn = connect_to(cluster.router.local_addr());
+    let _ = conn.step(panicking, 10).expect("step after the panic");
+    let _ = conn.step(users[2], 10).expect("step after the panic");
+    let routed: Vec<Outcome> = users
+        .iter()
+        .map(|&user| {
+            conn.run_to_completion(user, 7).expect("finish");
+            let summary = conn.predict(user).expect("predict");
+            let blob = conn.checkpoint(user).expect("checkpoint");
+            (summary, blob)
+        })
+        .collect();
+    let reference = run_single_node_reference(&users, 10, &BTreeSet::new(), None);
+    assert_outcomes_match(&routed, &reference, &users);
+
+    let metrics = cluster.router.metrics();
+    assert_eq!(metrics.decode_rejects, 0);
+    assert_eq!(
+        cluster
+            .router
+            .backend_states()
+            .iter()
+            .filter(|(_, s)| *s == BackendState::Healthy)
+            .count(),
+        2,
+        "no backend may be blamed for a router-side panic"
+    );
+    for backend in &mut cluster.backends {
+        backend.shutdown();
+    }
+}
+
+/// The deleted sizing rule: backends used to need `serve workers ≥
+/// router workers + 2` or concurrent forwards would deadlock the old
+/// per-worker connection pools into a silent stall. With one
+/// multiplexed connection per backend there is nothing to size — even a
+/// single-worker backend under a full router worker fan-in must make
+/// progress and finish with zero forward failures.
+#[test]
+fn undersized_backend_no_longer_stalls_concurrent_forwards() {
+    let serve_config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let mut cluster = start_cluster_with(1, None, serve_config, |_| {});
+    let addr = cluster.router.local_addr();
+    let handles: Vec<_> = [2u64, 11, 29, 31]
+        .into_iter()
+        .map(|user| {
+            std::thread::spawn(move || {
+                let mut conn = connect_to(addr);
+                conn.create_session(user, user_spec(user)).expect("create");
+                let _ = conn.step(user, 5).expect("step");
+                conn.run_to_completion(user, 7).expect("finish");
+                conn.checkpoint(user).expect("checkpoint")
+            })
+        })
+        .collect();
+    for handle in handles {
+        let blob = handle.join().expect("concurrent session completes");
+        assert_eq!(&blob[..8], &FLEET_MAGIC[..]);
+    }
+    let metrics = cluster.router.metrics();
+    assert_eq!(
+        metrics.forward_failures, 0,
+        "a 1-worker backend must not cost a single forward"
+    );
     for backend in &mut cluster.backends {
         backend.shutdown();
     }
