@@ -102,7 +102,9 @@ pub struct MuxOptions {
     pub request_timeout: Duration,
     /// `RetryAfter` rides before [`MuxError::Saturated`].
     pub retry_budget: u32,
-    /// Clock for deadlines and backoff sleeps.
+    /// Clock for backoff sleeps. Request deadlines deliberately do NOT
+    /// ride this clock: they are measured on a monotonic wall source so
+    /// the timeout guarantee holds even under a frozen simulated clock.
     pub clock: Arc<dyn Clock>,
     /// Seed for backoff jitter (decorrelates workers that are turned
     /// away together).
@@ -242,6 +244,20 @@ impl MuxConnection {
         let frame = encode_frame(&request.encode_payload(correlation));
         let mut was_fresh = false;
         let mut writer = plock(&inner.writer);
+        // Reap a dead generation's reader with the writer lock RELEASED:
+        // its exit path acquires this very lock, so joining while holding
+        // it deadlocks (sender parked in join, reader parked on the lock)
+        // and wedges every worker sharing this backend. Loop because the
+        // lock is given up across the join — another sender may have
+        // reconnected (stream back) or raced us to the handle.
+        while writer.stream.is_none() {
+            let Some(handle) = writer.reader.take() else {
+                break;
+            };
+            drop(writer);
+            let _ = handle.join();
+            writer = plock(&inner.writer);
+        }
         if writer.stream.is_none() {
             was_fresh = true;
             self.connect(&mut writer)?;
@@ -273,14 +289,13 @@ impl MuxConnection {
     }
 
     /// Establishes the socket and spawns its reader. Caller holds the
-    /// writer lock.
+    /// writer lock and has already reaped the previous generation's
+    /// reader thread — never join here: the reader's exit path takes the
+    /// writer lock, so a join under it deadlocks. (A leftover handle, if
+    /// any, is detached by the `writer.reader` assignment below, which is
+    /// safe — generation checks keep a stale reader from touching newer
+    /// requests.)
     fn connect(&self, writer: &mut WriterSlot) -> Result<(), MuxError> {
-        // A reader from a previous generation has torn down by now (it
-        // cleared the stream slot); reap its thread handle before
-        // spawning the next one.
-        if let Some(handle) = writer.reader.take() {
-            let _ = handle.join();
-        }
         let stream =
             TcpStream::connect(&self.inner.addr).map_err(|e| MuxError::Connect(e.to_string()))?;
         let _ = stream.set_nodelay(true);
@@ -311,7 +326,12 @@ impl MuxConnection {
     ) -> Result<Response, MuxError> {
         let inner = &*self.inner;
         let timeout = inner.options.request_timeout;
-        let deadline = inner.options.clock.now_nanos() + timeout.as_nanos() as u64;
+        // Monotonic wall deadline, NOT the injected clock: the condvar
+        // below waits real-time slices, so a deadline on a frozen
+        // simulated clock would never arrive and a wedged backend would
+        // busy-poll forever — the exact silent stall the timeout exists
+        // to type.
+        let started = std::time::Instant::now();
         let mut pending = plock(&inner.pending);
         loop {
             match pending.get(&correlation) {
@@ -333,7 +353,7 @@ impl MuxConnection {
                     })
                 }
             }
-            if inner.options.clock.now_nanos() >= deadline {
+            if started.elapsed() >= timeout {
                 pending.remove(&correlation);
                 drop(pending);
                 // A backend that accepts but never answers is wedged;
@@ -585,5 +605,76 @@ mod tests {
             other => panic!("expected timeout, got {other:?}"),
         }
         hold.join().expect("hold");
+    }
+
+    #[test]
+    fn request_times_out_under_a_frozen_clock() {
+        // The injected clock never advances: the deadline must still
+        // arrive, because it rides a monotonic wall source rather than
+        // the injected clock (whose condvar slices wait real time).
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let hold = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(500));
+            drop(conn);
+        });
+        let mut opts = options();
+        opts.request_timeout = Duration::from_millis(100);
+        opts.clock = Arc::new(chameleon_runtime::VirtualClock::new());
+        let mux = MuxConnection::new(addr.to_string(), opts);
+        match mux.request(&Request::Ping) {
+            Err(MuxError::TimedOut { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        hold.join().expect("hold");
+    }
+
+    #[test]
+    fn timed_out_connection_recovers_on_the_next_request() {
+        // After a timeout tears the connection down, the wedged
+        // generation's reader is still unwinding (its exit path needs
+        // the writer lock). The next request must reap it WITHOUT
+        // deadlocking — joining under the writer lock wedged the whole
+        // mux — then reconnect and succeed.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: accept and never answer.
+            let (wedged, _) = listener.accept().expect("accept");
+            // Second connection (the mux reconnecting): answer properly.
+            let (mut conn, _) = listener.accept().expect("accept");
+            drop(wedged);
+            let mut buf = Vec::new();
+            let mut scratch = [0u8; 4096];
+            loop {
+                let n = conn.read(&mut scratch).expect("read");
+                if n == 0 {
+                    return;
+                }
+                buf.extend_from_slice(&scratch[..n]);
+                if let Ok((payload, _)) = chameleon_serve::wire::decode_frame(
+                    &buf,
+                    chameleon_serve::wire::MAX_PAYLOAD_BYTES,
+                ) {
+                    let (corr, _req) = Request::decode_payload(&payload).expect("decode");
+                    let frame = encode_frame(&Response::Pong.encode_payload(corr));
+                    conn.write_all(&frame).expect("write");
+                    return;
+                }
+            }
+        });
+        let mut opts = options();
+        opts.request_timeout = Duration::from_millis(100);
+        let mux = MuxConnection::new(addr.to_string(), opts);
+        match mux.request(&Request::Ping) {
+            Err(MuxError::TimedOut { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        match mux.request(&Request::Ping) {
+            Ok(Response::Pong) => {}
+            other => panic!("expected Pong after reconnect, got {other:?}"),
+        }
+        server.join().expect("server");
     }
 }

@@ -260,17 +260,24 @@ struct ShadowTable {
 
 /// State shared by workers, the probe thread, and the admin API.
 ///
-/// Lock order where multiple are held: `handoff` → `registry` →
+/// Lock order where multiple are held: per-session op lock (strictly
+/// outermost; the `op_locks` table mutex is only held to clone the Arc
+/// out, never across another acquisition) → `handoff` → `registry` →
 /// `shadows` → `state`. `Shared::persist` is only called with none of
-/// the first three held (its compaction path re-acquires registry and
-/// shadows while holding the state lock, which is safe because no thread
-/// holds registry/shadows and then waits on state).
+/// handoff/registry/shadows held (its compaction path re-acquires
+/// registry and shadows while holding the state lock, which is safe
+/// because no thread holds registry/shadows and then waits on state).
 struct Shared {
     registry: Mutex<Registry>,
     shadows: Mutex<ShadowTable>,
     /// Serializes session moves (drain, failover) so two threads never
     /// re-home the same session to different backends concurrently.
     handoff: Mutex<()>,
+    /// Per-session locks serializing *mutating* ops (create, step): op
+    /// sequences are minted as `acked + 1`, which is only unique — and
+    /// the shadow-stamp comparison in [`skip_failover_replay`] only
+    /// sound — while a single mutating op per session is in flight.
+    op_locks: Mutex<HashMap<SessionId, Arc<Mutex<()>>>>,
     /// The durable CHAMRTE1 log, when a state dir is configured.
     state: Option<Mutex<StateLog>>,
     /// One multiplexed connection per backend, shared by every worker
@@ -294,13 +301,29 @@ impl Shared {
         self.persist(state::encode_pin(session, &addr));
     }
 
+    /// The lock serializing mutating ops on `session` (created on first
+    /// use). The table mutex is released before the returned lock is
+    /// taken, so it never nests inside another acquisition.
+    fn op_lock(&self, session: SessionId) -> Arc<Mutex<()>> {
+        Arc::clone(plock(&self.op_locks).entry(session).or_default())
+    }
+
     /// Replaces `session`'s shadow (seq-stamped) in memory and in the
-    /// durable log.
+    /// durable log — unless the table already holds a *newer* stamp, in
+    /// which case this refresh lost the race and is dropped: regressing
+    /// a shadow to an older sequence would re-expose an op the newer
+    /// checkpoint already captured. (The log append happens outside the
+    /// shadows lock, so append order may still invert; replay keeps the
+    /// max-seq record per session to match.)
     fn store_shadow(&self, session: SessionId, seq: u64, blob: Vec<u8>) {
         let framed = state::encode_shadow(session, seq, &blob);
-        plock(&self.shadows)
-            .entries
-            .insert(session, Shadow { seq, blob });
+        {
+            let mut shadows = plock(&self.shadows);
+            if matches!(shadows.entries.get(&session), Some(existing) if existing.seq > seq) {
+                return;
+            }
+            shadows.entries.insert(session, Shadow { seq, blob });
+        }
         self.persist(framed);
     }
 
@@ -519,14 +542,22 @@ fn route_session_op(ctx: &Ctx, session: SessionId, request: &Request) -> Respons
         panic!("injected route-worker panic (fault_panic_session)");
     }
     let is_create = matches!(request, Request::CreateSession { .. });
+    let is_mutating = matches!(
+        request,
+        Request::CreateSession { .. } | Request::Step { .. }
+    );
+    // Mutating ops on one session run serialized: two concurrent ops
+    // minting `acked + 1` would share a sequence, and a shadow refreshed
+    // by one would satisfy `shadow_seq >= op_seq` for the other in
+    // `skip_failover_replay` — silently dropping a genuinely unapplied
+    // op on failover. The lock is held across send + ack + shadow
+    // refresh so sequence order equals application order.
+    let op_lock = is_mutating.then(|| shared.op_lock(session));
+    let _op_guard = op_lock.as_ref().map(|lock| plock(lock));
     // The op sequence this mutating op will occupy once acked: stamps the
     // post-op shadow, and on failover proves whether the recovered shadow
     // already captured it.
-    let op_seq = matches!(
-        request,
-        Request::CreateSession { .. } | Request::Step { .. }
-    )
-    .then(|| shared.acked_seq(session) + 1);
+    let op_seq = is_mutating.then(|| shared.acked_seq(session) + 1);
     let attempts = plock(&shared.registry).len() + 1;
     let mut exclude = None;
     for _ in 0..attempts {
@@ -887,6 +918,7 @@ impl Router {
             registry: Mutex::new(registry),
             shadows: Mutex::new(shadow_table),
             handoff: Mutex::new(()),
+            op_locks: Mutex::new(HashMap::new()),
             state,
             mux,
             metrics: RouteMetrics::default(),

@@ -24,7 +24,12 @@
 //!   captured).
 //!
 //! Later records win, so replaying the log front to back reproduces the
-//! router's final image. When the log grows well past its live size it
+//! router's final image — except shadow records, where the *highest
+//! sequence stamp* wins: appends happen outside the router's shadow
+//! lock, so two refreshes of one session can land in the log in the
+//! opposite order of their in-memory application, and last-record-wins
+//! would let a restarted router regress to the older checkpoint. When
+//! the log grows well past its live size it
 //! is compacted: the current image is written to a sibling file that is
 //! atomically renamed over the log.
 //!
@@ -257,7 +262,9 @@ pub struct RouterImage {
 }
 
 impl RouterImage {
-    /// Applies one record (later records win).
+    /// Applies one record (later records win, except a shadow stamped
+    /// *older* than the one already held, which is dropped — see the
+    /// module docs on append-order inversion).
     pub fn apply(&mut self, record: StateRecord) {
         match record {
             StateRecord::Pin { session, addr } => {
@@ -267,6 +274,9 @@ impl RouterImage {
                 self.pins.remove(&session);
             }
             StateRecord::Shadow { session, seq, blob } => {
+                if matches!(self.shadows.get(&session), Some((held, _)) if *held > seq) {
+                    return;
+                }
                 self.shadows.insert(session, (seq, blob));
             }
         }
@@ -429,14 +439,23 @@ impl StateLog {
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        if bytes.is_empty() {
+        let mut counters = StateLogCounters::default();
+        if bytes.len() < STATE_MAGIC.len() {
+            // Fresh file, or a crash during creation left a partial
+            // header. Nothing decodable lives in under 8 bytes, so start
+            // the header over — appending after a partial magic would
+            // make every later open fail with BadMagic, permanently
+            // refusing the state dir.
+            if !bytes.is_empty() {
+                counters.truncated_bytes = bytes.len() as u64;
+                file.set_len(0)?;
+            }
             file.write_all(STATE_MAGIC)?;
             file.sync_data()?;
-            bytes.extend_from_slice(STATE_MAGIC);
+            bytes = STATE_MAGIC.to_vec();
         }
         let decoded = decode_state(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut counters = StateLogCounters::default();
         if decoded.clean_len < bytes.len() {
             // Torn tail (or damage): keep the clean prefix, drop the rest.
             counters.truncated_bytes = (bytes.len() - decoded.clean_len) as u64;
@@ -623,6 +642,50 @@ mod tests {
         );
         assert_eq!(image.shadows.get(&5), Some(&(2, vec![9u8; 40])));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_recovers_from_a_torn_initial_header() {
+        // A crash during creation can leave fewer than 8 magic bytes.
+        // Open must restart the header — appending after a partial magic
+        // would make every later open fail with BadMagic forever.
+        let dir = std::env::temp_dir().join(format!("chamrte1-torn-head-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("ROUTER.log"), &STATE_MAGIC[..3]).expect("partial header");
+        {
+            let (mut log, image) = StateLog::open(&dir).expect("open over torn header");
+            assert_eq!(image, RouterImage::default());
+            assert_eq!(log.counters().truncated_bytes, 3);
+            log.append(&encode_pin(11, "127.0.0.1:7411"))
+                .expect("append");
+        }
+        let (log, image) = StateLog::open(&dir).expect("reopen");
+        assert_eq!(log.counters().truncated_bytes, 0);
+        assert_eq!(
+            image.pins.get(&11).map(String::as_str),
+            Some("127.0.0.1:7411")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shadow_replay_keeps_the_highest_sequence_stamp() {
+        // Appends race outside the shadows lock, so a log can hold a
+        // newer-stamped shadow *before* an older one. Replay must keep
+        // the max-seq record, not the last.
+        let mut log = STATE_MAGIC.to_vec();
+        log.extend_from_slice(&encode_shadow(5, 8, &[8u8; 16]));
+        log.extend_from_slice(&encode_shadow(5, 7, &[7u8; 16]));
+        let decoded = decode_state(&log).expect("valid log");
+        assert_eq!(decoded.damage, None);
+        assert_eq!(decoded.image.shadows.get(&5), Some(&(8, vec![8u8; 16])));
+        // Equal stamps keep last-record-wins (both reflect the same op).
+        let mut log = STATE_MAGIC.to_vec();
+        log.extend_from_slice(&encode_shadow(5, 8, &[1u8; 16]));
+        log.extend_from_slice(&encode_shadow(5, 8, &[2u8; 16]));
+        let decoded = decode_state(&log).expect("valid log");
+        assert_eq!(decoded.image.shadows.get(&5), Some(&(8, vec![2u8; 16])));
     }
 
     #[test]
